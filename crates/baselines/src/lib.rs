@@ -1,0 +1,114 @@
+//! # retroweb-baselines — automatic wrapper-induction comparators
+//!
+//! The systems the paper positions Retrozilla against (§6):
+//!
+//! - [`RoadRunnerWrapper`]: fully-automatic union-free regular-expression
+//!   wrapper inference in the style of RoadRunner (ref. \[6\] in the paper) — zero user input,
+//!   but anonymous, exhaustive fields ("all varying chunks of the HTML
+//!   source code will be part of the extracted data");
+//! - [`LrWrapper`]: Kushmerick-style LR delimiter induction (ref. \[10\] in the paper) —
+//!   supervised like Retrozilla but string-level, with the documented
+//!   over-extraction failure mode on ambiguous contexts.
+//!
+//! Both implement [`Extractor`], the interface the E8 comparison harness
+//! drives.
+
+mod lr;
+mod template;
+
+pub use lr::LrWrapper;
+pub use template::{RoadRunnerWrapper, TNode};
+
+use std::collections::BTreeMap;
+
+/// Common interface for the comparison experiments: page HTML in,
+/// component → values out.
+pub trait Extractor {
+    /// Human-readable system name for reports.
+    fn name(&self) -> &str;
+    /// Extract all (component, values) pairs this system produces.
+    fn extract(&self, html: &str) -> BTreeMap<String, Vec<String>>;
+}
+
+impl Extractor for RoadRunnerWrapper {
+    fn name(&self) -> &str {
+        "roadrunner"
+    }
+
+    fn extract(&self, html: &str) -> BTreeMap<String, Vec<String>> {
+        RoadRunnerWrapper::extract(self, html)
+    }
+}
+
+/// A bundle of LR wrappers, one per component.
+#[derive(Clone, Debug, Default)]
+pub struct LrWrapperSet {
+    pub wrappers: Vec<LrWrapper>,
+}
+
+impl Extractor for LrWrapperSet {
+    fn name(&self) -> &str {
+        "lr-wrapper"
+    }
+
+    fn extract(&self, html: &str) -> BTreeMap<String, Vec<String>> {
+        let mut out = BTreeMap::new();
+        for w in &self.wrappers {
+            let values = w.extract(html);
+            if !values.is_empty() {
+                out.insert(w.component.clone(), values);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_sitegen::{movie, MovieSiteSpec};
+
+    #[test]
+    fn roadrunner_on_generated_movie_pages() {
+        let spec = MovieSiteSpec {
+            n_pages: 4,
+            seed: 17,
+            p_missing_runtime: 0.0,
+            p_aka: 0.0,
+            noise_blocks: (0, 0),
+            ..Default::default()
+        };
+        let site = movie::generate(&spec);
+        let htmls: Vec<&str> = site.pages.iter().map(|p| p.html.as_str()).collect();
+        let w = RoadRunnerWrapper::induce(&htmls).unwrap();
+        assert!(w.field_count > 0);
+        // The wrapper recovers the runtime value of the first page among
+        // its anonymous fields.
+        let vals = w.extract(&site.pages[0].html);
+        let all: Vec<&String> = vals.values().flatten().collect();
+        let runtime = &site.pages[0].truth["runtime"][0];
+        assert!(all.contains(&runtime), "runtime {runtime} not in {all:?}");
+    }
+
+    #[test]
+    fn lr_set_on_generated_movie_pages() {
+        let spec = MovieSiteSpec {
+            n_pages: 4,
+            seed: 18,
+            p_missing_runtime: 0.0,
+            p_aka: 0.0,
+            noise_blocks: (0, 0),
+            ..Default::default()
+        };
+        let site = movie::generate(&spec);
+        let examples: Vec<(&str, &[String])> = site
+            .pages
+            .iter()
+            .map(|p| (p.html.as_str(), p.truth["runtime"].as_slice()))
+            .collect();
+        let w = LrWrapper::induce("runtime", &examples).unwrap();
+        let set = LrWrapperSet { wrappers: vec![w] };
+        let out = set.extract(&site.pages[1].html);
+        assert_eq!(out["runtime"], site.pages[1].truth["runtime"]);
+    }
+}

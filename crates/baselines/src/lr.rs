@@ -1,0 +1,178 @@
+//! Kushmerick-style LR wrapper induction.
+//!
+//! The simplest class from "Wrapper induction: efficiency and
+//! expressiveness" [Kushmerick, AIJ 2000], cited as [10] by the paper: a
+//! component is located by a **left delimiter** and a **right delimiter**
+//! learned from labeled example occurrences in the serialized HTML.
+//! Supervised like Retrozilla (needs example values), but string-level
+//! rather than tree-level — its failure modes on position shifts and
+//! reformatting are part of the E8 comparison.
+
+/// A learned ⟨left, right⟩ delimiter pair for one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LrWrapper {
+    pub component: String,
+    pub left: String,
+    pub right: String,
+}
+
+/// Cap on delimiter length: longer delimiters overfit the sample.
+const MAX_DELIM: usize = 48;
+
+impl LrWrapper {
+    /// Learn delimiters from `(html, example values)` pairs. Returns
+    /// `None` when no consistent non-empty delimiters exist.
+    pub fn induce(component: &str, examples: &[(&str, &[String])]) -> Option<LrWrapper> {
+        let mut lefts: Vec<String> = Vec::new();
+        let mut rights: Vec<String> = Vec::new();
+        for (html, values) in examples {
+            for value in *values {
+                let at = html.find(value.as_str())?;
+                let prefix_start = at.saturating_sub(MAX_DELIM);
+                // Respect char boundaries for slicing.
+                let prefix_start = (prefix_start..=at).find(|&i| html.is_char_boundary(i))?;
+                lefts.push(html[prefix_start..at].to_string());
+                let end = at + value.len();
+                let suffix_end = (end + MAX_DELIM).min(html.len());
+                let suffix_end =
+                    (end..=suffix_end).rev().find(|&i| html.is_char_boundary(i))?;
+                rights.push(html[end..suffix_end].to_string());
+            }
+        }
+        if lefts.is_empty() {
+            return None;
+        }
+        let left = longest_common_suffix(&lefts);
+        let right = longest_common_prefix(&rights);
+        if left.is_empty() || right.is_empty() {
+            return None;
+        }
+        Some(LrWrapper { component: component.to_string(), left, right })
+    }
+
+    /// Extract every value between the delimiters.
+    pub fn extract(&self, html: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut rest = html;
+        while let Some(start) = rest.find(&self.left) {
+            let after_left = &rest[start + self.left.len()..];
+            match after_left.find(&self.right) {
+                Some(end) => {
+                    out.push(after_left[..end].to_string());
+                    rest = &after_left[end..];
+                }
+                None => break,
+            }
+        }
+        out
+    }
+}
+
+fn longest_common_suffix(strings: &[String]) -> String {
+    let first = match strings.first() {
+        Some(s) => s,
+        None => return String::new(),
+    };
+    let mut suffix: &str = first;
+    for s in &strings[1..] {
+        while !s.ends_with(suffix) {
+            let mut chars = suffix.char_indices();
+            match chars.nth(1) {
+                Some((i, _)) => suffix = &suffix[i..],
+                None => return String::new(),
+            }
+        }
+        if suffix.is_empty() {
+            return String::new();
+        }
+    }
+    suffix.to_string()
+}
+
+fn longest_common_prefix(strings: &[String]) -> String {
+    let first = match strings.first() {
+        Some(s) => s,
+        None => return String::new(),
+    };
+    let mut len = first.len();
+    for s in &strings[1..] {
+        let common = first
+            .char_indices()
+            .zip(s.char_indices())
+            .take_while(|((_, a), (_, b))| a == b)
+            .count();
+        let byte_len = first
+            .char_indices()
+            .nth(common)
+            .map(|(i, _)| i)
+            .unwrap_or(first.len());
+        len = len.min(byte_len);
+    }
+    first[..len].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_table_cell_delimiters() {
+        let a = "<tr><td>Runtime:</td><td>108 min</td></tr>";
+        let b = "<tr><td>Runtime:</td><td>91 min</td></tr>";
+        let va = vec!["108 min".to_string()];
+        let vb = vec!["91 min".to_string()];
+        let w = LrWrapper::induce("runtime", &[(a, &va), (b, &vb)]).unwrap();
+        assert!(w.left.ends_with("<td>"), "{:?}", w.left);
+        assert!(w.right.starts_with("</td>"), "{:?}", w.right);
+        assert_eq!(w.extract("<tr><td>Runtime:</td><td>77 min</td></tr>"), vec!["77 min"]);
+    }
+
+    #[test]
+    fn ambiguous_left_context_overextracts() {
+        // The documented LR weakness: with a generic left delimiter the
+        // wrapper cannot tell the target cell from look-alike cells.
+        let a = "<td>X</td><td>108 min</td>";
+        let b = "<td>Y</td><td>91 min</td>";
+        let va = vec!["108 min".to_string()];
+        let vb = vec!["91 min".to_string()];
+        let w = LrWrapper::induce("runtime", &[(a, &va), (b, &vb)]).unwrap();
+        // The learned left delimiter is the generic "</td><td>", so on a
+        // page with several cells the wrapper captures bystander cells too.
+        let got = w.extract("<td>Z</td><td>60 min</td><td>note</td><td>extra</td>");
+        assert!(got.contains(&"60 min".to_string()));
+        assert!(got.len() >= 2, "expected over-extraction, got {got:?}");
+    }
+
+    #[test]
+    fn multivalued_extraction() {
+        let a = "<ul><li>Drama</li><li>Comedy</li></ul>";
+        let values = vec!["Drama".to_string(), "Comedy".to_string()];
+        let w = LrWrapper::induce("genre", &[(a, &values)]).unwrap();
+        assert_eq!(w.extract("<ul><li>Horror</li><li>SciFi</li></ul>"), vec!["Horror", "SciFi"]);
+    }
+
+    #[test]
+    fn value_not_in_page_fails_induction() {
+        let values = vec!["missing".to_string()];
+        assert!(LrWrapper::induce("x", &[("<p>nothing here</p>", &values)]).is_none());
+    }
+
+    #[test]
+    fn no_common_delimiters_fails() {
+        let a = "A108 minB";
+        let b = "C91 minD";
+        let va = vec!["108 min".to_string()];
+        let vb = vec!["91 min".to_string()];
+        assert!(LrWrapper::induce("runtime", &[(a, &va), (b, &vb)]).is_none());
+    }
+
+    #[test]
+    fn common_affix_helpers() {
+        let strings = vec!["xx<td>".to_string(), "y<td>".to_string()];
+        assert_eq!(longest_common_suffix(&strings), "<td>");
+        let strings = vec!["</td>a".to_string(), "</td>b".to_string()];
+        assert_eq!(longest_common_prefix(&strings), "</td>");
+        assert_eq!(longest_common_prefix(&[]), "");
+        assert_eq!(longest_common_suffix(&[]), "");
+    }
+}

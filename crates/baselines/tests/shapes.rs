@@ -1,0 +1,107 @@
+//! Baseline wrapper behaviour on the corpus shapes the E8 comparison
+//! exercises: optionals, iterators, noise, and drifted templates.
+
+use retroweb_baselines::{Extractor, LrWrapper, LrWrapperSet, RoadRunnerWrapper};
+use retroweb_sitegen::{drift_movie, movie, news, Drift, MovieSiteSpec, NewsSiteSpec};
+
+#[test]
+fn roadrunner_wrapper_has_iterators_and_optionals_on_movie_pages() {
+    let spec = MovieSiteSpec {
+        n_pages: 6,
+        seed: 7,
+        p_aka: 0.5,
+        p_missing_runtime: 0.3,
+        ..Default::default()
+    };
+    let site = movie::generate(&spec);
+    let htmls: Vec<&str> = site.pages.iter().map(|p| p.html.as_str()).collect();
+    let w = RoadRunnerWrapper::induce(&htmls).unwrap();
+    let notation = w.template.to_notation();
+    assert!(notation.contains(")+"), "iterator expected: {notation}");
+    assert!(notation.contains(")?"), "optional expected: {notation}");
+    // Every page of the cluster is extractable.
+    for page in &site.pages {
+        let fields = Extractor::extract(&w, &page.html);
+        assert!(!fields.is_empty(), "{}", page.url);
+    }
+}
+
+#[test]
+fn roadrunner_recovers_most_values_on_regular_pages() {
+    let spec = MovieSiteSpec {
+        n_pages: 8,
+        seed: 17,
+        p_aka: 0.0,
+        p_missing_runtime: 0.0,
+        p_missing_language: 0.0,
+        noise_blocks: (0, 0),
+        ..Default::default()
+    };
+    let site = movie::generate(&spec);
+    let htmls: Vec<&str> = site.pages[..4].iter().map(|p| p.html.as_str()).collect();
+    let w = RoadRunnerWrapper::induce(&htmls).unwrap();
+    for page in &site.pages[4..] {
+        let fields = Extractor::extract(&w, &page.html);
+        let all: Vec<&String> = fields.values().flatten().collect();
+        for component in ["title", "runtime", "country", "rating"] {
+            let value = &page.expected(component)[0];
+            assert!(
+                all.contains(&value),
+                "{component}='{value}' not recovered on {} (got {all:?})",
+                page.url
+            );
+        }
+    }
+}
+
+#[test]
+fn roadrunner_wrapper_breaks_on_redesign_without_reinduction() {
+    let spec = MovieSiteSpec {
+        n_pages: 4,
+        seed: 23,
+        p_aka: 0.0,
+        p_missing_runtime: 0.0,
+        noise_blocks: (0, 0),
+        ..Default::default()
+    };
+    let site = movie::generate(&spec);
+    let htmls: Vec<&str> = site.pages.iter().map(|p| p.html.as_str()).collect();
+    let w = RoadRunnerWrapper::induce(&htmls).unwrap();
+    let drifted = movie::generate(&drift_movie(&spec, Drift::Reposition));
+    // The drifted page still parses, but the runtime value no longer
+    // surfaces through the stale wrapper (recall loss without repair).
+    let fields = Extractor::extract(&w, &drifted.pages[0].html);
+    let all: Vec<&String> = fields.values().flatten().collect();
+    let runtime = &drifted.pages[0].expected("runtime")[0];
+    assert!(
+        !all.contains(&runtime),
+        "stale wrapper unexpectedly survived the redesign"
+    );
+}
+
+#[test]
+fn lr_wrapper_set_skips_unlearnable_components() {
+    let site = news::generate(&NewsSiteSpec { n_pages: 6, seed: 9, ..Default::default() });
+    let mut wrappers = Vec::new();
+    for component in ["headline", "date", "paragraph"] {
+        let examples: Vec<(&str, &[String])> = site.pages[..4]
+            .iter()
+            .filter(|p| !p.expected(component).is_empty())
+            .map(|p| (p.html.as_str(), p.expected(component)))
+            .collect();
+        if let Some(w) = LrWrapper::induce(component, &examples) {
+            wrappers.push(w);
+        }
+    }
+    // Headline and date have stable delimiters; mixed-content paragraphs
+    // do not embed verbatim (their truth spans a <b> boundary), so the
+    // paragraph wrapper cannot be induced.
+    let names: Vec<&str> = wrappers.iter().map(|w| w.component.as_str()).collect();
+    assert!(names.contains(&"headline"));
+    assert!(names.contains(&"date"));
+    assert!(!names.contains(&"paragraph"));
+
+    let set = LrWrapperSet { wrappers };
+    let out = set.extract(&site.pages[5].html);
+    assert_eq!(out.get("headline").map(|v| v.len()), Some(1));
+}

@@ -1,0 +1,42 @@
+//! B5 — page-clustering cost: signature computation and agglomerative
+//! clustering over a mixed crawl.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use retroweb_cluster::{cluster_pages, signature, ClusterParams, PageSignature};
+use retroweb_html::parse;
+use retroweb_sitegen::mixed_corpus;
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clustering");
+    for per_cluster in [5usize, 10, 20] {
+        let corpus = mixed_corpus(5, per_cluster);
+        let docs: Vec<(String, retroweb_html::Document)> =
+            corpus.iter().map(|p| (p.url.clone(), parse(&p.html))).collect();
+        group.throughput(Throughput::Elements(corpus.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("signatures", corpus.len()),
+            &docs,
+            |b, docs| {
+                b.iter(|| {
+                    let sigs: Vec<PageSignature> =
+                        docs.iter().map(|(u, d)| signature(u, d)).collect();
+                    std::hint::black_box(sigs.len())
+                })
+            },
+        );
+        let sigs: Vec<PageSignature> = docs.iter().map(|(u, d)| signature(u, d)).collect();
+        group.bench_with_input(
+            BenchmarkId::new("agglomerative", corpus.len()),
+            &sigs,
+            |b, sigs| {
+                b.iter(|| {
+                    std::hint::black_box(cluster_pages(sigs, &ClusterParams::default()).len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! B4 — extraction-processor throughput (pages/second) on the movie
+//! cluster: sequential vs parallel, the data-migration workload of §1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use retroweb_bench::build_movie_rules;
+use retroweb_sitegen::{movie, MovieSiteSpec, MOVIE_COMPONENTS};
+use retrozilla::{extract_cluster_html, extract_cluster_parallel, ClusterRules};
+
+fn bench_extraction(c: &mut Criterion) {
+    let spec = MovieSiteSpec { n_pages: 64, seed: 13, ..Default::default() };
+    let (reports, _, _) = build_movie_rules(&spec, 8, MOVIE_COMPONENTS);
+    let mut cluster = ClusterRules::new("imdb-movies", "imdb-movie");
+    for r in reports {
+        cluster.rules.push(r.rule);
+    }
+    let site = movie::generate(&spec);
+    let pages: Vec<(String, String)> =
+        site.pages.iter().map(|p| (p.url.clone(), p.html.clone())).collect();
+
+    let mut group = c.benchmark_group("extraction");
+    group.throughput(Throughput::Elements(pages.len() as u64));
+    group.sample_size(20);
+    group.bench_function("sequential-64-pages", |b| {
+        b.iter(|| std::hint::black_box(extract_cluster_html(&cluster, &pages).failures.len()))
+    });
+    for threads in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel-64-pages", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        extract_cluster_parallel(&cluster, &pages, threads).failures.len(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

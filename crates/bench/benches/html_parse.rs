@@ -1,0 +1,50 @@
+//! B1 — HTML substrate throughput: tokenizer + tree builder on generated
+//! movie/news pages of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use retroweb_html::parse;
+use retroweb_sitegen::{movie, news, MovieSiteSpec, NewsSiteSpec};
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("html_parse");
+    let movie_page = movie::generate(&MovieSiteSpec {
+        n_pages: 1,
+        seed: 1,
+        actors: (20, 20),
+        genres: (4, 4),
+        ..Default::default()
+    })
+    .pages
+    .remove(0)
+    .html;
+    let news_page = news::generate(&NewsSiteSpec {
+        n_pages: 1,
+        seed: 1,
+        paragraphs: (12, 12),
+        comments: (20, 20),
+        ..Default::default()
+    })
+    .pages
+    .remove(0)
+    .html;
+    // A large synthetic table page (the data-intensive extreme).
+    let mut big = String::from("<html><body><table>");
+    for i in 0..2000 {
+        big.push_str(&format!("<tr><td>k{i}</td><td>v{i} &amp; more</td></tr>"));
+    }
+    big.push_str("</table></body></html>");
+
+    for (name, page) in [("movie", &movie_page), ("news", &news_page), ("table-2k-rows", &big)] {
+        group.throughput(Throughput::Bytes(page.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), page, |b, page| {
+            b.iter(|| {
+                let doc = parse(page);
+                std::hint::black_box(doc.attached_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse);
+criterion_main!(benches);

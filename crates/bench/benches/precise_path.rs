@@ -1,0 +1,45 @@
+//! B3 — the selection mechanism: precise-path generation for every node
+//! of a page, and the generate→evaluate round trip that rule checking
+//! relies on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use retroweb_html::parse;
+use retroweb_sitegen::{movie, MovieSiteSpec};
+use retroweb_xpath::{builder::precise_path, Engine, Expr};
+
+fn bench_precise(c: &mut Criterion) {
+    let page = movie::generate(&MovieSiteSpec { n_pages: 1, seed: 3, ..Default::default() })
+        .pages
+        .remove(0)
+        .html;
+    let doc = parse(&page);
+    let texts: Vec<retroweb_html::NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_text(n))
+        .collect();
+
+    c.bench_function("precise_path/build-all-text-nodes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &t in &texts {
+                total += precise_path(&doc, t).unwrap().steps.len();
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    let engine = Engine::new(&doc);
+    c.bench_function("precise_path/build-and-select", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &t in texts.iter().take(10) {
+                let path = precise_path(&doc, t).unwrap();
+                hits += engine.select(&Expr::Path(path), doc.root()).unwrap().len();
+            }
+            std::hint::black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench_precise);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! B6 — end-to-end semi-automated rule building: the full Figure 3 loop
+//! (candidate → check → refine → record) per component class, and the
+//! RoadRunner baseline's induction for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retroweb_baselines::RoadRunnerWrapper;
+use retroweb_sitegen::{movie, MovieSiteSpec};
+use retrozilla::{build_rule, working_sample, ScenarioConfig, SimulatedUser};
+
+fn bench_building(c: &mut Criterion) {
+    let spec = MovieSiteSpec {
+        n_pages: 10,
+        seed: 55,
+        p_aka: 0.3,
+        p_missing_runtime: 0.2,
+        ..Default::default()
+    };
+    let site = movie::generate(&spec);
+    let sample = working_sample(&site, 8);
+
+    let mut group = c.benchmark_group("rule_building");
+    group.sample_size(20);
+    // Component classes: stable single-valued, shifted single-valued
+    // (context refinement), multivalued (first/last + broaden).
+    for component in ["title", "runtime", "genre"] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(component),
+            &component,
+            |b, &component| {
+                b.iter(|| {
+                    let mut user = SimulatedUser::new();
+                    let report =
+                        build_rule(component, &sample, &mut user, &ScenarioConfig::default())
+                            .unwrap();
+                    std::hint::black_box(report.iterations)
+                })
+            },
+        );
+    }
+    let htmls: Vec<&str> = site.pages[..8].iter().map(|p| p.html.as_str()).collect();
+    group.bench_function("roadrunner-induce-8-pages", |b| {
+        b.iter(|| std::hint::black_box(RoadRunnerWrapper::induce(&htmls).unwrap().field_count))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_building);
+criterion_main!(benches);

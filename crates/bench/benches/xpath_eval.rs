@@ -1,0 +1,54 @@
+//! B2 — XPath engine throughput: the expression shapes mapping rules use
+//! (precise positional paths, descendant scans, contextual predicates),
+//! evaluated against a generated movie page.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use retroweb_html::parse;
+use retroweb_sitegen::{movie, MovieSiteSpec};
+use retroweb_xpath::{parse as xparse, Engine};
+
+fn bench_eval(c: &mut Criterion) {
+    let page = movie::generate(&MovieSiteSpec {
+        n_pages: 1,
+        seed: 7,
+        actors: (20, 20),
+        p_missing_runtime: 0.0,
+        ..Default::default()
+    })
+    .pages
+    .remove(0)
+    .html;
+    let doc = parse(&page);
+    let engine = Engine::new(&doc);
+
+    let cases = [
+        ("precise", "/HTML[1]/BODY[1]/DIV[2]/TABLE[1]/TR[2]/TD[2]/text()[1]"),
+        ("descendant", "//TD/text()"),
+        ("positional-pred", "//TABLE[1]/TR[position()>=1]/TD[1]"),
+        (
+            "contextual",
+            "//TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(normalize-space(.), \"Runtime:\")]]",
+        ),
+        ("union", "//UL[1]/LI/text() | //TABLE[2]/TR/TD/text()"),
+        ("string-fn", "//TD[contains(normalize-space(.), \"min\")]"),
+    ];
+
+    let mut group = c.benchmark_group("xpath_eval");
+    for (name, xpath) in cases {
+        let expr = xparse(xpath).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &expr, |b, expr| {
+            b.iter(|| std::hint::black_box(engine.select(expr, doc.root()).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parse_expr(c: &mut Criterion) {
+    let xpath = "//TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(normalize-space(.), \"Runtime:\")]]";
+    c.bench_function("xpath_parse/contextual", |b| {
+        b.iter(|| std::hint::black_box(xparse(xpath).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_eval, bench_parse_expr);
+criterion_main!(benches);

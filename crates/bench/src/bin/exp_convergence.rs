@@ -1,0 +1,78 @@
+//! Experiment E6 — the §3.1 claim: "mapping rules converge after the
+//! analysis of about 5 pages" and "a sample of about ten randomly
+//! selected pages usually includes most of these variants".
+//!
+//! Sweep the working-sample size 1..=12, build rules for all movie
+//! components, evaluate extraction F1 on 40 held-out pages, average over
+//! seeds. The curve should rise steeply and saturate around 5 pages.
+
+use retroweb_bench::{build_movie_rules, evaluate_rules, f3, mean, write_experiment};
+use retroweb_json::Json;
+use retroweb_sitegen::{movie, MovieSiteSpec, MOVIE_COMPONENTS};
+
+const SEEDS: [u64; 8] = [101, 102, 103, 104, 105, 106, 107, 108];
+const HELD_OUT: usize = 40;
+
+fn main() {
+    println!("E6. Rule convergence vs working-sample size (claim: ~5 pages suffice)\n");
+    println!("{:>6} {:>8} {:>8} {:>8}   (mean over {} seeds)", "sample", "P", "R", "F1", SEEDS.len());
+
+    let mut series = Vec::new();
+    let mut f1_by_size = Vec::new();
+    for sample_n in 1..=12usize {
+        let mut ps = Vec::new();
+        let mut rs = Vec::new();
+        let mut f1s = Vec::new();
+        for &seed in &SEEDS {
+            let spec = MovieSiteSpec {
+                n_pages: sample_n + HELD_OUT,
+                seed,
+                p_aka: 0.3,
+                p_missing_runtime: 0.2,
+                p_missing_language: 0.3,
+                p_mixed_runtime: 0.2,
+                ..Default::default()
+            };
+            let (reports, _, _) = build_movie_rules(&spec, sample_n, MOVIE_COMPONENTS);
+            let rules: Vec<retrozilla::MappingRule> =
+                reports.into_iter().map(|r| r.rule).collect();
+            let site = movie::generate(&spec);
+            let held_out = &site.pages[sample_n..];
+            let prf = evaluate_rules(&rules, held_out, MOVIE_COMPONENTS);
+            ps.push(prf.precision);
+            rs.push(prf.recall);
+            f1s.push(prf.f1);
+        }
+        let (p, r, f1) = (mean(&ps), mean(&rs), mean(&f1s));
+        println!("{sample_n:>6} {:>8} {:>8} {:>8}", f3(p), f3(r), f3(f1));
+        f1_by_size.push(f1);
+        series.push(Json::object(vec![
+            ("sample_size".into(), Json::from(sample_n)),
+            ("precision".into(), Json::from(p)),
+            ("recall".into(), Json::from(r)),
+            ("f1".into(), Json::from(f1)),
+        ]));
+    }
+
+    // Shape checks: steep rise then saturation near 5.
+    let f1_1 = f1_by_size[0];
+    let f1_5 = f1_by_size[4];
+    let f1_12 = f1_by_size[11];
+    assert!(f1_5 > f1_1, "F1 must improve with more sample pages");
+    assert!(f1_5 > 0.9, "five pages should be nearly enough, got {f1_5}");
+    assert!(
+        f1_12 - f1_5 < 0.08,
+        "gains after 5 pages should be marginal: F1(5)={f1_5} F1(12)={f1_12}"
+    );
+    println!("\nShape check vs paper: F1(1)={} < F1(5)={} ≈ F1(12)={}  ✓", f3(f1_1), f3(f1_5), f3(f1_12));
+
+    write_experiment(
+        "exp_convergence",
+        &Json::object(vec![
+            ("experiment".into(), Json::from("e6-convergence")),
+            ("seeds".into(), Json::from(SEEDS.len())),
+            ("held_out_pages".into(), Json::from(HELD_OUT)),
+            ("series".into(), Json::Array(series)),
+        ]),
+    );
+}

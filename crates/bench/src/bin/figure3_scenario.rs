@@ -1,0 +1,65 @@
+//! Experiment F3 — reproduce **Figure 3**: the mapping-rules building
+//! scenario, traced. For every movie component: candidate building →
+//! checking → refinement loop → recording, with iteration counts and the
+//! strategies taken on each exit from the "Rule for C is OK?" decision.
+
+use retroweb_bench::{build_movie_rules, write_experiment};
+use retroweb_json::Json;
+use retroweb_sitegen::{MovieSiteSpec, MOVIE_COMPONENTS};
+
+fn main() {
+    let spec = MovieSiteSpec {
+        n_pages: 12,
+        seed: 2006,
+        p_aka: 0.35,
+        p_missing_runtime: 0.2,
+        p_missing_language: 0.3,
+        p_mixed_runtime: 0.25,
+        ..Default::default()
+    };
+    let (reports, stats, sample) = build_movie_rules(&spec, 10, MOVIE_COMPONENTS);
+
+    println!("Figure 3. Mapping rules building scenario — trace over a {}-page sample\n", sample.len());
+    println!(
+        "{:<10} {:>10} {:>6} {:<11} {:<13} {:<6}  refinement path",
+        "component", "candidate", "iters", "optionality", "multiplicity", "format"
+    );
+    let mut records = Vec::new();
+    for r in &reports {
+        let initial_fail = r.initial_table.failure_count();
+        println!(
+            "{:<10} {:>7}/{:<2} {:>6} {:<11} {:<13} {:<6}  {}",
+            r.component,
+            sample.len() - initial_fail,
+            sample.len(),
+            r.iterations,
+            r.rule.optionality.to_string(),
+            r.rule.multiplicity.to_string(),
+            r.rule.format.to_string(),
+            if r.strategies.is_empty() { "candidate OK → record".to_string() } else { r.strategies.join(" → ") }
+        );
+        assert!(r.ok, "{} did not converge", r.component);
+        records.push(Json::object(vec![
+            ("component".into(), Json::from(r.component.as_str())),
+            ("iterations".into(), Json::from(r.iterations)),
+            ("initial_failures".into(), Json::from(initial_fail)),
+            ("strategies".into(), Json::from(r.strategies.clone())),
+        ]));
+    }
+    println!(
+        "\nUser effort for the whole cluster: {} selections + {} interpretations + {} validations",
+        stats.selections, stats.interpretations, stats.validations
+    );
+    println!("Shape check vs paper: every component exits the loop with a valid recorded rule  ✓");
+
+    write_experiment(
+        "figure3_scenario",
+        &Json::object(vec![
+            ("experiment".into(), Json::from("figure3")),
+            ("components".into(), Json::Array(records)),
+            ("selections".into(), Json::from(stats.selections)),
+            ("interpretations".into(), Json::from(stats.interpretations)),
+            ("validations".into(), Json::from(stats.validations)),
+        ]),
+    );
+}

@@ -1,0 +1,48 @@
+//! Experiment T1 — reproduce **Table 1**: candidate-rule checking for the
+//! `runtime` component over the four-page imdb-movies working sample.
+//!
+//! Expected shape (paper): rows a and b correct, row c matches the
+//! "Also Known As" text (wrong value), row d matches nothing (void).
+
+use retroweb_bench::write_experiment;
+use retroweb_json::Json;
+use retroweb_sitegen::paper::paper_working_sample;
+use retrozilla::{check_rule, sample_from_pages, ComponentName, Format, MappingRule};
+use retroweb_xpath::parse as xparse;
+
+fn main() {
+    let sample = sample_from_pages(paper_working_sample());
+    // The candidate rule of §3.2/§3.4 (display form BODY//TR[6]/TD[1]/text()[1]).
+    let candidate = MappingRule::candidate(
+        ComponentName::new("runtime").unwrap(),
+        xparse("/HTML[1]/BODY[1]/TABLE[1]/TR[6]/TD[1]/text()[1]").unwrap(),
+        Format::Text,
+    );
+    let table = check_rule(&candidate, &sample);
+
+    println!("Table 1. Candidate rule checking for component \"runtime\"");
+    println!("(location: BODY//TR[6]/TD[1]/text()[1])\n");
+    print!("{}", table.render());
+
+    let expected = ["108 min", "91 min", "The Wing and the Thigh (International: English title)", "-"];
+    let mut rows_json = Vec::new();
+    for (row, want) in table.rows.iter().zip(expected) {
+        let got = row.display_value();
+        assert_eq!(got, want, "row {} diverges from the paper", row.uri);
+        rows_json.push(Json::object(vec![
+            ("uri".into(), Json::from(row.uri.as_str())),
+            ("value".into(), Json::from(got)),
+            ("outcome".into(), Json::from(format!("{:?}", row.outcome))),
+        ]));
+    }
+    println!("\nShape check vs paper: correct / correct / wrong-value / void  ✓");
+    write_experiment(
+        "table1_candidate_check",
+        &Json::object(vec![
+            ("experiment".into(), Json::from("table1")),
+            ("component".into(), Json::from("runtime")),
+            ("rows".into(), Json::Array(rows_json)),
+            ("matches_paper".into(), Json::Bool(true)),
+        ]),
+    );
+}

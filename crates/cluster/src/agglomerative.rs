@@ -1,0 +1,153 @@
+//! Average-linkage agglomerative clustering over page similarities.
+
+use crate::signature::PageSignature;
+use crate::sim::{page_similarity, SimilarityWeights};
+
+/// Clustering parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterParams {
+    /// Merge clusters while their average-linkage similarity is at least
+    /// this threshold.
+    pub threshold: f64,
+    pub weights: SimilarityWeights,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams { threshold: 0.6, weights: SimilarityWeights::default() }
+    }
+}
+
+/// A computed page cluster: member indices into the input slice plus a
+/// heuristic name (§2.1: "each cluster is given a meaningful name").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PageCluster {
+    pub members: Vec<usize>,
+    pub name: String,
+}
+
+/// Cluster a set of pages given their signatures.
+///
+/// Average linkage, O(n³) in the number of pages — fine for the
+/// crawl-sample scale the paper works at (tens of pages per site).
+pub fn cluster_pages(signatures: &[PageSignature], params: &ClusterParams) -> Vec<PageCluster> {
+    let n = signatures.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Pairwise similarity matrix.
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = page_similarity(&signatures[i], &signatures[j], &params.weights);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        // Find the closest pair of clusters under average linkage.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut total = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        total += sim[i][j];
+                    }
+                }
+                let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
+                if best.map(|(_, _, s)| avg > s).unwrap_or(true) {
+                    best = Some((a, b, avg));
+                }
+            }
+        }
+        match best {
+            Some((a, b, s)) if s >= params.threshold => {
+                let merged = clusters.remove(b);
+                clusters[a].extend(merged);
+            }
+            _ => break,
+        }
+    }
+    clusters
+        .into_iter()
+        .map(|members| {
+            let name = name_cluster(signatures, &members);
+            PageCluster { members, name }
+        })
+        .collect()
+}
+
+/// Heuristic cluster name: the most frequent non-`#` URL token among the
+/// members, falling back to the host.
+fn name_cluster(signatures: &[PageSignature], members: &[usize]) -> String {
+    use std::collections::HashMap;
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for &m in members {
+        for t in &signatures[m].url_tokens {
+            if !t.contains('#') && !t.is_empty() {
+                *counts.entry(t.as_str()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t.len()), t.to_string()))
+        .map(|(t, _)| t.to_string())
+        .unwrap_or_else(|| {
+            members
+                .first()
+                .map(|&m| signatures[m].host.clone())
+                .unwrap_or_default()
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::signature;
+    use retroweb_html::parse;
+
+    fn sig(url: &str, html: &str) -> PageSignature {
+        signature(url, &parse(html))
+    }
+
+    #[test]
+    fn identical_templates_merge() {
+        let sigs = vec![
+            sig("http://m.org/title/tt1/", "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>"),
+            sig("http://m.org/title/tt2/", "<body><table><tr><td>Runtime:</td><td>80 min</td></tr></table></body>"),
+            sig("http://m.org/title/tt3/", "<body><table><tr><td>Runtime:</td><td>70 min</td></tr></table></body>"),
+        ];
+        let clusters = cluster_pages(&sigs, &ClusterParams::default());
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].members.len(), 3);
+        assert_eq!(clusters[0].name, "title");
+    }
+
+    #[test]
+    fn different_templates_stay_apart() {
+        let sigs = vec![
+            sig("http://m.org/title/tt1/", "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>"),
+            sig("http://m.org/search/q1", "<body><ul><li>r1</li><li>r2</li><li>r3</li></ul><form><input></form></body>"),
+        ];
+        let clusters = cluster_pages(&sigs, &ClusterParams::default());
+        assert_eq!(clusters.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_pages(&[], &ClusterParams::default()).is_empty());
+    }
+
+    #[test]
+    fn threshold_one_keeps_singletons() {
+        let sigs = vec![
+            sig("http://m.org/a", "<body><p>x</p></body>"),
+            sig("http://m.org/b", "<body><p>y</p><p>z</p></body>"),
+        ];
+        let params = ClusterParams { threshold: 1.01, ..Default::default() };
+        assert_eq!(cluster_pages(&sigs, &params).len(), 2);
+    }
+}

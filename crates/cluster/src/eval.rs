@@ -1,0 +1,121 @@
+//! Clustering-quality metrics against ground-truth labels.
+
+use std::collections::HashMap;
+
+/// Purity: fraction of pages whose cluster's majority label matches their
+/// own.
+pub fn purity(clusters: &[Vec<usize>], labels: &[&str]) -> f64 {
+    let total: usize = clusters.iter().map(Vec::len).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut correct = 0usize;
+    for members in clusters {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for &m in members {
+            *counts.entry(labels[m]).or_insert(0) += 1;
+        }
+        correct += counts.values().copied().max().unwrap_or(0);
+    }
+    correct as f64 / total as f64
+}
+
+/// Rand index: agreement over all page pairs (same-cluster vs same-label).
+pub fn rand_index(clusters: &[Vec<usize>], labels: &[&str]) -> f64 {
+    let n: usize = clusters.iter().map(Vec::len).sum();
+    if n < 2 {
+        return 1.0;
+    }
+    // Map page → cluster id.
+    let mut assignment = vec![usize::MAX; n];
+    for (cid, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = cid;
+        }
+    }
+    let mut agree = 0usize;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            pairs += 1;
+            let same_cluster = assignment[i] == assignment[j];
+            let same_label = labels[i] == labels[j];
+            if same_cluster == same_label {
+                agree += 1;
+            }
+        }
+    }
+    agree as f64 / pairs as f64
+}
+
+/// Pairwise precision/recall/F1 of the same-cluster relation.
+pub fn pairwise_f1(clusters: &[Vec<usize>], labels: &[&str]) -> (f64, f64, f64) {
+    let n: usize = clusters.iter().map(Vec::len).sum();
+    let mut assignment = vec![usize::MAX; n];
+    for (cid, members) in clusters.iter().enumerate() {
+        for &m in members {
+            assignment[m] = cid;
+        }
+    }
+    let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let same_cluster = assignment[i] == assignment[j];
+            let same_label = labels[i] == labels[j];
+            match (same_cluster, same_label) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+    let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    (precision, recall, f1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering() {
+        let clusters = vec![vec![0, 1], vec![2, 3]];
+        let labels = vec!["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0);
+        assert_eq!(rand_index(&clusters, &labels), 1.0);
+        assert_eq!(pairwise_f1(&clusters, &labels), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn everything_in_one_cluster() {
+        let clusters = vec![vec![0, 1, 2, 3]];
+        let labels = vec!["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 0.5);
+        let (p, r, _) = pairwise_f1(&clusters, &labels);
+        assert!(p < 1.0);
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn all_singletons() {
+        let clusters = vec![vec![0], vec![1], vec![2], vec![3]];
+        let labels = vec!["a", "a", "b", "b"];
+        assert_eq!(purity(&clusters, &labels), 1.0); // trivially pure
+        let (p, r, _) = pairwise_f1(&clusters, &labels);
+        assert_eq!(p, 1.0); // no false merges
+        assert_eq!(r, 0.0); // but nothing recalled
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(purity(&[], &[]), 1.0);
+        assert_eq!(rand_index(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! # retroweb-cluster — the page-clustering substrate
+//!
+//! Step 1 of the paper's pipeline (Figure 1): "the pages composing a Web
+//! site are partitioned into page clusters, according to their semantic
+//! content and their layout" (§2.1). The paper relies on "a set of
+//! heuristics"; this crate implements the techniques its related-work
+//! survey lists — URL analysis, tag structure, keyword frequency — as
+//! measurable features combined by weighted similarity, plus
+//! average-linkage agglomerative clustering and standard clustering
+//! quality metrics.
+//!
+//! ```
+//! use retroweb_cluster::{cluster_pages, signature, ClusterParams};
+//! use retroweb_html::parse;
+//!
+//! let pages = [
+//!     ("http://m.org/title/tt1/", "<table><tr><td>Runtime:</td><td>90 min</td></tr></table>"),
+//!     ("http://m.org/title/tt2/", "<table><tr><td>Runtime:</td><td>80 min</td></tr></table>"),
+//! ];
+//! let sigs: Vec<_> = pages.iter().map(|(u, h)| signature(u, &parse(h))).collect();
+//! let clusters = cluster_pages(&sigs, &ClusterParams::default());
+//! assert_eq!(clusters.len(), 1);
+//! ```
+
+mod agglomerative;
+mod eval;
+mod signature;
+mod sim;
+
+pub use agglomerative::{cluster_pages, ClusterParams, PageCluster};
+pub use eval::{pairwise_f1, purity, rand_index};
+pub use signature::{signature, tokenize_url, PageSignature};
+pub use sim::{cosine, jaccard, page_similarity, sequence_similarity, SimilarityWeights};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+    use retroweb_sitegen::mixed_corpus;
+
+    #[test]
+    fn mixed_corpus_clusters_by_ground_truth() {
+        let pages = mixed_corpus(3, 6);
+        let sigs: Vec<PageSignature> =
+            pages.iter().map(|p| signature(&p.url, &parse(&p.html))).collect();
+        let clusters = cluster_pages(&sigs, &ClusterParams::default());
+        let labels: Vec<&str> = pages.iter().map(|p| p.cluster.as_str()).collect();
+        let member_lists: Vec<Vec<usize>> = clusters.iter().map(|c| c.members.clone()).collect();
+        let pur = purity(&member_lists, &labels);
+        let ri = rand_index(&member_lists, &labels);
+        assert!(pur >= 0.95, "purity {pur}");
+        assert!(ri >= 0.95, "rand index {ri}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Candidate rule building (§3.2).
+//!
+//! "Selection consists in pointing (and thus locating) a component value
+//! in one page of the sample. This operation leads to the automatic
+//! generation of a precise XPath expression … Interpretation is the
+//! process through which a semantic meaning is given to the selected
+//! component value."
+
+use crate::model::{Format, MappingRule};
+use crate::oracle::{Instance, User};
+use crate::sample::SamplePage;
+use retroweb_html::NodeId;
+use retroweb_xpath::{builder, Expr};
+
+/// A freshly built candidate rule plus its provenance (needed later by
+/// refinement: contextual labels are mined around the selected node).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    pub rule: MappingRule,
+    /// Index into the working sample of the page the value was selected on.
+    pub page_index: usize,
+    /// The selected node in that page's DOM.
+    pub selection: NodeId,
+}
+
+/// Build a candidate rule for `component` by asking the user to select a
+/// value on the first sample page that shows one. Returns `None` when the
+/// user finds no instance anywhere in the sample.
+pub fn build_candidate(
+    component: &str,
+    sample: &[SamplePage],
+    user: &mut dyn User,
+) -> Option<Candidate> {
+    for (page_index, sp) in sample.iter().enumerate() {
+        let Some(node) = user.select(&sp.doc, &sp.page, component, Instance::First) else {
+            continue;
+        };
+        let name = user.interpret(component);
+        let path = builder::precise_path(&sp.doc, node).ok()?;
+        // §3.2: format is text iff the selected value is a simple text
+        // node; selecting an element (a value spanning markup) means mixed.
+        let format = if sp.doc.is_text(node) { Format::Text } else { Format::Mixed };
+        let rule = MappingRule::candidate(name, Expr::Path(path), format);
+        return Some(Candidate { rule, page_index, selection: node });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Multiplicity, Optionality};
+    use crate::oracle::SimulatedUser;
+    use crate::sample::sample_from_pages;
+    use retroweb_sitegen::Page;
+
+    fn sample_pages() -> Vec<SamplePage> {
+        let mut p1 = Page::new(
+            "http://x.org/1".into(),
+            "<html><body><table><tr><td>Runtime:</td><td>108 min</td></tr></table></body></html>".into(),
+            "c",
+        );
+        p1.expect("runtime", "108 min");
+        let mut p2 = Page::new(
+            "http://x.org/2".into(),
+            "<html><body><table><tr><td>Runtime:</td><td>91 min</td></tr></table></body></html>".into(),
+            "c",
+        );
+        p2.expect("runtime", "91 min");
+        sample_from_pages(vec![p1, p2])
+    }
+
+    #[test]
+    fn candidate_from_first_page_with_value() {
+        let sample = sample_pages();
+        let mut user = SimulatedUser::new();
+        let cand = build_candidate("runtime", &sample, &mut user).unwrap();
+        assert_eq!(cand.page_index, 0);
+        assert_eq!(cand.rule.name.as_str(), "runtime");
+        assert_eq!(cand.rule.optionality, Optionality::Mandatory);
+        assert_eq!(cand.rule.multiplicity, Multiplicity::SingleValued);
+        assert_eq!(cand.rule.format, Format::Text);
+        assert_eq!(
+            cand.rule.location_display(),
+            "/HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]"
+        );
+        // Selection + interpretation = 2 interactions.
+        assert_eq!(user.stats().selections, 1);
+        assert_eq!(user.stats().interpretations, 1);
+    }
+
+    #[test]
+    fn candidate_skips_pages_without_value() {
+        let mut pages = sample_pages();
+        // Remove the component from page 1's truth: the user will not
+        // find it there and must move on to page 2.
+        pages[0].page.truth.clear();
+        let mut user = SimulatedUser::new();
+        let cand = build_candidate("runtime", &pages, &mut user).unwrap();
+        assert_eq!(cand.page_index, 1);
+    }
+
+    #[test]
+    fn no_instance_anywhere_gives_none() {
+        let sample = sample_pages();
+        let mut user = SimulatedUser::new();
+        assert!(build_candidate("budget", &sample, &mut user).is_none());
+    }
+
+    #[test]
+    fn mixed_value_selects_element_and_sets_mixed() {
+        let mut p = Page::new(
+            "http://x.org/m".into(),
+            "<html><body><table><tr><td>Runtime:</td><td><i>108</i> min</td></tr></table></body></html>".into(),
+            "c",
+        );
+        p.expect("runtime", "108 min");
+        let sample = sample_from_pages(vec![p]);
+        let mut user = SimulatedUser::new();
+        let cand = build_candidate("runtime", &sample, &mut user).unwrap();
+        assert_eq!(cand.rule.format, Format::Mixed);
+        assert!(cand.rule.location_display().ends_with("TD[2]"));
+    }
+}

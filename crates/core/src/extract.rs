@@ -1,0 +1,373 @@
+//! The extraction processor (§4).
+//!
+//! "The output of the analysis process can be understood as a primitive
+//! three-level XML structure made of a root element representing the page
+//! cluster, a second level element for each page of the cluster and a
+//! leaf element for each page component" — optionally reshaped by the
+//! enhanced structure recorded in the repository (iterative aggregation),
+//! and accompanied by an XML Schema whose cardinalities come from the
+//! optionality/multiplicity properties.
+//!
+//! Extraction also performs the failure detection §7 sketches: a missing
+//! mandatory component, or several nodes for a single-valued one, is
+//! reported as a [`RuleFailure`].
+
+use crate::model::{Format, MappingRule, Multiplicity, Optionality};
+use crate::repository::{ClusterRules, StructureNode};
+use retroweb_html::{parse, Document};
+use retroweb_xml::{ClusterSchema, SchemaNode, XmlDocument, XmlElement};
+use retroweb_xpath::{normalize_space, string_value, NodeRef};
+use std::collections::BTreeMap;
+
+/// The §7 failure conditions, detected during extraction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// "a mandatory component cannot be found in one page"
+    MandatoryMissing,
+    /// "the extraction of a single-valued text component returns more
+    /// than one node"
+    MultipleForSingleValued,
+}
+
+/// One detected failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuleFailure {
+    pub uri: String,
+    pub component: String,
+    pub kind: FailureKind,
+}
+
+/// Extraction output: the XML document, its schema, and any failures.
+#[derive(Clone, Debug)]
+pub struct ExtractionResult {
+    pub xml: XmlDocument,
+    pub schema: ClusterSchema,
+    pub failures: Vec<RuleFailure>,
+}
+
+/// Extract one page's component values: component → values.
+pub fn extract_page(
+    rules: &ClusterRules,
+    uri: &str,
+    doc: &Document,
+    failures: &mut Vec<RuleFailure>,
+) -> BTreeMap<String, Vec<String>> {
+    let mut out = BTreeMap::new();
+    for rule in &rules.rules {
+        let nodes = rule.select(doc).unwrap_or_default();
+        if rule.multiplicity == Multiplicity::SingleValued && nodes.len() > 1 {
+            failures.push(RuleFailure {
+                uri: uri.to_string(),
+                component: rule.name.as_str().to_string(),
+                kind: FailureKind::MultipleForSingleValued,
+            });
+        }
+        let mut values: Vec<String> = nodes
+            .iter()
+            .map(|&n| normalize_space(&string_value(doc, NodeRef::node(n))))
+            .filter(|v| !v.is_empty())
+            .collect();
+        if rule.multiplicity == Multiplicity::SingleValued {
+            values.truncate(1);
+        }
+        for p in &rule.post {
+            values = p.apply(values);
+        }
+        if values.is_empty() && rule.optionality == Optionality::Mandatory {
+            failures.push(RuleFailure {
+                uri: uri.to_string(),
+                component: rule.name.as_str().to_string(),
+                kind: FailureKind::MandatoryMissing,
+            });
+        }
+        if !values.is_empty() {
+            out.insert(rule.name.as_str().to_string(), values);
+        }
+    }
+    out
+}
+
+/// Extract a whole cluster to XML + XSD.
+pub fn extract_cluster(rules: &ClusterRules, pages: &[(String, Document)]) -> ExtractionResult {
+    let mut failures = Vec::new();
+    let mut root = XmlElement::new(&rules.cluster);
+    for (uri, doc) in pages {
+        let values = extract_page(rules, uri, doc, &mut failures);
+        root.push_element(page_element(rules, uri, &values));
+    }
+    ExtractionResult {
+        xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
+        schema: cluster_schema(rules),
+        failures,
+    }
+}
+
+/// Extract from raw HTML strings (parses then delegates).
+pub fn extract_cluster_html(rules: &ClusterRules, pages: &[(String, String)]) -> ExtractionResult {
+    let parsed: Vec<(String, Document)> =
+        pages.iter().map(|(uri, html)| (uri.clone(), parse(html))).collect();
+    extract_cluster(rules, &parsed)
+}
+
+/// Parallel extraction: pages are parsed and extracted across `threads`
+/// worker threads (crossbeam scoped), then results are reassembled in
+/// page order. Useful for the data-migration workload of the intro.
+pub fn extract_cluster_parallel(
+    rules: &ClusterRules,
+    pages: &[(String, String)],
+    threads: usize,
+) -> ExtractionResult {
+    let threads = threads.max(1);
+    let chunk = pages.len().div_ceil(threads).max(1);
+    let mut slots: Vec<Option<(XmlElement, Vec<RuleFailure>)>> = (0..pages.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut rest: &mut [Option<(XmlElement, Vec<RuleFailure>)>] = &mut slots;
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        while offset < pages.len() {
+            let take = chunk.min(pages.len() - offset);
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let page_slice = &pages[offset..offset + take];
+            handles.push(scope.spawn(move |_| {
+                for (slot, (uri, html)) in head.iter_mut().zip(page_slice) {
+                    let doc = parse(html);
+                    let mut failures = Vec::new();
+                    let values = extract_page(rules, uri, &doc, &mut failures);
+                    *slot = Some((page_element(rules, uri, &values), failures));
+                }
+            }));
+            offset += take;
+        }
+        for h in handles {
+            h.join().expect("extraction worker panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut failures = Vec::new();
+    let mut root = XmlElement::new(&rules.cluster);
+    for slot in slots.into_iter().flatten() {
+        let (el, f) = slot;
+        root.push_element(el);
+        failures.extend(f);
+    }
+    ExtractionResult {
+        xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
+        schema: cluster_schema(rules),
+        failures,
+    }
+}
+
+/// Build one page element, honouring the enhanced structure if present.
+fn page_element(
+    rules: &ClusterRules,
+    uri: &str,
+    values: &BTreeMap<String, Vec<String>>,
+) -> XmlElement {
+    let mut page_el = XmlElement::new(&rules.page_element).with_attr("uri", uri);
+    match &rules.structure {
+        None => {
+            // Default three-level structure: leaf elements in rule order.
+            for rule in &rules.rules {
+                push_component(&mut page_el, rule.name.as_str(), values);
+            }
+        }
+        Some(structure) => {
+            for node in structure {
+                push_structure(&mut page_el, node, values);
+            }
+        }
+    }
+    page_el
+}
+
+fn push_component(parent: &mut XmlElement, name: &str, values: &BTreeMap<String, Vec<String>>) {
+    if let Some(vals) = values.get(name) {
+        for v in vals {
+            parent.push_element(XmlElement::new(name).with_text(v));
+        }
+    }
+}
+
+fn push_structure(
+    parent: &mut XmlElement,
+    node: &StructureNode,
+    values: &BTreeMap<String, Vec<String>>,
+) {
+    match node {
+        StructureNode::Component(name) => push_component(parent, name, values),
+        StructureNode::Group { name, children } => {
+            let mut group = XmlElement::new(name);
+            for child in children {
+                push_structure(&mut group, child, values);
+            }
+            // Empty groups (all members absent) are omitted.
+            if !group.children.is_empty() {
+                parent.push_element(group);
+            }
+        }
+    }
+}
+
+/// Derive the cluster's XML Schema from its rules (+ structure).
+pub fn cluster_schema(rules: &ClusterRules) -> ClusterSchema {
+    let components: Vec<SchemaNode> = match &rules.structure {
+        None => rules.rules.iter().map(leaf_schema).collect(),
+        Some(structure) => structure.iter().map(|n| structure_schema(rules, n)).collect(),
+    };
+    ClusterSchema::new(&rules.cluster, &rules.page_element, components)
+}
+
+fn leaf_schema(rule: &MappingRule) -> SchemaNode {
+    SchemaNode::leaf(
+        rule.name.as_str(),
+        rule.optionality == Optionality::Optional,
+        rule.multiplicity == Multiplicity::Multivalued,
+        rule.format == Format::Mixed,
+    )
+}
+
+fn structure_schema(rules: &ClusterRules, node: &StructureNode) -> SchemaNode {
+    match node {
+        StructureNode::Component(name) => match rules.rule(name) {
+            Some(rule) => leaf_schema(rule),
+            // A structure entry without a rule: emit an optional string leaf.
+            None => SchemaNode::leaf(name, true, false, false),
+        },
+        StructureNode::Group { name, children } => SchemaNode::group(
+            name,
+            children.iter().map(|c| structure_schema(rules, c)).collect(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ComponentName;
+    use retroweb_xpath::parse as xparse;
+
+    fn runtime_rule(optionality: Optionality) -> MappingRule {
+        MappingRule {
+            name: ComponentName::new("runtime").unwrap(),
+            optionality,
+            multiplicity: Multiplicity::SingleValued,
+            format: Format::Text,
+            locations: vec![xparse(
+                "//TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(normalize-space(.), \"Runtime:\")]]",
+            )
+            .unwrap()],
+            post: vec![],
+        }
+    }
+
+    fn genre_rule() -> MappingRule {
+        MappingRule {
+            name: ComponentName::new("genre").unwrap(),
+            optionality: Optionality::Mandatory,
+            multiplicity: Multiplicity::Multivalued,
+            format: Format::Text,
+            locations: vec![xparse("//UL[1]/LI[position() >= 1]/text()").unwrap()],
+            post: vec![],
+        }
+    }
+
+    const PAGE: &str = "<html><body><table><tr><td><b>Runtime:</b></td><td> 108 min </td></tr></table>\
+        <ul><li>Drama</li><li>Comedy</li></ul></body></html>";
+
+    fn cluster() -> ClusterRules {
+        let mut c = ClusterRules::new("imdb-movies", "imdb-movie");
+        c.rules.push(runtime_rule(Optionality::Mandatory));
+        c.rules.push(genre_rule());
+        c
+    }
+
+    #[test]
+    fn three_level_structure() {
+        let result = extract_cluster_html(&cluster(), &[("u1".into(), PAGE.into())]);
+        let text = result.xml.to_string_with(0);
+        assert!(text.contains("<imdb-movies>"));
+        assert!(text.contains("<imdb-movie uri=\"u1\">"));
+        assert!(text.contains("<runtime>108 min</runtime>"));
+        assert!(text.contains("<genre>Drama</genre>"));
+        assert!(text.contains("<genre>Comedy</genre>"));
+        assert!(result.failures.is_empty());
+    }
+
+    #[test]
+    fn aggregation_nests_components() {
+        let mut c = cluster();
+        c.structure = Some(vec![
+            StructureNode::Component("runtime".into()),
+            StructureNode::Group {
+                name: "classification".into(),
+                children: vec![StructureNode::Component("genre".into())],
+            },
+        ]);
+        let result = extract_cluster_html(&c, &[("u1".into(), PAGE.into())]);
+        let text = result.xml.to_string_with(2);
+        let cls_pos = text.find("<classification>").unwrap();
+        let genre_pos = text.find("<genre>").unwrap();
+        assert!(genre_pos > cls_pos);
+        // Schema nests too.
+        let xsd = result.schema.to_xsd().to_string_with(2);
+        assert!(xsd.contains("classification"));
+    }
+
+    #[test]
+    fn mandatory_missing_detected() {
+        let page_without = "<html><body><p>no facts</p><ul><li>Drama</li><li>X</li></ul></body></html>";
+        let result = extract_cluster_html(&cluster(), &[("u2".into(), page_without.into())]);
+        assert!(result.failures.iter().any(|f| f.component == "runtime"
+            && f.kind == FailureKind::MandatoryMissing
+            && f.uri == "u2"));
+    }
+
+    #[test]
+    fn optional_missing_not_a_failure() {
+        let mut c = ClusterRules::new("m", "p");
+        c.rules.push(runtime_rule(Optionality::Optional));
+        let page_without = "<html><body><p>no facts</p></body></html>";
+        let result = extract_cluster_html(&c, &[("u".into(), page_without.into())]);
+        assert!(result.failures.is_empty());
+        assert!(!result.xml.to_string_with(0).contains("<runtime>"));
+    }
+
+    #[test]
+    fn multiple_for_single_valued_detected() {
+        let mut c = ClusterRules::new("m", "p");
+        c.rules.push(MappingRule {
+            locations: vec![xparse("//LI/text()").unwrap()],
+            ..runtime_rule(Optionality::Mandatory)
+        });
+        let page = "<html><body><ul><li>90 min</li><li>95 min</li></ul></body></html>";
+        let result = extract_cluster_html(&c, &[("u".into(), page.into())]);
+        assert!(result
+            .failures
+            .iter()
+            .any(|f| f.kind == FailureKind::MultipleForSingleValued));
+        // The value emitted is the first match.
+        assert!(result.xml.to_string_with(0).contains("<runtime>90 min</runtime>"));
+    }
+
+    #[test]
+    fn schema_cardinalities_follow_rules() {
+        let mut c = cluster();
+        c.rules[0].optionality = Optionality::Optional;
+        let xsd = cluster_schema(&c).to_xsd().to_string_with(2);
+        assert!(xsd.contains("name=\"runtime\" minOccurs=\"0\""));
+        assert!(xsd.contains("name=\"genre\" maxOccurs=\"unbounded\""));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let pages: Vec<(String, String)> = (0..12)
+            .map(|i| (format!("u{i}"), PAGE.to_string()))
+            .collect();
+        let seq = extract_cluster_html(&cluster(), &pages);
+        let par = extract_cluster_parallel(&cluster(), &pages, 4);
+        assert_eq!(seq.xml.to_string_with(0), par.xml.to_string_with(0));
+        assert_eq!(seq.failures, par.failures);
+    }
+}

@@ -1,0 +1,70 @@
+//! # retrozilla — semi-automated extraction of targeted data from Web pages
+//!
+//! A from-scratch Rust reproduction of the Retrozilla system
+//! (Estiévenart, Meurisse, Hainaut, Thiran — *Semi-Automated Extraction
+//! of Targeted Data from Web Pages*, IEEE ICDE 2006 Workshops).
+//!
+//! The pipeline (paper Figure 1):
+//!
+//! 1. **Clustering** — pages of a site are grouped into page clusters
+//!    (`retroweb-cluster`);
+//! 2. **Semantic analysis** — for each cluster, a working sample is
+//!    analysed with a human (or [`oracle::SimulatedUser`]) in the loop to
+//!    produce **mapping rules** ([`model::MappingRule`]): candidate rule
+//!    building ([`candidate`]), rule checking ([`check`]), iterative
+//!    refinement ([`refine`]) and recording ([`repository`]);
+//! 3. **Extraction** — the rules drive an extraction processor
+//!    ([`extract`]) producing an XML document plus an XML Schema, with
+//!    optional a-posteriori aggregation into nested structures.
+//!
+//! Extensions the paper lists as future work, implemented here:
+//! failure detection and semi-automated repair ([`maintain`]) and
+//! sub-text-node post-processing ([`post`]).
+//!
+//! ```
+//! use retrozilla::builder::{build_rule, ScenarioConfig};
+//! use retrozilla::oracle::SimulatedUser;
+//! use retrozilla::sample::sample_from_pages;
+//! use retroweb_sitegen::paper::paper_working_sample;
+//!
+//! // The paper's worked example: the `runtime` component over the
+//! // four-page imdb-movies working sample (Tables 1 and 3).
+//! let sample = sample_from_pages(paper_working_sample());
+//! let mut user = SimulatedUser::new();
+//! let report = build_rule("runtime", &sample, &mut user, &ScenarioConfig::default()).unwrap();
+//! assert!(report.ok);
+//! assert!(!report.initial_table.all_correct()); // Table 1: wrong + void rows
+//! assert!(report.final_table.all_correct());    // Table 3: all correct
+//! ```
+
+pub mod builder;
+pub mod candidate;
+pub mod check;
+pub mod extract;
+pub mod maintain;
+pub mod metrics;
+pub mod model;
+pub mod oracle;
+pub mod post;
+pub mod refine;
+pub mod repository;
+pub mod sample;
+pub mod schema_guided;
+
+pub use builder::{build_rule, build_rules, ComponentReport, ScenarioConfig};
+pub use check::{check_rule, classify, CheckRow, CheckTable, Outcome};
+pub use extract::{
+    extract_cluster, extract_cluster_html, extract_cluster_parallel, ExtractionResult,
+    FailureKind, RuleFailure,
+};
+pub use maintain::{detect_failures, repair_rules, RepairMethod, RepairReport};
+pub use metrics::{page_counts, value_counts, Counts, Prf};
+pub use model::{ComponentName, Format, MappingRule, Multiplicity, Optionality};
+pub use oracle::{Instance, InteractionStats, SimulatedUser, User};
+pub use post::PostProcess;
+pub use refine::{refine_rule, RefineConfig, RefineOutcome};
+pub use repository::{ClusterRules, RuleRepository, StructureNode};
+pub use sample::{sample_from_pages, working_sample, SamplePage};
+pub use schema_guided::{
+    build_with_guide, Conformance, GuideComponent, GuidedComponentResult, SchemaGuide,
+};

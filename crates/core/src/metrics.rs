@@ -1,0 +1,158 @@
+//! Extraction-quality metrics: precision/recall/F1 of extracted values
+//! against ground truth, per component and micro-averaged. Used by the
+//! convergence (E6), depth (E7), baseline-comparison (E8) and recovery
+//! (E9) experiments.
+
+use retroweb_sitegen::GroundTruth;
+use retroweb_xpath::normalize_space;
+use std::collections::BTreeMap;
+
+/// Precision / recall / F1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Prf {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Prf {
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let precision = if tp + fp == 0 { 1.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fn_ == 0 { 1.0 } else { tp as f64 / (tp + fn_) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf { precision, recall, f1 }
+    }
+}
+
+/// Running TP/FP/FN counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counts {
+    pub tp: usize,
+    pub fp: usize,
+    pub fn_: usize,
+}
+
+impl Counts {
+    pub fn prf(&self) -> Prf {
+        Prf::from_counts(self.tp, self.fp, self.fn_)
+    }
+
+    pub fn add(&mut self, other: Counts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+/// Multiset-compare one component's extracted values against the
+/// expected ones (whitespace-normalised).
+pub fn value_counts(got: &[String], want: &[String]) -> Counts {
+    let norm = |vs: &[String]| -> BTreeMap<String, usize> {
+        let mut m = BTreeMap::new();
+        for v in vs {
+            *m.entry(normalize_space(v)).or_insert(0) += 1;
+        }
+        m
+    };
+    let got_m = norm(got);
+    let want_m = norm(want);
+    let mut tp = 0usize;
+    for (v, &g) in &got_m {
+        let w = want_m.get(v).copied().unwrap_or(0);
+        tp += g.min(w);
+    }
+    let got_total: usize = got_m.values().sum();
+    let want_total: usize = want_m.values().sum();
+    Counts { tp, fp: got_total - tp, fn_: want_total - tp }
+}
+
+/// Compare a page extraction (component → values) against ground truth,
+/// restricted to `components` (the targeted set — extra components the
+/// extractor produced outside the target set count as false positives
+/// only when `penalise_extra` is set, which the baseline comparison uses
+/// to quantify "unwanted data").
+pub fn page_counts(
+    got: &BTreeMap<String, Vec<String>>,
+    want: &GroundTruth,
+    components: &[&str],
+    penalise_extra: bool,
+) -> Counts {
+    let mut counts = Counts::default();
+    for &component in components {
+        let empty = Vec::new();
+        let g = got.get(component).unwrap_or(&empty);
+        let w = want.get(component).cloned().unwrap_or_default();
+        counts.add(value_counts(g, &w));
+    }
+    if penalise_extra {
+        for (name, values) in got {
+            if !components.contains(&name.as_str()) {
+                counts.fp += values.len();
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn perfect_extraction() {
+        let c = value_counts(&v(&["108 min"]), &v(&["108 min"]));
+        assert_eq!(c, Counts { tp: 1, fp: 0, fn_: 0 });
+        assert_eq!(c.prf(), Prf { precision: 1.0, recall: 1.0, f1: 1.0 });
+    }
+
+    #[test]
+    fn multiset_matching() {
+        let c = value_counts(&v(&["a", "a", "b"]), &v(&["a", "b", "b"]));
+        assert_eq!(c, Counts { tp: 2, fp: 1, fn_: 1 });
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(value_counts(&[], &[]).prf().f1, 1.0);
+        let c = value_counts(&[], &v(&["x"]));
+        assert_eq!(c.prf().recall, 0.0);
+        let c = value_counts(&v(&["x"]), &[]);
+        assert_eq!(c.prf().precision, 0.0);
+    }
+
+    #[test]
+    fn normalisation_applies() {
+        let c = value_counts(&v(&[" 108  min "]), &v(&["108 min"]));
+        assert_eq!(c.tp, 1);
+    }
+
+    #[test]
+    fn page_counts_targeted_only() {
+        let mut got = BTreeMap::new();
+        got.insert("runtime".to_string(), v(&["108 min"]));
+        got.insert("junk".to_string(), v(&["ad text", "more ads"]));
+        let mut want = GroundTruth::new();
+        want.insert("runtime".to_string(), v(&["108 min"]));
+        let c = page_counts(&got, &want, &["runtime"], false);
+        assert_eq!(c, Counts { tp: 1, fp: 0, fn_: 0 });
+        let c = page_counts(&got, &want, &["runtime"], true);
+        assert_eq!(c, Counts { tp: 1, fp: 2, fn_: 0 });
+    }
+
+    #[test]
+    fn missing_component_counts_as_fn() {
+        let got = BTreeMap::new();
+        let mut want = GroundTruth::new();
+        want.insert("genre".to_string(), v(&["Drama", "Comedy"]));
+        let c = page_counts(&got, &want, &["genre"], false);
+        assert_eq!(c, Counts { tp: 0, fp: 0, fn_: 2 });
+    }
+}

@@ -1,0 +1,270 @@
+//! The mapping-rule model (§2.2–§2.3 of the paper).
+//!
+//! A page component has five properties — name, optionality,
+//! multiplicity, format, location — and "the values of the properties
+//! addressing a given page component form a tuple that we call a mapping
+//! rule". The first four are model-independent and follow the paper's
+//! EBNF; the location is one or more XPath expressions (more than one
+//! after "adding an alternative path" refinement, §3.4).
+
+use crate::post::PostProcess;
+use retroweb_html::{Document, NodeId};
+use retroweb_xpath::{normalize_space, string_value, Engine, EvalError, Expr, NodeRef};
+use std::fmt;
+
+/// A component name matching the paper's EBNF:
+/// `name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentName(String);
+
+/// Error for names rejected by the EBNF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvalidName(pub String);
+
+impl fmt::Display for InvalidName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid component name '{}'", self.0)
+    }
+}
+
+impl std::error::Error for InvalidName {}
+
+impl ComponentName {
+    pub fn new(name: &str) -> Result<ComponentName, InvalidName> {
+        let mut chars = name.chars();
+        let valid_head = chars.next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false);
+        let valid_tail = chars.all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_');
+        if valid_head && valid_tail {
+            Ok(ComponentName(name.to_string()))
+        } else {
+            Err(InvalidName(name.to_string()))
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ComponentName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// `optionality ::= 'optional' | 'mandatory'`
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Optionality {
+    Mandatory,
+    Optional,
+}
+
+impl fmt::Display for Optionality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Optionality::Mandatory => "mandatory",
+            Optionality::Optional => "optional",
+        })
+    }
+}
+
+/// `multiplicity ::= 'single-valued' | 'multivalued'`
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Multiplicity {
+    SingleValued,
+    Multivalued,
+}
+
+impl fmt::Display for Multiplicity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Multiplicity::SingleValued => "single-valued",
+            Multiplicity::Multivalued => "multivalued",
+        })
+    }
+}
+
+/// `format ::= 'text' | 'mixed'`
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Format {
+    Text,
+    Mixed,
+}
+
+impl fmt::Display for Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Format::Text => "text",
+            Format::Mixed => "mixed",
+        })
+    }
+}
+
+/// A mapping rule: the property tuple for one page component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MappingRule {
+    pub name: ComponentName,
+    pub optionality: Optionality,
+    pub multiplicity: Multiplicity,
+    pub format: Format,
+    /// Location alternatives, tried in order; the first expression that
+    /// selects at least one node wins (§3.4 "adding an alternative path":
+    /// "a new XPath expression that is appended to the mapping rule").
+    pub locations: Vec<Expr>,
+    /// Post-processing applied to extracted strings (§7's future-work
+    /// sub-node extraction, implemented as an extension).
+    pub post: Vec<PostProcess>,
+}
+
+impl MappingRule {
+    /// A fresh candidate rule as §3.2 defines it: mandatory,
+    /// single-valued, with format derived from the selected node.
+    pub fn candidate(name: ComponentName, location: Expr, format: Format) -> MappingRule {
+        MappingRule {
+            name,
+            optionality: Optionality::Mandatory,
+            multiplicity: Multiplicity::SingleValued,
+            format,
+            locations: vec![location],
+            post: Vec::new(),
+        }
+    }
+
+    /// The location property rendered for display (alternatives joined as
+    /// a union).
+    pub fn location_display(&self) -> String {
+        self.locations
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Select the nodes this rule locates on a page: alternatives are
+    /// tried in order, first non-empty result wins.
+    pub fn select(&self, doc: &Document) -> Result<Vec<NodeId>, EvalError> {
+        let engine = Engine::new(doc);
+        for location in &self.locations {
+            let nodes = engine.select(location, doc.root())?;
+            if !nodes.is_empty() {
+                return Ok(nodes);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Extract the component values from a page, honouring multiplicity,
+    /// format and post-processing. Values are whitespace-normalised.
+    pub fn extract_values(&self, doc: &Document) -> Result<Vec<String>, EvalError> {
+        let nodes = self.select(doc)?;
+        let mut values: Vec<String> = nodes
+            .iter()
+            .map(|&n| normalize_space(&string_value(doc, NodeRef::node(n))))
+            .filter(|s| !s.is_empty())
+            .collect();
+        if self.multiplicity == Multiplicity::SingleValued && values.len() > 1 {
+            values.truncate(1);
+        }
+        for p in &self.post {
+            values = p.apply(values);
+        }
+        Ok(values)
+    }
+
+    /// Render the rule in the paper's §2.3 display form.
+    pub fn display(&self) -> String {
+        format!(
+            "name         : {}\noptionality  : {}\nmultiplicity : {}\nformat       : {}\nlocation     : {}",
+            self.name, self.optionality, self.multiplicity, self.format,
+            self.location_display()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+    use retroweb_xpath::parse as xparse;
+
+    #[test]
+    fn name_ebnf() {
+        assert!(ComponentName::new("runtime").is_ok());
+        assert!(ComponentName::new("users-opinion").is_ok());
+        assert!(ComponentName::new("a_1").is_ok());
+        assert!(ComponentName::new("R2-D2").is_ok());
+        assert!(ComponentName::new("").is_err());
+        assert!(ComponentName::new("1abc").is_err());
+        assert!(ComponentName::new("-x").is_err());
+        assert!(ComponentName::new("a b").is_err());
+        assert!(ComponentName::new("é").is_err());
+    }
+
+    fn runtime_rule() -> MappingRule {
+        MappingRule::candidate(
+            ComponentName::new("runtime").unwrap(),
+            xparse("/HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]").unwrap(),
+            Format::Text,
+        )
+    }
+
+    #[test]
+    fn candidate_defaults_match_paper() {
+        let rule = runtime_rule();
+        assert_eq!(rule.optionality, Optionality::Mandatory);
+        assert_eq!(rule.multiplicity, Multiplicity::SingleValued);
+        assert_eq!(rule.format, Format::Text);
+        assert_eq!(rule.locations.len(), 1);
+    }
+
+    #[test]
+    fn select_and_extract() {
+        let doc = parse("<body><table><tr><td>Runtime:</td><td> 108 min </td></tr></table></body>");
+        let rule = runtime_rule();
+        let nodes = rule.select(&doc).unwrap();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(rule.extract_values(&doc).unwrap(), vec!["108 min"]);
+    }
+
+    #[test]
+    fn alternatives_tried_in_order() {
+        let doc = parse("<body><div> 91 min </div></body>");
+        let mut rule = runtime_rule();
+        rule.locations.push(xparse("/HTML[1]/BODY[1]/DIV[1]/text()[1]").unwrap());
+        assert_eq!(rule.extract_values(&doc).unwrap(), vec!["91 min"]);
+    }
+
+    #[test]
+    fn single_valued_truncates() {
+        let doc = parse("<body><ul><li>a</li><li>b</li></ul></body>");
+        let mut rule = MappingRule::candidate(
+            ComponentName::new("x").unwrap(),
+            xparse("//LI/text()").unwrap(),
+            Format::Text,
+        );
+        assert_eq!(rule.extract_values(&doc).unwrap(), vec!["a"]);
+        rule.multiplicity = Multiplicity::Multivalued;
+        assert_eq!(rule.extract_values(&doc).unwrap(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn mixed_format_concatenates_across_tags() {
+        let doc = parse("<body><td><i>108</i> min</td></body>");
+        let rule = MappingRule {
+            format: Format::Mixed,
+            locations: vec![xparse("//TD[1]").unwrap()],
+            ..runtime_rule()
+        };
+        assert_eq!(rule.extract_values(&doc).unwrap(), vec!["108 min"]);
+    }
+
+    #[test]
+    fn display_matches_paper_shape() {
+        let text = runtime_rule().display();
+        assert!(text.contains("name         : runtime"));
+        assert!(text.contains("optionality  : mandatory"));
+        assert!(text.contains("multiplicity : single-valued"));
+        assert!(text.contains("format       : text"));
+        assert!(text.contains("location     : /HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]"));
+    }
+}

@@ -1,0 +1,226 @@
+//! The user model.
+//!
+//! Retrozilla is *semi*-automated: a human contributes exactly three
+//! signals — **selection** (pointing at a component value in a rendered
+//! page, §3.2), **interpretation** (naming it) and **validation**
+//! (visually inspecting the check table, §3.3). The [`User`] trait is
+//! that interaction surface; [`SimulatedUser`] implements it from
+//! synthetic-site ground truth, which lets the harness *measure* the
+//! interaction cost that Table 4 calls "degree of automation".
+
+use crate::model::ComponentName;
+use retroweb_html::{Document, NodeId};
+use retroweb_sitegen::Page;
+use retroweb_xpath::normalize_space;
+
+/// Which instance of a multivalued component the user is asked to point
+/// at (§3.4: the repetitive tag "is automatically deduced by the
+/// comparison of the XPath expressions locating the first and the last
+/// instances").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instance {
+    First,
+    Last,
+}
+
+/// Counters for the user-effort metrics in Table 4 / E8.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InteractionStats {
+    /// Component values pointed at in a browser view.
+    pub selections: u32,
+    /// Component names typed in.
+    pub interpretations: u32,
+    /// Check-table rows visually validated.
+    pub validations: u32,
+}
+
+impl InteractionStats {
+    pub fn total(&self) -> u32 {
+        self.selections + self.interpretations + self.validations
+    }
+}
+
+/// The human-in-the-loop interface.
+pub trait User {
+    /// Interpretation: give the component its semantic name.
+    fn interpret(&mut self, component: &str) -> ComponentName;
+
+    /// Selection: point at one instance of the component's value in a
+    /// page. `None` when the user sees no such value on this page.
+    fn select(
+        &mut self,
+        doc: &Document,
+        page: &Page,
+        component: &str,
+        instance: Instance,
+    ) -> Option<NodeId>;
+
+    /// Validation: inspect one check-table row (the values the rule
+    /// matched on a page) and say whether it is the wanted data.
+    fn validate(&mut self, page: &Page, component: &str, values: &[String]) -> bool;
+
+    /// Effort counters.
+    fn stats(&self) -> InteractionStats;
+}
+
+/// A deterministic user backed by ground truth.
+#[derive(Debug, Default)]
+pub struct SimulatedUser {
+    stats: InteractionStats,
+}
+
+impl SimulatedUser {
+    pub fn new() -> SimulatedUser {
+        SimulatedUser::default()
+    }
+
+    /// Locate the DOM node holding `value`: first a text node whose
+    /// normalised text equals the value, else the deepest element whose
+    /// normalised string-value equals it (the mixed-format case, where
+    /// the value spans markup).
+    pub fn find_value_node(doc: &Document, value: &str) -> Option<NodeId> {
+        let want = normalize_space(value);
+        // Pass 1: exact text node.
+        for node in doc.descendants(doc.root()) {
+            if let Some(t) = doc.text(node) {
+                if normalize_space(t) == want {
+                    return Some(node);
+                }
+            }
+        }
+        // Pass 2: deepest element whose concatenated text matches.
+        let mut best: Option<(usize, NodeId)> = None;
+        for node in doc.descendants(doc.root()) {
+            if doc.is_element(node) && normalize_space(&doc.text_content(node)) == want {
+                let depth = doc.ancestors(node).count();
+                if best.map(|(d, _)| depth > d).unwrap_or(true) {
+                    best = Some((depth, node));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+}
+
+impl User for SimulatedUser {
+    fn interpret(&mut self, component: &str) -> ComponentName {
+        self.stats.interpretations += 1;
+        ComponentName::new(component).expect("ground-truth component names satisfy the EBNF")
+    }
+
+    fn select(
+        &mut self,
+        doc: &Document,
+        page: &Page,
+        component: &str,
+        instance: Instance,
+    ) -> Option<NodeId> {
+        self.stats.selections += 1;
+        let values = page.expected(component);
+        let value = match instance {
+            Instance::First => values.first()?,
+            Instance::Last => values.last()?,
+        };
+        Self::find_value_node(doc, value)
+    }
+
+    fn validate(&mut self, page: &Page, component: &str, values: &[String]) -> bool {
+        self.stats.validations += 1;
+        let expected: Vec<String> =
+            page.expected(component).iter().map(|v| normalize_space(v)).collect();
+        let got: Vec<String> = values.iter().map(|v| normalize_space(v)).collect();
+        expected == got
+    }
+
+    fn stats(&self) -> InteractionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+
+    fn page_with(html: &str, component: &str, values: &[&str]) -> Page {
+        let mut page = Page::new("http://x.org/p".into(), html.into(), "c");
+        for v in values {
+            page.expect(component, v);
+        }
+        page
+    }
+
+    #[test]
+    fn selects_exact_text_node() {
+        let page = page_with(
+            "<body><td>Runtime:</td><td> 108 min </td></body>",
+            "runtime",
+            &["108 min"],
+        );
+        let doc = parse(&page.html);
+        let mut user = SimulatedUser::new();
+        let node = user.select(&doc, &page, "runtime", Instance::First).unwrap();
+        assert_eq!(normalize_space(doc.text(node).unwrap()), "108 min");
+        assert_eq!(user.stats().selections, 1);
+    }
+
+    #[test]
+    fn selects_deepest_element_for_mixed_value() {
+        let page = page_with("<body><td><i>108</i> min</td></body>", "runtime", &["108 min"]);
+        let doc = parse(&page.html);
+        let mut user = SimulatedUser::new();
+        let node = user.select(&doc, &page, "runtime", Instance::First).unwrap();
+        assert_eq!(doc.tag_name(node), Some("td"));
+    }
+
+    #[test]
+    fn selects_first_and_last_instance() {
+        let page = page_with(
+            "<body><ul><li>Drama</li><li>Comedy</li><li>Horror</li></ul></body>",
+            "genre",
+            &["Drama", "Comedy", "Horror"],
+        );
+        let doc = parse(&page.html);
+        let mut user = SimulatedUser::new();
+        let first = user.select(&doc, &page, "genre", Instance::First).unwrap();
+        let last = user.select(&doc, &page, "genre", Instance::Last).unwrap();
+        assert_eq!(normalize_space(doc.text(first).unwrap()), "Drama");
+        assert_eq!(normalize_space(doc.text(last).unwrap()), "Horror");
+    }
+
+    #[test]
+    fn select_returns_none_when_component_absent() {
+        let page = page_with("<body><p>x</p></body>", "runtime", &[]);
+        let doc = parse(&page.html);
+        let mut user = SimulatedUser::new();
+        assert!(user.select(&doc, &page, "runtime", Instance::First).is_none());
+        // The attempt still costs an interaction.
+        assert_eq!(user.stats().selections, 1);
+    }
+
+    #[test]
+    fn validation_compares_normalised_sequences() {
+        let page = page_with("<body></body>", "genre", &["Drama", "Comedy"]);
+        let mut user = SimulatedUser::new();
+        assert!(user.validate(&page, "genre", &[" Drama ".into(), "Comedy".into()]));
+        assert!(!user.validate(&page, "genre", &["Comedy".into(), "Drama".into()]));
+        assert!(!user.validate(&page, "genre", &["Drama".into()]));
+        assert_eq!(user.stats().validations, 3);
+    }
+
+    #[test]
+    fn validation_of_absent_component_accepts_empty() {
+        let page = page_with("<body></body>", "runtime", &[]);
+        let mut user = SimulatedUser::new();
+        assert!(user.validate(&page, "runtime", &[]));
+        assert!(!user.validate(&page, "runtime", &["junk".into()]));
+    }
+
+    #[test]
+    fn interpret_counts_and_names() {
+        let mut user = SimulatedUser::new();
+        let name = user.interpret("runtime");
+        assert_eq!(name.as_str(), "runtime");
+        assert_eq!(user.stats().interpretations, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Post-processing of extracted values.
+//!
+//! §2.3: "XPath expressions always select full nodes … the extracted data
+//! will sometimes require post processing in order to remove their noisy
+//! parts". §7 proposes finer sub-node selection (the paper mentions
+//! regular expressions as a possible, less user-friendly route). This
+//! module implements a small, composable set of string operators that
+//! cover those cases — prefix/suffix stripping, between-markers
+//! extraction, separator splitting — without a regex engine.
+
+/// One post-processing operator, applied to every extracted value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PostProcess {
+    /// Remove a leading literal (plus following whitespace).
+    StripPrefix(String),
+    /// Remove a trailing literal (plus preceding whitespace) — e.g. drop
+    /// the `min` unit of `108 min` (Table 1 discussion).
+    StripSuffix(String),
+    /// Keep only the text between two markers (either may be empty =
+    /// string start/end).
+    Between { before: String, after: String },
+    /// Split a single text node into several values on a separator —
+    /// the §7 comma-separated multivalued case.
+    SplitList(String),
+}
+
+impl PostProcess {
+    /// Apply to a batch of values (SplitList can grow the batch).
+    pub fn apply(&self, values: Vec<String>) -> Vec<String> {
+        match self {
+            PostProcess::StripPrefix(prefix) => values
+                .into_iter()
+                .map(|v| v.strip_prefix(prefix.as_str()).map(|r| r.trim_start().to_string()).unwrap_or(v))
+                .collect(),
+            PostProcess::StripSuffix(suffix) => values
+                .into_iter()
+                .map(|v| v.strip_suffix(suffix.as_str()).map(|r| r.trim_end().to_string()).unwrap_or(v))
+                .collect(),
+            PostProcess::Between { before, after } => values
+                .into_iter()
+                .map(|v| {
+                    let start = if before.is_empty() {
+                        0
+                    } else {
+                        match v.find(before.as_str()) {
+                            Some(i) => i + before.len(),
+                            None => return v,
+                        }
+                    };
+                    let rest = &v[start..];
+                    let end = if after.is_empty() {
+                        rest.len()
+                    } else {
+                        rest.find(after.as_str()).unwrap_or(rest.len())
+                    };
+                    rest[..end].trim().to_string()
+                })
+                .collect(),
+            PostProcess::SplitList(sep) => values
+                .into_iter()
+                .flat_map(|v| {
+                    v.split(sep.as_str())
+                        .map(|part| part.trim().to_string())
+                        .filter(|part| !part.is_empty())
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        }
+    }
+
+    /// A short tag for persistence.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PostProcess::StripPrefix(_) => "strip-prefix",
+            PostProcess::StripSuffix(_) => "strip-suffix",
+            PostProcess::Between { .. } => "between",
+            PostProcess::SplitList(_) => "split-list",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn strip_suffix_removes_min_unit() {
+        // The Table 1 discussion: "the 'min' suffix will have to be
+        // removed in order to get the proper data".
+        let got = PostProcess::StripSuffix("min".into()).apply(v(&["108 min", "91 min"]));
+        assert_eq!(got, v(&["108", "91"]));
+    }
+
+    #[test]
+    fn strip_prefix() {
+        let got = PostProcess::StripPrefix("SKU-".into()).apply(v(&["SKU-12345", "other"]));
+        assert_eq!(got, v(&["12345", "other"]));
+    }
+
+    #[test]
+    fn between_markers() {
+        let got = PostProcess::Between { before: "(".into(), after: ")".into() }
+            .apply(v(&["The Film (1987)"]));
+        assert_eq!(got, v(&["1987"]));
+        let got = PostProcess::Between { before: "".into(), after: "/".into() }
+            .apply(v(&["7.4/10"]));
+        assert_eq!(got, v(&["7.4"]));
+        // Marker absent: value passes through unchanged.
+        let got = PostProcess::Between { before: "[".into(), after: "]".into() }
+            .apply(v(&["plain"]));
+        assert_eq!(got, v(&["plain"]));
+    }
+
+    #[test]
+    fn split_list_expands_multivalued_text() {
+        // §7: "the text node actually includes a comma-separated list of
+        // values of a multivalued component".
+        let got = PostProcess::SplitList(",".into()).apply(v(&["Drama, Comedy , Thriller"]));
+        assert_eq!(got, v(&["Drama", "Comedy", "Thriller"]));
+        let got = PostProcess::SplitList("/".into()).apply(v(&["USA/UK"]));
+        assert_eq!(got, v(&["USA", "UK"]));
+    }
+
+    #[test]
+    fn chain_of_operators() {
+        let values = v(&["Runtime: 108 min"]);
+        let step1 = PostProcess::StripPrefix("Runtime:".into()).apply(values);
+        let step2 = PostProcess::StripSuffix("min".into()).apply(step1);
+        assert_eq!(step2, v(&["108"]));
+    }
+
+    #[test]
+    fn empty_parts_dropped_by_split() {
+        let got = PostProcess::SplitList(",".into()).apply(v(&["a,,b,"]));
+        assert_eq!(got, v(&["a", "b"]));
+    }
+}

@@ -1,0 +1,427 @@
+//! The rule repository (§3.5).
+//!
+//! "Once the candidate rule has been validated … it is recorded in a rule
+//! repository. This repository will be used by external agents, for
+//! instance by the XML extractor." Per cluster it stores the validated
+//! rules plus the optional *enhanced structure* (§4's a-posteriori
+//! aggregation). Persistence is JSON via `retroweb-json`; concurrent
+//! readers are supported through a `parking_lot` lock.
+
+use crate::model::{ComponentName, Format, MappingRule, Multiplicity, Optionality};
+use crate::post::PostProcess;
+use parking_lot::RwLock;
+use retroweb_json::{parse as json_parse, Json};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A node of the enhanced (aggregated) structure: either a leaf
+/// component reference or a named group of nodes (§4: "the leaf
+/// components comments and rating could be embedded into a higher level
+/// component called users-opinion").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StructureNode {
+    Component(String),
+    Group { name: String, children: Vec<StructureNode> },
+}
+
+impl StructureNode {
+    /// Names of all components referenced under this node.
+    pub fn component_names(&self) -> Vec<String> {
+        match self {
+            StructureNode::Component(name) => vec![name.clone()],
+            StructureNode::Group { children, .. } => {
+                children.iter().flat_map(|c| c.component_names()).collect()
+            }
+        }
+    }
+}
+
+/// Everything recorded for one page cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterRules {
+    /// Cluster name — becomes the XML root element (e.g. `imdb-movies`).
+    pub cluster: String,
+    /// Per-page element name (e.g. `imdb-movie`).
+    pub page_element: String,
+    pub rules: Vec<MappingRule>,
+    /// Enhanced structure; `None` means the default three-level layout.
+    pub structure: Option<Vec<StructureNode>>,
+}
+
+impl ClusterRules {
+    pub fn new(cluster: &str, page_element: &str) -> ClusterRules {
+        ClusterRules {
+            cluster: cluster.to_string(),
+            page_element: page_element.to_string(),
+            rules: Vec::new(),
+            structure: None,
+        }
+    }
+
+    pub fn rule(&self, component: &str) -> Option<&MappingRule> {
+        self.rules.iter().find(|r| r.name.as_str() == component)
+    }
+
+    pub fn rule_mut(&mut self, component: &str) -> Option<&mut MappingRule> {
+        self.rules.iter_mut().find(|r| r.name.as_str() == component)
+    }
+}
+
+/// Repository load/parse errors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepositoryError {
+    pub message: String,
+}
+
+impl RepositoryError {
+    fn new(msg: impl Into<String>) -> RepositoryError {
+        RepositoryError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for RepositoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule repository error: {}", self.message)
+    }
+}
+
+impl std::error::Error for RepositoryError {}
+
+/// A thread-safe collection of cluster rule sets.
+#[derive(Debug, Default)]
+pub struct RuleRepository {
+    clusters: RwLock<BTreeMap<String, ClusterRules>>,
+}
+
+impl RuleRepository {
+    pub fn new() -> RuleRepository {
+        RuleRepository::default()
+    }
+
+    /// Record (insert or replace) a cluster's rules.
+    pub fn record(&self, rules: ClusterRules) {
+        self.clusters.write().insert(rules.cluster.clone(), rules);
+    }
+
+    pub fn get(&self, cluster: &str) -> Option<ClusterRules> {
+        self.clusters.read().get(cluster).cloned()
+    }
+
+    pub fn cluster_names(&self) -> Vec<String> {
+        self.clusters.read().keys().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.clusters.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.clusters.read().is_empty()
+    }
+
+    // ---- persistence ------------------------------------------------------
+
+    pub fn to_json(&self) -> Json {
+        let clusters = self.clusters.read();
+        Json::Array(clusters.values().map(cluster_to_json).collect())
+    }
+
+    pub fn from_json(json: &Json) -> Result<RuleRepository, RepositoryError> {
+        let items = json
+            .as_array()
+            .ok_or_else(|| RepositoryError::new("repository document must be an array"))?;
+        let repo = RuleRepository::new();
+        for item in items {
+            repo.record(cluster_from_json(item)?);
+        }
+        Ok(repo)
+    }
+
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json().to_string_pretty())
+    }
+
+    pub fn load(path: &Path) -> Result<RuleRepository, RepositoryError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| RepositoryError::new(format!("cannot read {}: {e}", path.display())))?;
+        let json =
+            json_parse(&text).map_err(|e| RepositoryError::new(format!("bad JSON: {e}")))?;
+        RuleRepository::from_json(&json)
+    }
+}
+
+// ---- (de)serialisation ---------------------------------------------------
+
+fn cluster_to_json(c: &ClusterRules) -> Json {
+    let mut obj = Json::object(vec![
+        ("cluster".into(), Json::from(c.cluster.as_str())),
+        ("page-element".into(), Json::from(c.page_element.as_str())),
+        ("rules".into(), Json::Array(c.rules.iter().map(rule_to_json).collect())),
+    ]);
+    if let Some(structure) = &c.structure {
+        obj.set(
+            "structure",
+            Json::Array(structure.iter().map(structure_to_json).collect()),
+        );
+    }
+    obj
+}
+
+pub fn rule_to_json(rule: &MappingRule) -> Json {
+    Json::object(vec![
+        ("name".into(), Json::from(rule.name.as_str())),
+        ("optionality".into(), Json::from(rule.optionality.to_string())),
+        ("multiplicity".into(), Json::from(rule.multiplicity.to_string())),
+        ("format".into(), Json::from(rule.format.to_string())),
+        (
+            "locations".into(),
+            Json::Array(rule.locations.iter().map(|l| Json::from(l.to_string())).collect()),
+        ),
+        ("post".into(), Json::Array(rule.post.iter().map(post_to_json).collect())),
+    ])
+}
+
+fn post_to_json(p: &PostProcess) -> Json {
+    match p {
+        PostProcess::StripPrefix(s) => Json::object(vec![
+            ("kind".into(), Json::from(p.kind())),
+            ("value".into(), Json::from(s.as_str())),
+        ]),
+        PostProcess::StripSuffix(s) => Json::object(vec![
+            ("kind".into(), Json::from(p.kind())),
+            ("value".into(), Json::from(s.as_str())),
+        ]),
+        PostProcess::Between { before, after } => Json::object(vec![
+            ("kind".into(), Json::from(p.kind())),
+            ("before".into(), Json::from(before.as_str())),
+            ("after".into(), Json::from(after.as_str())),
+        ]),
+        PostProcess::SplitList(s) => Json::object(vec![
+            ("kind".into(), Json::from(p.kind())),
+            ("value".into(), Json::from(s.as_str())),
+        ]),
+    }
+}
+
+fn structure_to_json(node: &StructureNode) -> Json {
+    match node {
+        StructureNode::Component(name) => Json::from(name.as_str()),
+        StructureNode::Group { name, children } => Json::object(vec![
+            ("group".into(), Json::from(name.as_str())),
+            ("children".into(), Json::Array(children.iter().map(structure_to_json).collect())),
+        ]),
+    }
+}
+
+fn cluster_from_json(json: &Json) -> Result<ClusterRules, RepositoryError> {
+    let cluster = str_field(json, "cluster")?;
+    let page_element = str_field(json, "page-element")?;
+    let rules_json = json
+        .get("rules")
+        .and_then(Json::as_array)
+        .ok_or_else(|| RepositoryError::new("missing 'rules' array"))?;
+    let rules = rules_json.iter().map(rule_from_json).collect::<Result<Vec<_>, _>>()?;
+    let structure = match json.get("structure").and_then(Json::as_array) {
+        Some(items) => Some(
+            items
+                .iter()
+                .map(structure_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+        ),
+        None => None,
+    };
+    Ok(ClusterRules { cluster, page_element, rules, structure })
+}
+
+pub fn rule_from_json(json: &Json) -> Result<MappingRule, RepositoryError> {
+    let name = ComponentName::new(&str_field(json, "name")?)
+        .map_err(|e| RepositoryError::new(e.to_string()))?;
+    let optionality = match str_field(json, "optionality")?.as_str() {
+        "mandatory" => Optionality::Mandatory,
+        "optional" => Optionality::Optional,
+        other => return Err(RepositoryError::new(format!("bad optionality '{other}'"))),
+    };
+    let multiplicity = match str_field(json, "multiplicity")?.as_str() {
+        "single-valued" => Multiplicity::SingleValued,
+        "multivalued" => Multiplicity::Multivalued,
+        other => return Err(RepositoryError::new(format!("bad multiplicity '{other}'"))),
+    };
+    let format = match str_field(json, "format")?.as_str() {
+        "text" => Format::Text,
+        "mixed" => Format::Mixed,
+        other => return Err(RepositoryError::new(format!("bad format '{other}'"))),
+    };
+    let locations = json
+        .get("locations")
+        .and_then(Json::as_array)
+        .ok_or_else(|| RepositoryError::new("missing 'locations'"))?
+        .iter()
+        .map(|l| {
+            let text = l
+                .as_str()
+                .ok_or_else(|| RepositoryError::new("location must be a string"))?;
+            retroweb_xpath::parse(text)
+                .map_err(|e| RepositoryError::new(format!("bad location '{text}': {e}")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let post = json
+        .get("post")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(post_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MappingRule { name, optionality, multiplicity, format, locations, post })
+}
+
+fn post_from_json(json: &Json) -> Result<PostProcess, RepositoryError> {
+    let kind = str_field(json, "kind")?;
+    match kind.as_str() {
+        "strip-prefix" => Ok(PostProcess::StripPrefix(str_field(json, "value")?)),
+        "strip-suffix" => Ok(PostProcess::StripSuffix(str_field(json, "value")?)),
+        "between" => Ok(PostProcess::Between {
+            before: str_field(json, "before")?,
+            after: str_field(json, "after")?,
+        }),
+        "split-list" => Ok(PostProcess::SplitList(str_field(json, "value")?)),
+        other => Err(RepositoryError::new(format!("unknown post-processor '{other}'"))),
+    }
+}
+
+fn structure_from_json(json: &Json) -> Result<StructureNode, RepositoryError> {
+    if let Some(name) = json.as_str() {
+        return Ok(StructureNode::Component(name.to_string()));
+    }
+    let name = str_field(json, "group")?;
+    let children = json
+        .get("children")
+        .and_then(Json::as_array)
+        .ok_or_else(|| RepositoryError::new("group missing 'children'"))?
+        .iter()
+        .map(structure_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(StructureNode::Group { name, children })
+}
+
+fn str_field(json: &Json, key: &str) -> Result<String, RepositoryError> {
+    json.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| RepositoryError::new(format!("missing string field '{key}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_xpath::parse as xparse;
+
+    fn sample_cluster() -> ClusterRules {
+        let mut rules = ClusterRules::new("imdb-movies", "imdb-movie");
+        rules.rules.push(MappingRule {
+            name: ComponentName::new("runtime").unwrap(),
+            optionality: Optionality::Optional,
+            multiplicity: Multiplicity::SingleValued,
+            format: Format::Text,
+            locations: vec![
+                xparse("/HTML[1]/BODY[1]/TABLE[1]/TR/TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(normalize-space(.), \"Runtime:\")]]").unwrap(),
+            ],
+            post: vec![PostProcess::StripSuffix("min".into())],
+        });
+        rules.rules.push(MappingRule {
+            name: ComponentName::new("genre").unwrap(),
+            optionality: Optionality::Mandatory,
+            multiplicity: Multiplicity::Multivalued,
+            format: Format::Text,
+            locations: vec![xparse("//UL[1]/LI[position() >= 1]/text()").unwrap()],
+            post: vec![],
+        });
+        rules.structure = Some(vec![
+            StructureNode::Component("runtime".into()),
+            StructureNode::Group {
+                name: "classification".into(),
+                children: vec![StructureNode::Component("genre".into())],
+            },
+        ]);
+        rules
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let json = repo.to_json();
+        let text = json.to_string_pretty();
+        let parsed = retroweb_json::parse(&text).unwrap();
+        let restored = RuleRepository::from_json(&parsed).unwrap();
+        assert_eq!(restored.get("imdb-movies"), Some(sample_cluster()));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let dir = std::env::temp_dir().join("retrozilla-repo-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.json");
+        repo.save(&path).unwrap();
+        let restored = RuleRepository::load(&path).unwrap();
+        assert_eq!(restored.get("imdb-movies"), Some(sample_cluster()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_replaces() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let mut altered = sample_cluster();
+        altered.rules.pop();
+        repo.record(altered.clone());
+        assert_eq!(repo.get("imdb-movies"), Some(altered));
+        assert_eq!(repo.len(), 1);
+    }
+
+    #[test]
+    fn structure_component_names() {
+        let cluster = sample_cluster();
+        let names: Vec<String> = cluster
+            .structure
+            .as_ref()
+            .unwrap()
+            .iter()
+            .flat_map(|n| n.component_names())
+            .collect();
+        assert_eq!(names, vec!["runtime", "genre"]);
+    }
+
+    #[test]
+    fn bad_documents_rejected() {
+        for text in [
+            "{}",
+            "[{\"cluster\":\"c\"}]",
+            "[{\"cluster\":\"c\",\"page-element\":\"p\",\"rules\":[{\"name\":\"1bad\",\"optionality\":\"mandatory\",\"multiplicity\":\"single-valued\",\"format\":\"text\",\"locations\":[]}]}]",
+            "[{\"cluster\":\"c\",\"page-element\":\"p\",\"rules\":[{\"name\":\"ok\",\"optionality\":\"sometimes\",\"multiplicity\":\"single-valued\",\"format\":\"text\",\"locations\":[]}]}]",
+        ] {
+            let json = retroweb_json::parse(text).unwrap();
+            assert!(RuleRepository::from_json(&json).is_err(), "{text}");
+        }
+    }
+
+    #[test]
+    fn concurrent_readers() {
+        let repo = std::sync::Arc::new(RuleRepository::new());
+        repo.record(sample_cluster());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let repo = repo.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    assert!(repo.get("imdb-movies").is_some());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Working samples (§3.1).
+//!
+//! "A representative set of pages is selected to form a working sample …
+//! a sample of about ten randomly selected pages usually includes most of
+//! these variants." A [`SamplePage`] pairs the raw page (with its ground
+//! truth, standing in for what the user knows) with its parsed DOM, so
+//! rule building parses each page exactly once.
+
+use retroweb_html::{parse, Document};
+use retroweb_sitegen::{Page, Site};
+
+/// One page of a working sample: source + parsed DOM.
+#[derive(Debug)]
+pub struct SamplePage {
+    pub page: Page,
+    pub doc: Document,
+}
+
+impl SamplePage {
+    pub fn from_page(page: Page) -> SamplePage {
+        let doc = parse(&page.html);
+        SamplePage { page, doc }
+    }
+
+    pub fn uri(&self) -> &str {
+        &self.page.url
+    }
+}
+
+/// Take the first `n` pages of a site as the working sample (generated
+/// pages are already i.i.d., so a prefix is a random sample).
+pub fn working_sample(site: &Site, n: usize) -> Vec<SamplePage> {
+    site.pages.iter().take(n).cloned().map(SamplePage::from_page).collect()
+}
+
+/// Build a sample from explicit pages.
+pub fn sample_from_pages(pages: Vec<Page>) -> Vec<SamplePage> {
+    pages.into_iter().map(SamplePage::from_page).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_sitegen::{movie, MovieSiteSpec};
+
+    #[test]
+    fn sample_parses_pages() {
+        let site = movie::generate(&MovieSiteSpec { n_pages: 4, seed: 1, ..Default::default() });
+        let sample = working_sample(&site, 3);
+        assert_eq!(sample.len(), 3);
+        for sp in &sample {
+            assert!(sp.doc.body().is_some());
+            assert_eq!(sp.uri(), sp.page.url);
+        }
+    }
+
+    #[test]
+    fn sample_larger_than_site_is_clamped() {
+        let site = movie::generate(&MovieSiteSpec { n_pages: 2, seed: 1, ..Default::default() });
+        assert_eq!(working_sample(&site, 10).len(), 2);
+    }
+}

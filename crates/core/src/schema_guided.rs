@@ -1,0 +1,352 @@
+//! Schema-guided rule building (§7 future work, implemented).
+//!
+//! "In the near future we will also explore the opportunity to build
+//! mapping rules according to a pre-existing data structure (XML Schema,
+//! RDF, OWL). Such an improvement would allow schema reusability and
+//! sharing." A [`SchemaGuide`] — taken from a [`ClusterSchema`] or parsed
+//! from XSD text — drives the §3 scenario for exactly the components the
+//! schema declares and then checks the built rules *conform* to the
+//! declared cardinalities and content models.
+
+use crate::builder::{build_rule, ComponentReport, ScenarioConfig};
+use crate::model::{Format, Multiplicity, Optionality};
+use crate::oracle::User;
+use crate::sample::SamplePage;
+use retroweb_xml::{parse_xml, ClusterSchema, LeafContent, MaxOccurs, SchemaNode, XmlElement};
+use std::fmt;
+
+/// What the pre-existing schema expects of one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GuideComponent {
+    pub name: String,
+    pub optional: bool,
+    pub multivalued: bool,
+    pub mixed: bool,
+}
+
+/// A component list with expectations, mined from a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemaGuide {
+    pub cluster: String,
+    pub page_element: String,
+    pub components: Vec<GuideComponent>,
+}
+
+/// Schema-guide errors (unparseable or non-conforming XSD).
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuideError {
+    pub message: String,
+}
+
+impl fmt::Display for GuideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema guide error: {}", self.message)
+    }
+}
+
+impl std::error::Error for GuideError {}
+
+impl SchemaGuide {
+    /// Extract a guide from an in-memory cluster schema.
+    pub fn from_cluster_schema(schema: &ClusterSchema) -> SchemaGuide {
+        fn walk(node: &SchemaNode, out: &mut Vec<GuideComponent>) {
+            match node {
+                SchemaNode::Leaf { name, min_occurs, max_occurs, content } => {
+                    out.push(GuideComponent {
+                        name: name.clone(),
+                        optional: *min_occurs == 0,
+                        multivalued: *max_occurs == MaxOccurs::Unbounded,
+                        mixed: *content == LeafContent::Mixed,
+                    })
+                }
+                SchemaNode::Group { children, .. } => {
+                    for c in children {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        let mut components = Vec::new();
+        for node in &schema.components {
+            walk(node, &mut components);
+        }
+        SchemaGuide {
+            cluster: schema.cluster.clone(),
+            page_element: schema.page.clone(),
+            components,
+        }
+    }
+
+    /// Parse a guide from XSD text shaped like our generator's output
+    /// (`xs:schema` → cluster `xs:element` → page `xs:element` →
+    /// component elements, possibly nested in group complexTypes).
+    pub fn from_xsd_text(text: &str) -> Result<SchemaGuide, GuideError> {
+        let root =
+            parse_xml(text).map_err(|e| GuideError { message: format!("bad XML: {e}") })?;
+        if root.name != "xs:schema" {
+            return Err(GuideError { message: format!("expected xs:schema, got {}", root.name) });
+        }
+        let cluster_el = root
+            .child("xs:element")
+            .ok_or_else(|| GuideError { message: "missing cluster element".into() })?;
+        let cluster = attr(cluster_el, "name")?;
+        let page_el = find_descendant_element(cluster_el)
+            .ok_or_else(|| GuideError { message: "missing page element".into() })?;
+        let page = attr(page_el, "name")?;
+        let mut components = Vec::new();
+        collect_leaves(page_el, &mut components, true)?;
+        Ok(SchemaGuide { cluster, page_element: page, components })
+    }
+}
+
+fn attr(el: &XmlElement, name: &str) -> Result<String, GuideError> {
+    el.attr(name)
+        .map(str::to_string)
+        .ok_or_else(|| GuideError { message: format!("<{}> missing @{name}", el.name) })
+}
+
+/// The first nested `xs:element` under an element declaration
+/// (xs:complexType → xs:sequence → xs:element).
+fn find_descendant_element(el: &XmlElement) -> Option<&XmlElement> {
+    for child in el.elements() {
+        if child.name == "xs:element" {
+            return Some(child);
+        }
+        if let Some(found) = find_descendant_element(child) {
+            return Some(found);
+        }
+    }
+    None
+}
+
+/// Walk the content model under an element declaration, collecting leaf
+/// component declarations; nested non-leaf elements are aggregation
+/// groups and are recursed into. `skip_self` is true for the page
+/// element itself.
+fn collect_leaves(
+    el: &XmlElement,
+    out: &mut Vec<GuideComponent>,
+    skip_self: bool,
+) -> Result<(), GuideError> {
+    if el.name == "xs:element" && !skip_self {
+        let name = attr(el, "name")?;
+        let optional = el.attr("minOccurs") == Some("0");
+        let multivalued = el.attr("maxOccurs") == Some("unbounded");
+        // Leaf: xs:string type, or a mixed complexType. Group: a
+        // complexType with a sequence of further xs:elements.
+        if el.attr("type") == Some("xs:string") {
+            out.push(GuideComponent { name, optional, multivalued, mixed: false });
+            return Ok(());
+        }
+        if let Some(ct) = el.child("xs:complexType") {
+            if ct.attr("mixed") == Some("true") {
+                out.push(GuideComponent { name, optional, multivalued, mixed: true });
+                return Ok(());
+            }
+            // Aggregation group: recurse into its sequence.
+            for child in ct.elements() {
+                collect_leaves(child, out, false)?;
+            }
+            return Ok(());
+        }
+        // Untyped leaf: treat as plain text.
+        out.push(GuideComponent { name, optional, multivalued, mixed: false });
+        return Ok(());
+    }
+    for child in el.elements() {
+        collect_leaves(child, out, false)?;
+    }
+    Ok(())
+}
+
+/// How a built rule relates to the schema's expectation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Conformance {
+    /// Rule properties match the declared cardinalities/content.
+    Conforms,
+    /// The component was not found in the working sample at all.
+    Missing,
+    /// Built properties disagree with the schema (e.g. schema says
+    /// mandatory, sample shows it missing on some pages).
+    Mismatch { expected: String, got: String },
+}
+
+/// Per-component result of a schema-guided build.
+#[derive(Clone, Debug)]
+pub struct GuidedComponentResult {
+    pub component: String,
+    pub report: Option<ComponentReport>,
+    pub conformance: Conformance,
+}
+
+/// Build rules for every component the guide declares and check
+/// conformance of the resulting properties.
+pub fn build_with_guide(
+    guide: &SchemaGuide,
+    sample: &[SamplePage],
+    user: &mut dyn User,
+    config: &ScenarioConfig,
+) -> Vec<GuidedComponentResult> {
+    guide
+        .components
+        .iter()
+        .map(|gc| {
+            let report = build_rule(&gc.name, sample, user, config);
+            let conformance = match &report {
+                None => Conformance::Missing,
+                Some(r) => conformance_of(gc, r),
+            };
+            GuidedComponentResult { component: gc.name.clone(), report, conformance }
+        })
+        .collect()
+}
+
+fn conformance_of(
+    guide: &GuideComponent,
+    report: &ComponentReport,
+) -> Conformance {
+    let rule = &report.rule;
+    let mut expected = Vec::new();
+    let mut got = Vec::new();
+    let rule_optional = rule.optionality == Optionality::Optional;
+    // A mandatory rule satisfies an optional slot (minOccurs=0 allows 1..),
+    // but an optional rule violates a mandatory slot.
+    if !guide.optional && rule_optional {
+        expected.push("mandatory".to_string());
+        got.push("optional".to_string());
+    }
+    let rule_multi = rule.multiplicity == Multiplicity::Multivalued;
+    // maxOccurs=1 forbids a multivalued rule; unbounded allows both.
+    if !guide.multivalued && rule_multi {
+        expected.push("single-valued".to_string());
+        got.push("multivalued".to_string());
+    }
+    let rule_mixed = rule.format == Format::Mixed;
+    if !guide.mixed && rule_mixed {
+        expected.push("text".to_string());
+        got.push("mixed".to_string());
+    }
+    if expected.is_empty() {
+        Conformance::Conforms
+    } else {
+        Conformance::Mismatch { expected: expected.join("+"), got: got.join("+") }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SimulatedUser;
+    use crate::sample::working_sample;
+    use retroweb_xml::SchemaNode;
+    use retroweb_sitegen::{movie, MovieSiteSpec};
+
+    fn movie_schema() -> ClusterSchema {
+        ClusterSchema::new(
+            "imdb-movies",
+            "imdb-movie",
+            vec![
+                SchemaNode::leaf("title", false, false, false),
+                SchemaNode::leaf("runtime", true, false, false),
+                SchemaNode::group(
+                    "classification",
+                    vec![SchemaNode::leaf("genre", false, true, false)],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn guide_from_cluster_schema_flattens_groups() {
+        let guide = SchemaGuide::from_cluster_schema(&movie_schema());
+        assert_eq!(guide.cluster, "imdb-movies");
+        assert_eq!(guide.page_element, "imdb-movie");
+        let names: Vec<&str> = guide.components.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["title", "runtime", "genre"]);
+        assert!(guide.components[1].optional);
+        assert!(guide.components[2].multivalued);
+    }
+
+    #[test]
+    fn guide_round_trips_through_xsd_text() {
+        let schema = movie_schema();
+        let text = schema.to_xsd().to_string_with(2);
+        let guide = SchemaGuide::from_xsd_text(&text).unwrap();
+        assert_eq!(guide, SchemaGuide::from_cluster_schema(&schema));
+    }
+
+    #[test]
+    fn guided_build_conforms_on_matching_site() {
+        let spec = MovieSiteSpec {
+            n_pages: 10,
+            seed: 71,
+            p_missing_runtime: 0.3,
+            ..Default::default()
+        };
+        let site = movie::generate(&spec);
+        let sample = working_sample(&site, 8);
+        let guide = SchemaGuide::from_cluster_schema(&movie_schema());
+        let mut user = SimulatedUser::new();
+        let results = build_with_guide(&guide, &sample, &mut user, &ScenarioConfig::default());
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert_eq!(r.conformance, Conformance::Conforms, "{}: {:?}", r.component, r.conformance);
+            assert!(r.report.as_ref().unwrap().ok);
+        }
+    }
+
+    #[test]
+    fn guided_build_flags_cardinality_mismatch() {
+        // Schema insists runtime is mandatory, but the site omits it on
+        // some pages → the built rule is optional → mismatch reported.
+        let schema = ClusterSchema::new(
+            "imdb-movies",
+            "imdb-movie",
+            vec![SchemaNode::leaf("runtime", false, false, false)],
+        );
+        let spec = MovieSiteSpec {
+            n_pages: 12,
+            seed: 72,
+            p_missing_runtime: 0.4,
+            ..Default::default()
+        };
+        let site = movie::generate(&spec);
+        let sample = working_sample(&site, 10);
+        // Make sure the sample actually misses runtime somewhere.
+        assert!(sample.iter().any(|sp| sp.page.expected("runtime").is_empty()));
+        let guide = SchemaGuide::from_cluster_schema(&schema);
+        let mut user = SimulatedUser::new();
+        let results = build_with_guide(&guide, &sample, &mut user, &ScenarioConfig::default());
+        assert!(matches!(
+            results[0].conformance,
+            Conformance::Mismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn guided_build_reports_missing_component() {
+        let schema = ClusterSchema::new(
+            "imdb-movies",
+            "imdb-movie",
+            vec![SchemaNode::leaf("box-office", false, false, false)],
+        );
+        let spec = MovieSiteSpec { n_pages: 4, seed: 73, ..Default::default() };
+        let site = movie::generate(&spec);
+        let sample = working_sample(&site, 4);
+        let guide = SchemaGuide::from_cluster_schema(&schema);
+        let mut user = SimulatedUser::new();
+        let results = build_with_guide(&guide, &sample, &mut user, &ScenarioConfig::default());
+        assert_eq!(results[0].conformance, Conformance::Missing);
+        assert!(results[0].report.is_none());
+    }
+
+    #[test]
+    fn bad_xsd_rejected() {
+        assert!(SchemaGuide::from_xsd_text("<not-a-schema/>").is_err());
+        assert!(SchemaGuide::from_xsd_text("garbage").is_err());
+        assert!(SchemaGuide::from_xsd_text(
+            "<xs:schema xmlns:xs=\"http://www.w3.org/2001/XMLSchema\"></xs:schema>"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,36 @@
+//! # retroweb-html — the DOM substrate
+//!
+//! An error-tolerant HTML parser and mutable arena DOM, standing in for the
+//! Mozilla/Gecko platform the original Retrozilla prototype was built on
+//! (§5 of the paper: "Mozilla provides an internal DOM representation of
+//! loaded HTML documents, whatever their syntactical quality").
+//!
+//! The crate provides:
+//! - [`Document`]: an arena DOM with stable [`NodeId`]s, full mutation
+//!   (append / insert-before / detach / replace) and the traversal axes
+//!   XPath needs (children, descendants, ancestors, following, preceding,
+//!   document-order comparison);
+//! - [`parse`]: tokenizer + tree builder with the practical error-recovery
+//!   behaviours of 2000s-era browsers (implied end tags, void elements,
+//!   head/body synthesis, raw-text elements);
+//! - serialisation back to HTML ([`Document::to_html`]).
+//!
+//! ```
+//! use retroweb_html::{parse, Document};
+//!
+//! let doc = parse("<table><tr><td>108 min<td>USA</table>");
+//! let cells = doc.elements_by_tag("td");
+//! assert_eq!(cells.len(), 2);
+//! assert_eq!(doc.text_content(cells[0]), "108 min");
+//! ```
+
+mod dom;
+mod entities;
+mod serialize;
+mod tokenizer;
+mod tree;
+
+pub use dom::{Attr, Children, Document, Element, Node, NodeData, NodeId};
+pub use entities::{decode_entities, escape_attr, escape_text};
+pub use tokenizer::{Token, Tokenizer};
+pub use tree::{is_void, parse};

@@ -1,0 +1,144 @@
+//! DOM → HTML text.
+
+use crate::dom::{Document, NodeData, NodeId};
+use crate::entities::{escape_attr, escape_text};
+use crate::tree::is_void;
+
+impl Document {
+    /// Serialise the whole document.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        for child in self.children(Document::ROOT) {
+            self.write_node(child, &mut out);
+        }
+        out
+    }
+
+    /// Serialise one node including its own tags ("outer HTML").
+    pub fn outer_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.write_node(id, &mut out);
+        out
+    }
+
+    /// Serialise a node's children only ("inner HTML").
+    pub fn inner_html(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        for child in self.children(id) {
+            self.write_node(child, &mut out);
+        }
+        out
+    }
+
+    fn write_node(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).data {
+            NodeData::Document => {
+                for child in self.children(id) {
+                    self.write_node(child, out);
+                }
+            }
+            NodeData::Doctype(name) => {
+                out.push_str("<!DOCTYPE ");
+                out.push_str(name);
+                out.push('>');
+            }
+            NodeData::Comment(text) => {
+                out.push_str("<!--");
+                out.push_str(text);
+                out.push_str("-->");
+            }
+            NodeData::Text(text) => {
+                // Raw-text elements must not be entity-escaped.
+                let parent_tag = self.parent(id).and_then(|p| self.tag_name(p));
+                if matches!(parent_tag, Some("script") | Some("style")) {
+                    out.push_str(text);
+                } else {
+                    out.push_str(&escape_text(text));
+                }
+            }
+            NodeData::Element(el) => {
+                out.push('<');
+                out.push_str(&el.name);
+                for attr in &el.attrs {
+                    out.push(' ');
+                    out.push_str(&attr.name);
+                    out.push_str("=\"");
+                    out.push_str(&escape_attr(&attr.value));
+                    out.push('"');
+                }
+                out.push('>');
+                if is_void(&el.name) {
+                    return;
+                }
+                for child in self.children(id) {
+                    self.write_node(child, out);
+                }
+                out.push_str("</");
+                out.push_str(&el.name);
+                out.push('>');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::parse;
+
+    #[test]
+    fn round_trip_simple() {
+        let html = "<html><head></head><body><p id=\"a\">x &amp; y</p></body></html>";
+        let doc = parse(html);
+        assert_eq!(doc.to_html(), html);
+    }
+
+    #[test]
+    fn void_elements_not_closed() {
+        let doc = parse("<body>a<br>b</body>");
+        assert!(doc.to_html().contains("a<br>b"));
+        assert!(!doc.to_html().contains("</br>"));
+    }
+
+    #[test]
+    fn attrs_quoted_and_escaped() {
+        let mut doc = Document::new();
+        let el = doc.create_element_with_attrs("a", &[("href", "x?a=1&b=\"2\"")]);
+        doc.append_child(Document::ROOT, el);
+        assert_eq!(doc.outer_html(el), "<a href=\"x?a=1&amp;b=&quot;2&quot;\"></a>");
+    }
+
+    #[test]
+    fn script_content_not_escaped() {
+        let doc = parse("<body><script>a < b && c</script></body>");
+        assert!(doc.to_html().contains("<script>a < b && c</script>"));
+    }
+
+    #[test]
+    fn text_escaped_in_normal_context() {
+        let mut doc = Document::new();
+        let p = doc.create_element("p");
+        let t = doc.create_text("1 < 2 & 3 > 2");
+        doc.append_child(Document::ROOT, p);
+        doc.append_child(p, t);
+        assert_eq!(doc.outer_html(p), "<p>1 &lt; 2 &amp; 3 &gt; 2</p>");
+    }
+
+    #[test]
+    fn inner_vs_outer() {
+        let doc = parse("<body><div><p>x</p></div></body>");
+        let div = doc.elements_by_tag("div")[0];
+        assert_eq!(doc.outer_html(div), "<div><p>x</p></div>");
+        assert_eq!(doc.inner_html(div), "<p>x</p>");
+    }
+
+    #[test]
+    fn reparse_fixpoint() {
+        // serialize(parse(x)) is a fixpoint: parsing its own output again
+        // yields the same output.
+        let messy = "<ul><li>a<li>b<table><tr><td>c<td>d</table>";
+        let once = parse(messy).to_html();
+        let twice = parse(&once).to_html();
+        assert_eq!(once, twice);
+    }
+}

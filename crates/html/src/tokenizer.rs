@@ -1,0 +1,480 @@
+//! A practical, error-tolerant HTML tokenizer.
+//!
+//! This is not the full WHATWG state machine, but it handles everything the
+//! reproduction's corpora (and 2006-era data-intensive pages generally)
+//! contain: tags with sloppy attributes, comments, doctypes, CDATA,
+//! raw-text elements (`script`/`style`), RCDATA elements
+//! (`title`/`textarea`), character references, and unterminated constructs
+//! at EOF.
+
+use crate::entities::decode_entities;
+
+/// One lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    StartTag { name: String, attrs: Vec<(String, String)>, self_closing: bool },
+    EndTag { name: String },
+    Text(String),
+    Comment(String),
+    Doctype(String),
+}
+
+/// Content model the tokenizer is currently in.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Mode {
+    Data,
+    /// Raw text until `</name`: no entity decoding (script, style).
+    RawText(String),
+    /// Like raw text but entities are decoded (title, textarea).
+    Rcdata(String),
+}
+
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    mode: Mode,
+}
+
+impl<'a> Tokenizer<'a> {
+    pub fn new(input: &'a str) -> Tokenizer<'a> {
+        Tokenizer { input, pos: 0, mode: Mode::Data }
+    }
+
+    /// Tokenize the whole input.
+    pub fn run(input: &str) -> Vec<Token> {
+        Tokenizer::new(input).collect()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.input.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn starts_with_ci(&self, prefix: &str) -> bool {
+        let rest = self.rest().as_bytes();
+        rest.len() >= prefix.len()
+            && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r' | b'\x0C')) {
+            self.pos += 1;
+        }
+    }
+
+    // ---- content-model scanners ---------------------------------------------
+
+    fn next_raw(&mut self, name: String, decode: bool) -> Option<Token> {
+        // Scan for the matching `</name` (case-insensitive).
+        let needle = format!("</{name}");
+        let hay = self.rest();
+        let lower = hay.to_ascii_lowercase();
+        match lower.find(&needle) {
+            Some(0) => {
+                // Directly at the close tag: consume it and leave raw mode.
+                self.mode = Mode::Data;
+                self.pos += needle.len();
+                // Skip to '>' (attributes on end tags are ignored).
+                while let Some(b) = self.peek() {
+                    self.pos += 1;
+                    if b == b'>' {
+                        break;
+                    }
+                }
+                Some(Token::EndTag { name })
+            }
+            Some(idx) => {
+                let text = &hay[..idx];
+                self.pos += idx;
+                let content = if decode { decode_entities(text) } else { text.to_string() };
+                Some(Token::Text(content))
+            }
+            None => {
+                // Unterminated raw element: the rest is text.
+                self.mode = Mode::Data;
+                let text = hay;
+                self.pos = self.input.len();
+                if text.is_empty() {
+                    None
+                } else {
+                    let content = if decode { decode_entities(text) } else { text.to_string() };
+                    Some(Token::Text(content))
+                }
+            }
+        }
+    }
+
+    fn next_data(&mut self) -> Option<Token> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if self.peek() != Some(b'<') {
+            // Text run until next '<'.
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'<' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            return Some(Token::Text(decode_entities(&self.input[start..self.pos])));
+        }
+        // self.peek() == '<'
+        let after = self.bytes().get(self.pos + 1).copied();
+        match after {
+            Some(b'!') => self.markup_declaration(),
+            Some(b'/') => self.end_tag(),
+            Some(c) if c.is_ascii_alphabetic() => self.start_tag(),
+            _ => {
+                // Lone '<' is text (error tolerance).
+                self.pos += 1;
+                Some(Token::Text("<".to_string()))
+            }
+        }
+    }
+
+    fn markup_declaration(&mut self) -> Option<Token> {
+        if self.rest().starts_with("<!--") {
+            self.pos += 4;
+            let hay = self.rest();
+            let (content, consumed) = match hay.find("-->") {
+                Some(idx) => (&hay[..idx], idx + 3),
+                None => (hay, hay.len()),
+            };
+            let token = Token::Comment(content.to_string());
+            self.pos += consumed;
+            return Some(token);
+        }
+        if self.starts_with_ci("<!DOCTYPE") {
+            self.pos += "<!DOCTYPE".len();
+            let hay = self.rest();
+            let (content, consumed) = match hay.find('>') {
+                Some(idx) => (&hay[..idx], idx + 1),
+                None => (hay, hay.len()),
+            };
+            let token = Token::Doctype(content.trim().to_string());
+            self.pos += consumed;
+            return Some(token);
+        }
+        if self.rest().starts_with("<![CDATA[") {
+            self.pos += "<![CDATA[".len();
+            let hay = self.rest();
+            let (content, consumed) = match hay.find("]]>") {
+                Some(idx) => (&hay[..idx], idx + 3),
+                None => (hay, hay.len()),
+            };
+            let token = Token::Text(content.to_string());
+            self.pos += consumed;
+            return Some(token);
+        }
+        // Bogus comment: `<!` ... `>`.
+        self.pos += 2;
+        let hay = self.rest();
+        let (content, consumed) = match hay.find('>') {
+            Some(idx) => (&hay[..idx], idx + 1),
+            None => (hay, hay.len()),
+        };
+        let token = Token::Comment(content.to_string());
+        self.pos += consumed;
+        Some(token)
+    }
+
+    fn end_tag(&mut self) -> Option<Token> {
+        self.pos += 2; // "</"
+        if !matches!(self.peek(), Some(c) if c.is_ascii_alphabetic()) {
+            // `</>` or `</3>`: bogus, consume to '>'.
+            let hay = self.rest();
+            let consumed = hay.find('>').map(|i| i + 1).unwrap_or(hay.len());
+            self.pos += consumed;
+            return self.next();
+        }
+        let name = self.tag_name();
+        // Ignore anything up to '>' (attributes on end tags are invalid).
+        while let Some(b) = self.peek() {
+            self.pos += 1;
+            if b == b'>' {
+                break;
+            }
+        }
+        Some(Token::EndTag { name })
+    }
+
+    fn start_tag(&mut self) -> Option<Token> {
+        self.pos += 1; // '<'
+        let name = self.tag_name();
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        let mut self_closing = false;
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() == Some(b'>') {
+                        self.pos += 1;
+                        self_closing = true;
+                        break;
+                    }
+                    // Stray '/': ignore.
+                }
+                Some(_) => {
+                    if let Some((k, v)) = self.attribute() {
+                        if !attrs.iter().any(|(n, _)| *n == k) {
+                            attrs.push((k, v));
+                        }
+                    }
+                }
+            }
+        }
+        if !self_closing {
+            match name.as_str() {
+                "script" | "style" => self.mode = Mode::RawText(name.clone()),
+                "title" | "textarea" => self.mode = Mode::Rcdata(name.clone()),
+                _ => {}
+            }
+        }
+        Some(Token::StartTag { name, attrs, self_closing })
+    }
+
+    fn tag_name(&mut self) -> String {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b':' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.input[start..self.pos].to_ascii_lowercase()
+    }
+
+    fn attribute(&mut self) -> Option<(String, String)> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' | b'\x0C' | b'=' | b'>' | b'/' => break,
+                _ => self.pos += 1,
+            }
+        }
+        if self.pos == start {
+            // Unparseable byte (e.g. a stray quote): skip it.
+            self.pos += 1;
+            return None;
+        }
+        let name = self.input[start..self.pos].to_ascii_lowercase();
+        self.skip_ws();
+        if self.peek() != Some(b'=') {
+            return Some((name, String::new()));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        let value = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                let vstart = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == q {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = &self.input[vstart..self.pos];
+                if self.peek() == Some(q) {
+                    self.pos += 1;
+                }
+                decode_entities(raw)
+            }
+            _ => {
+                let vstart = self.pos;
+                while let Some(b) = self.peek() {
+                    match b {
+                        b' ' | b'\t' | b'\n' | b'\r' | b'\x0C' | b'>' => break,
+                        _ => self.pos += 1,
+                    }
+                }
+                decode_entities(&self.input[vstart..self.pos])
+            }
+        };
+        Some((name, value))
+    }
+}
+
+impl Iterator for Tokenizer<'_> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        match self.mode.clone() {
+            Mode::Data => self.next_data(),
+            Mode::RawText(name) => self.next_raw(name, false),
+            Mode::Rcdata(name) => self.next_raw(name, true),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_tags_and_text() {
+        let toks = Tokenizer::run("<p>Hello</p>");
+        assert_eq!(
+            toks,
+            vec![start("p", &[]), Token::Text("Hello".into()), Token::EndTag { name: "p".into() }]
+        );
+    }
+
+    #[test]
+    fn attributes_every_style() {
+        let toks = Tokenizer::run(r#"<a href="x" id='y' checked data-n=3>"#);
+        assert_eq!(
+            toks,
+            vec![start("a", &[("href", "x"), ("id", "y"), ("checked", ""), ("data-n", "3")])]
+        );
+    }
+
+    #[test]
+    fn uppercase_normalised() {
+        let toks = Tokenizer::run("<TABLE BORDER=1></TABLE>");
+        assert_eq!(
+            toks,
+            vec![
+                start("table", &[("border", "1")]),
+                Token::EndTag { name: "table".into() }
+            ]
+        );
+    }
+
+    #[test]
+    fn self_closing() {
+        let toks = Tokenizer::run("<br/><img src=x />");
+        assert_eq!(
+            toks,
+            vec![
+                Token::StartTag { name: "br".into(), attrs: vec![], self_closing: true },
+                Token::StartTag {
+                    name: "img".into(),
+                    attrs: vec![("src".into(), "x".into())],
+                    self_closing: true
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_doctype_cdata() {
+        let toks = Tokenizer::run("<!DOCTYPE html><!-- c --><![CDATA[raw <x>]]>");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Doctype("html".into()),
+                Token::Comment(" c ".into()),
+                Token::Text("raw <x>".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn entities_in_text_and_attrs() {
+        let toks = Tokenizer::run(r#"<a title="A&amp;B">x &lt; y</a>"#);
+        assert_eq!(
+            toks,
+            vec![
+                start("a", &[("title", "A&B")]),
+                Token::Text("x < y".into()),
+                Token::EndTag { name: "a".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn script_is_raw_text() {
+        let toks = Tokenizer::run("<script>if (a < b && c) { x(\"&amp;\"); }</script><p>t</p>");
+        assert_eq!(
+            toks,
+            vec![
+                start("script", &[]),
+                Token::Text("if (a < b && c) { x(\"&amp;\"); }".into()),
+                Token::EndTag { name: "script".into() },
+                start("p", &[]),
+                Token::Text("t".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn title_is_rcdata() {
+        let toks = Tokenizer::run("<title>A &amp; B <not a tag></title>");
+        assert_eq!(
+            toks,
+            vec![
+                start("title", &[]),
+                Token::Text("A & B <not a tag>".into()),
+                Token::EndTag { name: "title".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs() {
+        assert_eq!(
+            Tokenizer::run("<p>a<"),
+            vec![start("p", &[]), Token::Text("a".into()), Token::Text("<".into())]
+        );
+        assert_eq!(Tokenizer::run("<!-- open"), vec![Token::Comment(" open".into())]);
+        assert_eq!(
+            Tokenizer::run("<script>x"),
+            vec![start("script", &[]), Token::Text("x".into())]
+        );
+        assert_eq!(Tokenizer::run("<a href="), vec![start("a", &[("href", "")])]);
+    }
+
+    #[test]
+    fn stray_lt_is_text() {
+        // The lone '<' comes out as its own token; the tree builder merges
+        // adjacent text nodes, so the DOM still holds "1 < 2".
+        let toks = Tokenizer::run("1 < 2");
+        assert_eq!(
+            toks,
+            vec![Token::Text("1 ".into()), Token::Text("<".into()), Token::Text(" 2".into())]
+        );
+    }
+
+    #[test]
+    fn bogus_end_tag_skipped() {
+        let toks = Tokenizer::run("a</>b");
+        assert_eq!(toks, vec![Token::Text("a".into()), Token::Text("b".into())]);
+    }
+
+    #[test]
+    fn duplicate_attrs_first_wins() {
+        let toks = Tokenizer::run(r#"<a id="1" id="2">"#);
+        assert_eq!(toks, vec![start("a", &[("id", "1")])]);
+    }
+
+    #[test]
+    fn end_tag_attrs_ignored() {
+        let toks = Tokenizer::run("</p class=x>");
+        assert_eq!(toks, vec![Token::EndTag { name: "p".into() }]);
+    }
+}

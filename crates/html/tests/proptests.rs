@@ -1,0 +1,218 @@
+//! Property tests for the HTML substrate.
+//!
+//! Key invariants:
+//! - serialising any DOM we build and re-parsing it yields the same DOM
+//!   (modulo the html/head/body skeleton the builder guarantees);
+//! - `serialize ∘ parse` is a fixpoint on arbitrary byte soup (error
+//!   recovery converges);
+//! - the tokenizer and tree builder never panic on any input.
+
+use proptest::prelude::*;
+use retroweb_html::{parse, Document, NodeId};
+
+/// A recipe for building a small DOM subtree.
+#[derive(Clone, Debug)]
+enum Tree {
+    Text(String),
+    Element { tag: &'static str, attrs: Vec<(String, String)>, children: Vec<Tree> },
+}
+
+fn arb_tag() -> impl Strategy<Value = &'static str> {
+    prop::sample::select(vec!["div", "span", "p", "b", "i", "ul", "li", "h1", "h2", "td"])
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Non-empty, no '<' '&' (those are covered by escaping separately),
+    // printable ASCII so whitespace handling stays trivial.
+    "[a-zA-Z0-9 .,:!-]{1,20}".prop_map(|s| s)
+}
+
+fn arb_attr() -> impl Strategy<Value = (String, String)> {
+    ("[a-z]{1,8}", "[a-zA-Z0-9 /:.&\"<-]{0,12}")
+}
+
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    let leaf = prop_oneof![
+        arb_text().prop_map(Tree::Text),
+        (arb_tag(), prop::collection::vec(arb_attr(), 0..3)).prop_map(|(tag, attrs)| {
+            Tree::Element { tag, attrs, children: vec![] }
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (arb_tag(), prop::collection::vec(arb_attr(), 0..3), prop::collection::vec(inner, 0..4))
+            .prop_map(|(tag, attrs, children)| Tree::Element { tag, attrs, children })
+    })
+}
+
+/// Materialise a recipe under `parent`. Nested identical structure is
+/// fine; the recipe avoids content models the tree builder rewrites
+/// (tables without rows, p-in-p, li outside lists), except where we
+/// explicitly test them.
+fn build(doc: &mut Document, parent: NodeId, tree: &Tree) {
+    match tree {
+        Tree::Text(t) => {
+            // Merge-adjacent-text behaviour is the parser's, so avoid
+            // creating two adjacent text children in recipes: append via
+            // element boundaries only. Adjacent texts are legal in the
+            // DOM API, but they would not round-trip 1:1.
+            if let Some(last) = doc.last_child(parent) {
+                if doc.is_text(last) {
+                    let merged = format!("{}{}", doc.text(last).unwrap(), t);
+                    doc.set_text(last, &merged);
+                    return;
+                }
+            }
+            let node = doc.create_text(t);
+            doc.append_child(parent, node);
+        }
+        Tree::Element { tag, attrs, children } => {
+            let el = doc.create_element(tag);
+            for (k, v) in attrs {
+                doc.element_mut(el).unwrap().set_attr(k, v);
+            }
+            doc.append_child(parent, el);
+            // Void elements keep no children.
+            if retroweb_html::is_void(tag) {
+                return;
+            }
+            for c in children {
+                build(doc, el, c);
+            }
+        }
+    }
+}
+
+/// The `li`/`p`/`td` recipes can nest in ways the HTML parser would
+/// restructure (e.g. `p` inside `p`); filter those out so the
+/// round-trip property compares like with like.
+fn parser_stable(tree: &Tree, ancestors: &mut Vec<&'static str>) -> bool {
+    match tree {
+        Tree::Text(_) => true,
+        Tree::Element { tag, children, .. } => {
+            // Block-level tags implicitly close an open <p>, so any of
+            // them under a p ancestor gets restructured by the parser.
+            let closes_p = matches!(*tag, "div" | "p" | "ul" | "li" | "h1" | "h2");
+            let bad = (closes_p && ancestors.contains(&"p"))
+                || match *tag {
+                    "li" => ancestors.contains(&"li"),
+                    "td" => true, // td outside table is always restructured
+                    "h1" | "h2" => ancestors.iter().any(|a| matches!(*a, "h1" | "h2")),
+                    _ => false,
+                };
+            if bad {
+                return false;
+            }
+            ancestors.push(tag);
+            let ok = children.iter().all(|c| parser_stable(c, ancestors));
+            ancestors.pop();
+            ok
+        }
+    }
+}
+
+fn shape(doc: &Document, id: NodeId, out: &mut String) {
+    for child in doc.children(id) {
+        if let Some(tag) = doc.tag_name(child) {
+            out.push('(');
+            out.push_str(tag);
+            for a in &doc.element(child).unwrap().attrs {
+                out.push_str(&format!(" {}={:?}", a.name, a.value));
+            }
+            shape(doc, child, out);
+            out.push(')');
+        } else if let Some(t) = doc.text(child) {
+            out.push_str(&format!("{t:?}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn serialize_then_parse_preserves_tree(tree in arb_tree()) {
+        let mut anc = Vec::new();
+        prop_assume!(parser_stable(&tree, &mut anc));
+        let mut doc = Document::new();
+        let html = doc.create_element("html");
+        doc.append_child(Document::ROOT, html);
+        let head = doc.create_element("head");
+        doc.append_child(html, head);
+        let body = doc.create_element("body");
+        doc.append_child(html, body);
+        build(&mut doc, body, &tree);
+
+        let serialized = doc.to_html();
+        let reparsed = parse(&serialized);
+        let mut expected = String::new();
+        shape(&doc, Document::ROOT, &mut expected);
+        let mut got = String::new();
+        shape(&reparsed, Document::ROOT, &mut got);
+        prop_assert_eq!(got, expected, "html was: {}", serialized);
+    }
+
+    #[test]
+    fn parse_serialize_is_fixpoint_on_soup(input in "\\PC{0,200}") {
+        let once = parse(&input).to_html();
+        let twice = parse(&once).to_html();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parse_never_panics(input in prop::collection::vec(any::<u8>(), 0..300)) {
+        let text = String::from_utf8_lossy(&input);
+        let doc = parse(&text);
+        // The skeleton is always synthesised.
+        prop_assert!(doc.body().is_some());
+    }
+
+    #[test]
+    fn tag_soup_with_brackets_never_panics(input in "[<>a-z/ =\"!-]{0,120}") {
+        let doc = parse(&input);
+        prop_assert!(doc.attached_count() >= 4); // root, html, head, body
+    }
+
+    #[test]
+    fn text_content_equals_concatenated_texts(tree in arb_tree()) {
+        let mut doc = Document::new();
+        let body = doc.create_element("body");
+        doc.append_child(Document::ROOT, body);
+        build(&mut doc, body, &tree);
+        let whole = doc.text_content(body);
+        let mut pieces = String::new();
+        for n in doc.descendants(body) {
+            if let Some(t) = doc.text(n) {
+                pieces.push_str(t);
+            }
+        }
+        prop_assert_eq!(whole, pieces);
+    }
+
+    #[test]
+    fn entity_escape_round_trip(text in "\\PC{0,60}") {
+        let escaped = retroweb_html::escape_text(&text);
+        let decoded = retroweb_html::decode_entities(&escaped);
+        prop_assert_eq!(decoded, text);
+    }
+
+    #[test]
+    fn detach_preserves_remaining_order(
+        tree in arb_tree(),
+        victim_seed in any::<u32>()
+    ) {
+        let mut doc = Document::new();
+        let body = doc.create_element("body");
+        doc.append_child(Document::ROOT, body);
+        build(&mut doc, body, &tree);
+        let nodes: Vec<NodeId> = doc.descendants(body).collect();
+        prop_assume!(!nodes.is_empty());
+        let victim = nodes[victim_seed as usize % nodes.len()];
+        let before: Vec<NodeId> = doc
+            .descendants(body)
+            .filter(|&n| n != victim && !doc.is_ancestor_of(victim, n))
+            .collect();
+        doc.detach(victim);
+        let after: Vec<NodeId> = doc.descendants(body).collect();
+        prop_assert_eq!(after, before);
+    }
+}

@@ -1,0 +1,52 @@
+//! Minimal, dependency-free JSON support.
+//!
+//! The Retrozilla reproduction persists its rule repository (§3.5 of the
+//! paper) and all experiment outputs as JSON. The offline crate allow-list
+//! does not include `serde_json`, so this crate provides a small, strict
+//! JSON implementation: a [`Json`] value model, a recursive-descent
+//! [`parse`] function and a [`write`](Json::to_string_pretty) half.
+//!
+//! Design notes:
+//! - Object keys keep insertion order (a `Vec<(String, Json)>`), so emitted
+//!   repositories diff cleanly and round-trip byte-for-byte.
+//! - Numbers are stored as `f64`; integral values are printed without a
+//!   fractional part, which is enough for counters and scores.
+//! - The parser is strict UTF-8 JSON (RFC 8259) with a recursion-depth
+//!   limit so malformed inputs cannot blow the stack.
+
+mod parse;
+mod value;
+mod write;
+
+pub use parse::{parse, ParseError};
+pub use value::Json;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_compact() {
+        let src = r#"{"name":"runtime","optional":false,"paths":["a","b"],"n":3}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(v.to_string_compact(), src);
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let src = r#"{"a":[1,2,[3,{"b":null}]],"c":{"d":true,"e":-1.5}}"#;
+        let v = parse(src).unwrap();
+        let re = parse(&v.to_string_compact()).unwrap();
+        assert_eq!(v, re);
+    }
+
+    #[test]
+    fn pretty_then_parse() {
+        let v = Json::object(vec![
+            ("x".into(), Json::from(1.0)),
+            ("y".into(), Json::array(vec![Json::from("s"), Json::Null])),
+        ]);
+        let pretty = v.to_string_pretty();
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+}

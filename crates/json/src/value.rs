@@ -1,0 +1,193 @@
+//! The JSON value model.
+
+use std::fmt;
+
+/// A JSON value.
+///
+/// Objects preserve insertion order so that serialised repositories are
+/// stable across runs and readable in diffs.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Build an object from key/value pairs (insertion order preserved).
+    pub fn object(pairs: Vec<(String, Json)>) -> Json {
+        Json::Object(pairs)
+    }
+
+    /// Build an array.
+    pub fn array(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+
+    /// Look a key up in an object; `None` for non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array; `None` for non-arrays or out of range.
+    pub fn at(&self, idx: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Insert or replace a key in an object. Panics when `self` is not an
+    /// object — repository code only ever calls this on objects it built.
+    pub fn set(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Object(pairs) => {
+                if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    pairs.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Json::set on non-object"),
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(items: Vec<T>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_at() {
+        let v = Json::object(vec![
+            ("a".into(), Json::from(vec![1i64, 2, 3])),
+            ("b".into(), Json::from("x")),
+        ]);
+        assert_eq!(v.get("b").and_then(Json::as_str), Some("x"));
+        assert_eq!(v.get("a").and_then(|a| a.at(1)).and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.at(0), None);
+    }
+
+    #[test]
+    fn set_replaces_and_appends() {
+        let mut v = Json::object(vec![("a".into(), Json::Null)]);
+        v.set("a", Json::from(true));
+        v.set("b", Json::from(2i64));
+        assert_eq!(v.get("a").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("b").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn as_u64_rejects_fractional_and_negative() {
+        assert_eq!(Json::Num(1.5).as_u64(), None);
+        assert_eq!(Json::Num(-2.0).as_u64(), None);
+        assert_eq!(Json::Num(7.0).as_u64(), Some(7));
+    }
+}

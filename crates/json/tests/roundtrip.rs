@@ -1,0 +1,47 @@
+//! Property tests: any generated JSON value survives a write→parse round
+//! trip, both compact and pretty.
+
+use proptest::prelude::*;
+use retroweb_json::{parse, Json};
+
+fn arb_json() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite doubles only; NaN/Inf are not representable in JSON.
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        "[\\x00-\\x7F]{0,16}".prop_map(Json::Str),
+        "\\PC{0,8}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
+            prop::collection::vec(("[a-z_]{1,8}", inner), 0..6)
+                .prop_map(|pairs| Json::Object(
+                    pairs.into_iter().collect()
+                )),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_round_trip(v in arb_json()) {
+        let text = v.to_string_compact();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_round_trip(v in arb_json()) {
+        let text = v.to_string_pretty();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_never_panics(s in "\\PC{0,64}") {
+        let _ = parse(&s);
+    }
+}

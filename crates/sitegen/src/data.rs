@@ -1,0 +1,142 @@
+//! Deterministic data pools for the synthetic sites.
+
+pub const MOVIE_TITLES: &[&str] = &[
+    "The Last Projection", "Midnight Tram", "A Winter Apart", "Glass Harbour",
+    "The Cartographer", "Iron Orchard", "Signal Fires", "The Quiet Divide",
+    "Paper Lanterns", "Thirteen Bridges", "The Salt Road", "Golden Hour",
+    "Night Ferries", "The Forgotten Reel", "Static Horizon", "Copper Sky",
+    "The Long Intermission", "Silent Caravan", "Borrowed Light", "The Archivist",
+    "Wooden Stars", "Autumn Protocol", "The Velvet Gate", "Lowland Express",
+    "Clockwork Tide", "The Ninth Winter", "Amber Station", "Hollow Crown Road",
+    "The Lighthouse Wager", "Vanishing Meridian", "Slow Thunder", "The Glass Piano",
+];
+
+pub const PERSON_NAMES: &[&str] = &[
+    "Marta Velasquez", "Henrik Olsen", "Claire Fontaine", "Dmitri Petrov",
+    "Yuki Tanaka", "Samuel Okafor", "Ingrid Bergstrom", "Paolo Ricci",
+    "Anne Delacroix", "Viktor Hansen", "Leila Haddad", "Tomas Novak",
+    "Greta Lindqvist", "Marco Bellini", "Sofia Andersson", "Jean-Pierre Moreau",
+    "Elena Vasquez", "Lars Nilsson", "Camille Rousseau", "Andrei Volkov",
+    "Nadia Rahman", "Oliver Whitfield", "Isabel Castro", "Magnus Berg",
+];
+
+pub const COUNTRIES: &[&str] = &[
+    "USA", "UK", "France", "Belgium", "Italy", "Germany", "Spain", "Japan",
+    "Canada", "Sweden", "Denmark", "Netherlands", "Australia", "Brazil",
+];
+
+pub const LANGUAGES: &[&str] = &[
+    "English", "French", "Italian", "German", "Spanish", "Japanese", "Dutch",
+    "Swedish", "Russian", "Portuguese",
+];
+
+pub const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Thriller", "Documentary", "Romance", "Mystery",
+    "Adventure", "Animation", "Crime", "Fantasy", "Western", "Musical",
+];
+
+pub const PRODUCT_NAMES: &[&str] = &[
+    "Aurora Desk Lamp", "Basalt Chef Knife", "Cirrus Travel Mug", "Delta Field Watch",
+    "Ember Space Heater", "Fjord Wool Blanket", "Granite Book Stand", "Harbor Rain Jacket",
+    "Isle Ceramic Teapot", "Juniper Candle Set", "Kestrel Binoculars", "Larch Cutting Board",
+    "Meridian Alarm Clock", "Nimbus Umbrella", "Onyx Fountain Pen", "Pembroke Satchel",
+    "Quarry Stone Mortar", "Reef Snorkel Kit", "Summit Trekking Poles", "Tundra Thermos",
+];
+
+pub const BRANDS: &[&str] = &[
+    "Northwind", "Caldera", "Bellweather", "Osprey & Finch", "Arcadia Works",
+    "Stonebridge", "Meridian Goods", "Halcyon Supply",
+];
+
+pub const FEATURES: &[&str] = &[
+    "Dishwasher safe", "Two-year warranty", "Recycled materials", "Hand finished",
+    "Water resistant", "Lifetime sharpening", "Ships in plain packaging",
+    "Solar assisted", "Left-handed variant available", "Replaceable parts",
+];
+
+pub const HEADLINE_SUBJECTS: &[&str] = &[
+    "City council", "Research consortium", "Harbour authority", "National archive",
+    "Transit agency", "Observatory", "Botanical gardens", "Housing cooperative",
+    "Film commission", "Fisheries board",
+];
+
+pub const HEADLINE_VERBS: &[&str] = &[
+    "approves", "delays", "expands", "reviews", "celebrates", "audits",
+    "restores", "digitises", "rethinks", "funds",
+];
+
+pub const HEADLINE_OBJECTS: &[&str] = &[
+    "the riverfront plan", "a landmark study", "its oldest collection",
+    "the night bus network", "a restoration project", "the annual census",
+    "a public consultation", "the winter programme", "new storage vaults",
+    "an open data portal",
+];
+
+pub const COMMENT_SENTENCES: &[&str] = &[
+    "Long overdue if you ask me.",
+    "I attended the hearing and the details were thin.",
+    "Great news for the east side.",
+    "Hope the budget survives the review.",
+    "This was tried in 1998 and quietly shelved.",
+    "The archive deserves the attention.",
+    "Cautiously optimistic about this one.",
+    "Someone should audit the auditors.",
+    "Finally some follow-through.",
+    "The consultation was a formality, frankly.",
+];
+
+pub const NOISE_SNIPPETS: &[&str] = &[
+    "Advertisement", "Sponsored links", "Site navigation", "Member login",
+    "Top searches this week", "Browse the archive", "Newsletter sign-up",
+];
+
+/// Deterministic pick helper.
+pub fn pick<'a, R: rand::Rng>(rng: &mut R, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.gen_range(0..pool.len())]
+}
+
+/// Deterministic distinct sample of `n` items (n clamped to pool size).
+pub fn sample<'a, R: rand::Rng>(rng: &mut R, pool: &'a [&'a str], n: usize) -> Vec<&'a str> {
+    let n = n.min(pool.len());
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    // Partial Fisher-Yates: shuffle only the prefix we need.
+    for i in 0..n {
+        let j = rng.gen_range(i..indices.len());
+        indices.swap(i, j);
+    }
+    indices[..n].iter().map(|&i| pool[i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sample_is_distinct() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let s = sample(&mut rng, GENRES, 5);
+            let mut d = s.clone();
+            d.sort();
+            d.dedup();
+            assert_eq!(d.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn sample_clamps_to_pool() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        assert_eq!(sample(&mut rng, BRANDS, 100).len(), BRANDS.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..20 {
+            assert_eq!(pick(&mut a, MOVIE_TITLES), pick(&mut b, MOVIE_TITLES));
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Site drift: structural/labelling changes over time, used by the rule
+//! maintenance experiment (§7: "the changes over time are not
+//! automatically detected" — we implement the detection the paper
+//! sketches and measure recovery on these drifted sites).
+
+use crate::movie::MovieSiteSpec;
+use crate::products::ProductSiteSpec;
+
+/// Kinds of drift a site can undergo between crawls.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Drift {
+    /// Labels renamed ("Runtime:" → "Length:") — breaks contextual rules.
+    Relabel,
+    /// Extra rows/wrappers inserted — breaks positional rules.
+    Reposition,
+    /// Both at once.
+    Redesign,
+}
+
+/// Apply drift to a movie-site spec (same seed ⇒ same underlying facts,
+/// different page structure).
+pub fn drift_movie(base: &MovieSiteSpec, drift: Drift) -> MovieSiteSpec {
+    let mut spec = base.clone();
+    match drift {
+        Drift::Relabel => spec.label_runtime = "Length:".to_string(),
+        Drift::Reposition => {
+            spec.extra_leading_rows = 2;
+            spec.wrapper_depth += 1;
+        }
+        Drift::Redesign => {
+            spec.label_runtime = "Length:".to_string();
+            spec.extra_leading_rows = 2;
+            spec.wrapper_depth += 1;
+        }
+    }
+    spec
+}
+
+/// Apply drift to a product-site spec.
+pub fn drift_products(base: &ProductSiteSpec, drift: Drift) -> ProductSiteSpec {
+    let mut spec = base.clone();
+    match drift {
+        Drift::Relabel | Drift::Redesign => {
+            spec.price_wrapped = true;
+            spec.price_factor = 1.07;
+        }
+        Drift::Reposition => spec.price_wrapped = true,
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movie::generate;
+
+    #[test]
+    fn facts_survive_reposition_drift() {
+        let base = MovieSiteSpec { n_pages: 4, seed: 21, ..Default::default() };
+        let drifted = drift_movie(&base, Drift::Reposition);
+        let a = generate(&base);
+        let b = generate(&drifted);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            // Same facts (same seed), different markup.
+            assert_eq!(pa.truth, pb.truth);
+            assert_ne!(pa.html, pb.html);
+        }
+    }
+
+    #[test]
+    fn relabel_changes_label_only() {
+        let base = MovieSiteSpec { n_pages: 2, seed: 22, p_missing_runtime: 0.0, ..Default::default() };
+        let drifted = drift_movie(&base, Drift::Relabel);
+        let b = generate(&drifted);
+        assert!(b.pages[0].html.contains("Length:"));
+        assert!(!b.pages[0].html.contains("Runtime:"));
+        // Ground truth still calls the component "runtime".
+        assert!(b.pages[0].truth.contains_key("runtime"));
+    }
+
+    #[test]
+    fn redesign_combines_both() {
+        let base = MovieSiteSpec { n_pages: 1, seed: 23, ..Default::default() };
+        let d = drift_movie(&base, Drift::Redesign);
+        assert_eq!(d.label_runtime, "Length:");
+        assert_eq!(d.extra_leading_rows, 2);
+        assert_eq!(d.wrapper_depth, base.wrapper_depth + 1);
+    }
+}

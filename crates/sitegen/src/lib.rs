@@ -1,0 +1,117 @@
+//! # retroweb-sitegen — synthetic corpora with ground truth
+//!
+//! The paper's evaluation runs on 2006-era imdb.com pages, which no longer
+//! exist. This crate generates deterministic synthetic clusters that
+//! reproduce the discrepancy classes the paper analyses (§3.4): position
+//! shifts from optional blocks, missing components, text/mixed format
+//! variation and multivalued components — each behind an explicit knob —
+//! plus machine-readable ground truth for every page.
+//!
+//! Three cluster families ([`movie`], [`products`], [`news`]), the paper's
+//! exact four-page worked example ([`paper`]), and a drift model
+//! ([`drift`]) for the rule-maintenance experiment.
+
+use std::collections::BTreeMap;
+
+pub mod data;
+pub mod drift;
+pub mod movie;
+pub mod news;
+pub mod paper;
+pub mod products;
+
+pub use drift::{drift_movie, drift_products, Drift};
+pub use movie::{Layout, MovieSiteSpec, MOVIE_COMPONENTS};
+pub use news::{NewsSiteSpec, NEWS_COMPONENTS};
+pub use products::{ProductSiteSpec, PRODUCT_COMPONENTS};
+
+/// Ground truth: component name → expected values in reading order.
+pub type GroundTruth = BTreeMap<String, Vec<String>>;
+
+/// One generated page: URL, HTML source, ground truth and the cluster it
+/// belongs to (the label used when evaluating clustering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Page {
+    pub url: String,
+    pub html: String,
+    pub truth: GroundTruth,
+    pub cluster: String,
+}
+
+impl Page {
+    pub fn new(url: String, html: String, cluster: &str) -> Page {
+        Page { url, html, truth: BTreeMap::new(), cluster: cluster.to_string() }
+    }
+
+    /// Record an expected component value (multivalued components call
+    /// this once per value, in reading order).
+    pub fn expect(&mut self, component: &str, value: &str) {
+        self.truth.entry(component.to_string()).or_default().push(value.to_string());
+    }
+
+    /// Expected values for one component (empty slice when absent).
+    pub fn expected(&self, component: &str) -> &[String] {
+        self.truth.get(component).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+}
+
+/// A generated site: a named cluster of pages.
+#[derive(Clone, Debug)]
+pub struct Site {
+    pub name: String,
+    pub pages: Vec<Page>,
+}
+
+impl Site {
+    /// The first `n` pages (the working sample of §3.1).
+    pub fn sample(&self, n: usize) -> Vec<&Page> {
+        self.pages.iter().take(n).collect()
+    }
+}
+
+/// A mixed corpus spanning several ground-truth clusters, for the
+/// clustering experiments (Figure 1 step 1).
+pub fn mixed_corpus(seed: u64, per_cluster: usize) -> Vec<Page> {
+    let movies = movie::generate(&MovieSiteSpec { n_pages: per_cluster, seed, ..Default::default() });
+    let shop = products::generate(&ProductSiteSpec { n_pages: per_cluster, seed: seed + 1, ..Default::default() });
+    let news = news::generate(&NewsSiteSpec { n_pages: per_cluster, seed: seed + 2, ..Default::default() });
+    let mut pages = Vec::new();
+    pages.extend(movies.pages);
+    pages.extend(shop.pages);
+    pages.extend(news.pages);
+    // Interleave deterministically so clusters are not trivially contiguous.
+    pages.sort_by(|a, b| {
+        let ka = a.url.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        let kb = b.url.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
+        ka.cmp(&kb)
+    });
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_corpus_has_three_clusters() {
+        let pages = mixed_corpus(1, 5);
+        assert_eq!(pages.len(), 15);
+        let mut clusters: Vec<&str> = pages.iter().map(|p| p.cluster.as_str()).collect();
+        clusters.sort();
+        clusters.dedup();
+        assert_eq!(clusters.len(), 3);
+    }
+
+    #[test]
+    fn expected_returns_empty_for_missing() {
+        let page = Page::new("u".into(), "<html></html>".into(), "c");
+        assert!(page.expected("runtime").is_empty());
+    }
+
+    #[test]
+    fn sample_takes_prefix() {
+        let site = movie::generate(&MovieSiteSpec { n_pages: 10, seed: 1, ..Default::default() });
+        assert_eq!(site.sample(3).len(), 3);
+        assert_eq!(site.sample(3)[0].url, site.pages[0].url);
+    }
+}

@@ -1,0 +1,326 @@
+//! The imdb-like movie site generator.
+//!
+//! Reproduces the discrepancy classes the paper enumerates for the
+//! imdb-movies cluster (§3.4): an optional "Also Known As:" block that
+//! shifts positions (Figure 4), missing components, text/mixed format
+//! variation, and multivalued components (genres, cast). Every knob is a
+//! field on [`MovieSiteSpec`]; generation is deterministic in the seed.
+
+use crate::data::{pick, sample, COUNTRIES, GENRES, LANGUAGES, MOVIE_TITLES, NOISE_SNIPPETS, PERSON_NAMES};
+use crate::{Page, Site};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// How movie facts are laid out.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layout {
+    /// Figure-4 style: one `<td>` holding `<b>Label:</b> value <br>` runs —
+    /// the "poorly structured (relatively flat)" shape of §7.
+    Flat,
+    /// One table row per fact — the "fine-grained HTML structure" shape.
+    Rows,
+}
+
+/// Generator parameters for the movie cluster.
+#[derive(Clone, Debug)]
+pub struct MovieSiteSpec {
+    pub n_pages: usize,
+    pub seed: u64,
+    pub layout: Layout,
+    /// Probability of the optional "Also Known As:" fact (inserted right
+    /// before the runtime — the paper's position-shift example).
+    pub p_aka: f64,
+    /// Probability that the runtime is absent from a page.
+    pub p_missing_runtime: f64,
+    /// Probability that the language fact is absent.
+    pub p_missing_language: f64,
+    /// Probability that the runtime value is mixed (`<i>108</i> min`);
+    /// effective only in [`Layout::Rows`], where the value has its own cell.
+    pub p_mixed_runtime: f64,
+    /// Inclusive range for the number of genres.
+    pub genres: (usize, usize),
+    /// Inclusive range for the number of cast rows.
+    pub actors: (usize, usize),
+    /// Inclusive range for leading noise blocks (shift absolute positions).
+    pub noise_blocks: (usize, usize),
+    /// Extra `<div>` wrappers around the details block (depth knob, E7).
+    pub wrapper_depth: usize,
+    /// The runtime label; drifted sites relabel it ("Length:").
+    pub label_runtime: String,
+    /// Extra header rows at the top of the details table (drift knob).
+    pub extra_leading_rows: usize,
+    /// When false, [`Layout::Flat`] pages omit the `<b>Label:</b>`
+    /// markers entirely — the degenerate "relatively flat" documents of
+    /// §7, where values are bare sibling text nodes identified only by
+    /// order (no stable context to anchor on).
+    pub labeled: bool,
+}
+
+impl Default for MovieSiteSpec {
+    fn default() -> Self {
+        MovieSiteSpec {
+            n_pages: 10,
+            seed: 1,
+            layout: Layout::Rows,
+            p_aka: 0.3,
+            p_missing_runtime: 0.15,
+            p_missing_language: 0.25,
+            p_mixed_runtime: 0.0,
+            genres: (1, 4),
+            actors: (2, 5),
+            noise_blocks: (0, 2),
+            wrapper_depth: 0,
+            label_runtime: "Runtime:".to_string(),
+            extra_leading_rows: 0,
+            labeled: true,
+        }
+    }
+}
+
+/// Component names produced by this generator.
+pub const MOVIE_COMPONENTS: &[&str] = &[
+    "title", "director", "aka", "runtime", "country", "language", "rating", "genre", "actor",
+];
+
+pub fn generate(spec: &MovieSiteSpec) -> Site {
+    let mut pages = Vec::with_capacity(spec.n_pages);
+    for i in 0..spec.n_pages {
+        pages.push(generate_page(spec, i));
+    }
+    Site { name: "imdb-movies".to_string(), pages }
+}
+
+fn range(rng: &mut SmallRng, (lo, hi): (usize, usize)) -> usize {
+    if hi <= lo {
+        lo
+    } else {
+        rng.gen_range(lo..=hi)
+    }
+}
+
+fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
+    // Seed per page so pages are independent of how many precede them.
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(index as u64));
+    let title = pick(&mut rng, MOVIE_TITLES);
+    let year = 1960 + rng.gen_range(0..46);
+    let director = pick(&mut rng, PERSON_NAMES);
+    let runtime_min = 62 + rng.gen_range(0..120);
+    let runtime = format!("{runtime_min} min");
+    let has_runtime = !rng.gen_bool(spec.p_missing_runtime);
+    let mixed_runtime =
+        has_runtime && spec.layout == Layout::Rows && rng.gen_bool(spec.p_mixed_runtime);
+    let has_aka = rng.gen_bool(spec.p_aka);
+    let aka = format!("{title} Abroad (International: English title)");
+    let country = pick(&mut rng, COUNTRIES);
+    let has_language = !rng.gen_bool(spec.p_missing_language);
+    let language = pick(&mut rng, LANGUAGES);
+    let rating = format!("{}.{}/10", rng.gen_range(3..9), rng.gen_range(0..10));
+    let n_genres = range(&mut rng, spec.genres);
+    let genres = sample(&mut rng, GENRES, n_genres);
+    let n_actors = range(&mut rng, spec.actors);
+    let actors = sample(&mut rng, PERSON_NAMES, n_actors);
+
+    let mut html = String::with_capacity(4096);
+    html.push_str("<html><head><title>");
+    html.push_str(&format!("{title} ({year})"));
+    html.push_str("</title></head><body>\n");
+    html.push_str(&format!("<div class=\"header\"><h1>{title}</h1><span class=\"year\">{year}</span></div>\n"));
+    for _ in 0..range(&mut rng, spec.noise_blocks) {
+        let snippet = pick(&mut rng, NOISE_SNIPPETS);
+        html.push_str(&format!("<div class=\"noise\">{snippet}</div>\n"));
+    }
+    html.push_str("<div class=\"main\">\n");
+    for _ in 0..spec.wrapper_depth {
+        html.push_str("<div class=\"wrap\">");
+    }
+
+    // Facts in reading order; optional ones included per the flags above.
+    struct Fact<'a> {
+        label: &'a str,
+        value: String,
+        mixed: bool,
+    }
+    let mut facts: Vec<Fact> = vec![Fact { label: "Directed by:", value: director.to_string(), mixed: false }];
+    if has_aka {
+        facts.push(Fact { label: "Also Known As:", value: aka.clone(), mixed: false });
+    }
+    if has_runtime {
+        facts.push(Fact { label: &spec.label_runtime, value: runtime.clone(), mixed: mixed_runtime });
+    }
+    facts.push(Fact { label: "Country:", value: country.to_string(), mixed: false });
+    if has_language {
+        facts.push(Fact { label: "Language:", value: language.to_string(), mixed: false });
+    }
+    facts.push(Fact { label: "Rating:", value: rating.clone(), mixed: false });
+
+    match spec.layout {
+        Layout::Rows => {
+            html.push_str("<table class=\"details\">\n");
+            for _ in 0..spec.extra_leading_rows {
+                html.push_str("<tr><td colspan=\"2\">Studio memo</td></tr>\n");
+            }
+            for fact in &facts {
+                if fact.mixed {
+                    // `<i>108</i> min` — text and markup in one cell.
+                    let (num, unit) = fact.value.split_once(' ').unwrap_or((fact.value.as_str(), ""));
+                    html.push_str(&format!(
+                        "<tr><td>{}</td><td><i>{num}</i> {unit}</td></tr>\n",
+                        fact.label
+                    ));
+                } else {
+                    html.push_str(&format!("<tr><td>{}</td><td>{}</td></tr>\n", fact.label, fact.value));
+                }
+            }
+            html.push_str("</table>\n");
+        }
+        Layout::Flat => {
+            html.push_str("<table class=\"details\"><tr><td class=\"side\">Movie facts</td></tr><tr><td>\n");
+            for _ in 0..spec.extra_leading_rows {
+                html.push_str("<b>Studio memo:</b> archived <br>\n");
+            }
+            for fact in &facts {
+                if spec.labeled {
+                    html.push_str(&format!("<b>{}</b> {} <br>\n", fact.label, fact.value));
+                } else {
+                    html.push_str(&format!("{} <br>\n", fact.value));
+                }
+            }
+            html.push_str("</td></tr></table>\n");
+        }
+    }
+
+    html.push_str("<h3>Genres</h3><ul class=\"genres\">");
+    for g in &genres {
+        html.push_str(&format!("<li>{g}</li>"));
+    }
+    html.push_str("</ul>\n<h3>Cast</h3><table class=\"cast\">\n");
+    for a in &actors {
+        html.push_str(&format!("<tr><td>{a}</td></tr>\n"));
+    }
+    html.push_str("</table>\n");
+    for _ in 0..spec.wrapper_depth {
+        html.push_str("</div>");
+    }
+    html.push_str("</div>\n<div class=\"footer\">Copyright 2006 The Movie Base</div>\n</body></html>\n");
+
+    let mut page = Page::new(
+        format!("http://movies.example.org/title/tt{:07}/", 100_000 + index),
+        html,
+        "imdb-movies",
+    );
+    page.expect("title", title);
+    page.expect("director", director);
+    if has_aka {
+        page.expect("aka", &aka);
+    }
+    if has_runtime {
+        page.expect("runtime", &runtime);
+    }
+    page.expect("country", country);
+    if has_language {
+        page.expect("language", language);
+    }
+    page.expect("rating", &rating);
+    for g in &genres {
+        page.expect("genre", g);
+    }
+    for a in &actors {
+        page.expect("actor", a);
+    }
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+    use retroweb_xpath::normalize_space;
+
+    #[test]
+    fn deterministic() {
+        let spec = MovieSiteSpec { n_pages: 5, seed: 99, ..Default::default() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.html, pb.html);
+            assert_eq!(pa.truth, pb.truth);
+        }
+    }
+
+    #[test]
+    fn truth_values_appear_in_page_text() {
+        let spec = MovieSiteSpec { n_pages: 8, seed: 3, p_mixed_runtime: 0.5, ..Default::default() };
+        for page in &generate(&spec).pages {
+            let doc = parse(&page.html);
+            let text = normalize_space(&doc.text_content(doc.root()));
+            for (component, values) in &page.truth {
+                for v in values {
+                    assert!(
+                        text.contains(v.as_str()),
+                        "{} value '{v}' missing from {}",
+                        component,
+                        page.url
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optional_components_vary_across_pages() {
+        let spec = MovieSiteSpec { n_pages: 40, seed: 11, p_missing_runtime: 0.4, p_aka: 0.4, ..Default::default() };
+        let site = generate(&spec);
+        let with_runtime = site.pages.iter().filter(|p| p.truth.contains_key("runtime")).count();
+        let with_aka = site.pages.iter().filter(|p| p.truth.contains_key("aka")).count();
+        assert!(with_runtime > 0 && with_runtime < 40);
+        assert!(with_aka > 0 && with_aka < 40);
+    }
+
+    #[test]
+    fn multivalued_components_have_multiple_values() {
+        let spec = MovieSiteSpec { n_pages: 10, seed: 5, genres: (2, 4), actors: (3, 5), ..Default::default() };
+        for page in &generate(&spec).pages {
+            assert!(page.truth["genre"].len() >= 2);
+            assert!(page.truth["actor"].len() >= 3);
+        }
+    }
+
+    #[test]
+    fn flat_layout_uses_label_runs() {
+        let spec = MovieSiteSpec { n_pages: 3, seed: 8, layout: Layout::Flat, p_missing_runtime: 0.0, ..Default::default() };
+        for page in &generate(&spec).pages {
+            assert!(page.html.contains("<b>Runtime:</b>"));
+            assert!(!page.html.contains("<tr><td>Runtime:</td>"));
+        }
+    }
+
+    #[test]
+    fn rows_layout_gives_each_fact_a_cell() {
+        let spec = MovieSiteSpec { n_pages: 3, seed: 8, layout: Layout::Rows, p_missing_runtime: 0.0, ..Default::default() };
+        for page in &generate(&spec).pages {
+            assert!(page.html.contains("<tr><td>Runtime:</td><td>"));
+        }
+    }
+
+    #[test]
+    fn drift_knobs_change_structure() {
+        let base = MovieSiteSpec { n_pages: 2, seed: 4, ..Default::default() };
+        let drifted = MovieSiteSpec {
+            label_runtime: "Length:".to_string(),
+            extra_leading_rows: 2,
+            ..base.clone()
+        };
+        let a = generate(&base);
+        let b = generate(&drifted);
+        assert!(b.pages[0].html.contains("Length:"));
+        assert!(!a.pages[0].html.contains("Length:"));
+        assert!(b.pages[0].html.contains("Studio memo"));
+    }
+
+    #[test]
+    fn wrapper_depth_nests() {
+        let spec = MovieSiteSpec { n_pages: 1, seed: 2, wrapper_depth: 3, ..Default::default() };
+        let page = &generate(&spec).pages[0];
+        assert_eq!(page.html.matches("<div class=\"wrap\">").count(), 3);
+    }
+}

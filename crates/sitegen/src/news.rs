@@ -1,0 +1,166 @@
+//! News-site generator: article pages with multivalued mixed-content
+//! paragraphs and a comments section (the aggregation example of §4 uses
+//! comments + rating → users-opinion).
+
+use crate::data::{pick, COMMENT_SENTENCES, HEADLINE_OBJECTS, HEADLINE_SUBJECTS, HEADLINE_VERBS, PERSON_NAMES};
+use crate::{Page, Site};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters for the news cluster.
+#[derive(Clone, Debug)]
+pub struct NewsSiteSpec {
+    pub n_pages: usize,
+    pub seed: u64,
+    /// Probability that the byline carries a named author (otherwise the
+    /// byline is "Staff report" and the component is absent).
+    pub p_author: f64,
+    /// Inclusive range for body paragraphs.
+    pub paragraphs: (usize, usize),
+    /// Inclusive range for reader comments.
+    pub comments: (usize, usize),
+}
+
+impl Default for NewsSiteSpec {
+    fn default() -> Self {
+        NewsSiteSpec { n_pages: 10, seed: 1, p_author: 0.7, paragraphs: (2, 4), comments: (1, 4) }
+    }
+}
+
+pub const NEWS_COMPONENTS: &[&str] =
+    &["headline", "author", "date", "paragraph", "commenter", "comment"];
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+pub fn generate(spec: &NewsSiteSpec) -> Site {
+    let mut pages = Vec::with_capacity(spec.n_pages);
+    for i in 0..spec.n_pages {
+        pages.push(generate_page(spec, i));
+    }
+    Site { name: "ledger-articles".to_string(), pages }
+}
+
+fn generate_page(spec: &NewsSiteSpec, index: usize) -> Page {
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0xA24B_AED4).wrapping_add(index as u64));
+    let headline = format!(
+        "{} {} {}",
+        pick(&mut rng, HEADLINE_SUBJECTS),
+        pick(&mut rng, HEADLINE_VERBS),
+        pick(&mut rng, HEADLINE_OBJECTS)
+    );
+    let has_author = rng.gen_bool(spec.p_author);
+    let author = pick(&mut rng, PERSON_NAMES);
+    let date = format!(
+        "{} {} {}",
+        rng.gen_range(1..29),
+        MONTHS[rng.gen_range(0..MONTHS.len())],
+        2001 + rng.gen_range(0..6)
+    );
+    let n_paras = rng.gen_range(spec.paragraphs.0..=spec.paragraphs.1.max(spec.paragraphs.0));
+    let n_comments = rng.gen_range(spec.comments.0..=spec.comments.1.max(spec.comments.0));
+
+    let mut html = String::with_capacity(4096);
+    html.push_str(&format!(
+        "<html><head><title>{headline} - The Daily Ledger</title></head><body>\n\
+         <div id=\"masthead\">The Daily Ledger</div>\n<div class=\"article\">\n<h1>{headline}</h1>\n"
+    ));
+    if has_author {
+        html.push_str(&format!(
+            "<div class=\"byline\">By <span class=\"who\">{author}</span> &mdash; <span class=\"when\">{date}</span></div>\n"
+        ));
+    } else {
+        html.push_str(&format!(
+            "<div class=\"byline\">Staff report &mdash; <span class=\"when\">{date}</span></div>\n"
+        ));
+    }
+
+    let mut page = Page::new(
+        format!("http://ledger.example.org/{}/story-{:04}.html", 2001 + index % 6, 1000 + index),
+        String::new(),
+        "ledger-articles",
+    );
+    page.expect("headline", &headline);
+    if has_author {
+        page.expect("author", author);
+    }
+    page.expect("date", &date);
+
+    for p in 0..n_paras {
+        // Mixed content: a bold lead-in inside the paragraph text.
+        let lead = pick(&mut rng, HEADLINE_SUBJECTS);
+        let tail = format!(
+            "{} {} according to paragraph {} of the briefing.",
+            pick(&mut rng, HEADLINE_VERBS),
+            pick(&mut rng, HEADLINE_OBJECTS),
+            p + 1
+        );
+        html.push_str(&format!("<p><b>{lead}</b> {tail}</p>\n"));
+        page.expect("paragraph", &format!("{lead} {tail}"));
+    }
+    html.push_str("</div>\n<div class=\"comments\"><h4>Reader comments</h4>\n");
+    for c in 0..n_comments {
+        let who = pick(&mut rng, PERSON_NAMES);
+        let text = format!("{} (comment {})", pick(&mut rng, COMMENT_SENTENCES), c + 1);
+        html.push_str(&format!(
+            "<div class=\"comment\"><span class=\"who\">{who}</span><p>{text}</p></div>\n"
+        ));
+        page.expect("commenter", who);
+        page.expect("comment", &text);
+    }
+    html.push_str("</div>\n<div class=\"footer\">The Daily Ledger 2006</div>\n</body></html>\n");
+    page.html = html;
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+    use retroweb_xpath::normalize_space;
+
+    #[test]
+    fn truth_values_present() {
+        let spec = NewsSiteSpec { n_pages: 6, seed: 5, ..Default::default() };
+        for page in &generate(&spec).pages {
+            let doc = parse(&page.html);
+            let text = normalize_space(&doc.text_content(doc.root()));
+            for values in page.truth.values() {
+                for v in values {
+                    assert!(text.contains(v.as_str()), "'{v}' not in {}", page.url);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paragraphs_are_mixed_content() {
+        let spec = NewsSiteSpec { n_pages: 2, seed: 5, ..Default::default() };
+        let page = &generate(&spec).pages[0];
+        assert!(page.html.contains("<p><b>"));
+        // The truth value is the concatenated text, spanning the <b> split.
+        let doc = parse(&page.html);
+        let first_para = page.truth["paragraph"][0].clone();
+        let found = doc
+            .elements_by_tag("p")
+            .iter()
+            .any(|&p| normalize_space(&doc.text_content(p)) == first_para);
+        assert!(found, "no <p> whose text is '{first_para}'");
+    }
+
+    #[test]
+    fn author_optional() {
+        let spec = NewsSiteSpec { n_pages: 30, seed: 6, p_author: 0.5, ..Default::default() };
+        let site = generate(&spec);
+        let with = site.pages.iter().filter(|p| p.truth.contains_key("author")).count();
+        assert!(with > 0 && with < 30);
+    }
+
+    #[test]
+    fn deterministic() {
+        let spec = NewsSiteSpec { n_pages: 4, seed: 7, ..Default::default() };
+        assert_eq!(generate(&spec).pages[2].html, generate(&spec).pages[2].html);
+    }
+}

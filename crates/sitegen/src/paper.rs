@@ -1,0 +1,179 @@
+//! The paper's exact worked example: the four-page imdb-movies working
+//! sample behind Table 1 (candidate check: correct / correct / wrong /
+//! void), Table 3 (all correct after refinement) and Figure 4 (the
+//! contextual-information refinement).
+//!
+//! Page layout is the Figure 4 fragment embedded in a 7-row table so the
+//! details cell sits at `TR[6]` — matching the paper's candidate XPath
+//! `BODY//TR[6]/TD[1]/text()[1]` and the §2.3 rule display.
+
+use crate::Page;
+
+/// URIs exactly as printed in Table 1.
+pub const PAPER_URIS: [&str; 4] = [
+    "./title/tt0095159/",
+    "./title/tt0071853/",
+    "./title/tt0074103/",
+    "./title/tt0102059/",
+];
+
+/// The wrong value the candidate rule selects on page c (Table 1 row c).
+pub const AKA_VALUE: &str = "The Wing and the Thigh (International: English title)";
+
+fn build_page(uri: &str, nav_rows: usize, facts: &[(&str, &str)]) -> Page {
+    let mut html = String::new();
+    html.push_str("<html><head><title>imdb movie page</title></head><body>\n<table>\n");
+    for i in 0..nav_rows {
+        html.push_str(&format!("<tr><td>Nav section {}</td></tr>\n", i + 1));
+    }
+    html.push_str("<tr><td>");
+    for (label, value) in facts {
+        html.push_str(&format!("<b>{label}</b> {value} <br>"));
+    }
+    html.push_str("</td></tr>\n</table>\n</body></html>\n");
+
+    let mut page = Page::new(uri.to_string(), html, "imdb-movies");
+    for (label, value) in facts {
+        let component = match *label {
+            "Runtime:" => "runtime",
+            "Country:" => "country",
+            "Language:" => "language",
+            "Also Known As:" => "aka",
+            _ => continue,
+        };
+        page.expect(component, value);
+    }
+    page
+}
+
+/// The four-page working sample of Table 1/Table 3.
+///
+/// - page a (tt0095159): runtime `108 min` at the candidate position;
+/// - page b (tt0071853): runtime `91 min` at the candidate position;
+/// - page c (tt0074103): an "Also Known As:" block shifts the runtime, so
+///   the candidate matches the AKA text (Table 1 row c, Figure 4 right);
+/// - page d (tt0102059): one navigation row fewer, so `TR[6]` does not
+///   exist and the candidate matches nothing (Table 1 row d).
+pub fn paper_working_sample() -> Vec<Page> {
+    vec![
+        build_page(
+            PAPER_URIS[0],
+            5,
+            &[
+                ("Runtime:", "108 min"),
+                ("Country:", "USA/UK"),
+                ("Language:", "English/Italian/Russian"),
+            ],
+        ),
+        build_page(
+            PAPER_URIS[1],
+            5,
+            &[("Runtime:", "91 min"), ("Country:", "USA"), ("Language:", "English")],
+        ),
+        build_page(
+            PAPER_URIS[2],
+            5,
+            &[
+                ("Also Known As:", AKA_VALUE),
+                ("Runtime:", "104 min"),
+                ("Country:", "France"),
+            ],
+        ),
+        build_page(
+            PAPER_URIS[3],
+            4,
+            &[("Runtime:", "84 min"), ("Country:", "Italy"), ("Language:", "Italian")],
+        ),
+    ]
+}
+
+/// The two pages of Figure 4 (left: runtime first; right: AKA shift) —
+/// pages a and c of the working sample.
+pub fn figure4_pages() -> (Page, Page) {
+    let mut sample = paper_working_sample();
+    let c = sample.remove(2);
+    let a = sample.remove(0);
+    (a, c)
+}
+
+/// Expected component values per page for `runtime` after refinement
+/// (Table 3).
+pub const TABLE3_RUNTIMES: [&str; 4] = ["108 min", "91 min", "104 min", "84 min"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_html::parse;
+    use retroweb_xpath::{parse as xparse, Engine, Expr};
+
+    #[test]
+    fn candidate_path_reproduces_table1() {
+        // The §2.3 candidate XPath, applied to each page of the sample.
+        let sample = paper_working_sample();
+        let xpath = xparse("/HTML[1]/BODY[1]/TABLE[1]/TR[6]/TD[1]/text()[1]").unwrap();
+        let mut results = Vec::new();
+        for page in &sample {
+            let doc = parse(&page.html);
+            let engine = Engine::new(&doc);
+            let hits = engine.select(&xpath, doc.root()).unwrap();
+            results.push(hits.first().map(|&n| doc.text(n).unwrap().trim().to_string()));
+        }
+        assert_eq!(results[0].as_deref(), Some("108 min")); // row a: correct
+        assert_eq!(results[1].as_deref(), Some("91 min")); // row b: correct
+        assert_eq!(results[2].as_deref(), Some(AKA_VALUE)); // row c: wrong value
+        assert_eq!(results[3], None); // row d: void
+    }
+
+    #[test]
+    fn refined_path_reproduces_table3() {
+        // Contextual refinement with positions stripped from the TR step.
+        let sample = paper_working_sample();
+        let refined = xparse(
+            "/HTML[1]/BODY[1]/TABLE[1]/TR/TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(normalize-space(.), \"Runtime:\")]]",
+        )
+        .unwrap();
+        for (page, expected) in sample.iter().zip(TABLE3_RUNTIMES) {
+            let doc = parse(&page.html);
+            let engine = Engine::new(&doc);
+            let hits = engine.select(&refined, doc.root()).unwrap();
+            assert_eq!(hits.len(), 1, "{}", page.url);
+            assert_eq!(doc.text(hits[0]).unwrap().trim(), expected, "{}", page.url);
+        }
+    }
+
+    #[test]
+    fn figure4_pages_are_a_and_c() {
+        let (left, right) = figure4_pages();
+        assert!(left.html.contains("<b>Runtime:</b> 108 min"));
+        assert!(right.html.contains("<b>Also Known As:</b>"));
+        assert!(right.html.contains("<b>Runtime:</b> 104 min"));
+    }
+
+    #[test]
+    fn ground_truth_matches_table3() {
+        let sample = paper_working_sample();
+        for (page, expected) in sample.iter().zip(TABLE3_RUNTIMES) {
+            assert_eq!(page.truth["runtime"], vec![expected.to_string()]);
+        }
+    }
+
+    #[test]
+    fn details_cell_is_tr6_on_pages_abc_tr5_on_d() {
+        let sample = paper_working_sample();
+        for (i, page) in sample.iter().enumerate() {
+            let doc = parse(&page.html);
+            let engine = Engine::new(&doc);
+            let trs = engine.select(&xparse("//TR").unwrap(), doc.root()).unwrap();
+            let expected_rows = if i == 3 { 5 } else { 6 };
+            assert_eq!(trs.len(), expected_rows, "{}", page.url);
+        }
+    }
+
+    #[test]
+    fn body_relative_display_matches_paper_shape() {
+        // The candidate's display form used throughout §3.
+        let e = xparse("BODY//TR[6]/TD[1]/text()[1]").unwrap();
+        assert_eq!(e.to_string(), "BODY//TR[6]/TD[1]/text()[1]");
+        assert!(matches!(e, Expr::Path(_)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Product-catalog site generator (the intro's price-monitoring workload).
+
+use crate::data::{pick, sample, BRANDS, FEATURES, NOISE_SNIPPETS, PRODUCT_NAMES};
+use crate::{Page, Site};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters for the product cluster.
+#[derive(Clone, Debug)]
+pub struct ProductSiteSpec {
+    pub n_pages: usize,
+    pub seed: u64,
+    /// Probability the availability block is present.
+    pub p_availability: f64,
+    /// Inclusive range for the number of feature bullets.
+    pub features: (usize, usize),
+    /// Multiplier applied to every price (drift knob for monitoring
+    /// experiments: same structure, different values).
+    pub price_factor: f64,
+    /// When true the price `<div>` is wrapped in an extra `<span>` (drift
+    /// knob that breaks positional paths but not contextual ones).
+    pub price_wrapped: bool,
+}
+
+impl Default for ProductSiteSpec {
+    fn default() -> Self {
+        ProductSiteSpec {
+            n_pages: 10,
+            seed: 1,
+            p_availability: 0.7,
+            features: (2, 5),
+            price_factor: 1.0,
+            price_wrapped: false,
+        }
+    }
+}
+
+pub const PRODUCT_COMPONENTS: &[&str] = &["name", "brand", "price", "availability", "feature", "sku"];
+
+pub fn generate(spec: &ProductSiteSpec) -> Site {
+    let mut pages = Vec::with_capacity(spec.n_pages);
+    for i in 0..spec.n_pages {
+        pages.push(generate_page(spec, i));
+    }
+    Site { name: "shop-products".to_string(), pages }
+}
+
+fn generate_page(spec: &ProductSiteSpec, index: usize) -> Page {
+    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x517C_C1B7).wrapping_add(index as u64));
+    let name = pick(&mut rng, PRODUCT_NAMES);
+    let brand = pick(&mut rng, BRANDS);
+    let cents_base = 499 + rng.gen_range(0..19_500);
+    let cents = ((cents_base as f64) * spec.price_factor).round() as i64;
+    let price = format!("${}.{:02}", cents / 100, cents % 100);
+    let has_avail = rng.gen_bool(spec.p_availability);
+    let avail = format!("In stock: {} units", rng.gen_range(1..40));
+    let n_features = rng.gen_range(spec.features.0..=spec.features.1.max(spec.features.0));
+    let features = sample(&mut rng, FEATURES, n_features);
+    let sku = format!("SKU-{:05}", 10_000 + rng.gen_range(0..80_000));
+
+    let mut html = String::with_capacity(2048);
+    html.push_str(&format!(
+        "<html><head><title>{name} | Harbour Market</title></head><body>\n\
+         <div id=\"nav\">{}</div>\n\
+         <div class=\"product\">\n<h2>{name}</h2>\n\
+         <div class=\"brand\">by <span>{brand}</span></div>\n",
+        pick(&mut rng, NOISE_SNIPPETS)
+    ));
+    if spec.price_wrapped {
+        html.push_str(&format!("<div class=\"price\"><span class=\"amount\">{price}</span></div>\n"));
+    } else {
+        html.push_str(&format!("<div class=\"price\">{price}</div>\n"));
+    }
+    if has_avail {
+        html.push_str(&format!("<div class=\"avail\">{avail}</div>\n"));
+    }
+    html.push_str("<ul class=\"features\">");
+    for f in &features {
+        html.push_str(&format!("<li>{f}</li>"));
+    }
+    html.push_str("</ul>\n");
+    html.push_str(&format!("<div class=\"sku\">Ref: <span>{sku}</span></div>\n"));
+    html.push_str("</div>\n<div class=\"footer\">Harbour Market 2006</div>\n</body></html>\n");
+
+    let mut page = Page::new(
+        format!("http://shop.example.org/item/{}/", 5_000 + index),
+        html,
+        "shop-products",
+    );
+    page.expect("name", name);
+    page.expect("brand", brand);
+    page.expect("price", &price);
+    if has_avail {
+        page.expect("availability", &avail);
+    }
+    for f in &features {
+        page.expect("feature", f);
+    }
+    page.expect("sku", &sku);
+    page
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_distinct_urls() {
+        let spec = ProductSiteSpec { n_pages: 6, seed: 2, ..Default::default() };
+        let a = generate(&spec);
+        let b = generate(&spec);
+        assert_eq!(a.pages.len(), 6);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.html, pb.html);
+        }
+        let mut urls: Vec<&str> = a.pages.iter().map(|p| p.url.as_str()).collect();
+        urls.dedup();
+        assert_eq!(urls.len(), 6);
+    }
+
+    #[test]
+    fn price_factor_changes_values_not_structure() {
+        let base = ProductSiteSpec { n_pages: 3, seed: 9, ..Default::default() };
+        let raised = ProductSiteSpec { price_factor: 1.10, ..base.clone() };
+        let a = generate(&base);
+        let b = generate(&raised);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_ne!(pa.truth["price"], pb.truth["price"]);
+            // Structure identical: strip digits and compare.
+            let strip = |s: &str| s.chars().filter(|c| !c.is_ascii_digit()).collect::<String>();
+            assert_eq!(strip(&pa.html), strip(&pb.html));
+        }
+    }
+
+    #[test]
+    fn price_wrapping_changes_structure() {
+        let base = ProductSiteSpec { n_pages: 1, seed: 9, ..Default::default() };
+        let wrapped = ProductSiteSpec { price_wrapped: true, ..base.clone() };
+        assert!(generate(&wrapped).pages[0].html.contains("class=\"amount\""));
+        assert!(!generate(&base).pages[0].html.contains("class=\"amount\""));
+    }
+
+    #[test]
+    fn availability_is_optional() {
+        let spec = ProductSiteSpec { n_pages: 30, seed: 4, p_availability: 0.5, ..Default::default() };
+        let site = generate(&spec);
+        let with = site.pages.iter().filter(|p| p.truth.contains_key("availability")).count();
+        assert!(with > 0 && with < 30);
+    }
+}

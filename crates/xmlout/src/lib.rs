@@ -1,0 +1,26 @@
+//! # retroweb-xml — extraction output substrate
+//!
+//! The XML side of the Retrozilla pipeline (§4 of the paper): an output
+//! document model with a writer matching the paper's Figure 5 layout, an
+//! XML Schema generator that maps mapping-rule properties to cardinality
+//! constraints, and a strict reader so external agents (and our tests)
+//! can consume the output.
+//!
+//! ```
+//! use retroweb_xml::{XmlDocument, XmlElement};
+//!
+//! let mut root = XmlElement::new("imdb-movies");
+//! let mut movie = XmlElement::new("imdb-movie").with_attr("uri", "http://imdb.com/title/tt0095159/");
+//! movie.push_element(XmlElement::new("runtime").with_text("108 min"));
+//! root.push_element(movie);
+//! let doc = XmlDocument::new(root).with_encoding("ISO-8859-1");
+//! assert!(doc.to_string_with(0).contains("<runtime>108 min</runtime>"));
+//! ```
+
+mod model;
+mod reader;
+mod schema;
+
+pub use model::{escape_xml_attr, escape_xml_text, XmlDocument, XmlElement, XmlNode};
+pub use reader::{parse_xml, XmlParseError};
+pub use schema::{ClusterSchema, LeafContent, MaxOccurs, SchemaNode};

@@ -1,0 +1,312 @@
+//! A small, strict XML reader for round-trip tests and for external agents
+//! that consume extraction output.
+
+use crate::model::{XmlElement, XmlNode};
+use std::fmt;
+
+/// XML parse failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XmlParseError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for XmlParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlParseError {}
+
+/// Parse an XML document (declaration optional) into its root element.
+pub fn parse_xml(input: &str) -> Result<XmlElement, XmlParseError> {
+    let mut p = XmlParser { bytes: input.as_bytes(), input, pos: 0 };
+    p.skip_misc()?;
+    let root = p.element()?;
+    p.skip_misc()?;
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct XmlParser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlParser<'a> {
+    fn err(&self, msg: &str) -> XmlParseError {
+        XmlParseError { offset: self.pos, message: msg.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skip whitespace, the XML declaration, comments and PIs.
+    fn skip_misc(&mut self) -> Result<(), XmlParseError> {
+        loop {
+            self.skip_ws();
+            if self.input[self.pos..].starts_with("<?") {
+                match self.input[self.pos..].find("?>") {
+                    Some(i) => self.pos += i + 2,
+                    None => return Err(self.err("unterminated processing instruction")),
+                }
+            } else if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(i) => self.pos += i + 3,
+                    None => return Err(self.err("unterminated comment")),
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn name(&mut self) -> Result<String, XmlParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'-' | b'_' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn element(&mut self) -> Result<XmlElement, XmlParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected '<'"));
+        }
+        self.pos += 1;
+        let name = self.name()?;
+        let mut el = XmlElement::new(&name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected '>' after '/'"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let attr_name = self.name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected '=' in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.err("expected quoted attribute value")),
+                    };
+                    self.pos += 1;
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.err("unterminated attribute value"));
+                    }
+                    let raw = &self.input[start..self.pos];
+                    self.pos += 1;
+                    el.set_attr(&attr_name, &decode_xml_entities(raw)?);
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content.
+        loop {
+            if self.input[self.pos..].starts_with("</") {
+                self.pos += 2;
+                let close = self.name()?;
+                if close != el.name {
+                    return Err(self.err(&format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        el.name, close
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected '>' in end tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            }
+            if self.input[self.pos..].starts_with("<!--") {
+                match self.input[self.pos..].find("-->") {
+                    Some(i) => {
+                        self.pos += i + 3;
+                        continue;
+                    }
+                    None => return Err(self.err("unterminated comment")),
+                }
+            }
+            match self.peek() {
+                Some(b'<') => {
+                    let child = self.element()?;
+                    el.push_element(child);
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == b'<' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let raw = &self.input[start..self.pos];
+                    let text = decode_xml_entities(raw)?;
+                    el.children.push(XmlNode::Text(text));
+                }
+                None => return Err(self.err("unexpected end of input in element content")),
+            }
+        }
+    }
+}
+
+fn decode_xml_entities(s: &str) -> Result<String, XmlParseError> {
+    if !s.contains('&') {
+        return Ok(s.to_string());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or(XmlParseError {
+            offset: 0,
+            message: "unterminated entity reference".to_string(),
+        })?;
+        let entity = &rest[1..semi];
+        match entity {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if entity.starts_with("#x") || entity.starts_with("#X") => {
+                let cp = u32::from_str_radix(&entity[2..], 16).map_err(|_| XmlParseError {
+                    offset: 0,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            _ if entity.starts_with('#') => {
+                let cp = entity[1..].parse::<u32>().map_err(|_| XmlParseError {
+                    offset: 0,
+                    message: format!("bad character reference &{entity};"),
+                })?;
+                out.push(char::from_u32(cp).unwrap_or('\u{FFFD}'));
+            }
+            other => {
+                return Err(XmlParseError {
+                    offset: 0,
+                    message: format!("unknown entity &{other};"),
+                })
+            }
+        }
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::XmlDocument;
+
+    #[test]
+    fn parses_figure5_shape() {
+        let src = "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n\
+            <imdb-movies>\n\
+            <imdb-movie uri=\"http://imdb.com/title/tt0095159/\">\n\
+            <runtime>108 min</runtime>\n\
+            </imdb-movie>\n\
+            </imdb-movies>\n";
+        let root = parse_xml(src).unwrap();
+        assert_eq!(root.name, "imdb-movies");
+        let movie = root.child("imdb-movie").unwrap();
+        assert_eq!(movie.attr("uri"), Some("http://imdb.com/title/tt0095159/"));
+        assert_eq!(movie.child("runtime").unwrap().text_content(), "108 min");
+    }
+
+    #[test]
+    fn writer_reader_round_trip() {
+        let mut root = XmlElement::new("r");
+        root.push_element(XmlElement::new("a").with_attr("k", "v & \"w\"").with_text("x < y"));
+        root.push_element(XmlElement::new("empty"));
+        let doc = XmlDocument::new(root.clone());
+        let text = doc.to_string_with(2);
+        let back = parse_xml(&text).unwrap();
+        // Whitespace-only text nodes introduced by pretty-printing are the
+        // only difference; compare structure modulo those.
+        fn strip_ws(el: &XmlElement) -> XmlElement {
+            let mut out = XmlElement::new(&el.name);
+            out.attrs = el.attrs.clone();
+            for c in &el.children {
+                match c {
+                    XmlNode::Element(e) => out.push_element(strip_ws(e)),
+                    XmlNode::Text(t) => {
+                        if !t.trim().is_empty() {
+                            out.push_text(t.trim());
+                        }
+                    }
+                }
+            }
+            out
+        }
+        assert_eq!(strip_ws(&back), strip_ws(&root));
+    }
+
+    #[test]
+    fn self_closing() {
+        let root = parse_xml("<a><b/><c /></a>").unwrap();
+        assert_eq!(root.elements().count(), 2);
+    }
+
+    #[test]
+    fn mismatched_tags_error() {
+        assert!(parse_xml("<a><b></a></b>").is_err());
+        assert!(parse_xml("<a>").is_err());
+        assert!(parse_xml("<a></a><b></b>").is_err());
+    }
+
+    #[test]
+    fn entity_decoding() {
+        let root = parse_xml("<a>&lt;x&gt; &amp; &#65;&#x42;</a>").unwrap();
+        assert_eq!(root.text_content(), "<x> & AB");
+        assert!(parse_xml("<a>&bogus;</a>").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let root = parse_xml("<!-- head --><a><!-- inner -->x</a>").unwrap();
+        assert_eq!(root.text_content(), "x");
+    }
+}

@@ -1,0 +1,257 @@
+//! XML Schema (XSD) generation.
+//!
+//! §4 of the paper: "the name property of a mapping rule becomes the name
+//! of an XML Schema element, while the optionality and multiplicity
+//! properties are transformed into cardinality constraints in the target
+//! structure". This module models that target structure and renders it to
+//! an `xs:schema` document. The enhanced (aggregated) structure recorded
+//! in the rule repository maps to nested [`SchemaNode::Group`]s.
+
+use crate::model::{XmlDocument, XmlElement};
+
+/// maxOccurs: 1 or unbounded.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaxOccurs {
+    One,
+    Unbounded,
+}
+
+/// Content model of a leaf component element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LeafContent {
+    /// `format = text` → xs:string content.
+    Text,
+    /// `format = mixed` → mixed content allowing inline markup remnants.
+    Mixed,
+}
+
+/// One node of the target structure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SchemaNode {
+    /// A leaf component: `<runtime>108 min</runtime>`.
+    Leaf { name: String, min_occurs: u32, max_occurs: MaxOccurs, content: LeafContent },
+    /// An aggregated group (a-posteriori aggregation, §4): e.g.
+    /// `users-opinion` wrapping `comments` + `rating`.
+    Group { name: String, min_occurs: u32, max_occurs: MaxOccurs, children: Vec<SchemaNode> },
+}
+
+impl SchemaNode {
+    pub fn leaf(name: &str, optional: bool, multivalued: bool, mixed: bool) -> SchemaNode {
+        SchemaNode::Leaf {
+            name: name.to_string(),
+            min_occurs: if optional { 0 } else { 1 },
+            max_occurs: if multivalued { MaxOccurs::Unbounded } else { MaxOccurs::One },
+            content: if mixed { LeafContent::Mixed } else { LeafContent::Text },
+        }
+    }
+
+    pub fn group(name: &str, children: Vec<SchemaNode>) -> SchemaNode {
+        SchemaNode::Group {
+            name: name.to_string(),
+            min_occurs: 1,
+            max_occurs: MaxOccurs::One,
+            children,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        match self {
+            SchemaNode::Leaf { name, .. } | SchemaNode::Group { name, .. } => name,
+        }
+    }
+
+    /// All leaf names in document order.
+    pub fn leaf_names(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        fn walk(n: &SchemaNode, out: &mut Vec<String>) {
+            match n {
+                SchemaNode::Leaf { name, .. } => out.push(name.clone()),
+                SchemaNode::Group { children, .. } => {
+                    for c in children {
+                        walk(c, out);
+                    }
+                }
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    fn to_xsd_element(&self) -> XmlElement {
+        match self {
+            SchemaNode::Leaf { name, min_occurs, max_occurs, content } => {
+                let mut el = XmlElement::new("xs:element").with_attr("name", name);
+                occurs_attrs(&mut el, *min_occurs, *max_occurs);
+                match content {
+                    LeafContent::Text => {
+                        el.set_attr("type", "xs:string");
+                    }
+                    LeafContent::Mixed => {
+                        let mut ct = XmlElement::new("xs:complexType").with_attr("mixed", "true");
+                        let mut seq = XmlElement::new("xs:sequence");
+                        let any = XmlElement::new("xs:any")
+                            .with_attr("minOccurs", "0")
+                            .with_attr("maxOccurs", "unbounded")
+                            .with_attr("processContents", "lax");
+                        seq.push_element(any);
+                        ct.push_element(seq);
+                        el.push_element(ct);
+                    }
+                }
+                el
+            }
+            SchemaNode::Group { name, min_occurs, max_occurs, children } => {
+                let mut el = XmlElement::new("xs:element").with_attr("name", name);
+                occurs_attrs(&mut el, *min_occurs, *max_occurs);
+                let mut ct = XmlElement::new("xs:complexType");
+                let mut seq = XmlElement::new("xs:sequence");
+                for c in children {
+                    seq.push_element(c.to_xsd_element());
+                }
+                ct.push_element(seq);
+                el.push_element(ct);
+                el
+            }
+        }
+    }
+}
+
+fn occurs_attrs(el: &mut XmlElement, min: u32, max: MaxOccurs) {
+    if min != 1 {
+        el.set_attr("minOccurs", &min.to_string());
+    }
+    match max {
+        MaxOccurs::One => {}
+        MaxOccurs::Unbounded => el.set_attr("maxOccurs", "unbounded"),
+    }
+}
+
+/// The whole cluster schema: `<cluster>` containing repeated `<page>`
+/// elements (each with a `uri` attribute), each holding the component
+/// structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSchema {
+    /// Root element name — the cluster name (e.g. `imdb-movies`).
+    pub cluster: String,
+    /// Per-page element name (e.g. `imdb-movie`).
+    pub page: String,
+    /// Component structure inside each page element.
+    pub components: Vec<SchemaNode>,
+}
+
+impl ClusterSchema {
+    pub fn new(cluster: &str, page: &str, components: Vec<SchemaNode>) -> ClusterSchema {
+        ClusterSchema { cluster: cluster.to_string(), page: page.to_string(), components }
+    }
+
+    /// Render as an `xs:schema` document.
+    pub fn to_xsd(&self) -> XmlDocument {
+        let mut schema = XmlElement::new("xs:schema")
+            .with_attr("xmlns:xs", "http://www.w3.org/2001/XMLSchema")
+            .with_attr("elementFormDefault", "qualified");
+
+        let mut cluster_el = XmlElement::new("xs:element").with_attr("name", &self.cluster);
+        let mut cluster_ct = XmlElement::new("xs:complexType");
+        let mut cluster_seq = XmlElement::new("xs:sequence");
+
+        let mut page_el = XmlElement::new("xs:element")
+            .with_attr("name", &self.page)
+            .with_attr("minOccurs", "0")
+            .with_attr("maxOccurs", "unbounded");
+        let mut page_ct = XmlElement::new("xs:complexType");
+        let mut page_seq = XmlElement::new("xs:sequence");
+        for c in &self.components {
+            page_seq.push_element(c.to_xsd_element());
+        }
+        page_ct.push_element(page_seq);
+        let uri_attr = XmlElement::new("xs:attribute")
+            .with_attr("name", "uri")
+            .with_attr("type", "xs:anyURI")
+            .with_attr("use", "required");
+        page_ct.push_element(uri_attr);
+        page_el.push_element(page_ct);
+
+        cluster_seq.push_element(page_el);
+        cluster_ct.push_element(cluster_seq);
+        cluster_el.push_element(cluster_ct);
+        schema.push_element(cluster_el);
+        XmlDocument::new(schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn imdb_schema() -> ClusterSchema {
+        ClusterSchema::new(
+            "imdb-movies",
+            "imdb-movie",
+            vec![
+                SchemaNode::leaf("title", false, false, false),
+                SchemaNode::leaf("runtime", true, false, false),
+                SchemaNode::leaf("genre", true, true, false),
+                SchemaNode::group(
+                    "users-opinion",
+                    vec![
+                        SchemaNode::leaf("comments", true, true, true),
+                        SchemaNode::leaf("rating", true, false, false),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn cardinalities_map_to_occurs() {
+        let xsd = imdb_schema().to_xsd();
+        let text = xsd.to_string_with(2);
+        // optional single-valued → minOccurs=0, no maxOccurs
+        assert!(text.contains("<xs:element name=\"runtime\" minOccurs=\"0\" type=\"xs:string\"/>"));
+        // mandatory single-valued → no occurs attrs
+        assert!(text.contains("<xs:element name=\"title\" type=\"xs:string\"/>"));
+        // optional multivalued → both
+        assert!(text.contains("name=\"genre\" minOccurs=\"0\" maxOccurs=\"unbounded\""));
+    }
+
+    #[test]
+    fn mixed_leaf_gets_mixed_complex_type() {
+        let xsd = imdb_schema().to_xsd();
+        let text = xsd.to_string_with(2);
+        assert!(text.contains("mixed=\"true\""));
+    }
+
+    #[test]
+    fn aggregation_nests_elements() {
+        let xsd = imdb_schema().to_xsd().to_string_with(2);
+        let opinion_pos = xsd.find("users-opinion").unwrap();
+        let comments_pos = xsd.find("\"comments\"").unwrap();
+        assert!(comments_pos > opinion_pos);
+    }
+
+    #[test]
+    fn page_element_repeats_with_uri() {
+        let xsd = imdb_schema().to_xsd().to_string_with(2);
+        assert!(xsd.contains("name=\"imdb-movie\" minOccurs=\"0\" maxOccurs=\"unbounded\""));
+        assert!(xsd.contains("xs:attribute"));
+        assert!(xsd.contains("name=\"uri\""));
+    }
+
+    #[test]
+    fn leaf_names_flatten_groups() {
+        let schema = imdb_schema();
+        let names: Vec<String> = schema
+            .components
+            .iter()
+            .flat_map(|c| c.leaf_names())
+            .collect();
+        assert_eq!(names, vec!["title", "runtime", "genre", "comments", "rating"]);
+    }
+
+    #[test]
+    fn xsd_is_well_formed() {
+        let text = imdb_schema().to_xsd().to_string_with(2);
+        let parsed = crate::reader::parse_xml(&text).unwrap();
+        assert_eq!(parsed.name, "xs:schema");
+    }
+}

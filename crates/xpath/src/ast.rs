@@ -1,0 +1,504 @@
+//! XPath 1.0 abstract syntax.
+//!
+//! The subset covers everything mapping rules need (§2.3 of the paper):
+//! location paths with all major axes, positional and boolean predicates,
+//! the core function library, unions (used for "alternative path"
+//! refinement), and the full expression grammar for predicates.
+
+use std::fmt;
+
+/// Binary operators of the expression grammar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+}
+
+impl BinaryOp {
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Or => "or",
+            BinaryOp::And => "and",
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "!=",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "div",
+            BinaryOp::Mod => "mod",
+        }
+    }
+
+    /// Precedence level; higher binds tighter. Used by the printer to
+    /// decide where parentheses are required.
+    pub fn precedence(self) -> u8 {
+        match self {
+            BinaryOp::Or => 1,
+            BinaryOp::And => 2,
+            BinaryOp::Eq | BinaryOp::Ne => 3,
+            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge => 4,
+            BinaryOp::Add | BinaryOp::Sub => 5,
+            BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => 6,
+        }
+    }
+}
+
+/// XPath axes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Axis {
+    Child,
+    Descendant,
+    DescendantOrSelf,
+    Parent,
+    Ancestor,
+    AncestorOrSelf,
+    FollowingSibling,
+    PrecedingSibling,
+    Following,
+    Preceding,
+    SelfAxis,
+    Attribute,
+}
+
+impl Axis {
+    pub fn name(self) -> &'static str {
+        match self {
+            Axis::Child => "child",
+            Axis::Descendant => "descendant",
+            Axis::DescendantOrSelf => "descendant-or-self",
+            Axis::Parent => "parent",
+            Axis::Ancestor => "ancestor",
+            Axis::AncestorOrSelf => "ancestor-or-self",
+            Axis::FollowingSibling => "following-sibling",
+            Axis::PrecedingSibling => "preceding-sibling",
+            Axis::Following => "following",
+            Axis::Preceding => "preceding",
+            Axis::SelfAxis => "self",
+            Axis::Attribute => "attribute",
+        }
+    }
+
+    pub fn from_name(name: &str) -> Option<Axis> {
+        Some(match name {
+            "child" => Axis::Child,
+            "descendant" => Axis::Descendant,
+            "descendant-or-self" => Axis::DescendantOrSelf,
+            "parent" => Axis::Parent,
+            "ancestor" => Axis::Ancestor,
+            "ancestor-or-self" => Axis::AncestorOrSelf,
+            "following-sibling" => Axis::FollowingSibling,
+            "preceding-sibling" => Axis::PrecedingSibling,
+            "following" => Axis::Following,
+            "preceding" => Axis::Preceding,
+            "self" => Axis::SelfAxis,
+            "attribute" => Axis::Attribute,
+            _ => return None,
+        })
+    }
+
+    /// Reverse axes order their nodes nearest-first (reverse document
+    /// order); `position()` counts along that order.
+    pub fn is_reverse(self) -> bool {
+        matches!(
+            self,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+        )
+    }
+}
+
+/// Node tests.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeTest {
+    /// Element (or attribute) name test. Matching is ASCII
+    /// case-insensitive, mirroring an HTML DOM (the paper writes `BODY`,
+    /// `TR`, `TD`).
+    Name(String),
+    /// `*`
+    Wildcard,
+    /// `text()`
+    Text,
+    /// `comment()`
+    Comment,
+    /// `node()`
+    Node,
+}
+
+/// One location step: `axis::test[pred1][pred2]…`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Step {
+    pub axis: Axis,
+    pub test: NodeTest,
+    pub predicates: Vec<Expr>,
+}
+
+impl Step {
+    pub fn new(axis: Axis, test: NodeTest) -> Step {
+        Step { axis, test, predicates: Vec::new() }
+    }
+
+    /// `child::NAME[pos]` — the shape emitted by the precise-path builder.
+    pub fn child_name(name: &str, pos: Option<f64>) -> Step {
+        let mut step = Step::new(Axis::Child, NodeTest::Name(name.to_string()));
+        if let Some(p) = pos {
+            step.predicates.push(Expr::Number(p));
+        }
+        step
+    }
+
+    /// `child::text()[pos]`.
+    pub fn child_text(pos: Option<f64>) -> Step {
+        let mut step = Step::new(Axis::Child, NodeTest::Text);
+        if let Some(p) = pos {
+            step.predicates.push(Expr::Number(p));
+        }
+        step
+    }
+
+    /// The first numeric (positional) predicate, if any.
+    pub fn position_predicate(&self) -> Option<f64> {
+        self.predicates.iter().find_map(|p| match p {
+            Expr::Number(n) => Some(*n),
+            _ => None,
+        })
+    }
+
+    /// Remove all bare numeric predicates, keeping the rest.
+    pub fn without_position(&self) -> Step {
+        Step {
+            axis: self.axis,
+            test: self.test.clone(),
+            predicates: self
+                .predicates
+                .iter()
+                .filter(|p| !matches!(p, Expr::Number(_)))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+/// A location path: optional leading `/`, then steps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LocationPath {
+    pub absolute: bool,
+    pub steps: Vec<Step>,
+}
+
+impl LocationPath {
+    pub fn absolute(steps: Vec<Step>) -> LocationPath {
+        LocationPath { absolute: true, steps }
+    }
+
+    pub fn relative(steps: Vec<Step>) -> LocationPath {
+        LocationPath { absolute: false, steps }
+    }
+}
+
+/// Any XPath expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+    Negate(Box<Expr>),
+    /// `a | b` — node-set union, used to encode alternative paths.
+    Union(Box<Expr>, Box<Expr>),
+    Path(LocationPath),
+    /// `primary[preds]/rest…` — a filtered primary expression with an
+    /// optional trailing relative path.
+    Filter { primary: Box<Expr>, predicates: Vec<Expr>, path: Option<LocationPath> },
+    Call(String, Vec<Expr>),
+    Literal(String),
+    Number(f64),
+}
+
+impl Expr {
+    /// Convenience: wrap a path.
+    pub fn path(path: LocationPath) -> Expr {
+        Expr::Path(path)
+    }
+
+    /// Collect the alternatives of a (possibly nested) union, left to
+    /// right. A non-union expression yields itself.
+    pub fn union_alternatives(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'e>(e: &'e Expr, out: &mut Vec<&'e Expr>) {
+            match e {
+                Expr::Union(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Build a union of several expressions (left-assoc). Panics on empty.
+    pub fn union_of(mut exprs: Vec<Expr>) -> Expr {
+        assert!(!exprs.is_empty());
+        let first = exprs.remove(0);
+        exprs
+            .into_iter()
+            .fold(first, |acc, e| Expr::Union(Box::new(acc), Box::new(e)))
+    }
+}
+
+// ---- printing ---------------------------------------------------------------
+
+fn fmt_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 1.0e15 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Name(n) => f.write_str(n),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Comment => f.write_str("comment()"),
+            NodeTest::Node => f.write_str("node()"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.axis, &self.test, self.predicates.is_empty()) {
+            (Axis::SelfAxis, NodeTest::Node, true) => return f.write_str("."),
+            (Axis::Parent, NodeTest::Node, true) => return f.write_str(".."),
+            _ => {}
+        }
+        match self.axis {
+            Axis::Child => {}
+            Axis::Attribute => f.write_str("@")?,
+            axis => {
+                f.write_str(axis.name())?;
+                f.write_str("::")?;
+            }
+        }
+        write!(f, "{}", self.test)?;
+        for pred in &self.predicates {
+            write!(f, "[{pred}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LocationPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.absolute {
+            f.write_str("/")?;
+        }
+        // `need_slash` tracks whether a separator is required before the
+        // next printed step.
+        let mut need_slash = false;
+        let mut i = 0;
+        while i < self.steps.len() {
+            let step = &self.steps[i];
+            // Print `descendant-or-self::node()` followed by a step as `//`
+            // — except at the start of a relative path, where bare `//`
+            // would change the meaning.
+            let abbreviatable = step.axis == Axis::DescendantOrSelf
+                && step.test == NodeTest::Node
+                && step.predicates.is_empty()
+                && i + 1 < self.steps.len()
+                && (self.absolute || i > 0);
+            if abbreviatable {
+                if i == 0 && self.absolute {
+                    f.write_str("/")?; // together with the leading '/': `//`
+                } else {
+                    f.write_str("//")?;
+                }
+                need_slash = false;
+                i += 1;
+                continue;
+            }
+            if need_slash {
+                f.write_str("/")?;
+            }
+            write!(f, "{step}")?;
+            need_slash = true;
+            i += 1;
+        }
+        Ok(())
+    }
+}
+
+fn fmt_expr(e: &Expr, f: &mut fmt::Formatter<'_>, parent_prec: u8) -> fmt::Result {
+    match e {
+        Expr::Binary(op, a, b) => {
+            let prec = op.precedence();
+            let need_parens = prec < parent_prec;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            fmt_expr(a, f, prec)?;
+            write!(f, " {} ", op.symbol())?;
+            // Left-associative: the right operand needs strictly higher
+            // precedence to avoid parentheses.
+            fmt_expr(b, f, prec + 1)?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Negate(inner) => {
+            f.write_str("-")?;
+            fmt_expr(inner, f, 7)
+        }
+        Expr::Union(a, b) => {
+            // Union binds loosest among the path-level operators; only a
+            // unary-minus parent (precedence 7) forces parentheses.
+            let need_parens = parent_prec >= 7;
+            if need_parens {
+                f.write_str("(")?;
+            }
+            fmt_expr(a, f, 0)?;
+            f.write_str(" | ")?;
+            fmt_expr(b, f, 0)?;
+            if need_parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Expr::Path(p) => write!(f, "{p}"),
+        Expr::Filter { primary, predicates, path } => {
+            fmt_expr(primary, f, 8)?;
+            for pred in predicates {
+                write!(f, "[{pred}]")?;
+            }
+            if let Some(rest) = path {
+                write!(f, "/{rest}")?;
+            }
+            Ok(())
+        }
+        Expr::Call(name, args) => {
+            write!(f, "{name}(")?;
+            for (i, arg) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_expr(arg, f, 0)?;
+            }
+            f.write_str(")")
+        }
+        Expr::Literal(s) => {
+            if s.contains('"') {
+                write!(f, "'{s}'")
+            } else {
+                write!(f, "\"{s}\"")
+            }
+        }
+        Expr::Number(n) => f.write_str(&fmt_number(*n)),
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_expr(self, f, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_precise_path() {
+        let path = LocationPath::absolute(vec![
+            Step::child_name("HTML", Some(1.0)),
+            Step::child_name("BODY", Some(1.0)),
+            Step::child_name("TABLE", Some(3.0)),
+            Step::child_text(Some(1.0)),
+        ]);
+        assert_eq!(path.to_string(), "/HTML[1]/BODY[1]/TABLE[3]/text()[1]");
+    }
+
+    #[test]
+    fn display_double_slash() {
+        let path = LocationPath::absolute(vec![
+            Step::child_name("BODY", None),
+            Step::new(Axis::DescendantOrSelf, NodeTest::Node),
+            Step::child_name("TR", Some(6.0)),
+        ]);
+        assert_eq!(path.to_string(), "/BODY//TR[6]");
+    }
+
+    #[test]
+    fn display_dot_and_dotdot() {
+        assert_eq!(Step::new(Axis::SelfAxis, NodeTest::Node).to_string(), ".");
+        assert_eq!(Step::new(Axis::Parent, NodeTest::Node).to_string(), "..");
+    }
+
+    #[test]
+    fn display_predicates_and_functions() {
+        let pred = Expr::Call(
+            "contains".into(),
+            vec![
+                Expr::Path(LocationPath::relative(vec![Step::new(Axis::SelfAxis, NodeTest::Node)])),
+                Expr::Literal("Runtime:".into()),
+            ],
+        );
+        let mut step = Step::child_text(None);
+        step.predicates.push(pred);
+        assert_eq!(step.to_string(), "text()[contains(., \"Runtime:\")]");
+    }
+
+    #[test]
+    fn display_binary_precedence() {
+        let e = Expr::Binary(
+            BinaryOp::Mul,
+            Box::new(Expr::Binary(
+                BinaryOp::Add,
+                Box::new(Expr::Number(1.0)),
+                Box::new(Expr::Number(2.0)),
+            )),
+            Box::new(Expr::Number(3.0)),
+        );
+        assert_eq!(e.to_string(), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn union_alternatives_flatten() {
+        let a = Expr::Number(1.0);
+        let b = Expr::Number(2.0);
+        let c = Expr::Number(3.0);
+        let u = Expr::union_of(vec![a.clone(), b.clone(), c.clone()]);
+        let alts = u.union_alternatives();
+        assert_eq!(alts, vec![&a, &b, &c]);
+    }
+
+    #[test]
+    fn position_predicate_helpers() {
+        let step = Step::child_name("TR", Some(6.0));
+        assert_eq!(step.position_predicate(), Some(6.0));
+        let bare = step.without_position();
+        assert!(bare.predicates.is_empty());
+        assert_eq!(bare.to_string(), "TR");
+    }
+
+    #[test]
+    fn literal_with_quotes() {
+        assert_eq!(Expr::Literal("it\"s".into()).to_string(), "'it\"s'");
+        assert_eq!(Expr::Literal("plain".into()).to_string(), "\"plain\"");
+    }
+}

@@ -1,0 +1,733 @@
+//! The XPath evaluation engine.
+
+use crate::ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
+use crate::value::{string_value, to_boolean, to_number, to_string_value, NodeRef, Value};
+use retroweb_html::{Document, NodeData, NodeId};
+use std::fmt;
+
+/// Evaluation failure (unknown function, arity error, type error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvalError {
+    pub message: String,
+}
+
+impl EvalError {
+    pub(crate) fn new(msg: impl Into<String>) -> EvalError {
+        EvalError { message: msg.into() }
+    }
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Evaluation context: the context node plus position()/last() values.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Ctx {
+    pub node: NodeRef,
+    pub pos: usize,
+    pub size: usize,
+}
+
+/// An XPath engine bound to one document.
+///
+/// Element and attribute name tests match ASCII case-insensitively (HTML
+/// behaviour), so the paper's uppercase paths (`BODY[1]/DIV[2]`) select
+/// our lowercase DOM.
+pub struct Engine<'d> {
+    doc: &'d Document,
+}
+
+impl<'d> Engine<'d> {
+    pub fn new(doc: &'d Document) -> Engine<'d> {
+        Engine { doc }
+    }
+
+    pub fn document(&self) -> &'d Document {
+        self.doc
+    }
+
+    /// Evaluate an expression with `ctx` as the context node.
+    pub fn eval(&self, expr: &Expr, ctx: NodeId) -> Result<Value, EvalError> {
+        self.eval_ctx(expr, &Ctx { node: NodeRef::node(ctx), pos: 1, size: 1 })
+    }
+
+    /// Evaluate and require a node-set; attribute refs are kept.
+    pub fn select_refs(&self, expr: &Expr, ctx: NodeId) -> Result<Vec<NodeRef>, EvalError> {
+        match self.eval(expr, ctx)? {
+            Value::Nodes(ns) => Ok(ns),
+            other => Err(EvalError::new(format!(
+                "expression yields {} rather than a node-set",
+                kind_name(&other)
+            ))),
+        }
+    }
+
+    /// Evaluate and require a node-set of tree nodes (attribute results are
+    /// dropped — mapping rules locate elements and text nodes only).
+    pub fn select(&self, expr: &Expr, ctx: NodeId) -> Result<Vec<NodeId>, EvalError> {
+        Ok(self
+            .select_refs(expr, ctx)?
+            .into_iter()
+            .filter(|r| !r.is_attr())
+            .map(|r| r.id)
+            .collect())
+    }
+
+    /// Parse (standard grammar) and select in one call.
+    pub fn select_str(&self, xpath: &str, ctx: NodeId) -> Result<Vec<NodeId>, EvalError> {
+        let expr = crate::parser::parse(xpath)
+            .map_err(|e| EvalError::new(format!("parse failed: {e}")))?;
+        self.select(&expr, ctx)
+    }
+
+    /// The string-value of the first node selected by `expr`, if any.
+    pub fn select_first_string(&self, expr: &Expr, ctx: NodeId) -> Result<Option<String>, EvalError> {
+        let refs = self.select_refs(expr, ctx)?;
+        Ok(refs.first().map(|&r| string_value(self.doc, r)))
+    }
+
+    pub(crate) fn eval_ctx(&self, expr: &Expr, ctx: &Ctx) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Number(n) => Ok(Value::Num(*n)),
+            Expr::Literal(s) => Ok(Value::Str(s.clone())),
+            Expr::Negate(inner) => {
+                let v = self.eval_ctx(inner, ctx)?;
+                Ok(Value::Num(-to_number(self.doc, &v)))
+            }
+            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b, ctx),
+            Expr::Union(a, b) => {
+                let va = self.eval_ctx(a, ctx)?;
+                let vb = self.eval_ctx(b, ctx)?;
+                match (va, vb) {
+                    (Value::Nodes(mut na), Value::Nodes(nb)) => {
+                        na.extend(nb);
+                        Ok(Value::Nodes(self.sort_refs(na)))
+                    }
+                    _ => Err(EvalError::new("union operands must be node-sets")),
+                }
+            }
+            Expr::Path(path) => {
+                let nodes = self.eval_path(path, ctx)?;
+                Ok(Value::Nodes(nodes))
+            }
+            Expr::Filter { primary, predicates, path } => {
+                let base = self.eval_ctx(primary, ctx)?;
+                let nodes = match base {
+                    Value::Nodes(ns) => ns,
+                    other => {
+                        return Err(EvalError::new(format!(
+                            "cannot filter {}",
+                            kind_name(&other)
+                        )))
+                    }
+                };
+                // Filter predicates see the node-set in document order.
+                let mut current = nodes;
+                for pred in predicates {
+                    current = self.apply_predicate(current, pred)?;
+                }
+                let result = match path {
+                    None => current,
+                    Some(rel) => {
+                        let mut out = Vec::new();
+                        for node in current {
+                            let sub = self.eval_path_from(rel, node)?;
+                            out.extend(sub);
+                        }
+                        self.sort_refs(out)
+                    }
+                };
+                Ok(Value::Nodes(result))
+            }
+            Expr::Call(name, args) => self.call(name, args, ctx),
+        }
+    }
+
+    fn eval_binary(&self, op: BinaryOp, a: &Expr, b: &Expr, ctx: &Ctx) -> Result<Value, EvalError> {
+        match op {
+            BinaryOp::Or => {
+                let va = self.eval_ctx(a, ctx)?;
+                if to_boolean(&va) {
+                    return Ok(Value::Bool(true));
+                }
+                let vb = self.eval_ctx(b, ctx)?;
+                Ok(Value::Bool(to_boolean(&vb)))
+            }
+            BinaryOp::And => {
+                let va = self.eval_ctx(a, ctx)?;
+                if !to_boolean(&va) {
+                    return Ok(Value::Bool(false));
+                }
+                let vb = self.eval_ctx(b, ctx)?;
+                Ok(Value::Bool(to_boolean(&vb)))
+            }
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            | BinaryOp::Ge => {
+                let va = self.eval_ctx(a, ctx)?;
+                let vb = self.eval_ctx(b, ctx)?;
+                Ok(Value::Bool(self.compare(op, &va, &vb)))
+            }
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod => {
+                let na = to_number(self.doc, &self.eval_ctx(a, ctx)?);
+                let nb = to_number(self.doc, &self.eval_ctx(b, ctx)?);
+                let r = match op {
+                    BinaryOp::Add => na + nb,
+                    BinaryOp::Sub => na - nb,
+                    BinaryOp::Mul => na * nb,
+                    BinaryOp::Div => na / nb,
+                    BinaryOp::Mod => na % nb,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Num(r))
+            }
+        }
+    }
+
+    /// XPath 1.0 comparison semantics (node-set existential rules).
+    fn compare(&self, op: BinaryOp, a: &Value, b: &Value) -> bool {
+        use BinaryOp::*;
+        match (a, b) {
+            (Value::Nodes(na), Value::Nodes(nb)) => {
+                // ∃ (x, y) with string/number comparison holding.
+                na.iter().any(|&x| {
+                    let sx = string_value(self.doc, x);
+                    nb.iter().any(|&y| {
+                        let sy = string_value(self.doc, y);
+                        match op {
+                            Eq => sx == sy,
+                            Ne => sx != sy,
+                            _ => cmp_numbers(op, crate::value::str_to_number(&sx), crate::value::str_to_number(&sy)),
+                        }
+                    })
+                })
+            }
+            (Value::Nodes(ns), other) => self.compare_nodeset_scalar(op, ns, other, false),
+            (other, Value::Nodes(ns)) => self.compare_nodeset_scalar(op, ns, other, true),
+            _ => self.compare_scalars(op, a, b),
+        }
+    }
+
+    fn compare_nodeset_scalar(&self, op: BinaryOp, ns: &[NodeRef], scalar: &Value, flipped: bool) -> bool {
+        use BinaryOp::*;
+        match scalar {
+            Value::Bool(b) => {
+                let nb = !ns.is_empty();
+                match op {
+                    Eq => nb == *b,
+                    Ne => nb != *b,
+                    _ => {
+                        let (l, r) = order(nb as i32 as f64, *b as i32 as f64, flipped);
+                        cmp_numbers(op, l, r)
+                    }
+                }
+            }
+            Value::Num(n) => ns.iter().any(|&x| {
+                let nx = crate::value::str_to_number(&string_value(self.doc, x));
+                match op {
+                    Eq => nx == *n,
+                    Ne => nx != *n,
+                    _ => {
+                        let (l, r) = order(nx, *n, flipped);
+                        cmp_numbers(op, l, r)
+                    }
+                }
+            }),
+            Value::Str(s) => ns.iter().any(|&x| {
+                let sx = string_value(self.doc, x);
+                match op {
+                    Eq => sx == *s,
+                    Ne => sx != *s,
+                    _ => {
+                        let nx = crate::value::str_to_number(&sx);
+                        let n = crate::value::str_to_number(s);
+                        let (l, r) = order(nx, n, flipped);
+                        cmp_numbers(op, l, r)
+                    }
+                }
+            }),
+            Value::Nodes(_) => unreachable!(),
+        }
+    }
+
+    fn compare_scalars(&self, op: BinaryOp, a: &Value, b: &Value) -> bool {
+        use BinaryOp::*;
+        match op {
+            Eq | Ne => {
+                let eq = if matches!(a, Value::Bool(_)) || matches!(b, Value::Bool(_)) {
+                    to_boolean(a) == to_boolean(b)
+                } else if matches!(a, Value::Num(_)) || matches!(b, Value::Num(_)) {
+                    to_number(self.doc, a) == to_number(self.doc, b)
+                } else {
+                    to_string_value(self.doc, a) == to_string_value(self.doc, b)
+                };
+                if op == Eq {
+                    eq
+                } else {
+                    !eq
+                }
+            }
+            _ => cmp_numbers(op, to_number(self.doc, a), to_number(self.doc, b)),
+        }
+    }
+
+    // ---- location paths ----------------------------------------------------
+
+    fn eval_path(&self, path: &LocationPath, ctx: &Ctx) -> Result<Vec<NodeRef>, EvalError> {
+        let start = if path.absolute {
+            NodeRef::node(self.doc.root())
+        } else {
+            ctx.node
+        };
+        self.eval_path_from(path, start)
+    }
+
+    fn eval_path_from(&self, path: &LocationPath, start: NodeRef) -> Result<Vec<NodeRef>, EvalError> {
+        let mut current = vec![start];
+        for step in &path.steps {
+            let mut next = Vec::new();
+            for &node in &current {
+                let candidates = self.axis_candidates(node, step);
+                let filtered = self.apply_step_predicates(candidates, step)?;
+                next.extend(filtered);
+            }
+            current = self.sort_refs(next);
+        }
+        Ok(current)
+    }
+
+    /// Nodes on `step.axis` from `node`, in axis order, filtered by the
+    /// node test.
+    fn axis_candidates(&self, node: NodeRef, step: &Step) -> Vec<NodeRef> {
+        let doc = self.doc;
+        let mut out: Vec<NodeRef> = Vec::new();
+        if let Some(_attr) = node.attr {
+            // Axes from an attribute node.
+            match step.axis {
+                Axis::Parent => out.push(NodeRef::node(node.id)),
+                Axis::SelfAxis => out.push(node),
+                Axis::Ancestor => {
+                    out.push(NodeRef::node(node.id));
+                    out.extend(doc.ancestors(node.id).map(NodeRef::node));
+                }
+                Axis::AncestorOrSelf => {
+                    out.push(node);
+                    out.push(NodeRef::node(node.id));
+                    out.extend(doc.ancestors(node.id).map(NodeRef::node));
+                }
+                _ => {}
+            }
+            out.retain(|&r| self.test_matches(r, step));
+            return out;
+        }
+        let id = node.id;
+        match step.axis {
+            Axis::Child => out.extend(doc.children(id).map(NodeRef::node)),
+            Axis::Descendant => out.extend(doc.descendants(id).map(NodeRef::node)),
+            Axis::DescendantOrSelf => {
+                out.push(node);
+                out.extend(doc.descendants(id).map(NodeRef::node));
+            }
+            Axis::Parent => out.extend(doc.parent(id).map(NodeRef::node)),
+            Axis::Ancestor => out.extend(doc.ancestors(id).map(NodeRef::node)),
+            Axis::AncestorOrSelf => {
+                out.push(node);
+                out.extend(doc.ancestors(id).map(NodeRef::node));
+            }
+            Axis::FollowingSibling => {
+                let mut cur = doc.next_sibling(id);
+                while let Some(s) = cur {
+                    out.push(NodeRef::node(s));
+                    cur = doc.next_sibling(s);
+                }
+            }
+            Axis::PrecedingSibling => {
+                let mut cur = doc.prev_sibling(id);
+                while let Some(s) = cur {
+                    out.push(NodeRef::node(s));
+                    cur = doc.prev_sibling(s);
+                }
+            }
+            Axis::Following => out.extend(doc.following(id).map(NodeRef::node)),
+            Axis::Preceding => out.extend(doc.preceding(id).map(NodeRef::node)),
+            Axis::SelfAxis => out.push(node),
+            Axis::Attribute => {
+                if let Some(el) = doc.element(id) {
+                    for i in 0..el.attrs.len() {
+                        out.push(NodeRef::attribute(id, i as u32));
+                    }
+                }
+            }
+        }
+        out.retain(|&r| self.test_matches(r, step));
+        out
+    }
+
+    fn test_matches(&self, r: NodeRef, step: &Step) -> bool {
+        let doc = self.doc;
+        if r.is_attr() {
+            // Only the attribute axis yields attribute nodes; the principal
+            // node type there is "attribute".
+            return match &step.test {
+                NodeTest::Name(n) =>
+
+                    crate::value::node_name(doc, r).eq_ignore_ascii_case(n),
+                NodeTest::Wildcard | NodeTest::Node => true,
+                NodeTest::Text | NodeTest::Comment => false,
+            };
+        }
+        match &step.test {
+            NodeTest::Name(n) => doc
+                .tag_name(r.id)
+                .map(|t| t.eq_ignore_ascii_case(n))
+                .unwrap_or(false),
+            NodeTest::Wildcard => doc.is_element(r.id),
+            NodeTest::Text => doc.is_text(r.id),
+            NodeTest::Comment => matches!(doc.node(r.id).data, NodeData::Comment(_)),
+            NodeTest::Node => true,
+        }
+    }
+
+    /// Apply a step's predicates to candidates kept in axis order.
+    fn apply_step_predicates(
+        &self,
+        mut candidates: Vec<NodeRef>,
+        step: &Step,
+    ) -> Result<Vec<NodeRef>, EvalError> {
+        for pred in &step.predicates {
+            candidates = self.apply_predicate(candidates, pred)?;
+        }
+        Ok(candidates)
+    }
+
+    /// Filter `nodes` (already in the order that defines `position()`).
+    fn apply_predicate(&self, nodes: Vec<NodeRef>, pred: &Expr) -> Result<Vec<NodeRef>, EvalError> {
+        let size = nodes.len();
+        let mut kept = Vec::with_capacity(size);
+        for (i, node) in nodes.into_iter().enumerate() {
+            let ctx = Ctx { node, pos: i + 1, size };
+            let v = self.eval_ctx(pred, &ctx)?;
+            let keep = match v {
+                // A numeric predicate selects by position.
+                Value::Num(n) => (ctx.pos as f64) == n,
+                other => to_boolean(&other),
+            };
+            if keep {
+                kept.push(node);
+            }
+        }
+        Ok(kept)
+    }
+
+    /// Sort into document order and dedup.
+    fn sort_refs(&self, mut refs: Vec<NodeRef>) -> Vec<NodeRef> {
+        if refs.len() <= 1 {
+            return refs;
+        }
+        let doc = self.doc;
+        let mut keyed: Vec<(Vec<u32>, Option<u32>, NodeRef)> = refs
+            .drain(..)
+            .map(|r| (doc.doc_order_key(r.id), r.attr, r))
+            .collect();
+        keyed.sort();
+        keyed.dedup_by(|a, b| a.2 == b.2);
+        keyed.into_iter().map(|(_, _, r)| r).collect()
+    }
+}
+
+fn order(a: f64, b: f64, flipped: bool) -> (f64, f64) {
+    if flipped {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+fn cmp_numbers(op: BinaryOp, a: f64, b: f64) -> bool {
+    match op {
+        BinaryOp::Eq => a == b,
+        BinaryOp::Ne => a != b,
+        BinaryOp::Lt => a < b,
+        BinaryOp::Le => a <= b,
+        BinaryOp::Gt => a > b,
+        BinaryOp::Ge => a >= b,
+        _ => unreachable!(),
+    }
+}
+
+fn kind_name(v: &Value) -> &'static str {
+    match v {
+        Value::Nodes(_) => "a node-set",
+        Value::Bool(_) => "a boolean",
+        Value::Num(_) => "a number",
+        Value::Str(_) => "a string",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, parse_lenient};
+    use retroweb_html::parse as parse_html;
+
+    fn texts_of(doc: &Document, ids: &[NodeId]) -> Vec<String> {
+        ids.iter().map(|&id| doc.text_content(id).trim().to_string()).collect()
+    }
+
+    fn select(doc: &Document, xpath: &str) -> Vec<NodeId> {
+        let e = parse(xpath).unwrap_or_else(|err| panic!("parse {xpath}: {err}"));
+        Engine::new(doc).select(&e, doc.root()).unwrap()
+    }
+
+    const MOVIE: &str = "<html><body>\
+        <div>header</div>\
+        <div><table><tr><td>Title</td><td>Brazil</td></tr>\
+        <tr><td>Runtime</td><td>142 min</td></tr>\
+        <tr><td>Country</td><td>UK</td></tr></table></div>\
+        <ul><li>alpha</li><li>beta</li><li>gamma</li></ul>\
+        </body></html>";
+
+    #[test]
+    fn child_steps_with_positions() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "/HTML[1]/BODY[1]/DIV[2]/TABLE[1]/TR[2]/TD[2]");
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+    }
+
+    #[test]
+    fn case_insensitive_name_tests() {
+        let doc = parse_html(MOVIE);
+        assert_eq!(select(&doc, "//td").len(), 6);
+        assert_eq!(select(&doc, "//TD").len(), 6);
+        assert_eq!(select(&doc, "//Td").len(), 6);
+    }
+
+    #[test]
+    fn descendant_or_self_abbreviation() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "/HTML/BODY//TR[2]/TD[2]/text()");
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+    }
+
+    #[test]
+    fn position_ranges() {
+        let doc = parse_html(MOVIE);
+        let all = select(&doc, "//TABLE[1]/TR[position()>=1]");
+        assert_eq!(all.len(), 3);
+        let tail = select(&doc, "//TABLE[1]/TR[position()>1]");
+        assert_eq!(tail.len(), 2);
+        let last = select(&doc, "//TABLE[1]/TR[last()]");
+        assert_eq!(texts_of(&doc, &last), vec!["CountryUK"]);
+    }
+
+    #[test]
+    fn li_items_in_document_order() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "//UL/LI/text()");
+        assert_eq!(texts_of(&doc, &r), vec!["alpha", "beta", "gamma"]);
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "//TD[contains(., \"min\")]");
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+    }
+
+    #[test]
+    fn preceding_sibling_axis_reverse_order() {
+        let doc = parse_html(MOVIE);
+        // From the Country row, preceding-sibling::TR[1] must be the
+        // Runtime row (nearest first), not the Title row.
+        let r = select(&doc, "//TR[3]/preceding-sibling::TR[1]/TD[2]/text()");
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+    }
+
+    #[test]
+    fn ancestor_axis() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "//TD[1]/ancestor::TABLE");
+        assert_eq!(r.len(), 1);
+        let r = select(&doc, "//LI[2]/ancestor::*");
+        // ul, body, html
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn following_and_preceding_axes() {
+        let doc = parse_html(MOVIE);
+        let following_li = select(&doc, "//LI[1]/following::LI");
+        assert_eq!(texts_of(&doc, &following_li), vec!["beta", "gamma"]);
+        let preceding_td = select(&doc, "//UL/preceding::TD[1]");
+        // Nearest preceding TD is the UK cell.
+        assert_eq!(texts_of(&doc, &preceding_td), vec!["UK"]);
+    }
+
+    #[test]
+    fn attribute_tests() {
+        let doc = parse_html("<body><a href=\"x\" id=\"l1\">one</a><a id=\"l2\">two</a></body>");
+        let with_href = select(&doc, "//A[@href]");
+        assert_eq!(texts_of(&doc, &with_href), vec!["one"]);
+        let by_value = select(&doc, "//A[@id=\"l2\"]");
+        assert_eq!(texts_of(&doc, &by_value), vec!["two"]);
+        let engine = Engine::new(&doc);
+        let e = parse("//A[1]/@href").unwrap();
+        let refs = engine.select_refs(&e, doc.root()).unwrap();
+        assert_eq!(refs.len(), 1);
+        assert!(refs[0].is_attr());
+        assert_eq!(string_value(&doc, refs[0]), "x");
+    }
+
+    #[test]
+    fn union_merges_in_document_order() {
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "//LI[3] | //LI[1]");
+        assert_eq!(texts_of(&doc, &r), vec!["alpha", "gamma"]);
+    }
+
+    #[test]
+    fn string_functions() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        let cases = [
+            ("string-length(\"abc\")", Value::Num(3.0)),
+            ("normalize-space(\"  a   b \")", Value::Str("a b".into())),
+            ("concat(\"a\", \"b\", \"c\")", Value::Str("abc".into())),
+            ("substring(\"12345\", 2, 3)", Value::Str("234".into())),
+            ("substring(\"12345\", 1.5, 2.6)", Value::Str("234".into())),
+            ("substring-before(\"142 min\", \" min\")", Value::Str("142".into())),
+            ("substring-after(\"Runtime: 142\", \": \")", Value::Str("142".into())),
+            ("starts-with(\"Runtime:\", \"Run\")", Value::Bool(true)),
+            ("translate(\"bar\", \"abc\", \"ABC\")", Value::Str("BAr".into())),
+            ("contains(\"108 min\", \"min\")", Value::Bool(true)),
+        ];
+        for (src, expected) in cases {
+            let e = parse(src).unwrap();
+            let got = engine.eval(&e, doc.root()).unwrap();
+            assert_eq!(got, expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn numeric_functions() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        for (src, expected) in [
+            ("count(//TR)", 3.0),
+            ("floor(1.9)", 1.0),
+            ("ceiling(1.1)", 2.0),
+            ("round(2.5)", 3.0),
+            ("round(-2.5)", -2.0),
+            ("2 + 3 * 4", 14.0),
+            ("10 mod 3", 1.0),
+            ("number(\"42\")", 42.0),
+        ] {
+            let e = parse(src).unwrap();
+            match engine.eval(&e, doc.root()).unwrap() {
+                Value::Num(n) => assert_eq!(n, expected, "{src}"),
+                other => panic!("{src}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn boolean_functions_and_comparisons() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        for (src, expected) in [
+            ("not(count(//TR) = 3)", false),
+            ("count(//TR) > 2 and count(//LI) = 3", true),
+            ("count(//TR) > 5 or true()", true),
+            ("boolean(//NOPE)", false),
+            ("//TD = \"UK\"", true),
+            ("//TD != \"UK\"", true), // existential: some TD differs
+            ("count(//NOPE) = 0", true),
+        ] {
+            let e = parse(src).unwrap();
+            assert_eq!(engine.eval(&e, doc.root()).unwrap(), Value::Bool(expected), "{src}");
+        }
+    }
+
+    #[test]
+    fn name_functions() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        let e = parse("name(//TABLE)").unwrap();
+        assert_eq!(engine.eval(&e, doc.root()).unwrap(), Value::Str("table".into()));
+        let e = parse("local-name(//UL/LI[1])").unwrap();
+        assert_eq!(engine.eval(&e, doc.root()).unwrap(), Value::Str("li".into()));
+    }
+
+    #[test]
+    fn relative_evaluation_from_context() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        let table = doc.elements_by_tag("table")[0];
+        let e = parse("TR[2]/TD[1]/text()").unwrap();
+        let r = engine.select(&e, table).unwrap();
+        assert_eq!(texts_of(&doc, &r), vec!["Runtime"]);
+        let e = parse("./TR[1]").unwrap();
+        assert_eq!(engine.select(&e, table).unwrap().len(), 1);
+        let e = parse("..").unwrap();
+        let up = engine.select(&e, table).unwrap();
+        assert_eq!(doc.tag_name(up[0]), Some("div"));
+    }
+
+    #[test]
+    fn lenient_one_arg_contains() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        let e = parse_lenient("//TD/text()[contains(\"min\")]").unwrap();
+        let r = engine.select(&e, doc.root()).unwrap();
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+    }
+
+    #[test]
+    fn filter_expr_parenthesised_positions() {
+        // (//TD)[4] is the 4th TD in the whole document — different from
+        // //TD[4] (4th TD within each row).
+        let doc = parse_html(MOVIE);
+        let r = select(&doc, "(//TD)[4]");
+        assert_eq!(texts_of(&doc, &r), vec!["142 min"]);
+        assert!(select(&doc, "//TD[4]").is_empty());
+    }
+
+    #[test]
+    fn void_results_are_empty_not_errors() {
+        let doc = parse_html(MOVIE);
+        assert!(select(&doc, "//TABLE[2]").is_empty());
+        assert!(select(&doc, "//TR[9]/TD[1]").is_empty());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let doc = parse_html(MOVIE);
+        let engine = Engine::new(&doc);
+        let e = parse("bogus-fn(1)").unwrap();
+        assert!(engine.eval(&e, doc.root()).is_err());
+        let e = parse("count()").unwrap();
+        assert!(engine.eval(&e, doc.root()).is_err());
+        let e = parse("1 | 2").unwrap();
+        assert!(engine.eval(&e, doc.root()).is_err());
+    }
+
+    #[test]
+    fn paper_context_predicate_selects_runtime() {
+        // The refined rule shape used for Figure 4: locate the text node
+        // whose nearest preceding non-empty text is the "Runtime:" label.
+        let page = "<html><body><table><tr><td>\
+            <b>Also Known As:</b> The Wing and the Thigh <br>\
+            <b>Runtime:</b> 104 min <br>\
+            <b>Country:</b> France <br>\
+            </td></tr></table></body></html>";
+        let doc = parse_html(page);
+        let xpath = "//TD/text()[preceding::text()[normalize-space(.) != \"\"][1][contains(., \"Runtime:\")]]";
+        let r = select(&doc, xpath);
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.text(r[0]).unwrap().trim(), "104 min");
+    }
+}

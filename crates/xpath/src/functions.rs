@@ -1,0 +1,279 @@
+//! The XPath 1.0 core function library (plus the lenient one-argument
+//! `contains` the paper uses in Table 2 row b).
+
+use crate::ast::Expr;
+use crate::eval::{Ctx, Engine, EvalError};
+use crate::value::{
+    node_name, string_value, to_boolean, to_number, to_string_value, Value,
+};
+
+impl Engine<'_> {
+    pub(crate) fn call(&self, name: &str, args: &[Expr], ctx: &Ctx) -> Result<Value, EvalError> {
+        let doc = self.document();
+        // Evaluate arguments eagerly; all core functions need their values.
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval_ctx(a, ctx)?);
+        }
+        let argc = vals.len();
+        let arity = |lo: usize, hi: usize| -> Result<(), EvalError> {
+            if argc < lo || argc > hi {
+                Err(EvalError::new(format!(
+                    "{name}() expects {lo}..{hi} arguments, got {argc}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        // Helper: the string of argument i, or the context node's string.
+        let str_or_ctx = |i: usize| -> String {
+            vals.get(i)
+                .map(|v| to_string_value(doc, v))
+                .unwrap_or_else(|| string_value(doc, ctx.node))
+        };
+        match name {
+            // ---- node-set functions -------------------------------------
+            "position" => {
+                arity(0, 0)?;
+                Ok(Value::Num(ctx.pos as f64))
+            }
+            "last" => {
+                arity(0, 0)?;
+                Ok(Value::Num(ctx.size as f64))
+            }
+            "count" => {
+                arity(1, 1)?;
+                match &vals[0] {
+                    Value::Nodes(ns) => Ok(Value::Num(ns.len() as f64)),
+                    _ => Err(EvalError::new("count() requires a node-set")),
+                }
+            }
+            "name" | "local-name" => {
+                arity(0, 1)?;
+                let node = match vals.first() {
+                    Some(Value::Nodes(ns)) => ns.first().copied(),
+                    Some(_) => return Err(EvalError::new(format!("{name}() requires a node-set"))),
+                    None => Some(ctx.node),
+                };
+                Ok(Value::Str(node.map(|n| node_name(doc, n)).unwrap_or_default()))
+            }
+            "sum" => {
+                arity(1, 1)?;
+                match &vals[0] {
+                    Value::Nodes(ns) => {
+                        let total: f64 = ns
+                            .iter()
+                            .map(|&n| crate::value::str_to_number(&string_value(doc, n)))
+                            .sum();
+                        Ok(Value::Num(total))
+                    }
+                    _ => Err(EvalError::new("sum() requires a node-set")),
+                }
+            }
+            // ---- string functions ---------------------------------------
+            "string" => {
+                arity(0, 1)?;
+                Ok(Value::Str(str_or_ctx(0)))
+            }
+            "concat" => {
+                if argc < 2 {
+                    return Err(EvalError::new("concat() expects at least 2 arguments"));
+                }
+                let mut out = String::new();
+                for v in &vals {
+                    out.push_str(&to_string_value(doc, v));
+                }
+                Ok(Value::Str(out))
+            }
+            "contains" => {
+                // Standard: contains(haystack, needle).
+                // Lenient (paper Table 2 row b): contains(needle) checks the
+                // context node's string-value.
+                arity(1, 2)?;
+                let (hay, needle) = if argc == 2 {
+                    (to_string_value(doc, &vals[0]), to_string_value(doc, &vals[1]))
+                } else {
+                    (string_value(doc, ctx.node), to_string_value(doc, &vals[0]))
+                };
+                Ok(Value::Bool(hay.contains(&needle)))
+            }
+            "starts-with" => {
+                arity(2, 2)?;
+                let a = to_string_value(doc, &vals[0]);
+                let b = to_string_value(doc, &vals[1]);
+                Ok(Value::Bool(a.starts_with(&b)))
+            }
+            "ends-with" => {
+                // XPath 2.0 addition; cheap and useful for suffix labels.
+                arity(2, 2)?;
+                let a = to_string_value(doc, &vals[0]);
+                let b = to_string_value(doc, &vals[1]);
+                Ok(Value::Bool(a.ends_with(&b)))
+            }
+            "substring-before" => {
+                arity(2, 2)?;
+                let a = to_string_value(doc, &vals[0]);
+                let b = to_string_value(doc, &vals[1]);
+                Ok(Value::Str(a.find(&b).map(|i| a[..i].to_string()).unwrap_or_default()))
+            }
+            "substring-after" => {
+                arity(2, 2)?;
+                let a = to_string_value(doc, &vals[0]);
+                let b = to_string_value(doc, &vals[1]);
+                Ok(Value::Str(
+                    a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
+                ))
+            }
+            "substring" => {
+                arity(2, 3)?;
+                let s = to_string_value(doc, &vals[0]);
+                let chars: Vec<char> = s.chars().collect();
+                let start = to_number(doc, &vals[1]);
+                let len = vals.get(2).map(|v| to_number(doc, v));
+                Ok(Value::Str(xpath_substring(&chars, start, len)))
+            }
+            "string-length" => {
+                arity(0, 1)?;
+                Ok(Value::Num(str_or_ctx(0).chars().count() as f64))
+            }
+            "normalize-space" => {
+                arity(0, 1)?;
+                let s = str_or_ctx(0);
+                Ok(Value::Str(normalize_space(&s)))
+            }
+            "translate" => {
+                arity(3, 3)?;
+                let s = to_string_value(doc, &vals[0]);
+                let from: Vec<char> = to_string_value(doc, &vals[1]).chars().collect();
+                let to: Vec<char> = to_string_value(doc, &vals[2]).chars().collect();
+                let mut out = String::with_capacity(s.len());
+                for c in s.chars() {
+                    match from.iter().position(|&f| f == c) {
+                        Some(i) => {
+                            if let Some(&r) = to.get(i) {
+                                out.push(r);
+                            }
+                            // else: removed
+                        }
+                        None => out.push(c),
+                    }
+                }
+                Ok(Value::Str(out))
+            }
+            // ---- boolean functions --------------------------------------
+            "boolean" => {
+                arity(1, 1)?;
+                Ok(Value::Bool(to_boolean(&vals[0])))
+            }
+            "not" => {
+                arity(1, 1)?;
+                Ok(Value::Bool(!to_boolean(&vals[0])))
+            }
+            "true" => {
+                arity(0, 0)?;
+                Ok(Value::Bool(true))
+            }
+            "false" => {
+                arity(0, 0)?;
+                Ok(Value::Bool(false))
+            }
+            // ---- number functions ---------------------------------------
+            "number" => {
+                arity(0, 1)?;
+                let n = match vals.first() {
+                    Some(v) => to_number(doc, v),
+                    None => crate::value::str_to_number(&string_value(doc, ctx.node)),
+                };
+                Ok(Value::Num(n))
+            }
+            "floor" => {
+                arity(1, 1)?;
+                Ok(Value::Num(to_number(doc, &vals[0]).floor()))
+            }
+            "ceiling" => {
+                arity(1, 1)?;
+                Ok(Value::Num(to_number(doc, &vals[0]).ceil()))
+            }
+            "round" => {
+                arity(1, 1)?;
+                // XPath round: round half towards +infinity.
+                let n = to_number(doc, &vals[0]);
+                Ok(Value::Num((n + 0.5).floor()))
+            }
+            other => Err(EvalError::new(format!("unknown function '{other}'"))),
+        }
+    }
+}
+
+/// XPath `substring` semantics: positions are 1-based, start/length are
+/// rounded, and the window is intersected with the string.
+fn xpath_substring(chars: &[char], start: f64, len: Option<f64>) -> String {
+    let round = |n: f64| (n + 0.5).floor();
+    let start_r = round(start);
+    if start_r.is_nan() {
+        return String::new();
+    }
+    let end_r = match len {
+        Some(l) => {
+            let l_r = round(l);
+            if l_r.is_nan() {
+                return String::new();
+            }
+            start_r + l_r
+        }
+        None => f64::INFINITY,
+    };
+    let mut out = String::new();
+    for (i, &c) in chars.iter().enumerate() {
+        let pos = (i + 1) as f64;
+        if pos >= start_r && pos < end_r {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// `normalize-space`: strip leading/trailing whitespace and collapse runs
+/// of whitespace to single spaces.
+pub fn normalize_space(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for c in s.chars() {
+        if c.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(c);
+            in_ws = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substring_edge_cases() {
+        let chars: Vec<char> = "12345".chars().collect();
+        assert_eq!(xpath_substring(&chars, 0.0, Some(3.0)), "12");
+        assert_eq!(xpath_substring(&chars, -1.0, None), "12345");
+        assert_eq!(xpath_substring(&chars, f64::NAN, None), "");
+        assert_eq!(xpath_substring(&chars, 2.0, Some(f64::NAN)), "");
+        assert_eq!(xpath_substring(&chars, 4.0, Some(99.0)), "45");
+    }
+
+    #[test]
+    fn normalize_space_cases() {
+        assert_eq!(normalize_space("  a  b\t c \n"), "a b c");
+        assert_eq!(normalize_space(""), "");
+        assert_eq!(normalize_space("   "), "");
+        assert_eq!(normalize_space("x"), "x");
+    }
+}

@@ -1,0 +1,304 @@
+//! Path generalisation — the automatic half of rule refinement (§3.4).
+//!
+//! A candidate rule's location is "as specific as possible" (a precise
+//! positional path). These operators implement the paper's refinement
+//! strategies on the XPath level:
+//!
+//! - [`broaden_step`]: widen a positional predicate to `position()>=1`
+//!   (Table 2 rows c→d) — used when a component is declared multivalued;
+//! - [`divergence_step`]: deduce the repetitive step by comparing the
+//!   paths of the first and last instance (Table 2 rows e/f → `TR`);
+//! - [`with_context_predicate`] / [`context_label`]: replace an unreliable
+//!   position with "a constant character string that always visually
+//!   appears before (or after) the targeted value" (Figure 4 / Table 2
+//!   row b);
+//! - [`strip_positions_from`]: drop position information from the step
+//!   where a shift occurs.
+
+use crate::ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
+use crate::functions::normalize_space;
+use retroweb_html::{Document, NodeId};
+
+/// Whether the stable context string appears before or after the value in
+/// reading order (the paper's Depth First Search order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ContextDirection {
+    Before,
+    After,
+}
+
+/// Replace the bare numeric predicate of step `idx` with
+/// `position()>=1`, keeping any other predicates.
+pub fn broaden_step(path: &LocationPath, idx: usize) -> LocationPath {
+    let mut out = path.clone();
+    if let Some(step) = out.steps.get_mut(idx) {
+        let mut preds: Vec<Expr> = step
+            .predicates
+            .iter()
+            .filter(|p| !matches!(p, Expr::Number(_)))
+            .cloned()
+            .collect();
+        preds.insert(
+            0,
+            Expr::Binary(
+                BinaryOp::Ge,
+                Box::new(Expr::Call("position".into(), vec![])),
+                Box::new(Expr::Number(1.0)),
+            ),
+        );
+        step.predicates = preds;
+    }
+    out
+}
+
+/// Remove bare numeric predicates from every step at index >= `from`.
+pub fn strip_positions_from(path: &LocationPath, from: usize) -> LocationPath {
+    let mut out = path.clone();
+    for (i, step) in out.steps.iter_mut().enumerate() {
+        if i >= from {
+            *step = step.without_position();
+        }
+    }
+    out
+}
+
+/// If `a` and `b` have the same shape (axes and node tests) and their bare
+/// numeric predicates differ at exactly one step, return that step's
+/// index. This is the paper's repetitive-tag deduction: comparing the
+/// paths of the first and the last instance of a multivalued component.
+pub fn divergence_step(a: &LocationPath, b: &LocationPath) -> Option<usize> {
+    if a.absolute != b.absolute || a.steps.len() != b.steps.len() {
+        return None;
+    }
+    let mut diff = None;
+    for (i, (sa, sb)) in a.steps.iter().zip(&b.steps).enumerate() {
+        if sa.axis != sb.axis || sa.test != sb.test {
+            return None;
+        }
+        if sa.position_predicate() != sb.position_predicate() {
+            match diff {
+                None => diff = Some(i),
+                Some(_) => return None, // more than one divergent step
+            }
+        }
+    }
+    diff
+}
+
+/// The nearest non-whitespace text before (or after) `target` in document
+/// order — the label a reader sees next to the value. Returns the
+/// normalised text.
+pub fn context_label(doc: &Document, target: NodeId, direction: ContextDirection) -> Option<String> {
+    let label_of = |id: NodeId| -> Option<String> {
+        let t = doc.text(id)?;
+        let norm = normalize_space(t);
+        if norm.is_empty() {
+            None
+        } else {
+            Some(norm)
+        }
+    };
+    match direction {
+        ContextDirection::Before => doc.preceding(target).find_map(label_of),
+        ContextDirection::After => doc.following(target).find_map(label_of),
+    }
+}
+
+/// Build the contextual predicate: the nearest preceding (or following)
+/// non-empty text node contains `label`.
+///
+/// Shape (Before): `preceding::text()[normalize-space(.) != ""][1][contains(normalize-space(.), label)]`
+pub fn context_predicate(label: &str, direction: ContextDirection) -> Expr {
+    let dot = Expr::Path(LocationPath::relative(vec![Step::new(Axis::SelfAxis, NodeTest::Node)]));
+    let norm_dot = Expr::Call("normalize-space".into(), vec![dot]);
+    let axis = match direction {
+        ContextDirection::Before => Axis::Preceding,
+        ContextDirection::After => Axis::Following,
+    };
+    let mut step = Step::new(axis, NodeTest::Text);
+    step.predicates = vec![
+        Expr::Binary(
+            BinaryOp::Ne,
+            Box::new(norm_dot.clone()),
+            Box::new(Expr::Literal(String::new())),
+        ),
+        Expr::Number(1.0),
+        Expr::Call("contains".into(), vec![norm_dot, Expr::Literal(label.to_string())]),
+    ];
+    Expr::Path(LocationPath::relative(vec![step]))
+}
+
+/// Apply the "adding contextual information" refinement: strip positional
+/// predicates from step `strip_from` onward (where the shift occurs) and
+/// anchor the final step to `label`.
+pub fn with_context_predicate(
+    path: &LocationPath,
+    strip_from: usize,
+    label: &str,
+    direction: ContextDirection,
+) -> LocationPath {
+    let anchor = path.steps.len().saturating_sub(1);
+    with_context_predicate_at(path, strip_from, anchor, label, direction)
+}
+
+/// Like [`with_context_predicate`], but the label predicate is attached
+/// to the step at `anchor` instead of the final step. Multivalued rules
+/// anchor on the repetitive step's *container* (e.g. the `UL` before the
+/// broadened `LI`), whose nearest preceding text is the section heading.
+pub fn with_context_predicate_at(
+    path: &LocationPath,
+    strip_from: usize,
+    anchor: usize,
+    label: &str,
+    direction: ContextDirection,
+) -> LocationPath {
+    let mut out = strip_positions_from(path, strip_from);
+    if let Some(step) = out.steps.get_mut(anchor) {
+        step.predicates.push(context_predicate(label, direction));
+    }
+    out
+}
+
+/// Combine location paths into a single union expression ("adding an
+/// alternative path", §3.4).
+pub fn alternatives(paths: Vec<LocationPath>) -> Expr {
+    assert!(!paths.is_empty());
+    Expr::union_of(paths.into_iter().map(Expr::Path).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::precise_path;
+    use crate::eval::Engine;
+    use crate::parser::parse_path;
+    use retroweb_html::parse;
+
+    #[test]
+    fn broaden_matches_table2_row_d() {
+        // Steps: BODY, descendant-or-self::node(), TABLE, TR — the row
+        // step is index 3.
+        let path = parse_path("BODY//TABLE[1]/TR[1]").unwrap();
+        let broad = broaden_step(&path, 3);
+        assert_eq!(broad.to_string(), "BODY//TABLE[1]/TR[position() >= 1]");
+    }
+
+    #[test]
+    fn broadened_step_selects_all_rows() {
+        let doc = parse(
+            "<body><table><tr><td>a</td></tr><tr><td>b</td></tr><tr><td>c</td></tr></table></body>",
+        );
+        let engine = Engine::new(&doc);
+        let path = parse_path("//TABLE[1]/TR[1]").unwrap();
+        assert_eq!(engine.select(&Expr::Path(path.clone()), doc.root()).unwrap().len(), 1);
+        let broad = broaden_step(&path, 2);
+        assert_eq!(engine.select(&Expr::Path(broad), doc.root()).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn divergence_matches_table2_rows_e_f() {
+        let first = parse_path("BODY//TABLE[1]/TR[2]/TD[2]/text()").unwrap();
+        let last = parse_path("BODY//TABLE[1]/TR[17]/TD[2]/text()").unwrap();
+        let idx = divergence_step(&first, &last).unwrap();
+        // Steps: BODY, descendant-or-self, TABLE, TR, TD, text() — TR is
+        // index 3: "the repetitive element is undoubtedly <TR>".
+        assert_eq!(idx, 3);
+        assert_eq!(first.steps[idx].test, NodeTest::Name("TR".into()));
+    }
+
+    #[test]
+    fn divergence_rejects_different_shapes() {
+        let a = parse_path("BODY/TR[1]").unwrap();
+        let b = parse_path("BODY/TD[2]").unwrap();
+        assert_eq!(divergence_step(&a, &b), None);
+        let c = parse_path("BODY/TR[1]/TD[1]").unwrap();
+        let d = parse_path("BODY/TR[2]/TD[2]").unwrap();
+        assert_eq!(divergence_step(&c, &d), None); // two divergent steps
+        let e = parse_path("BODY/TR[1]").unwrap();
+        assert_eq!(divergence_step(&e, &e), None); // no divergent step
+    }
+
+    #[test]
+    fn context_label_finds_runtime() {
+        let doc = parse(
+            "<body><td><b>Runtime:</b> 108 min <br><b>Country:</b> USA </td></body>",
+        );
+        let td = doc.elements_by_tag("td")[0];
+        // "108 min" is the first bare text child of td.
+        let value = doc.children(td).find(|&c| doc.is_text(c)).unwrap();
+        assert_eq!(context_label(&doc, value, ContextDirection::Before).unwrap(), "Runtime:");
+        assert_eq!(context_label(&doc, value, ContextDirection::After).unwrap(), "Country:");
+    }
+
+    #[test]
+    fn context_refinement_fixes_figure4_shift() {
+        // Page 1: Runtime first; the candidate precise path has text()[1].
+        let page1 = parse(
+            "<html><body><table><tr><td>\
+             <b>Runtime:</b> 108 min <br>\
+             <b>Country:</b> USA/UK <br>\
+             </td></tr></table></body></html>",
+        );
+        // Page 2: an optional "Also Known As:" shifts every position.
+        let page2 = parse(
+            "<html><body><table><tr><td>\
+             <b>Also Known As:</b> The Wing and the Thigh <br>\
+             <b>Runtime:</b> 104 min <br>\
+             <b>Country:</b> France <br>\
+             </td></tr></table></body></html>",
+        );
+        let td1 = page1.elements_by_tag("td")[0];
+        let value1 = page1.children(td1).find(|&c| page1.is_text(c)).unwrap();
+        let candidate = precise_path(&page1, value1).unwrap();
+
+        // The unrefined candidate picks the wrong node on page 2.
+        let engine2 = Engine::new(&page2);
+        let wrong = engine2.select(&Expr::Path(candidate.clone()), page2.root()).unwrap();
+        assert_eq!(page2.text(wrong[0]).unwrap().trim(), "The Wing and the Thigh");
+
+        // Refine: strip the final position, anchor on the label.
+        let label = context_label(&page1, value1, ContextDirection::Before).unwrap();
+        let strip_from = candidate.steps.len() - 1;
+        let refined = with_context_predicate(&candidate, strip_from, &label, ContextDirection::Before);
+
+        let engine1 = Engine::new(&page1);
+        let got1 = engine1.select(&Expr::Path(refined.clone()), page1.root()).unwrap();
+        assert_eq!(page1.text(got1[0]).unwrap().trim(), "108 min");
+        let got2 = engine2.select(&Expr::Path(refined), page2.root()).unwrap();
+        assert_eq!(got2.len(), 1);
+        assert_eq!(page2.text(got2[0]).unwrap().trim(), "104 min");
+    }
+
+    #[test]
+    fn strip_positions_only_after_index() {
+        let path = parse_path("/HTML[1]/BODY[1]/DIV[2]/text()[1]").unwrap();
+        let stripped = strip_positions_from(&path, 2);
+        assert_eq!(stripped.to_string(), "/HTML[1]/BODY[1]/DIV/text()");
+    }
+
+    #[test]
+    fn alternatives_union_display() {
+        let a = parse_path("/HTML[1]/BODY[1]/P[1]/text()[1]").unwrap();
+        let b = parse_path("/HTML[1]/BODY[1]/DIV[1]/text()[1]").unwrap();
+        let u = alternatives(vec![a, b]);
+        assert_eq!(
+            u.to_string(),
+            "/HTML[1]/BODY[1]/P[1]/text()[1] | /HTML[1]/BODY[1]/DIV[1]/text()[1]"
+        );
+        assert_eq!(u.union_alternatives().len(), 2);
+    }
+
+    #[test]
+    fn context_predicate_round_trips_through_parser() {
+        let pred = context_predicate("Runtime:", ContextDirection::Before);
+        let mut step = Step::child_text(None);
+        step.predicates.push(pred);
+        let path = LocationPath::absolute(vec![
+            Step::new(Axis::DescendantOrSelf, NodeTest::Node),
+            step,
+        ]);
+        let shown = Expr::Path(path).to_string();
+        let reparsed = crate::parser::parse(&shown).unwrap();
+        assert_eq!(reparsed.to_string(), shown);
+    }
+}

@@ -1,0 +1,349 @@
+//! XPath tokenizer.
+//!
+//! Context-free: operator-name disambiguation (`and`, `or`, `div`, `mod`,
+//! `*`) is left to the parser, which knows whether it expects an operand
+//! or an operator.
+
+use std::fmt;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    Number(f64),
+    Literal(String),
+    /// NCName (possibly an axis name, function name, node-type or name test).
+    Name(String),
+    Slash,
+    DoubleSlash,
+    LBracket,
+    RBracket,
+    LParen,
+    RParen,
+    Comma,
+    At,
+    Dot,
+    DotDot,
+    Pipe,
+    Plus,
+    Minus,
+    Star,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    ColonColon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Number(n) => write!(f, "{n}"),
+            Tok::Literal(s) => write!(f, "\"{s}\""),
+            Tok::Name(s) => write!(f, "{s}"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::At => write!(f, "@"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::ColonColon => write!(f, "::"),
+        }
+    }
+}
+
+/// Lexer failure with byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub offset: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XPath lex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-' || c == '.'
+}
+
+/// Tokenize a full expression.
+pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    let mut toks = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '/' => {
+                if chars.get(i + 1) == Some(&'/') {
+                    toks.push(Tok::DoubleSlash);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Slash);
+                    i += 1;
+                }
+            }
+            '[' => {
+                toks.push(Tok::LBracket);
+                i += 1;
+            }
+            ']' => {
+                toks.push(Tok::RBracket);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                toks.push(Tok::Comma);
+                i += 1;
+            }
+            '@' => {
+                toks.push(Tok::At);
+                i += 1;
+            }
+            '|' => {
+                toks.push(Tok::Pipe);
+                i += 1;
+            }
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '=' => {
+                toks.push(Tok::Eq);
+                i += 1;
+            }
+            '!' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ne);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "expected '=' after '!'".into() });
+                }
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Le);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    toks.push(Tok::Ge);
+                    i += 2;
+                } else {
+                    toks.push(Tok::Gt);
+                    i += 1;
+                }
+            }
+            ':' => {
+                if chars.get(i + 1) == Some(&':') {
+                    toks.push(Tok::ColonColon);
+                    i += 2;
+                } else {
+                    return Err(LexError { offset: i, message: "single ':' not supported".into() });
+                }
+            }
+            '.' => {
+                if chars.get(i + 1) == Some(&'.') {
+                    toks.push(Tok::DotDot);
+                    i += 2;
+                } else if matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) {
+                    // .5 style number
+                    let start = i;
+                    i += 1;
+                    while matches!(chars.get(i), Some(d) if d.is_ascii_digit()) {
+                        i += 1;
+                    }
+                    let text: String = chars[start..i].iter().collect();
+                    let n = text.parse::<f64>().map_err(|_| LexError {
+                        offset: start,
+                        message: "invalid number".into(),
+                    })?;
+                    toks.push(Tok::Number(n));
+                } else {
+                    toks.push(Tok::Dot);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.get(i) {
+                        Some(&ch) if ch == quote => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                offset: start,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                toks.push(Tok::Literal(s));
+            }
+            d if d.is_ascii_digit() => {
+                let start = i;
+                while matches!(chars.get(i), Some(d) if d.is_ascii_digit()) {
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'.') {
+                    i += 1;
+                    while matches!(chars.get(i), Some(d) if d.is_ascii_digit()) {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let n = text
+                    .parse::<f64>()
+                    .map_err(|_| LexError { offset: start, message: "invalid number".into() })?;
+                toks.push(Tok::Number(n));
+            }
+            c if is_name_start(c) => {
+                let start = i;
+                while matches!(chars.get(i), Some(&ch) if is_name_char(ch)) {
+                    i += 1;
+                }
+                // NCNames cannot end in '.': give back trailing dots
+                // (handles `self.` never occurring, but cheap to be exact).
+                let mut end = i;
+                while end > start && chars[end - 1] == '.' {
+                    end -= 1;
+                }
+                i = end;
+                let name: String = chars[start..end].iter().collect();
+                toks.push(Tok::Name(name));
+            }
+            _ => {
+                return Err(LexError { offset: i, message: format!("unexpected character '{c}'") })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lex_precise_path() {
+        let toks = lex("/HTML[1]/BODY[1]/text()[2]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Slash,
+                Tok::Name("HTML".into()),
+                Tok::LBracket,
+                Tok::Number(1.0),
+                Tok::RBracket,
+                Tok::Slash,
+                Tok::Name("BODY".into()),
+                Tok::LBracket,
+                Tok::Number(1.0),
+                Tok::RBracket,
+                Tok::Slash,
+                Tok::Name("text".into()),
+                Tok::LParen,
+                Tok::RParen,
+                Tok::LBracket,
+                Tok::Number(2.0),
+                Tok::RBracket,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_operators() {
+        let toks = lex("position()>=1 and last()!=2").unwrap();
+        assert!(toks.contains(&Tok::Ge));
+        assert!(toks.contains(&Tok::Name("and".into())));
+        assert!(toks.contains(&Tok::Ne));
+    }
+
+    #[test]
+    fn lex_strings_both_quotes() {
+        assert_eq!(lex("\"a b\"").unwrap(), vec![Tok::Literal("a b".into())]);
+        assert_eq!(lex("'it\"s'").unwrap(), vec![Tok::Literal("it\"s".into())]);
+    }
+
+    #[test]
+    fn lex_axis() {
+        let toks = lex("ancestor-or-self::node()").unwrap();
+        assert_eq!(toks[0], Tok::Name("ancestor-or-self".into()));
+        assert_eq!(toks[1], Tok::ColonColon);
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(lex("3.25").unwrap(), vec![Tok::Number(3.25)]);
+        assert_eq!(lex(".5").unwrap(), vec![Tok::Number(0.5)]);
+        assert_eq!(lex("7").unwrap(), vec![Tok::Number(7.0)]);
+    }
+
+    #[test]
+    fn lex_double_slash_and_dots() {
+        assert_eq!(
+            lex("..//.").unwrap(),
+            vec![Tok::DotDot, Tok::DoubleSlash, Tok::Dot]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'open").is_err());
+        assert!(lex("a ! b").is_err());
+        assert!(lex("#").is_err());
+        assert!(lex("a:b").is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! # retroweb-xpath — location language for mapping rules
+//!
+//! An XPath 1.0 subset engine over the `retroweb-html` DOM, plus the two
+//! Retrozilla-specific capabilities the paper builds on it (§3):
+//!
+//! - **precise-path generation** ([`builder`]): turn a user-selected DOM
+//!   node into the fully positional XPath a candidate rule records;
+//! - **generalisation operators** ([`generalize`]): the refinement moves
+//!   (contextual predicates, position broadening, repetitive-step
+//!   deduction, alternative paths) applied when a candidate rule fails on
+//!   other pages of the working sample.
+//!
+//! HTML-mode behaviour: element/attribute name tests match ASCII
+//! case-insensitively, so the paper's `BODY[1]/DIV[2]/TABLE[3]` addresses
+//! a lowercase DOM. [`parser::parse_lenient`] additionally accepts the
+//! paper's informal syntax from Table 2 row b (bare axis names,
+//! one-argument `contains`).
+//!
+//! ```
+//! use retroweb_html::parse;
+//! use retroweb_xpath::{parser, Engine};
+//!
+//! let doc = parse("<body><table><tr><td>Runtime</td><td>142 min</td></tr></table></body>");
+//! let engine = Engine::new(&doc);
+//! let hits = engine.select_str("//TR[1]/TD[2]/text()", doc.root()).unwrap();
+//! assert_eq!(doc.text(hits[0]), Some("142 min"));
+//!
+//! let expr = parser::parse("//TD[contains(., \"min\")]").unwrap();
+//! assert_eq!(engine.select(&expr, doc.root()).unwrap().len(), 1);
+//! ```
+
+mod ast;
+pub mod builder;
+mod eval;
+mod functions;
+pub mod generalize;
+mod lexer;
+pub mod parser;
+mod value;
+
+pub use ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
+pub use eval::{Engine, EvalError};
+pub use functions::normalize_space;
+pub use lexer::{lex, LexError, Tok};
+pub use parser::{parse, parse_lenient, parse_path, ParseError};
+pub use value::{
+    format_number, node_name, str_to_number, string_value, to_boolean, to_number,
+    to_string_value, NodeRef, Value,
+};

@@ -1,0 +1,166 @@
+//! Property tests for the XPath engine.
+//!
+//! The load-bearing invariant of the whole system (§3.2 selection): for
+//! ANY node in ANY document, the generated precise path evaluates to
+//! exactly that node. Plus display/parse fixpoints and generalisation
+//! sanity.
+
+use proptest::prelude::*;
+use retroweb_html::{parse, Document, NodeData, NodeId};
+use retroweb_xpath::builder::{precise_path, precise_path_from};
+use retroweb_xpath::generalize::{broaden_step, strip_positions_from};
+use retroweb_xpath::{parse as xparse, Engine, Expr};
+
+/// Random nested-table/list documents, in the style of the paper's
+/// corpora.
+fn arb_document() -> impl Strategy<Value = String> {
+    let cell = "[a-zA-Z0-9 ]{1,10}";
+    let row = prop::collection::vec(cell, 1..4).prop_map(|cells| {
+        let tds: String = cells.into_iter().map(|c| format!("<td>{c}</td>")).collect();
+        format!("<tr>{tds}</tr>")
+    });
+    let table = prop::collection::vec(row, 1..5)
+        .prop_map(|rows| format!("<table>{}</table>", rows.concat()));
+    let list = prop::collection::vec("[a-z]{1,8}", 1..5)
+        .prop_map(|items| {
+            let lis: String = items.into_iter().map(|i| format!("<li>{i}</li>")).collect();
+            format!("<ul>{lis}</ul>")
+        });
+    let para = "[a-zA-Z ]{1,20}".prop_map(|t| format!("<p><b>{t}</b> tail</p>"));
+    let block = prop_oneof![table, list, para];
+    prop::collection::vec(block, 1..6)
+        .prop_map(|blocks| format!("<html><body>{}</body></html>", blocks.concat()))
+}
+
+fn all_addressable(doc: &Document) -> Vec<NodeId> {
+    doc.descendants(doc.root())
+        .filter(|&n| !matches!(doc.node(n).data, NodeData::Doctype(_)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn precise_path_selects_exactly_its_node(html in arb_document(), pick in any::<u32>()) {
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let path = precise_path(&doc, target).unwrap();
+        let engine = Engine::new(&doc);
+        let got = engine.select(&Expr::Path(path.clone()), doc.root()).unwrap();
+        prop_assert_eq!(got, vec![target], "path: {}", path);
+    }
+
+    #[test]
+    fn precise_path_display_parses_back_identically(html in arb_document(), pick in any::<u32>()) {
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let path = precise_path(&doc, target).unwrap();
+        let shown = path.to_string();
+        let reparsed = xparse(&shown).unwrap();
+        prop_assert_eq!(reparsed.to_string(), shown);
+        // And the reparsed expression still selects the same node.
+        let engine = Engine::new(&doc);
+        let got = engine.select(&reparsed, doc.root()).unwrap();
+        prop_assert_eq!(got, vec![target]);
+    }
+
+    #[test]
+    fn relative_precise_path_matches_from_any_ancestor(
+        html in arb_document(),
+        pick in any::<u32>(),
+        anc_pick in any::<u32>(),
+    ) {
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let ancestors: Vec<NodeId> = doc.ancestors(target).filter(|&a| a != doc.root()).collect();
+        prop_assume!(!ancestors.is_empty());
+        let anc = ancestors[anc_pick as usize % ancestors.len()];
+        let rel = precise_path_from(&doc, target, anc).unwrap();
+        let engine = Engine::new(&doc);
+        let got = engine.select(&Expr::Path(rel), anc).unwrap();
+        prop_assert_eq!(got, vec![target]);
+    }
+
+    #[test]
+    fn strip_positions_yields_superset(html in arb_document(), pick in any::<u32>()) {
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let path = precise_path(&doc, target).unwrap();
+        let engine = Engine::new(&doc);
+        for from in 0..path.steps.len() {
+            let loosened = strip_positions_from(&path, from);
+            let got = engine.select(&Expr::Path(loosened), doc.root()).unwrap();
+            prop_assert!(got.contains(&target), "strip at {} lost the target", from);
+        }
+    }
+
+    #[test]
+    fn broaden_step_yields_superset(html in arb_document(), pick in any::<u32>()) {
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let path = precise_path(&doc, target).unwrap();
+        let engine = Engine::new(&doc);
+        for idx in 0..path.steps.len() {
+            let broadened = broaden_step(&path, idx);
+            let got = engine.select(&Expr::Path(broadened), doc.root()).unwrap();
+            prop_assert!(got.contains(&target), "broaden at {} lost the target", idx);
+        }
+    }
+
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,80}") {
+        let _ = xparse(&input);
+        let _ = retroweb_xpath::parse_lenient(&input);
+    }
+
+    #[test]
+    fn display_parse_fixpoint_for_parsed_expressions(input in "\\PC{0,60}") {
+        if let Ok(expr) = xparse(&input) {
+            let shown = expr.to_string();
+            let reparsed = xparse(&shown)
+                .unwrap_or_else(|e| panic!("display of parsed expr must reparse: {shown} ({e})"));
+            prop_assert_eq!(reparsed.to_string(), shown);
+        }
+    }
+
+    #[test]
+    fn node_sets_are_sorted_and_deduped(html in arb_document()) {
+        let doc = parse(&html);
+        let engine = Engine::new(&doc);
+        for xpath in ["//TD | //LI", "//*", "//text()", "//TR/TD/text() | //text()"] {
+            let expr = xparse(xpath).unwrap();
+            let got = engine.select(&expr, doc.root()).unwrap();
+            for pair in got.windows(2) {
+                prop_assert_eq!(
+                    doc.compare_order(pair[0], pair[1]),
+                    std::cmp::Ordering::Less,
+                    "{} not sorted/deduped", xpath
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn count_agrees_with_select(html in arb_document()) {
+        let doc = parse(&html);
+        let engine = Engine::new(&doc);
+        for xpath in ["//TD", "//LI", "//P/B"] {
+            let n = engine.select(&xparse(xpath).unwrap(), doc.root()).unwrap().len();
+            let counted = engine
+                .eval(&xparse(&format!("count({xpath})")).unwrap(), doc.root())
+                .unwrap();
+            prop_assert_eq!(counted, retroweb_xpath::Value::Num(n as f64));
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! XPath 1.0 semantic edge cases, table-driven: conversions, comparison
+//! rules, function corner cases, axis orderings and filter expressions.
+
+use retroweb_html::parse as parse_html;
+use retroweb_xpath::{parse, Engine, Value};
+
+const DOC: &str = "<html><body>\
+    <div id=\"a\" class=\"x\"><p>one</p><p>two</p><p>three</p></div>\
+    <div id=\"b\"><span>10</span><span>20</span><span>5</span></div>\
+    <table><tr><td>1</td><td></td></tr><tr><td>2</td><td>x</td></tr></table>\
+    </body></html>";
+
+fn eval(xpath: &str) -> Value {
+    let doc = parse_html(DOC);
+    let engine = Engine::new(&doc);
+    let expr = parse(xpath).unwrap_or_else(|e| panic!("{xpath}: {e}"));
+    engine.eval(&expr, doc.root()).unwrap_or_else(|e| panic!("{xpath}: {e}"))
+}
+
+fn select_count(xpath: &str) -> usize {
+    let doc = parse_html(DOC);
+    let engine = Engine::new(&doc);
+    engine.select_str(xpath, doc.root()).unwrap().len()
+}
+
+#[test]
+fn arithmetic_edge_cases() {
+    assert_eq!(eval("1 div 0"), Value::Num(f64::INFINITY));
+    assert_eq!(eval("-1 div 0"), Value::Num(f64::NEG_INFINITY));
+    match eval("0 div 0") {
+        Value::Num(n) => assert!(n.is_nan()),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(eval("5 mod 2"), Value::Num(1.0));
+    assert_eq!(eval("5 mod -2"), Value::Num(1.0));
+    assert_eq!(eval("-5 mod 2"), Value::Num(-1.0));
+    assert_eq!(eval("- 3 + 1"), Value::Num(-2.0));
+}
+
+#[test]
+fn number_string_conversions() {
+    assert_eq!(eval("number(\" 12 \")"), Value::Num(12.0));
+    match eval("number(\"12 min\")") {
+        Value::Num(n) => assert!(n.is_nan()),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(eval("string(1 div 0)"), Value::Str("Infinity".into()));
+    assert_eq!(eval("string(0.5)"), Value::Str("0.5".into()));
+    assert_eq!(eval("string(4)"), Value::Str("4".into()));
+    assert_eq!(eval("string(true())"), Value::Str("true".into()));
+}
+
+#[test]
+fn nodeset_to_scalar_comparisons_are_existential() {
+    // //SPAN has string values 10, 20, 5.
+    assert_eq!(eval("//SPAN = 10"), Value::Bool(true));
+    assert_eq!(eval("//SPAN = 11"), Value::Bool(false));
+    assert_eq!(eval("//SPAN != 10"), Value::Bool(true)); // some span differs
+    assert_eq!(eval("//SPAN > 15"), Value::Bool(true));
+    assert_eq!(eval("//SPAN < 6"), Value::Bool(true));
+    assert_eq!(eval("//SPAN > 25"), Value::Bool(false));
+    // Flipped operand order.
+    assert_eq!(eval("15 < //SPAN"), Value::Bool(true));
+    assert_eq!(eval("25 < //SPAN"), Value::Bool(false));
+}
+
+#[test]
+fn nodeset_to_nodeset_comparison() {
+    // Exists td and span with equal string value? td values: 1,"",2,x.
+    assert_eq!(eval("//TD = //SPAN"), Value::Bool(false));
+    assert_eq!(eval("//P = //P"), Value::Bool(true));
+    // Empty node-set comparisons are always false.
+    assert_eq!(eval("//NOPE = //P"), Value::Bool(false));
+    assert_eq!(eval("//NOPE != //P"), Value::Bool(false));
+}
+
+#[test]
+fn boolean_of_empty_string_cell() {
+    // The empty td has string-value "" → boolean false, but the node
+    // exists so the node-set is true.
+    assert_eq!(eval("boolean(//TR[1]/TD[2])"), Value::Bool(true));
+    assert_eq!(eval("string(//TR[1]/TD[2]) = \"\""), Value::Bool(true));
+}
+
+#[test]
+fn function_edge_cases() {
+    assert_eq!(eval("substring-before(\"ab\", \"z\")"), Value::Str("".into()));
+    assert_eq!(eval("substring-after(\"ab\", \"z\")"), Value::Str("".into()));
+    assert_eq!(eval("translate(\"abc\", \"ab\", \"A\")"), Value::Str("Ac".into()));
+    assert_eq!(eval("ends-with(\"108 min\", \"min\")"), Value::Bool(true));
+    assert_eq!(eval("sum(//SPAN)"), Value::Num(35.0));
+    assert_eq!(eval("string-length(//DIV[2]/SPAN[1])"), Value::Num(2.0));
+    assert_eq!(eval("concat(\"a\", 1, true())"), Value::Str("a1true".into()));
+    assert_eq!(eval("name(//DIV)"), Value::Str("div".into()));
+    assert_eq!(eval("name(//NOPE)"), Value::Str("".into()));
+}
+
+#[test]
+fn position_and_last_in_nested_predicates() {
+    assert_eq!(select_count("//P[position() = last()]"), 1);
+    assert_eq!(select_count("//P[position() < last()]"), 2);
+    assert_eq!(select_count("//P[position() mod 2 = 1]"), 2);
+    // last() inside a filter expression counts the whole document set.
+    assert_eq!(select_count("(//P)[last()]"), 1);
+}
+
+#[test]
+fn attribute_axis_variants() {
+    let doc = parse_html(DOC);
+    let engine = Engine::new(&doc);
+    // @* matches any attribute.
+    let expr = parse("//DIV[@*]").unwrap();
+    assert_eq!(engine.select(&expr, doc.root()).unwrap().len(), 2);
+    let expr = parse("//DIV[@class]").unwrap();
+    assert_eq!(engine.select(&expr, doc.root()).unwrap().len(), 1);
+    // Attribute string value in equality.
+    let expr = parse("//DIV[@id = \"b\"]/SPAN").unwrap();
+    assert_eq!(engine.select(&expr, doc.root()).unwrap().len(), 3);
+    // count() over attributes.
+    let expr = parse("count(//DIV[1]/@*)").unwrap();
+    assert_eq!(engine.eval(&expr, doc.root()).unwrap(), Value::Num(2.0));
+}
+
+#[test]
+fn axis_orderings() {
+    let doc = parse_html(DOC);
+    let engine = Engine::new(&doc);
+    let texts = |xpath: &str| -> Vec<String> {
+        engine
+            .select_str(xpath, doc.root())
+            .unwrap()
+            .into_iter()
+            .map(|n| doc.text_content(n))
+            .collect()
+    };
+    // Reverse axes take position from nearest.
+    assert_eq!(texts("//P[3]/preceding-sibling::*[1]"), vec!["two"]);
+    assert_eq!(texts("//P[3]/preceding-sibling::*[2]"), vec!["one"]);
+    // Forward sibling axis.
+    assert_eq!(texts("//P[1]/following-sibling::*[1]"), vec!["two"]);
+    // ancestor-or-self includes self first (nearest).
+    assert_eq!(texts("//P[1]/ancestor-or-self::*[1]"), vec!["one"]);
+    // following axis crosses subtree boundaries in document order.
+    let f = texts("//DIV[1]/following::SPAN");
+    assert_eq!(f, vec!["10", "20", "5"]);
+}
+
+#[test]
+fn union_type_errors_and_mixed_unions() {
+    let doc = parse_html(DOC);
+    let engine = Engine::new(&doc);
+    assert!(engine.eval(&parse("//P | 3").unwrap_or(retroweb_xpath::Expr::Number(0.0)), doc.root()).is_err()
+        || parse("//P | 3").is_err());
+    // Union of overlapping sets dedups.
+    assert_eq!(select_count("//P | //DIV[1]/P"), 3);
+}
+
+#[test]
+fn descendant_vs_descendant_or_self() {
+    assert_eq!(select_count("//DIV[1]/descendant::P"), 3);
+    assert_eq!(select_count("//DIV[1]/descendant-or-self::*"), 4);
+    assert_eq!(select_count("/descendant::DIV"), 2);
+}
+
+#[test]
+fn text_node_tests() {
+    // Text node selection skips element-only content.
+    assert_eq!(select_count("//DIV[1]/text()"), 0);
+    assert_eq!(select_count("//P/text()"), 3);
+    assert_eq!(select_count("//node()[self::P]"), 3);
+}

@@ -1,0 +1,93 @@
+//! Data integration over a news site: multivalued mixed-content
+//! paragraphs, a comments section aggregated a-posteriori into a
+//! `users-opinion`-style group (the §4 aggregation example), and export
+//! to XML consumed back through the XML reader (the "external agent"
+//! role of §3.5).
+//!
+//! Run with: `cargo run --example news_digest`
+
+use retroweb::retrozilla::{
+    build_rules, extract_cluster_parallel, working_sample, ClusterRules, ScenarioConfig,
+    SimulatedUser, StructureNode,
+};
+use retroweb::sitegen::{news, NewsSiteSpec};
+use retroweb::xml::parse_xml;
+
+fn main() {
+    let spec = NewsSiteSpec { n_pages: 14, seed: 19, ..Default::default() };
+    let site = news::generate(&spec);
+    let sample = working_sample(&site, 9);
+
+    let components = ["headline", "author", "date", "paragraph", "commenter", "comment"];
+    let mut user = SimulatedUser::new();
+    let reports = build_rules(&components, &sample, &mut user, &ScenarioConfig::default());
+
+    println!("Rules over the ledger-articles cluster:");
+    let mut cluster = ClusterRules::new("ledger-articles", "article");
+    for r in reports {
+        assert!(r.ok, "{}: {:?}\n{}", r.component, r.strategies, r.final_table.render());
+        println!(
+            "  {:<10} {:<9} {:<13} {:<5}  {}",
+            r.component,
+            r.rule.optionality.to_string(),
+            r.rule.multiplicity.to_string(),
+            r.rule.format.to_string(),
+            if r.strategies.is_empty() { "-".to_string() } else { r.strategies.join("; ") }
+        );
+        cluster.rules.push(r.rule);
+    }
+
+    // A-posteriori aggregation (§4): byline facts group under `byline`,
+    // reader feedback under `reader-feedback`.
+    cluster.structure = Some(vec![
+        StructureNode::Component("headline".into()),
+        StructureNode::Group {
+            name: "byline".into(),
+            children: vec![
+                StructureNode::Component("author".into()),
+                StructureNode::Component("date".into()),
+            ],
+        },
+        StructureNode::Component("paragraph".into()),
+        StructureNode::Group {
+            name: "reader-feedback".into(),
+            children: vec![
+                StructureNode::Component("commenter".into()),
+                StructureNode::Component("comment".into()),
+            ],
+        },
+    ]);
+
+    // Parallel extraction over the whole site (migration workload).
+    let pages: Vec<(String, String)> =
+        site.pages.iter().map(|p| (p.url.clone(), p.html.clone())).collect();
+    let result = extract_cluster_parallel(&cluster, &pages, 4);
+    assert!(result.failures.is_empty(), "{:?}", result.failures);
+
+    let xml_text = result.xml.to_string_with(2);
+    println!("\nExtracted {} articles ({} bytes of XML).", pages.len(), xml_text.len());
+
+    // An external agent consumes the XML (here: a digest builder using
+    // the strict XML reader).
+    let root = parse_xml(&xml_text).expect("extraction output is well-formed");
+    println!("\nDigest (headline / date / #paragraphs / #comments):");
+    for article in root.children_named("article").take(6) {
+        let headline = article.child("headline").map(|e| e.text_content()).unwrap_or_default();
+        let date = article
+            .child("byline")
+            .and_then(|b| b.child("date"))
+            .map(|e| e.text_content())
+            .unwrap_or_default();
+        let paras = article.children_named("paragraph").count();
+        let comments = article
+            .child("reader-feedback")
+            .map(|f| f.children_named("comment").count())
+            .unwrap_or(0);
+        println!("  {headline:<55} {date:<17} {paras} paras, {comments} comments");
+    }
+
+    println!("\nXML Schema for the aggregated structure:");
+    for line in result.schema.to_xsd().to_string_with(2).lines().take(20) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # retroweb — the Retrozilla-rs reproduction, in one crate
+//!
+//! Facade over the workspace crates that reproduce *Semi-Automated
+//! Extraction of Targeted Data from Web Pages* (Estiévenart, Meurisse,
+//! Hainaut, Thiran — IEEE ICDE 2006 Workshops):
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`html`] | `retroweb-html` | error-tolerant HTML parser + mutable arena DOM |
+//! | [`xpath`] | `retroweb-xpath` | XPath 1.0 engine, precise-path builder, generalisation ops |
+//! | [`xml`] | `retroweb-xml` | XML output, XML Schema generation, reader |
+//! | [`cluster`] | `retroweb-cluster` | page clustering (Figure 1 step 1) |
+//! | [`sitegen`] | `retroweb-sitegen` | synthetic corpora with ground truth |
+//! | [`baselines`] | `retroweb-baselines` | RoadRunner-style + LR wrapper baselines |
+//! | [`retrozilla`] | `retrozilla` | the paper's contribution: mapping rules end to end |
+//! | [`json`] | `retroweb-json` | dependency-free JSON for persistence/reports |
+//!
+//! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
+//! for the per-experiment index.
+
+pub use retroweb_baselines as baselines;
+pub use retroweb_cluster as cluster;
+pub use retroweb_html as html;
+pub use retroweb_json as json;
+pub use retroweb_sitegen as sitegen;
+pub use retroweb_xml as xml;
+pub use retroweb_xpath as xpath;
+pub use retrozilla;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        let doc = crate::html::parse("<body><p>x</p></body>");
+        assert!(doc.body().is_some());
+        assert!(crate::xpath::parse("//P/text()").is_ok());
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration: the §7 schema-guided workflow — a schema exported from
+//! one site's rules guides rule building on a *different* site of the
+//! same domain ("schema reusability and sharing … integrate data coming
+//! from various Web sites").
+
+use retroweb::retrozilla::schema_guided::{build_with_guide, Conformance, SchemaGuide};
+use retroweb::retrozilla::{
+    build_rules, extract::cluster_schema, working_sample, ClusterRules, ScenarioConfig,
+    SimulatedUser,
+};
+use retroweb::sitegen::{movie, Layout, MovieSiteSpec};
+
+#[test]
+fn schema_from_site_a_guides_site_b() {
+    // Site A: rows layout.
+    let spec_a = MovieSiteSpec {
+        n_pages: 10,
+        seed: 610,
+        layout: Layout::Rows,
+        p_missing_runtime: 0.3,
+        ..Default::default()
+    };
+    let site_a = movie::generate(&spec_a);
+    let sample_a = working_sample(&site_a, 8);
+    let mut user_a = SimulatedUser::new();
+    let reports = build_rules(
+        &["title", "runtime", "country", "genre"],
+        &sample_a,
+        &mut user_a,
+        &ScenarioConfig::default(),
+    );
+    let mut cluster_a = ClusterRules::new("imdb-movies", "imdb-movie");
+    for r in reports {
+        assert!(r.ok);
+        cluster_a.rules.push(r.rule);
+    }
+
+    // Export the XSD, re-parse it into a guide (the sharing step: only
+    // the schema text crosses the site boundary).
+    let xsd_text = cluster_schema(&cluster_a).to_xsd().to_string_with(2);
+    let guide = SchemaGuide::from_xsd_text(&xsd_text).unwrap();
+    assert_eq!(guide.cluster, "imdb-movies");
+    assert_eq!(guide.components.len(), 4);
+
+    // Site B: same domain, different template (flat layout, other seed).
+    let spec_b = MovieSiteSpec {
+        n_pages: 10,
+        seed: 611,
+        layout: Layout::Flat,
+        p_missing_runtime: 0.3,
+        ..Default::default()
+    };
+    let site_b = movie::generate(&spec_b);
+    let sample_b = working_sample(&site_b, 8);
+    let mut user_b = SimulatedUser::new();
+    let results = build_with_guide(&guide, &sample_b, &mut user_b, &ScenarioConfig::default());
+    assert_eq!(results.len(), 4);
+    for r in &results {
+        assert_eq!(r.conformance, Conformance::Conforms, "{}: {:?}", r.component, r.conformance);
+        assert!(r.report.as_ref().unwrap().ok, "{}", r.component);
+    }
+
+    // The two rule sets produce schema-compatible output: same component
+    // names extractable from both sites.
+    let mut cluster_b = ClusterRules::new("imdb-movies", "imdb-movie");
+    for r in results {
+        cluster_b.rules.push(r.report.unwrap().rule);
+    }
+    let xsd_b = cluster_schema(&cluster_b).to_xsd().to_string_with(2);
+    let guide_b = SchemaGuide::from_xsd_text(&xsd_b).unwrap();
+    let names_a: Vec<&str> = guide.components.iter().map(|c| c.name.as_str()).collect();
+    let names_b: Vec<&str> = guide_b.components.iter().map(|c| c.name.as_str()).collect();
+    assert_eq!(names_a, names_b);
+}
