@@ -1,0 +1,255 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Same macro/API surface the workspace benches use (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `bench_with_input`, throughput
+//! annotations), backed by a small steady-state timing loop: warm up,
+//! pick an iteration count that fills the measurement window, then
+//! report the mean time per iteration (and derived throughput).
+//!
+//! Numbers from this harness are comparable within a run on an idle
+//! machine, which is what the bench README records; it does not do
+//! criterion's outlier analysis or HTML reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement settings; `Criterion::default()` matches the benches.
+pub struct Criterion {
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(120),
+            measure: Duration::from_millis(400),
+            sample_size: 30,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId { label: label.to_string() }
+    }
+}
+
+/// Work-per-iteration annotation; turned into a rate in the report.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Passed to the closure; `iter` runs and times the payload.
+pub struct Bencher<'m> {
+    mean_ns: &'m mut f64,
+    warm_up: Duration,
+    measure: Duration,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warm-up: also estimates the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(payload());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        // Split the measurement window into `sample_size` samples of
+        // `batch` iterations and average the per-iteration time.
+        let budget_ns = self.measure.as_nanos() as f64;
+        let total_iters = (budget_ns / est_ns).clamp(1.0, 5.0e8) as u64;
+        let batch = (total_iters / self.sample_size as u64).max(1);
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(payload());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        *self.mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn human_time(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:8.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.2} s ", ns / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1.0e9 {
+        format!("{:7.2} G{unit}/s", per_sec / 1.0e9)
+    } else if per_sec >= 1.0e6 {
+        format!("{:7.2} M{unit}/s", per_sec / 1.0e6)
+    } else if per_sec >= 1.0e3 {
+        format!("{:7.2} K{unit}/s", per_sec / 1.0e3)
+    } else {
+        format!("{per_sec:7.2} {unit}/s")
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("bench {name:<44} {}", human_time(mean_ns));
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Bytes(b) => (b as f64, "B"),
+            Throughput::Elements(e) => (e as f64, "elem"),
+        };
+        let per_sec = count * 1.0e9 / mean_ns.max(1.0);
+        line.push_str(&format!("  {}", human_rate(per_sec, unit)));
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        let mut mean_ns = 0.0;
+        let mut bencher = Bencher {
+            mean_ns: &mut mean_ns,
+            warm_up: self.warm_up,
+            measure: self.measure,
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        report(name, mean_ns, throughput);
+    }
+
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&label, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.label);
+        if let Some(n) = self.sample_size {
+            self.criterion.sample_size = n;
+        }
+        self.criterion.run_one(&label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 4).label, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("precise").label, "precise");
+    }
+
+    #[test]
+    fn timing_loop_produces_positive_mean() {
+        let mut c = Criterion {
+            warm_up: Duration::from_millis(2),
+            measure: Duration::from_millis(5),
+            sample_size: 5,
+        };
+        let mut group = c.benchmark_group("t");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

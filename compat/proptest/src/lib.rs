@@ -1,0 +1,756 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`strategy::Strategy`] trait with `prop_map` /
+//! `prop_recursive` / `boxed`, tuple and range strategies, regex-subset
+//! string strategies (`"[a-z]{1,8}"`, `"\\PC{0,64}"`), `prop::collection::vec`,
+//! `prop::sample::select`, `prop_oneof!`, `any::<T>()`, and the
+//! [`proptest!`] test macro with `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! full generated inputs instead of a minimal counterexample) and a
+//! fixed deterministic seed derived from the test's module path, so
+//! failures reproduce exactly across runs.
+
+pub mod test_runner {
+    /// Failure modes a test case body can signal.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the runner draws new ones.
+        Reject,
+        /// `prop_assert!`-family failure with a rendered message.
+        Fail(String),
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// SplitMix64 — deterministic, seeded from the test name.
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> TestRng {
+            TestRng { state: seed ^ 0x5DEE_CE66_D1CE_4E5B }
+        }
+
+        /// Seed from a test identifier (FNV-1a), so each test gets an
+        /// independent but reproducible stream.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng::new(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform integer in `0..n` (n > 0).
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n.max(1) as u64) as usize
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+mod pattern {
+    //! Generator for the regex subset the test suites use as string
+    //! strategies: sequences of literal chars / char classes / `\PC`,
+    //! each with an optional `{n}` / `{m,n}` / `*` / `+` / `?` quantifier.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum CharSet {
+        /// Inclusive code-point ranges.
+        Ranges(Vec<(u32, u32)>),
+        /// `\PC`: any non-control character (ASCII-weighted, some unicode).
+        Printable,
+    }
+
+    #[derive(Clone, Debug)]
+    struct Atom {
+        set: CharSet,
+        min: u32,
+        max: u32,
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> CharSet {
+        let mut ranges = Vec::new();
+        // Leading ']' would be a literal in regex; not used here.
+        while let Some(c) = chars.next() {
+            if c == ']' {
+                break;
+            }
+            let lo = if c == '\\' { parse_escape(chars) } else { c as u32 };
+            // Range `a-z` unless the '-' is the trailing literal.
+            if chars.peek() == Some(&'-') {
+                let mut ahead = chars.clone();
+                ahead.next(); // consume '-'
+                match ahead.peek() {
+                    Some(&']') | None => {
+                        ranges.push((lo, lo)); // '-' handled next iteration as literal
+                    }
+                    Some(&next) => {
+                        chars.next(); // '-'
+                        let hi = if next == '\\' {
+                            chars.next();
+                            parse_escape(chars)
+                        } else {
+                            chars.next();
+                            next as u32
+                        };
+                        ranges.push((lo.min(hi), lo.max(hi)));
+                    }
+                }
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        CharSet::Ranges(ranges)
+    }
+
+    /// Parse the escape body after a consumed `\`.
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> u32 {
+        match chars.next() {
+            Some('x') => {
+                let mut v = 0u32;
+                for _ in 0..2 {
+                    if let Some(&h) = chars.peek() {
+                        if let Some(d) = h.to_digit(16) {
+                            chars.next();
+                            v = v * 16 + d;
+                            continue;
+                        }
+                    }
+                    break;
+                }
+                v
+            }
+            Some('n') => '\n' as u32,
+            Some('t') => '\t' as u32,
+            Some('r') => '\r' as u32,
+            Some(c) => c as u32,
+            None => '\\' as u32,
+        }
+    }
+
+    fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (u32, u32) {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut nums: Vec<u32> = Vec::new();
+                let mut cur = String::new();
+                for c in chars.by_ref() {
+                    match c {
+                        '}' => break,
+                        ',' => {
+                            nums.push(cur.parse().unwrap_or(0));
+                            cur.clear();
+                        }
+                        d => cur.push(d),
+                    }
+                }
+                let last: u32 = cur.parse().unwrap_or(0);
+                match nums.first() {
+                    Some(&m) => (m, last.max(m)),
+                    None => (last, last),
+                }
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            _ => (1, 1),
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Atom> {
+        let mut atoms = Vec::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars),
+                '\\' => match chars.peek() {
+                    Some('P') => {
+                        chars.next();
+                        // \PC (optionally \P{C}) — "not a control char".
+                        if chars.peek() == Some(&'{') {
+                            for c in chars.by_ref() {
+                                if c == '}' {
+                                    break;
+                                }
+                            }
+                        } else {
+                            chars.next(); // the category letter
+                        }
+                        CharSet::Printable
+                    }
+                    _ => {
+                        let v = parse_escape(&mut chars);
+                        CharSet::Ranges(vec![(v, v)])
+                    }
+                },
+                '.' => CharSet::Printable,
+                lit => CharSet::Ranges(vec![(lit as u32, lit as u32)]),
+            };
+            let (min, max) = parse_quantifier(&mut chars);
+            atoms.push(Atom { set, min, max });
+        }
+        atoms
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Ranges(ranges) => {
+                let total: u32 = ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum();
+                let mut pick = (rng.next_u64() % total.max(1) as u64) as u32;
+                for &(lo, hi) in ranges {
+                    let span = hi - lo + 1;
+                    if pick < span {
+                        return char::from_u32(lo + pick).unwrap_or('?');
+                    }
+                    pick -= span;
+                }
+                '?'
+            }
+            CharSet::Printable => {
+                // ASCII-weighted; a sprinkle of Latin-1/Greek/CJK exercises
+                // multi-byte handling without leaving printable territory.
+                let roll = rng.below(10);
+                let (lo, hi) = match roll {
+                    0..=6 => (0x20u32, 0x7Eu32),
+                    7 => (0xA1, 0xFF),
+                    8 => (0x391, 0x3C9),
+                    _ => (0x4E00, 0x4E9F),
+                };
+                char::from_u32(lo + (rng.next_u64() % (hi - lo + 1) as u64) as u32).unwrap_or('x')
+            }
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(pattern) {
+            let n = atom.min + (rng.next_u64() % (atom.max - atom.min + 1) as u64) as u32;
+            for _ in 0..n {
+                out.push(sample_char(&atom.set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::rc::Rc;
+
+    /// A generator of values. No shrinking — `gen_value` draws one value.
+    pub trait Strategy: Clone {
+        type Value: Debug + Clone;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            U: Debug + Clone,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy(Rc::new(move |rng| this.gen_value(rng)))
+        }
+
+        /// Finite unrolling of proptest's recursive combinator: `depth`
+        /// levels where each level picks the leaf or one branch expansion.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            branch: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut strat = self.clone().boxed();
+            for _ in 0..depth {
+                let leaf = self.clone().boxed();
+                let grown = branch(strat).boxed();
+                strat = Union::new_from_boxed(vec![leaf, grown]).boxed();
+            }
+            strat
+        }
+    }
+
+    /// Type-erased strategy; `Rc` so composed strategies stay `Clone`.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: Debug + Clone + 'static> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        U: Debug + Clone,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn gen_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` backend).
+    pub struct Union<T> {
+        alts: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { alts: self.alts.clone() }
+        }
+    }
+
+    impl<T: Debug + Clone + 'static> Union<T> {
+        pub fn new_from_boxed(alts: Vec<BoxedStrategy<T>>) -> Union<T> {
+            assert!(!alts.is_empty());
+            Union { alts }
+        }
+    }
+
+    impl<T: Debug + Clone + 'static> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.alts.len());
+            self.alts[i].gen_value(rng)
+        }
+    }
+
+    /// Regex-subset string strategy: `"[a-z]{1,8}"` and friends.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::pattern::generate(self, rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                    (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128 + 1).max(1) as u128;
+                    (*self.start() as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.gen_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+
+    /// `any::<T>()` support.
+    pub trait Arbitrary: Debug + Clone {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    #[derive(Clone, Debug)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite spread around zero; specials occasionally.
+            match rng.below(16) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => (rng.unit() - 0.5) * 2.0e12,
+            }
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            char::from_u32(0x20 + (rng.next_u64() % 0x5E) as u32).unwrap_or('a')
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.max_exclusive.saturating_sub(self.min).max(1);
+            let len = self.min + rng.below(span);
+            (0..len).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Proptest size ranges are half-open: `vec(s, 0..6)` yields 0..=5.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, min: size.start, max_exclusive: size.end }
+    }
+}
+
+pub mod sample {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+
+    #[derive(Clone)]
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Debug + Clone> Strategy for Select<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    pub fn select<T: Debug + Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select { options }
+    }
+}
+
+/// The `prop::` module path the real prelude exposes.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($alt:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_from_boxed(vec![
+            $($crate::strategy::Strategy::boxed($alt)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)+)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assertion failed: {} — {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_eq failed:\n  left: {:?}\n right: {:?}", __l, __r),
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if !(*__l == *__r) {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_eq failed:\n  left: {:?}\n right: {:?}\n  note: {}", __l, __r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let __l = &$a;
+        let __r = &$b;
+        if *__l == *__r {
+            return Err($crate::test_runner::TestCaseError::Fail(
+                format!("assert_ne failed: both {:?}", __l),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! { ($crate::test_runner::Config::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    ( ($cfg:expr); $( #[test] fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            #[test]
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                let __config: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let __strategy = ( $( $strat, )+ );
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(25) {
+                        // Assume-heavy test: ran out of generation budget.
+                        break;
+                    }
+                    let ( $( $arg, )+ ) =
+                        $crate::strategy::Strategy::gen_value(&__strategy, &mut __rng);
+                    let __inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $( &$arg ),+
+                    );
+                    let __result: $crate::test_runner::TestCaseResult =
+                        (|| -> $crate::test_runner::TestCaseResult { $body Ok(()) })();
+                    match __result {
+                        Ok(()) => __accepted += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!(
+                                "proptest {} failed at case {}:\n{}\ninputs: {}",
+                                stringify!($name), __accepted + 1, __msg, __inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_shapes() {
+        let mut rng = TestRng::from_name("pattern_shapes");
+        for _ in 0..200 {
+            let s = crate::pattern::generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = crate::pattern::generate("[a-zA-Z][a-zA-Z0-9_-]{0,12}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+
+            let h = crate::pattern::generate("[\\x00-\\x7F]{0,16}", &mut rng);
+            assert!(h.chars().all(|c| (c as u32) <= 0x7F));
+
+            let d = crate::pattern::generate("[a-zA-Z0-9 .,:!-]{1,20}", &mut rng);
+            assert!(d.chars().all(|c| c.is_ascii_alphanumeric() || " .,:!-".contains(c)), "{d:?}");
+
+            let p = crate::pattern::generate("\\PC{0,10}", &mut rng);
+            assert!(p.chars().count() <= 10);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u32>(), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+        }
+
+        #[test]
+        fn oneof_and_select(x in prop_oneof![Just(1u32), Just(2), 10u32..20], t in prop::sample::select(vec!["a", "b"])) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+            prop_assert!(t == "a" || t == "b");
+            prop_assume!(x != 2); // exercise the reject path
+            prop_assert_ne!(x, 2);
+        }
+
+        #[test]
+        fn recursive_terminates(n in (0u32..3).prop_recursive(3, 8, 2, |inner| (inner, 0u32..3).prop_map(|(a, b)| a + b)) ) {
+            prop_assert!(n < 3 * 4 + 1);
+        }
+    }
+}

@@ -11,7 +11,7 @@
 use crate::model::{MappingRule, Multiplicity};
 use crate::sample::SamplePage;
 use retroweb_html::Document;
-use retroweb_xpath::{normalize_space, string_value, NodeRef};
+use retroweb_xpath::{normalize_space, string_value_cow, Executor, NodeRef};
 
 /// How a rule's matches on one page relate to the pertinent values.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -104,12 +104,16 @@ impl CheckTable {
 
 /// Every value a rule's location matches on a page, without the
 /// single-valued truncation (the inspector sees all matches).
+///
+/// One-shot reference path through the interpreter (`MappingRule::select`);
+/// the checking loops below compile the rule once per sample pass and use
+/// `CompiledRule::full_match_values` instead.
 pub fn full_match_values(rule: &MappingRule, doc: &Document) -> Vec<String> {
     match rule.select(doc) {
         Ok(nodes) => {
             let mut values: Vec<String> = nodes
                 .iter()
-                .map(|&n| normalize_space(&string_value(doc, NodeRef::node(n))))
+                .map(|&n| normalize_space(&string_value_cow(doc, NodeRef::node(n))))
                 .filter(|v| !v.is_empty())
                 .collect();
             for p in &rule.post {
@@ -150,12 +154,15 @@ pub fn classify(expected: &[String], matched: &[String]) -> Outcome {
     Outcome::Wrong
 }
 
-/// Apply a rule to every page of the sample and classify each row.
+/// Apply a rule to every page of the sample and classify each row. The
+/// rule's locations are compiled once and executed per page.
 pub fn check_rule(rule: &MappingRule, sample: &[SamplePage]) -> CheckTable {
+    let compiled = rule.compile();
     let rows = sample
         .iter()
         .map(|sp| {
-            let mut matched = full_match_values(rule, &sp.doc);
+            let exec = Executor::new(&sp.doc);
+            let mut matched = compiled.full_match_values(&exec);
             // A declared single-valued rule presents one value, as the
             // extraction processor would produce.
             if rule.multiplicity == Multiplicity::SingleValued && matched.len() > 1 {
@@ -170,12 +177,14 @@ pub fn check_rule(rule: &MappingRule, sample: &[SamplePage]) -> CheckTable {
 
 /// Like [`check_rule`] but keeps all matches visible regardless of the
 /// declared multiplicity — used by the refinement engine to detect the
-/// multivalued situation.
+/// multivalued situation. Also compiled once per sample pass.
 pub fn check_rule_full(rule: &MappingRule, sample: &[SamplePage]) -> CheckTable {
+    let compiled = rule.compile();
     let rows = sample
         .iter()
         .map(|sp| {
-            let matched = full_match_values(rule, &sp.doc);
+            let exec = Executor::new(&sp.doc);
+            let matched = compiled.full_match_values(&exec);
             let outcome = classify(sp.page.expected(rule.name.as_str()), &matched);
             CheckRow { uri: sp.page.url.clone(), matched, outcome }
         })

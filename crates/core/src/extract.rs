@@ -11,12 +11,17 @@
 //! Extraction also performs the failure detection §7 sketches: a missing
 //! mandatory component, or several nodes for a single-valued one, is
 //! reported as a [`RuleFailure`].
+//!
+//! All cluster-level entry points run the **compiled** rule path: the
+//! rule set is lowered once ([`ClusterRules::compile`], cached by
+//! `RuleRepository`) and applied to every page through a per-page
+//! [`Executor`], instead of re-walking each rule's AST per page.
 
 use crate::model::{Format, MappingRule, Multiplicity, Optionality};
-use crate::repository::{ClusterRules, StructureNode};
+use crate::repository::{ClusterRules, CompiledCluster, StructureNode};
 use retroweb_html::{parse, Document};
 use retroweb_xml::{ClusterSchema, SchemaNode, XmlDocument, XmlElement};
-use retroweb_xpath::{normalize_space, string_value, NodeRef};
+use retroweb_xpath::{normalize_space, string_value_cow, Executor, NodeRef};
 use std::collections::BTreeMap;
 
 /// The §7 failure conditions, detected during extraction.
@@ -45,41 +50,29 @@ pub struct ExtractionResult {
     pub failures: Vec<RuleFailure>,
 }
 
-/// Extract one page's component values: component → values.
-pub fn extract_page(
-    rules: &ClusterRules,
+/// Extract one page's component values through a compiled rule set:
+/// component → values. One [`Executor`] (document-order rank + scratch
+/// buffers) is shared by every rule applied to the page.
+pub fn extract_page_compiled(
+    rules: &CompiledCluster,
     uri: &str,
     doc: &Document,
     failures: &mut Vec<RuleFailure>,
 ) -> BTreeMap<String, Vec<String>> {
+    let exec = Executor::new(doc);
     let mut out = BTreeMap::new();
     for rule in &rules.rules {
-        let nodes = rule.select(doc).unwrap_or_default();
-        if rule.multiplicity == Multiplicity::SingleValued && nodes.len() > 1 {
-            failures.push(RuleFailure {
-                uri: uri.to_string(),
-                component: rule.name.as_str().to_string(),
-                kind: FailureKind::MultipleForSingleValued,
-            });
-        }
-        let mut values: Vec<String> = nodes
-            .iter()
-            .map(|&n| normalize_space(&string_value(doc, NodeRef::node(n))))
-            .filter(|v| !v.is_empty())
-            .collect();
-        if rule.multiplicity == Multiplicity::SingleValued {
-            values.truncate(1);
-        }
-        for p in &rule.post {
-            values = p.apply(values);
-        }
-        if values.is_empty() && rule.optionality == Optionality::Mandatory {
-            failures.push(RuleFailure {
-                uri: uri.to_string(),
-                component: rule.name.as_str().to_string(),
-                kind: FailureKind::MandatoryMissing,
-            });
-        }
+        let nodes = rule.select(&exec).unwrap_or_default();
+        let values = rule_page_values(
+            rule.name.as_str(),
+            rule.optionality,
+            rule.multiplicity,
+            &rule.post,
+            &nodes,
+            doc,
+            uri,
+            failures,
+        );
         if !values.is_empty() {
             out.insert(rule.name.as_str().to_string(), values);
         }
@@ -87,19 +80,128 @@ pub fn extract_page(
     out
 }
 
-/// Extract a whole cluster to XML + XSD.
-pub fn extract_cluster(rules: &ClusterRules, pages: &[(String, Document)]) -> ExtractionResult {
+/// Per-rule value processing shared by the compiled and interpreted
+/// extraction loops: §7 failure detection, single-valued truncation,
+/// post-processing, mandatory-missing check. Keeping it in one place
+/// means the interpreted baseline can only differ from the production
+/// path in *engine* behaviour, which the differential tests pin down.
+#[allow(clippy::too_many_arguments)]
+fn rule_page_values(
+    component: &str,
+    optionality: Optionality,
+    multiplicity: Multiplicity,
+    post: &[crate::post::PostProcess],
+    nodes: &[retroweb_html::NodeId],
+    doc: &Document,
+    uri: &str,
+    failures: &mut Vec<RuleFailure>,
+) -> Vec<String> {
+    if multiplicity == Multiplicity::SingleValued && nodes.len() > 1 {
+        failures.push(RuleFailure {
+            uri: uri.to_string(),
+            component: component.to_string(),
+            kind: FailureKind::MultipleForSingleValued,
+        });
+    }
+    let mut values: Vec<String> = nodes
+        .iter()
+        .map(|&n| normalize_space(&string_value_cow(doc, NodeRef::node(n))))
+        .filter(|v| !v.is_empty())
+        .collect();
+    if multiplicity == Multiplicity::SingleValued {
+        values.truncate(1);
+    }
+    for p in post {
+        values = p.apply(values);
+    }
+    if values.is_empty() && optionality == Optionality::Mandatory {
+        failures.push(RuleFailure {
+            uri: uri.to_string(),
+            component: component.to_string(),
+            kind: FailureKind::MandatoryMissing,
+        });
+    }
+    values
+}
+
+/// Extract one page's component values, compiling the rules first.
+/// Single-page convenience — page loops should compile once
+/// ([`ClusterRules::compile`]) and use [`extract_page_compiled`].
+pub fn extract_page(
+    rules: &ClusterRules,
+    uri: &str,
+    doc: &Document,
+    failures: &mut Vec<RuleFailure>,
+) -> BTreeMap<String, Vec<String>> {
+    extract_page_compiled(&rules.compile(), uri, doc, failures)
+}
+
+/// Reference implementation of whole-cluster extraction through the
+/// tree-walking interpreter (per-page AST evaluation, the
+/// pre-compilation architecture). Kept as the executable baseline for
+/// benchmarks and the differential test holding it equal to
+/// [`extract_cluster`]; production callers use the compiled paths.
+pub fn extract_cluster_interpreted(
+    rules: &ClusterRules,
+    pages: &[(String, Document)],
+) -> ExtractionResult {
     let mut failures = Vec::new();
     let mut root = XmlElement::new(&rules.cluster);
     for (uri, doc) in pages {
-        let values = extract_page(rules, uri, doc, &mut failures);
-        root.push_element(page_element(rules, uri, &values));
+        let mut values = BTreeMap::new();
+        for rule in &rules.rules {
+            let nodes = rule.select(doc).unwrap_or_default();
+            let vals = rule_page_values(
+                rule.name.as_str(),
+                rule.optionality,
+                rule.multiplicity,
+                &rule.post,
+                &nodes,
+                doc,
+                uri,
+                &mut failures,
+            );
+            if !vals.is_empty() {
+                values.insert(rule.name.as_str().to_string(), vals);
+            }
+        }
+        root.push_element(page_element_parts(
+            &rules.page_element,
+            rules.structure.as_deref(),
+            rules.rules.iter().map(|r| r.name.as_str()),
+            uri,
+            &values,
+        ));
     }
     ExtractionResult {
         xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
         schema: cluster_schema(rules),
         failures,
     }
+}
+
+/// Extract a whole cluster through an already compiled rule set.
+pub fn extract_cluster_compiled(
+    rules: &CompiledCluster,
+    pages: &[(String, Document)],
+) -> ExtractionResult {
+    let mut failures = Vec::new();
+    let mut root = XmlElement::new(&rules.cluster);
+    for (uri, doc) in pages {
+        let values = extract_page_compiled(rules, uri, doc, &mut failures);
+        root.push_element(page_element(rules, uri, &values));
+    }
+    ExtractionResult {
+        xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
+        schema: rules.schema.clone(),
+        failures,
+    }
+}
+
+/// Extract a whole cluster to XML + XSD. The rule set is compiled once
+/// and applied to every page.
+pub fn extract_cluster(rules: &ClusterRules, pages: &[(String, Document)]) -> ExtractionResult {
+    extract_cluster_compiled(&rules.compile(), pages)
 }
 
 /// Extract from raw HTML strings (parses then delegates).
@@ -109,41 +211,37 @@ pub fn extract_cluster_html(rules: &ClusterRules, pages: &[(String, String)]) ->
     extract_cluster(rules, &parsed)
 }
 
-/// Parallel extraction: pages are parsed and extracted across `threads`
-/// worker threads (crossbeam scoped), then results are reassembled in
-/// page order. Useful for the data-migration workload of the intro.
-pub fn extract_cluster_parallel(
-    rules: &ClusterRules,
+/// Parallel extraction through an already compiled (shared) rule set:
+/// pages are parsed and extracted across `threads` scoped worker
+/// threads — each with its own per-page [`Executor`] over the shared
+/// `CompiledCluster` — then reassembled in page order.
+pub fn extract_cluster_parallel_compiled(
+    rules: &CompiledCluster,
     pages: &[(String, String)],
     threads: usize,
 ) -> ExtractionResult {
     let threads = threads.max(1);
     let chunk = pages.len().div_ceil(threads).max(1);
     let mut slots: Vec<Option<(XmlElement, Vec<RuleFailure>)>> = (0..pages.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest: &mut [Option<(XmlElement, Vec<RuleFailure>)>] = &mut slots;
         let mut offset = 0;
-        let mut handles = Vec::new();
         while offset < pages.len() {
             let take = chunk.min(pages.len() - offset);
             let (head, tail) = rest.split_at_mut(take);
             rest = tail;
             let page_slice = &pages[offset..offset + take];
-            handles.push(scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (slot, (uri, html)) in head.iter_mut().zip(page_slice) {
                     let doc = parse(html);
                     let mut failures = Vec::new();
-                    let values = extract_page(rules, uri, &doc, &mut failures);
+                    let values = extract_page_compiled(rules, uri, &doc, &mut failures);
                     *slot = Some((page_element(rules, uri, &values), failures));
                 }
-            }));
+            });
             offset += take;
         }
-        for h in handles {
-            h.join().expect("extraction worker panicked");
-        }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     let mut failures = Vec::new();
     let mut root = XmlElement::new(&rules.cluster);
@@ -154,23 +252,50 @@ pub fn extract_cluster_parallel(
     }
     ExtractionResult {
         xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
-        schema: cluster_schema(rules),
+        schema: rules.schema.clone(),
         failures,
     }
 }
 
+/// Parallel extraction, compiling the rule set once up front. Useful for
+/// the data-migration workload of the intro.
+pub fn extract_cluster_parallel(
+    rules: &ClusterRules,
+    pages: &[(String, String)],
+    threads: usize,
+) -> ExtractionResult {
+    extract_cluster_parallel_compiled(&rules.compile(), pages, threads)
+}
+
 /// Build one page element, honouring the enhanced structure if present.
 fn page_element(
-    rules: &ClusterRules,
+    rules: &CompiledCluster,
     uri: &str,
     values: &BTreeMap<String, Vec<String>>,
 ) -> XmlElement {
-    let mut page_el = XmlElement::new(&rules.page_element).with_attr("uri", uri);
-    match &rules.structure {
+    page_element_parts(
+        &rules.page_element,
+        rules.structure.as_deref(),
+        rules.rules.iter().map(|r| r.name.as_str()),
+        uri,
+        values,
+    )
+}
+
+/// Shared page-element assembly for the compiled and interpreted paths.
+fn page_element_parts<'n>(
+    page_name: &str,
+    structure: Option<&[StructureNode]>,
+    rule_names: impl Iterator<Item = &'n str>,
+    uri: &str,
+    values: &BTreeMap<String, Vec<String>>,
+) -> XmlElement {
+    let mut page_el = XmlElement::new(page_name).with_attr("uri", uri);
+    match structure {
         None => {
             // Default three-level structure: leaf elements in rule order.
-            for rule in &rules.rules {
-                push_component(&mut page_el, rule.name.as_str(), values);
+            for name in rule_names {
+                push_component(&mut page_el, name, values);
             }
         }
         Some(structure) => {
@@ -358,6 +483,36 @@ mod tests {
         let xsd = cluster_schema(&c).to_xsd().to_string_with(2);
         assert!(xsd.contains("name=\"runtime\" minOccurs=\"0\""));
         assert!(xsd.contains("name=\"genre\" maxOccurs=\"unbounded\""));
+    }
+
+    #[test]
+    fn interpreted_matches_compiled() {
+        // The reference (interpreter) extraction and the compiled path
+        // must be byte-identical, failures included.
+        let mut c = cluster();
+        c.structure = Some(vec![
+            StructureNode::Component("runtime".into()),
+            StructureNode::Group {
+                name: "classification".into(),
+                children: vec![StructureNode::Component("genre".into())],
+            },
+        ]);
+        let pages: Vec<(String, retroweb_html::Document)> = [
+            PAGE,
+            "<html><body><p>no facts</p><ul><li>Drama</li></ul></body></html>",
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, html)| (format!("u{i}"), retroweb_html::parse(html)))
+        .collect();
+        let interpreted = extract_cluster_interpreted(&c, &pages);
+        let compiled = extract_cluster(&c, &pages);
+        assert_eq!(interpreted.xml.to_string_with(2), compiled.xml.to_string_with(2));
+        assert_eq!(interpreted.failures, compiled.failures);
+        assert_eq!(
+            interpreted.schema.to_xsd().to_string_with(2),
+            compiled.schema.to_xsd().to_string_with(2)
+        );
     }
 
     #[test]

@@ -21,6 +21,29 @@
 //! failure detection and semi-automated repair ([`maintain`]) and
 //! sub-text-node post-processing ([`post`]).
 //!
+//! ## Rule execution: compile → cache → execute
+//!
+//! Rule application is the system-wide hot path — one rule set, many
+//! thousands of pages — so every pipeline layer runs mapping rules
+//! through the `retroweb-xpath` compiled IR rather than re-walking
+//! XPath ASTs per page:
+//!
+//! - **compile** — [`MappingRule::compile`] lowers a rule's location
+//!   alternatives to [`model::CompiledRule`];
+//!   [`repository::ClusterRules::compile`] does a whole cluster
+//!   ([`repository::CompiledCluster`]), deriving its XML Schema once;
+//! - **cache** — [`repository::RuleRepository::compiled`] builds each
+//!   cluster's compiled form at most once, shares it as an `Arc`, and
+//!   invalidates it when the cluster is re-recorded;
+//! - **execute** — [`extract`] (sequential and parallel), [`check`]
+//!   (`check_rule` / `check_rule_full`, hence the whole [`refine`] loop)
+//!   and [`maintain`] (`detect_failures`, `repair_rules`) apply the
+//!   compiled rules with one `retroweb_xpath::Executor` per page.
+//!
+//! The tree-walking interpreter remains the single-page reference path
+//! ([`MappingRule::select`] / [`MappingRule::extract_values`]), and the
+//! differential test suites hold the two engines equal.
+//!
 //! ```
 //! use retrozilla::builder::{build_rule, ScenarioConfig};
 //! use retrozilla::oracle::SimulatedUser;
@@ -54,16 +77,19 @@ pub mod schema_guided;
 pub use builder::{build_rule, build_rules, ComponentReport, ScenarioConfig};
 pub use check::{check_rule, classify, CheckRow, CheckTable, Outcome};
 pub use extract::{
-    extract_cluster, extract_cluster_html, extract_cluster_parallel, ExtractionResult,
-    FailureKind, RuleFailure,
+    extract_cluster, extract_cluster_compiled, extract_cluster_html, extract_cluster_interpreted,
+    extract_cluster_parallel, extract_cluster_parallel_compiled, extract_page_compiled,
+    ExtractionResult, FailureKind, RuleFailure,
 };
-pub use maintain::{detect_failures, repair_rules, RepairMethod, RepairReport};
+pub use maintain::{
+    detect_failures, detect_failures_compiled, repair_rules, RepairMethod, RepairReport,
+};
 pub use metrics::{page_counts, value_counts, Counts, Prf};
-pub use model::{ComponentName, Format, MappingRule, Multiplicity, Optionality};
+pub use model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 pub use oracle::{Instance, InteractionStats, SimulatedUser, User};
 pub use post::PostProcess;
 pub use refine::{refine_rule, RefineConfig, RefineOutcome};
-pub use repository::{ClusterRules, RuleRepository, StructureNode};
+pub use repository::{ClusterRules, CompiledCluster, RuleRepository, StructureNode};
 pub use sample::{sample_from_pages, working_sample, SamplePage};
 pub use schema_guided::{
     build_with_guide, Conformance, GuideComponent, GuidedComponentResult, SchemaGuide,

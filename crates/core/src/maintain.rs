@@ -12,17 +12,27 @@
 
 use crate::builder::{build_rule, ScenarioConfig};
 use crate::check::check_rule;
-use crate::extract::{extract_page, RuleFailure};
+use crate::extract::{extract_page_compiled, RuleFailure};
 use crate::oracle::{Instance, User};
 use crate::refine::{refine_rule, RefineConfig};
-use crate::repository::ClusterRules;
+use crate::repository::{ClusterRules, CompiledCluster};
 use crate::sample::SamplePage;
 
-/// Run the §7 detectors over a sample of (possibly drifted) pages.
+/// Run the §7 detectors over a sample of (possibly drifted) pages. The
+/// rule set is compiled once and applied to every sample page.
 pub fn detect_failures(rules: &ClusterRules, sample: &[SamplePage]) -> Vec<RuleFailure> {
+    detect_failures_compiled(&rules.compile(), sample)
+}
+
+/// [`detect_failures`] over an already compiled (possibly
+/// repository-cached) rule set.
+pub fn detect_failures_compiled(
+    rules: &CompiledCluster,
+    sample: &[SamplePage],
+) -> Vec<RuleFailure> {
     let mut failures = Vec::new();
     for sp in sample {
-        extract_page(rules, &sp.page.url, &sp.doc, &mut failures);
+        extract_page_compiled(rules, &sp.page.url, &sp.doc, &mut failures);
     }
     failures
 }

@@ -9,7 +9,9 @@
 
 use crate::post::PostProcess;
 use retroweb_html::{Document, NodeId};
-use retroweb_xpath::{normalize_space, string_value, Engine, EvalError, Expr, NodeRef};
+use retroweb_xpath::{
+    normalize_space, string_value_cow, CompiledXPath, Engine, EvalError, Executor, Expr, NodeRef,
+};
 use std::fmt;
 
 /// A component name matching the paper's EBNF:
@@ -140,8 +142,19 @@ impl MappingRule {
             .join(" | ")
     }
 
+    /// Compile the rule's location alternatives for repeated application
+    /// (see [`CompiledRule`]). Rule sets applied page after page go
+    /// through this; `RuleRepository` caches the result per cluster.
+    pub fn compile(&self) -> CompiledRule {
+        CompiledRule::new(self)
+    }
+
     /// Select the nodes this rule locates on a page: alternatives are
     /// tried in order, first non-empty result wins.
+    ///
+    /// One-shot reference path through the tree-walking [`Engine`]; the
+    /// extraction/checking/maintenance layers use [`MappingRule::compile`]
+    /// and apply the compiled form instead.
     pub fn select(&self, doc: &Document) -> Result<Vec<NodeId>, EvalError> {
         let engine = Engine::new(doc);
         for location in &self.locations {
@@ -155,11 +168,12 @@ impl MappingRule {
 
     /// Extract the component values from a page, honouring multiplicity,
     /// format and post-processing. Values are whitespace-normalised.
+    /// One-shot reference path — see [`MappingRule::select`].
     pub fn extract_values(&self, doc: &Document) -> Result<Vec<String>, EvalError> {
         let nodes = self.select(doc)?;
         let mut values: Vec<String> = nodes
             .iter()
-            .map(|&n| normalize_space(&string_value(doc, NodeRef::node(n))))
+            .map(|&n| normalize_space(&string_value_cow(doc, NodeRef::node(n))))
             .filter(|s| !s.is_empty())
             .collect();
         if self.multiplicity == Multiplicity::SingleValued && values.len() > 1 {
@@ -178,6 +192,95 @@ impl MappingRule {
             self.name, self.optionality, self.multiplicity, self.format,
             self.location_display()
         )
+    }
+}
+
+/// A mapping rule with its location alternatives lowered to the
+/// [`CompiledXPath`] IR: compile once per cluster, apply to every page.
+///
+/// The rule properties are copied (they are small) so a compiled rule is
+/// self-contained, `Send + Sync`, and can outlive repository mutations —
+/// workers in `extract_cluster_parallel` share one set across threads.
+#[derive(Debug)]
+pub struct CompiledRule {
+    pub name: ComponentName,
+    pub optionality: Optionality,
+    pub multiplicity: Multiplicity,
+    pub format: Format,
+    pub post: Vec<PostProcess>,
+    locations: Vec<CompiledXPath>,
+}
+
+impl CompiledRule {
+    pub fn new(rule: &MappingRule) -> CompiledRule {
+        CompiledRule {
+            name: rule.name.clone(),
+            optionality: rule.optionality,
+            multiplicity: rule.multiplicity,
+            format: rule.format,
+            post: rule.post.clone(),
+            locations: rule.locations.iter().map(CompiledXPath::compile).collect(),
+        }
+    }
+
+    /// The compiled location alternatives, in rule order.
+    pub fn locations(&self) -> &[CompiledXPath] {
+        &self.locations
+    }
+
+    /// Select the nodes this rule locates on the executor's page:
+    /// alternatives in order, first non-empty result wins — identical
+    /// semantics to [`MappingRule::select`].
+    pub fn select(&self, exec: &Executor<'_>) -> Result<Vec<NodeId>, EvalError> {
+        let root = exec.document().root();
+        for location in &self.locations {
+            let nodes = exec.select(location, root)?;
+            if !nodes.is_empty() {
+                return Ok(nodes);
+            }
+        }
+        Ok(Vec::new())
+    }
+
+    /// Every value the rule matches on the page, without single-valued
+    /// truncation but with post-processing — what the checking table
+    /// shows the inspecting user.
+    pub fn full_match_values(&self, exec: &Executor<'_>) -> Vec<String> {
+        match self.select(exec) {
+            Ok(nodes) => {
+                let doc = exec.document();
+                let mut values: Vec<String> = nodes
+                    .iter()
+                    .map(|&n| normalize_space(&string_value_cow(doc, NodeRef::node(n))))
+                    .filter(|v| !v.is_empty())
+                    .collect();
+                for p in &self.post {
+                    values = p.apply(values);
+                }
+                values
+            }
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Extract the component values honouring multiplicity, format and
+    /// post-processing — identical semantics to
+    /// [`MappingRule::extract_values`].
+    pub fn extract_values(&self, exec: &Executor<'_>) -> Result<Vec<String>, EvalError> {
+        let nodes = self.select(exec)?;
+        let doc = exec.document();
+        let mut values: Vec<String> = nodes
+            .iter()
+            .map(|&n| normalize_space(&string_value_cow(doc, NodeRef::node(n))))
+            .filter(|s| !s.is_empty())
+            .collect();
+        if self.multiplicity == Multiplicity::SingleValued && values.len() > 1 {
+            values.truncate(1);
+        }
+        for p in &self.post {
+            values = p.apply(values);
+        }
+        Ok(values)
     }
 }
 

@@ -5,15 +5,25 @@
 //! instance by the XML extractor." Per cluster it stores the validated
 //! rules plus the optional *enhanced structure* (§4's a-posteriori
 //! aggregation). Persistence is JSON via `retroweb-json`; concurrent
-//! readers are supported through a `parking_lot` lock.
+//! readers are supported through a `std::sync::RwLock`.
+//!
+//! The repository is also where rule **compilation** is cached: the
+//! external agents of §3.5 apply a cluster's rules to thousands of
+//! pages, so [`RuleRepository::compiled`] lowers each rule's XPaths to
+//! the `retroweb-xpath` IR exactly once per recorded rule set (see
+//! [`CompiledCluster`]) and every extraction entry point shares the
+//! `Arc`. Re-recording a cluster invalidates its cached compilation.
 
-use crate::model::{ComponentName, Format, MappingRule, Multiplicity, Optionality};
+use crate::extract::{extract_cluster_compiled, extract_cluster_parallel_compiled, ExtractionResult};
+use crate::model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 use crate::post::PostProcess;
-use parking_lot::RwLock;
+use retroweb_html::Document;
 use retroweb_json::{parse as json_parse, Json};
+use retroweb_xml::ClusterSchema;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
+use std::sync::{Arc, RwLock};
 
 /// A node of the enhanced (aggregated) structure: either a leaf
 /// component reference or a named group of nodes (§4: "the leaf
@@ -66,6 +76,37 @@ impl ClusterRules {
     pub fn rule_mut(&mut self, component: &str) -> Option<&mut MappingRule> {
         self.rules.iter_mut().find(|r| r.name.as_str() == component)
     }
+
+    /// Lower every rule's location XPaths to the compiled IR and derive
+    /// the cluster schema, producing the shareable execution form.
+    pub fn compile(&self) -> CompiledCluster {
+        CompiledCluster {
+            cluster: self.cluster.clone(),
+            page_element: self.page_element.clone(),
+            structure: self.structure.clone(),
+            schema: crate::extract::cluster_schema(self),
+            rules: self.rules.iter().map(CompiledRule::new).collect(),
+        }
+    }
+}
+
+/// A cluster's rule set in execution form: every location XPath lowered
+/// to a [`retroweb_xpath::CompiledXPath`], plus the derived XML Schema.
+/// Immutable and `Send + Sync` — `extract_cluster_parallel` shares one
+/// across worker threads, and [`RuleRepository`] caches one per cluster.
+#[derive(Debug)]
+pub struct CompiledCluster {
+    pub cluster: String,
+    pub page_element: String,
+    pub structure: Option<Vec<StructureNode>>,
+    pub schema: ClusterSchema,
+    pub rules: Vec<CompiledRule>,
+}
+
+impl CompiledCluster {
+    pub fn rule(&self, component: &str) -> Option<&CompiledRule> {
+        self.rules.iter().find(|r| r.name.as_str() == component)
+    }
 }
 
 /// Repository load/parse errors.
@@ -88,10 +129,14 @@ impl fmt::Display for RepositoryError {
 
 impl std::error::Error for RepositoryError {}
 
-/// A thread-safe collection of cluster rule sets.
+/// A thread-safe collection of cluster rule sets, with a per-cluster
+/// cache of their compiled execution form.
 #[derive(Debug, Default)]
 pub struct RuleRepository {
     clusters: RwLock<BTreeMap<String, ClusterRules>>,
+    /// Lazily built compiled rule sets; an entry is dropped whenever its
+    /// cluster is re-recorded, so readers never see stale compilations.
+    compiled: RwLock<BTreeMap<String, Arc<CompiledCluster>>>,
 }
 
 impl RuleRepository {
@@ -99,31 +144,79 @@ impl RuleRepository {
         RuleRepository::default()
     }
 
-    /// Record (insert or replace) a cluster's rules.
+    /// Record (insert or replace) a cluster's rules. Invalidates any
+    /// cached compilation of the same cluster.
     pub fn record(&self, rules: ClusterRules) {
-        self.clusters.write().insert(rules.cluster.clone(), rules);
+        let name = rules.cluster.clone();
+        self.clusters.write().expect("lock poisoned").insert(name.clone(), rules);
+        self.compiled.write().expect("lock poisoned").remove(&name);
+    }
+
+    /// The cluster's rules in compiled form, building and caching them on
+    /// first use. Callers across threads share the same `Arc`.
+    pub fn compiled(&self, cluster: &str) -> Option<Arc<CompiledCluster>> {
+        if let Some(hit) = self.compiled.read().expect("lock poisoned").get(cluster) {
+            return Some(Arc::clone(hit));
+        }
+        // Build while holding the cache write lock, snapshotting the rules
+        // inside it: a concurrent `record` either lands before our snapshot
+        // (we compile the new rules) or blocks on this lock and removes the
+        // entry we insert (the next call recompiles). Either way no stale
+        // compilation can stick. `record` never holds both locks at once,
+        // so taking `clusters.read` under `compiled.write` cannot deadlock.
+        let mut cache = self.compiled.write().expect("lock poisoned");
+        if let Some(hit) = cache.get(cluster) {
+            return Some(Arc::clone(hit));
+        }
+        let rules = self.clusters.read().expect("lock poisoned").get(cluster).cloned()?;
+        let compiled = Arc::new(rules.compile());
+        cache.insert(cluster.to_string(), Arc::clone(&compiled));
+        Some(compiled)
+    }
+
+    /// Extract a cluster's pages through the cached compiled rules —
+    /// §3.5's "external agents, for instance the XML extractor" entry
+    /// point. Returns `None` for an unknown cluster.
+    pub fn extract(
+        &self,
+        cluster: &str,
+        pages: &[(String, Document)],
+    ) -> Option<ExtractionResult> {
+        let compiled = self.compiled(cluster)?;
+        Some(extract_cluster_compiled(&compiled, pages))
+    }
+
+    /// Parallel variant of [`RuleRepository::extract`] over raw HTML.
+    pub fn extract_parallel(
+        &self,
+        cluster: &str,
+        pages: &[(String, String)],
+        threads: usize,
+    ) -> Option<ExtractionResult> {
+        let compiled = self.compiled(cluster)?;
+        Some(extract_cluster_parallel_compiled(&compiled, pages, threads))
     }
 
     pub fn get(&self, cluster: &str) -> Option<ClusterRules> {
-        self.clusters.read().get(cluster).cloned()
+        self.clusters.read().expect("lock poisoned").get(cluster).cloned()
     }
 
     pub fn cluster_names(&self) -> Vec<String> {
-        self.clusters.read().keys().cloned().collect()
+        self.clusters.read().expect("lock poisoned").keys().cloned().collect()
     }
 
     pub fn len(&self) -> usize {
-        self.clusters.read().len()
+        self.clusters.read().expect("lock poisoned").len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.clusters.read().is_empty()
+        self.clusters.read().expect("lock poisoned").is_empty()
     }
 
     // ---- persistence ------------------------------------------------------
 
     pub fn to_json(&self) -> Json {
-        let clusters = self.clusters.read();
+        let clusters = self.clusters.read().expect("lock poisoned");
         Json::Array(clusters.values().map(cluster_to_json).collect())
     }
 
@@ -405,6 +498,49 @@ mod tests {
             let json = retroweb_json::parse(text).unwrap();
             assert!(RuleRepository::from_json(&json).is_err(), "{text}");
         }
+    }
+
+    #[test]
+    fn compiled_is_cached_and_invalidated() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let first = repo.compiled("imdb-movies").expect("known cluster");
+        let second = repo.compiled("imdb-movies").expect("known cluster");
+        // Cache hit: same allocation.
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(first.rules.len(), 2);
+        assert_eq!(first.rule("runtime").unwrap().locations().len(), 1);
+
+        // Re-recording drops the cached compilation.
+        let mut altered = sample_cluster();
+        altered.rules.pop();
+        repo.record(altered);
+        let third = repo.compiled("imdb-movies").expect("known cluster");
+        assert!(!Arc::ptr_eq(&first, &third));
+        assert_eq!(third.rules.len(), 1);
+
+        assert!(repo.compiled("unknown").is_none());
+    }
+
+    #[test]
+    fn repository_extract_runs_compiled_rules() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let page = "<html><body><table><tr><td> Runtime: </td><td> 104 min </td></tr></table>\
+                    <ul><li>Drama</li><li>Comedy</li></ul></body></html>";
+        let pages = vec![("u1".to_string(), retroweb_html::parse(page))];
+        let result = repo.extract("imdb-movies", &pages).expect("known cluster");
+        let text = result.xml.to_string_with(0);
+        assert!(text.contains("<runtime>104</runtime>"), "{text}");
+        assert!(text.contains("<genre>Drama</genre>"), "{text}");
+        // Identical output to the uncached path.
+        let direct = crate::extract::extract_cluster(&sample_cluster(), &pages);
+        assert_eq!(direct.xml.to_string_with(0), text);
+        assert!(repo.extract("unknown", &pages).is_none());
+
+        let html_pages = vec![("u1".to_string(), page.to_string())];
+        let par = repo.extract_parallel("imdb-movies", &html_pages, 2).expect("known cluster");
+        assert_eq!(par.xml.to_string_with(0), text);
     }
 
     #[test]

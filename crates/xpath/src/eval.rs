@@ -1,8 +1,12 @@
 //! The XPath evaluation engine.
 
 use crate::ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
-use crate::value::{string_value, to_boolean, to_number, to_string_value, NodeRef, Value};
+use crate::value::{
+    cmp_numbers, order, string_value, string_value_cow, to_boolean, to_number, to_string_value,
+    NodeRef, Value,
+};
 use retroweb_html::{Document, NodeData, NodeId};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Evaluation failure (unknown function, arity error, type error).
@@ -193,16 +197,17 @@ impl<'d> Engine<'d> {
         use BinaryOp::*;
         match (a, b) {
             (Value::Nodes(na), Value::Nodes(nb)) => {
-                // ∃ (x, y) with string/number comparison holding.
+                // ∃ (x, y) with string/number comparison holding. The
+                // right-hand strings are computed once, not once per x,
+                // and text-node string-values borrow from the document.
+                let right: Vec<Cow<'_, str>> =
+                    nb.iter().map(|&y| string_value_cow(self.doc, y)).collect();
                 na.iter().any(|&x| {
-                    let sx = string_value(self.doc, x);
-                    nb.iter().any(|&y| {
-                        let sy = string_value(self.doc, y);
-                        match op {
-                            Eq => sx == sy,
-                            Ne => sx != sy,
-                            _ => cmp_numbers(op, crate::value::str_to_number(&sx), crate::value::str_to_number(&sy)),
-                        }
+                    let sx = string_value_cow(self.doc, x);
+                    right.iter().any(|sy| match op {
+                        Eq => sx == *sy,
+                        Ne => sx != *sy,
+                        _ => cmp_numbers(op, crate::value::str_to_number(&sx), crate::value::str_to_number(sy)),
                     })
                 })
             }
@@ -227,7 +232,7 @@ impl<'d> Engine<'d> {
                 }
             }
             Value::Num(n) => ns.iter().any(|&x| {
-                let nx = crate::value::str_to_number(&string_value(self.doc, x));
+                let nx = crate::value::str_to_number(&string_value_cow(self.doc, x));
                 match op {
                     Eq => nx == *n,
                     Ne => nx != *n,
@@ -238,7 +243,7 @@ impl<'d> Engine<'d> {
                 }
             }),
             Value::Str(s) => ns.iter().any(|&x| {
-                let sx = string_value(self.doc, x);
+                let sx = string_value_cow(self.doc, x);
                 match op {
                     Eq => sx == *s,
                     Ne => sx != *s,
@@ -406,6 +411,13 @@ impl<'d> Engine<'d> {
 
     /// Filter `nodes` (already in the order that defines `position()`).
     fn apply_predicate(&self, nodes: Vec<NodeRef>, pred: &Expr) -> Result<Vec<NodeRef>, EvalError> {
+        // A bare numeric predicate selects by position; no need to set up
+        // an evaluation context per node.
+        if let Expr::Number(n) = pred {
+            let keep = (*n >= 1.0 && n.fract() == 0.0 && (*n as usize) <= nodes.len())
+                .then(|| nodes[*n as usize - 1]);
+            return Ok(keep.into_iter().collect());
+        }
         let size = nodes.len();
         let mut kept = Vec::with_capacity(size);
         for (i, node) in nodes.into_iter().enumerate() {
@@ -439,25 +451,6 @@ impl<'d> Engine<'d> {
     }
 }
 
-fn order(a: f64, b: f64, flipped: bool) -> (f64, f64) {
-    if flipped {
-        (b, a)
-    } else {
-        (a, b)
-    }
-}
-
-fn cmp_numbers(op: BinaryOp, a: f64, b: f64) -> bool {
-    match op {
-        BinaryOp::Eq => a == b,
-        BinaryOp::Ne => a != b,
-        BinaryOp::Lt => a < b,
-        BinaryOp::Le => a <= b,
-        BinaryOp::Gt => a > b,
-        BinaryOp::Ge => a >= b,
-        _ => unreachable!(),
-    }
-}
 
 fn kind_name(v: &Value) -> &'static str {
     match v {

@@ -206,8 +206,9 @@ impl Engine<'_> {
 }
 
 /// XPath `substring` semantics: positions are 1-based, start/length are
-/// rounded, and the window is intersected with the string.
-fn xpath_substring(chars: &[char], start: f64, len: Option<f64>) -> String {
+/// rounded, and the window is intersected with the string. Shared with
+/// the compiled executor so both implementations agree by construction.
+pub(crate) fn xpath_substring(chars: &[char], start: f64, len: Option<f64>) -> String {
     let round = |n: f64| (n + 0.5).floor();
     let start_r = round(start);
     if start_r.is_nan() {

@@ -10,6 +10,40 @@
 //!   deduction, alternative paths) applied when a candidate rule fails on
 //!   other pages of the working sample.
 //!
+//! ## Two execution engines: compile → cache → execute
+//!
+//! Mapping rules are written once and applied to thousands of pages, so
+//! the crate ships two behaviour-identical evaluators:
+//!
+//! - [`Engine`] — the tree-walking interpreter over the parsed [`Expr`].
+//!   It is the executable *reference semantics*: simple, obviously
+//!   correct, kept for one-shot evaluation and as the oracle in the
+//!   differential test suites.
+//! - [`CompiledXPath`] + [`Executor`] ([`compile`]) — the production
+//!   path. `CompiledXPath::compile` lowers the AST into a flat, immutable
+//!   step program (interned name tests, resolved function ops,
+//!   specialised positional steps); an `Executor` bound to a document
+//!   runs any number of compiled expressions against it, reusing a
+//!   document-order rank and scratch buffers across calls.
+//!
+//! The intended flow for rule application is **compile once per rule
+//! set, cache the `CompiledXPath`s (see `retrozilla`'s `RuleRepository`),
+//! and execute them over every page with one `Executor` per document**:
+//!
+//! ```
+//! use retroweb_html::parse;
+//! use retroweb_xpath::{CompiledXPath, Executor};
+//!
+//! let rule = CompiledXPath::parse("//TR[2]/TD[2]/text()").unwrap(); // once
+//! for html in ["<body><table><tr><td>Runtime</td><td>142 min</td></tr>\
+//!               <tr><td>Country</td><td>UK</td></tr></table></body>"] {
+//!     let doc = parse(html);
+//!     let exec = Executor::new(&doc); // once per page, shared by all rules
+//!     let hits = exec.select(&rule, doc.root()).unwrap();
+//!     assert_eq!(doc.text(hits[0]), Some("UK"));
+//! }
+//! ```
+//!
 //! HTML-mode behaviour: element/attribute name tests match ASCII
 //! case-insensitively, so the paper's `BODY[1]/DIV[2]/TABLE[3]` addresses
 //! a lowercase DOM. [`parser::parse_lenient`] additionally accepts the
@@ -31,6 +65,7 @@
 
 mod ast;
 pub mod builder;
+pub mod compile;
 mod eval;
 mod functions;
 pub mod generalize;
@@ -39,11 +74,12 @@ pub mod parser;
 mod value;
 
 pub use ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
+pub use compile::{CompiledXPath, Executor};
 pub use eval::{Engine, EvalError};
 pub use functions::normalize_space;
 pub use lexer::{lex, LexError, Tok};
 pub use parser::{parse, parse_lenient, parse_path, ParseError};
 pub use value::{
-    format_number, node_name, str_to_number, string_value, to_boolean, to_number,
-    to_string_value, NodeRef, Value,
+    format_number, node_name, str_to_number, string_value, string_value_cow, to_boolean,
+    to_number, to_string_value, NodeRef, Value,
 };

@@ -64,18 +64,29 @@ impl Value {
 
 /// The XPath string-value of a node.
 pub fn string_value(doc: &Document, node: NodeRef) -> String {
+    string_value_cow(doc, node).into_owned()
+}
+
+/// The XPath string-value of a node, borrowing from the document where
+/// possible. Text, comment and attribute nodes — the overwhelming
+/// majority of nodes mapping-rule predicates touch — return `Borrowed`,
+/// so hot predicates like `contains(., "Runtime:")` evaluate without any
+/// allocation. Only element/document nodes (whose string-value is the
+/// concatenation of their text descendants) allocate.
+pub fn string_value_cow<'d>(doc: &'d Document, node: NodeRef) -> std::borrow::Cow<'d, str> {
+    use std::borrow::Cow;
     if let Some(attr_idx) = node.attr {
         return doc
             .element(node.id)
             .and_then(|el| el.attrs.get(attr_idx as usize))
-            .map(|a| a.value.clone())
+            .map(|a| Cow::Borrowed(a.value.as_str()))
             .unwrap_or_default();
     }
     match &doc.node(node.id).data {
-        NodeData::Document | NodeData::Element(_) => doc.text_content(node.id),
-        NodeData::Text(t) => t.clone(),
-        NodeData::Comment(c) => c.clone(),
-        NodeData::Doctype(_) => String::new(),
+        NodeData::Document | NodeData::Element(_) => Cow::Owned(doc.text_content(node.id)),
+        NodeData::Text(t) => Cow::Borrowed(t.as_str()),
+        NodeData::Comment(c) => Cow::Borrowed(c.as_str()),
+        NodeData::Doctype(_) => Cow::Borrowed(""),
     }
 }
 
@@ -135,6 +146,33 @@ pub fn format_number(n: f64) -> String {
         format!("{}", n as i64)
     } else {
         format!("{n}")
+    }
+}
+
+/// Operand ordering helper for the node-set/scalar comparison rules:
+/// restores left/right when the node-set appeared on the right. Shared
+/// by the interpreter and the compiled executor so the comparison
+/// ladder stays identical by construction.
+pub(crate) fn order(a: f64, b: f64, flipped: bool) -> (f64, f64) {
+    if flipped {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+/// Numeric comparison kernel for the relational operators (shared like
+/// [`order`]). Callers guarantee `op` is a comparison operator.
+pub(crate) fn cmp_numbers(op: crate::ast::BinaryOp, a: f64, b: f64) -> bool {
+    use crate::ast::BinaryOp;
+    match op {
+        BinaryOp::Eq => a == b,
+        BinaryOp::Ne => a != b,
+        BinaryOp::Lt => a < b,
+        BinaryOp::Le => a <= b,
+        BinaryOp::Gt => a > b,
+        BinaryOp::Ge => a >= b,
+        _ => unreachable!(),
     }
 }
 

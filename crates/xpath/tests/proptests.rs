@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use retroweb_html::{parse, Document, NodeData, NodeId};
 use retroweb_xpath::builder::{precise_path, precise_path_from};
 use retroweb_xpath::generalize::{broaden_step, strip_positions_from};
-use retroweb_xpath::{parse as xparse, Engine, Expr};
+use retroweb_xpath::{parse as xparse, CompiledXPath, Engine, Executor, Expr};
 
 /// Random nested-table/list documents, in the style of the paper's
 /// corpora.
@@ -36,6 +36,64 @@ fn all_addressable(doc: &Document) -> Vec<NodeId> {
     doc.descendants(doc.root())
         .filter(|&n| !matches!(doc.node(n).data, NodeData::Doctype(_)))
         .collect()
+}
+
+/// Random rule-shaped XPath expressions: the axes, node tests and
+/// predicate forms the precise-path builder and the §3.4 generalisation
+/// operators emit, composed freely.
+fn arb_xpath() -> impl Strategy<Value = String> {
+    let tag = prop::sample::select(vec![
+        "TABLE", "TR", "TD", "UL", "LI", "P", "B", "DIV", "*", "text()", "node()",
+    ]);
+    let axis = prop::sample::select(vec![
+        "",
+        "descendant::",
+        "descendant-or-self::",
+        "following::",
+        "preceding::",
+        "ancestor::",
+        "ancestor-or-self::",
+        "following-sibling::",
+        "preceding-sibling::",
+        "self::",
+    ]);
+    let pred = prop_oneof![
+        (1u32..5).prop_map(|n| format!("[{n}]")),
+        Just("[position()>=1]".to_string()),
+        Just("[position()>1]".to_string()),
+        Just("[last()]".to_string()),
+        Just("[position() = last()]".to_string()),
+        Just("[contains(., \"a\")]".to_string()),
+        Just("[normalize-space(.) != \"\"]".to_string()),
+        Just("[count(TD) > 1]".to_string()),
+        Just("[preceding::text()[1]]".to_string()),
+        Just(String::new()),
+    ];
+    let step = (axis, tag, pred).prop_map(|(a, t, p)| format!("{a}{t}{p}"));
+    (prop::collection::vec(step, 1..5), any::<bool>()).prop_map(|(steps, double)| {
+        format!("{}{}", if double { "//" } else { "/" }, steps.join("/"))
+    })
+}
+
+/// Assert interpreter ≡ compiled IR for one expression on one document:
+/// identical node-sets (via `select_refs`) and identical err-ness.
+fn assert_engines_agree(doc: &Document, xpath: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+    let Ok(expr) = xparse(xpath) else { return Ok(()) };
+    let engine = Engine::new(doc);
+    let exec = Executor::new(doc);
+    let compiled = CompiledXPath::compile(&expr);
+    let interpreted = engine.select_refs(&expr, doc.root());
+    let executed = exec.select_refs(&compiled, doc.root());
+    match (interpreted, executed) {
+        (Ok(a), Ok(b)) => prop_assert_eq!(a, b, "{}", xpath),
+        (Err(_), Err(_)) => {}
+        (a, b) => {
+            return Err(proptest::test_runner::TestCaseError::Fail(format!(
+                "{xpath}: interpreter {a:?} vs compiled {b:?}"
+            )))
+        }
+    }
+    Ok(())
 }
 
 proptest! {
@@ -147,6 +205,62 @@ proptest! {
                     std::cmp::Ordering::Less,
                     "{} not sorted/deduped", xpath
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_equals_interpreter_on_precise_paths(html in arb_document(), pick in any::<u32>()) {
+        // The tentpole invariant: on the exact expressions mapping rules
+        // record, the compiled IR engine is indistinguishable from the
+        // tree-walking reference engine.
+        let doc = parse(&html);
+        let nodes = all_addressable(&doc);
+        prop_assume!(!nodes.is_empty());
+        let target = nodes[pick as usize % nodes.len()];
+        let path = precise_path(&doc, target).unwrap();
+        assert_engines_agree(&doc, &path.to_string())?;
+        // And on its generalisations (position-stripped variants).
+        for from in 0..path.steps.len() {
+            assert_engines_agree(&doc, &strip_positions_from(&path, from).to_string())?;
+        }
+    }
+
+    #[test]
+    fn compiled_equals_interpreter_on_rule_shapes(html in arb_document(), xpath in arb_xpath()) {
+        let doc = parse(&html);
+        assert_engines_agree(&doc, &xpath)?;
+    }
+
+    #[test]
+    fn compiled_equals_interpreter_on_unions(
+        html in arb_document(),
+        a in arb_xpath(),
+        b in arb_xpath(),
+    ) {
+        let doc = parse(&html);
+        assert_engines_agree(&doc, &format!("{a} | {b}"))?;
+    }
+
+    #[test]
+    fn compiled_equals_interpreter_on_values(html in arb_document(), xpath in arb_xpath()) {
+        // Value-level equivalence (numbers/strings/booleans), through
+        // count()/string()/boolean() wrappers around generated paths.
+        let doc = parse(&html);
+        for wrapped in [
+            format!("count({xpath})"),
+            format!("string({xpath})"),
+            format!("boolean({xpath})"),
+            format!("normalize-space(string({xpath}))"),
+        ] {
+            let Ok(expr) = xparse(&wrapped) else { continue };
+            let compiled = CompiledXPath::compile(&expr);
+            let interpreted = Engine::new(&doc).eval(&expr, doc.root());
+            let executed = Executor::new(&doc).eval(&compiled, doc.root());
+            match (interpreted, executed) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y, "{}", wrapped),
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(false, "{}: {:?} vs {:?}", wrapped, x, y),
             }
         }
     }
