@@ -77,8 +77,7 @@ impl Bencher<'_> {
             black_box(payload());
             warm_iters += 1;
         }
-        let est_ns =
-            (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64).max(1.0);
         // Split the measurement window into `sample_size` samples of
         // `batch` iterations and average the per-iteration time.
         let budget_ns = self.measure.as_nanos() as f64;
@@ -136,7 +135,12 @@ fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
 }
 
 impl Criterion {
-    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: impl FnOnce(&mut Bencher),
+    ) {
         let mut mean_ns = 0.0;
         let mut bencher = Bencher {
             mean_ns: &mut mean_ns,
@@ -154,12 +158,7 @@ impl Criterion {
     }
 
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup {
-            criterion: self,
-            name: name.into(),
-            throughput: None,
-            sample_size: None,
-        }
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size: None }
     }
 }
 

@@ -574,7 +574,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 #[macro_export]
@@ -641,9 +643,10 @@ macro_rules! prop_assert_ne {
         let __l = &$a;
         let __r = &$b;
         if *__l == *__r {
-            return Err($crate::test_runner::TestCaseError::Fail(
-                format!("assert_ne failed: both {:?}", __l),
-            ));
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assert_ne failed: both {:?}",
+                __l
+            )));
         }
     }};
 }

@@ -101,11 +101,8 @@ mod tests {
             ..Default::default()
         };
         let site = movie::generate(&spec);
-        let examples: Vec<(&str, &[String])> = site
-            .pages
-            .iter()
-            .map(|p| (p.html.as_str(), p.truth["runtime"].as_slice()))
-            .collect();
+        let examples: Vec<(&str, &[String])> =
+            site.pages.iter().map(|p| (p.html.as_str(), p.truth["runtime"].as_slice())).collect();
         let w = LrWrapper::induce("runtime", &examples).unwrap();
         let set = LrWrapperSet { wrappers: vec![w] };
         let out = set.extract(&site.pages[1].html);

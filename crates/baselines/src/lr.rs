@@ -34,8 +34,7 @@ impl LrWrapper {
                 lefts.push(html[prefix_start..at].to_string());
                 let end = at + value.len();
                 let suffix_end = (end + MAX_DELIM).min(html.len());
-                let suffix_end =
-                    (end..=suffix_end).rev().find(|&i| html.is_char_boundary(i))?;
+                let suffix_end = (end..=suffix_end).rev().find(|&i| html.is_char_boundary(i))?;
                 rights.push(html[end..suffix_end].to_string());
             }
         }
@@ -101,11 +100,7 @@ fn longest_common_prefix(strings: &[String]) -> String {
             .zip(s.char_indices())
             .take_while(|((_, a), (_, b))| a == b)
             .count();
-        let byte_len = first
-            .char_indices()
-            .nth(common)
-            .map(|(i, _)| i)
-            .unwrap_or(first.len());
+        let byte_len = first.char_indices().nth(common).map(|(i, _)| i).unwrap_or(first.len());
         len = len.min(byte_len);
     }
     first[..len].to_string()

@@ -263,7 +263,8 @@ fn merge(a: &TNode, b: &TNode) -> Option<TNode> {
                 Some(TNode::Field(0))
             }
         }
-        (TNode::Field(_), TNode::Const(_)) | (TNode::Const(_), TNode::Field(_))
+        (TNode::Field(_), TNode::Const(_))
+        | (TNode::Const(_), TNode::Field(_))
         | (TNode::Field(_), TNode::Field(_)) => Some(TNode::Field(0)),
         (TNode::Repeat { shape: sa }, TNode::Repeat { shape: sb }) => {
             let merged = merge(sa, sb)?;
@@ -293,8 +294,7 @@ fn merge_children(a: &[TNode], b: &[TNode]) -> Vec<TNode> {
     // LCS over "alignability": same shallow structure, or both text-like
     // (Repeat/Optional align with single blocks of their shape).
     let alignable = |x: &TNode, y: &TNode| -> bool {
-        let text_like =
-            |n: &TNode| matches!(n, TNode::Const(_) | TNode::Field(_));
+        let text_like = |n: &TNode| matches!(n, TNode::Const(_) | TNode::Field(_));
         if text_like(x) && text_like(y) {
             return true;
         }

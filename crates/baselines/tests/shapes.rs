@@ -73,10 +73,7 @@ fn roadrunner_wrapper_breaks_on_redesign_without_reinduction() {
     let fields = Extractor::extract(&w, &drifted.pages[0].html);
     let all: Vec<&String> = fields.values().flatten().collect();
     let runtime = &drifted.pages[0].expected("runtime")[0];
-    assert!(
-        !all.contains(&runtime),
-        "stale wrapper unexpectedly survived the redesign"
-    );
+    assert!(!all.contains(&runtime), "stale wrapper unexpectedly survived the redesign");
 }
 
 #[test]

@@ -13,17 +13,12 @@ fn bench_clustering(c: &mut Criterion) {
         let docs: Vec<(String, retroweb_html::Document)> =
             corpus.iter().map(|p| (p.url.clone(), parse(&p.html))).collect();
         group.throughput(Throughput::Elements(corpus.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("signatures", corpus.len()),
-            &docs,
-            |b, docs| {
-                b.iter(|| {
-                    let sigs: Vec<PageSignature> =
-                        docs.iter().map(|(u, d)| signature(u, d)).collect();
-                    std::hint::black_box(sigs.len())
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("signatures", corpus.len()), &docs, |b, docs| {
+            b.iter(|| {
+                let sigs: Vec<PageSignature> = docs.iter().map(|(u, d)| signature(u, d)).collect();
+                std::hint::black_box(sigs.len())
+            })
+        });
         let sigs: Vec<PageSignature> = docs.iter().map(|(u, d)| signature(u, d)).collect();
         group.bench_with_input(
             BenchmarkId::new("agglomerative", corpus.len()),

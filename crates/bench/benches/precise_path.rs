@@ -13,10 +13,8 @@ fn bench_precise(c: &mut Criterion) {
         .remove(0)
         .html;
     let doc = parse(&page);
-    let texts: Vec<retroweb_html::NodeId> = doc
-        .descendants(doc.root())
-        .filter(|&n| doc.is_text(n))
-        .collect();
+    let texts: Vec<retroweb_html::NodeId> =
+        doc.descendants(doc.root()).filter(|&n| doc.is_text(n)).collect();
 
     c.bench_function("precise_path/build-all-text-nodes", |b| {
         b.iter(|| {

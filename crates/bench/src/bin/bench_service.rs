@@ -1,0 +1,172 @@
+//! Service throughput bench: pages/s and request latency over loopback
+//! HTTP, for the `retroweb-service` extraction server.
+//!
+//! Two scenarios:
+//! - **single**: one keep-alive client, sequential `POST /extract/{c}`
+//!   requests (per-request latency distribution);
+//! - **batch**: several client threads each streaming
+//!   `POST /extract/{c}/batch` requests (aggregate pages/s).
+//!
+//! Results go to stdout, `target/experiments/service_throughput.json`,
+//! and `BENCH_service.json` in the working directory — the committed
+//! copy tracks the serving-layer perf trajectory PR over PR.
+//!
+//! Run with: `cargo run --release -p retroweb-bench --bin bench_service`
+//! (set `BENCH_SERVICE_QUICK=1` for a fast smoke run).
+
+use retroweb_bench::write_experiment;
+use retroweb_json::Json;
+use retroweb_service::testdata::{
+    demo_page, demo_pages, demo_repository, pages_json, DEMO_CLUSTER,
+};
+use retroweb_service::{Client, Server, ServerConfig};
+use std::time::{Duration, Instant};
+
+struct LatencySummary {
+    p50_ms: f64,
+    p99_ms: f64,
+    mean_ms: f64,
+}
+
+fn summarize(mut samples: Vec<Duration>) -> LatencySummary {
+    assert!(!samples.is_empty());
+    samples.sort();
+    let q = |q: f64| -> f64 {
+        let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1].as_secs_f64() * 1_000.0
+    };
+    let mean_ms =
+        samples.iter().map(Duration::as_secs_f64).sum::<f64>() / samples.len() as f64 * 1_000.0;
+    LatencySummary { p50_ms: q(0.50), p99_ms: q(0.99), mean_ms }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1_000.0).round() / 1_000.0
+}
+
+fn main() {
+    let quick = std::env::var("BENCH_SERVICE_QUICK").is_ok();
+    let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4).clamp(2, 8);
+    let server = Server::bind(
+        demo_repository(),
+        ServerConfig { threads: workers + 1, queue_capacity: 128, ..Default::default() },
+    )
+    .expect("bind");
+    let handle = server.start().expect("start");
+    let addr = handle.addr();
+
+    println!("service throughput over loopback ({workers} workers)\n");
+
+    // ---- scenario 1: sequential single-page extraction -------------------
+    let (uri, html) = demo_page(7);
+    let single_requests = if quick { 50 } else { 5_000 };
+    let mut client = Client::connect(addr).expect("connect");
+    // Warmup builds the compiled-cluster cache.
+    for _ in 0..10 {
+        client
+            .request(
+                "POST",
+                &format!("/extract/{DEMO_CLUSTER}"),
+                &[("x-page-uri", uri.as_str())],
+                html.as_bytes(),
+            )
+            .expect("warmup");
+    }
+    let mut samples = Vec::with_capacity(single_requests);
+    let started = Instant::now();
+    for _ in 0..single_requests {
+        let t = Instant::now();
+        let resp = client
+            .request(
+                "POST",
+                &format!("/extract/{DEMO_CLUSTER}"),
+                &[("x-page-uri", uri.as_str())],
+                html.as_bytes(),
+            )
+            .expect("single extract");
+        assert_eq!(resp.status, 200);
+        samples.push(t.elapsed());
+    }
+    let single_elapsed = started.elapsed().as_secs_f64();
+    let single = summarize(samples);
+    let single_pages_per_s = single_requests as f64 / single_elapsed;
+    println!(
+        "single: {single_requests} requests in {single_elapsed:.2}s -> {:.0} pages/s  \
+         (p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms)",
+        single_pages_per_s, single.p50_ms, single.p99_ms, single.mean_ms
+    );
+
+    // ---- scenario 2: concurrent batch extraction -------------------------
+    let clients = workers.min(4);
+    let batch_size = 64;
+    let requests_per_client = if quick { 4 } else { 200 };
+    let body = pages_json(&demo_pages(batch_size));
+    let started = Instant::now();
+    let per_client: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let mut joins = Vec::new();
+        for _ in 0..clients {
+            let body = body.as_str();
+            joins.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut samples = Vec::with_capacity(requests_per_client);
+                for _ in 0..requests_per_client {
+                    let t = Instant::now();
+                    let resp = client
+                        .request(
+                            "POST",
+                            &format!("/extract/{DEMO_CLUSTER}/batch?threads=2"),
+                            &[],
+                            body.as_bytes(),
+                        )
+                        .expect("batch extract");
+                    assert_eq!(resp.status, 200);
+                    samples.push(t.elapsed());
+                }
+                samples
+            }));
+        }
+        joins.into_iter().map(|j| j.join().expect("bench client")).collect()
+    });
+    let batch_elapsed = started.elapsed().as_secs_f64();
+    let total_pages = clients * requests_per_client * batch_size;
+    let batch = summarize(per_client.into_iter().flatten().collect());
+    let batch_pages_per_s = total_pages as f64 / batch_elapsed;
+    println!(
+        "batch:  {clients} clients x {requests_per_client} x {batch_size} pages in {batch_elapsed:.2}s \
+         -> {:.0} pages/s  (p50 {:.1} ms, p99 {:.1} ms per request)",
+        batch_pages_per_s, batch.p50_ms, batch.p99_ms
+    );
+
+    handle.shutdown();
+
+    let record = Json::object(vec![
+        ("bench".into(), Json::from("service_throughput")),
+        ("server_workers".into(), Json::from(workers + 1)),
+        (
+            "single".into(),
+            Json::object(vec![
+                ("requests".into(), Json::from(single_requests)),
+                ("pages_per_s".into(), Json::from(round3(single_pages_per_s))),
+                ("p50_ms".into(), Json::from(round3(single.p50_ms))),
+                ("p99_ms".into(), Json::from(round3(single.p99_ms))),
+                ("mean_ms".into(), Json::from(round3(single.mean_ms))),
+            ]),
+        ),
+        (
+            "batch".into(),
+            Json::object(vec![
+                ("clients".into(), Json::from(clients)),
+                ("requests_per_client".into(), Json::from(requests_per_client)),
+                ("batch_size".into(), Json::from(batch_size)),
+                ("pages".into(), Json::from(total_pages)),
+                ("pages_per_s".into(), Json::from(round3(batch_pages_per_s))),
+                ("p50_ms".into(), Json::from(round3(batch.p50_ms))),
+                ("p99_ms".into(), Json::from(round3(batch.p99_ms))),
+            ]),
+        ),
+    ]);
+    write_experiment("service_throughput", &record);
+    std::fs::write("BENCH_service.json", record.to_string_pretty())
+        .expect("write BENCH_service.json");
+    println!("[record written to BENCH_service.json]");
+}

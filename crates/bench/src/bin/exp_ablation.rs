@@ -9,9 +9,7 @@
 use retroweb_bench::{evaluate_rules, f3, mean, write_experiment};
 use retroweb_json::Json;
 use retroweb_sitegen::{movie, MovieSiteSpec, MOVIE_COMPONENTS};
-use retrozilla::{
-    build_rules, RefineConfig, ScenarioConfig, SimulatedUser, User,
-};
+use retrozilla::{build_rules, RefineConfig, ScenarioConfig, SimulatedUser, User};
 
 const SEEDS: [u64; 6] = [301, 302, 303, 304, 305, 306];
 const SAMPLE_N: usize = 8;
@@ -67,13 +65,10 @@ fn main() {
             ok_frac.push(ok as f64 / reports.len().max(1) as f64);
             interactions.push(user.stats().total() as f64);
             alt_paths.push(
-                reports
-                    .iter()
-                    .map(|r| r.rule.locations.len().saturating_sub(1))
-                    .sum::<usize>() as f64,
+                reports.iter().map(|r| r.rule.locations.len().saturating_sub(1)).sum::<usize>()
+                    as f64,
             );
-            let rules: Vec<retrozilla::MappingRule> =
-                reports.into_iter().map(|r| r.rule).collect();
+            let rules: Vec<retrozilla::MappingRule> = reports.into_iter().map(|r| r.rule).collect();
             let held_out = &site.pages[SAMPLE_N..];
             let prf = evaluate_rules(&rules, held_out, MOVIE_COMPONENTS);
             ps.push(prf.precision);

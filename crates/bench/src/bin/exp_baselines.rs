@@ -42,7 +42,14 @@ fn main() {
     );
     println!(
         "{:<22} {:>9} {:>8} {:>8} {:>9} {:>13} {:>11} {:>11}",
-        "system", "precision", "recall", "F1", "unwanted", "interactions", "induce(ms)", "extract(ms)"
+        "system",
+        "precision",
+        "recall",
+        "F1",
+        "unwanted",
+        "interactions",
+        "induce(ms)",
+        "extract(ms)"
     );
 
     let mut records = Vec::new();
@@ -73,11 +80,26 @@ fn main() {
     let (prf, unwanted) = evaluate_extractions(&outputs, COMPONENTS, false);
     println!(
         "{:<22} {:>9} {:>8} {:>8} {:>9} {:>13} {:>11} {:>11}",
-        "retrozilla", f3(prf.precision), f3(prf.recall), f3(prf.f1), unwanted,
-        stats.total(), f3(induce_ms), f3(extract_ms)
+        "retrozilla",
+        f3(prf.precision),
+        f3(prf.recall),
+        f3(prf.f1),
+        unwanted,
+        stats.total(),
+        f3(induce_ms),
+        f3(extract_ms)
     );
     f1s.insert("retrozilla", prf.f1);
-    records.push(system_record("retrozilla", prf.precision, prf.recall, prf.f1, unwanted, stats.total() as usize, induce_ms, extract_ms));
+    records.push(system_record(
+        "retrozilla",
+        prf.precision,
+        prf.recall,
+        prf.f1,
+        unwanted,
+        stats.total() as usize,
+        induce_ms,
+        extract_ms,
+    ));
 
     // ---- RoadRunner-style ----------------------------------------------------
     let t0 = Instant::now();
@@ -114,11 +136,26 @@ fn main() {
     let (prf, unwanted) = evaluate_extractions(&outputs, COMPONENTS, false);
     println!(
         "{:<22} {:>9} {:>8} {:>8} {:>9} {:>13} {:>11} {:>11}",
-        "roadrunner-style", f3(prf.precision), f3(prf.recall), f3(prf.f1), unwanted,
-        rr_interactions, f3(induce_ms), f3(extract_ms)
+        "roadrunner-style",
+        f3(prf.precision),
+        f3(prf.recall),
+        f3(prf.f1),
+        unwanted,
+        rr_interactions,
+        f3(induce_ms),
+        f3(extract_ms)
     );
     f1s.insert("roadrunner", prf.f1);
-    records.push(system_record("roadrunner-style", prf.precision, prf.recall, prf.f1, unwanted, rr_interactions, induce_ms, extract_ms));
+    records.push(system_record(
+        "roadrunner-style",
+        prf.precision,
+        prf.recall,
+        prf.f1,
+        unwanted,
+        rr_interactions,
+        induce_ms,
+        extract_ms,
+    ));
 
     // ---- LR wrappers ----------------------------------------------------------
     let t0 = Instant::now();
@@ -144,11 +181,26 @@ fn main() {
     let (prf, unwanted) = evaluate_extractions(&outputs, COMPONENTS, false);
     println!(
         "{:<22} {:>9} {:>8} {:>8} {:>9} {:>13} {:>11} {:>11}",
-        "lr-wrapper", f3(prf.precision), f3(prf.recall), f3(prf.f1), unwanted,
-        lr_interactions, f3(induce_ms), f3(extract_ms)
+        "lr-wrapper",
+        f3(prf.precision),
+        f3(prf.recall),
+        f3(prf.f1),
+        unwanted,
+        lr_interactions,
+        f3(induce_ms),
+        f3(extract_ms)
     );
     f1s.insert("lr", prf.f1);
-    records.push(system_record("lr-wrapper", prf.precision, prf.recall, prf.f1, unwanted, lr_interactions, induce_ms, extract_ms));
+    records.push(system_record(
+        "lr-wrapper",
+        prf.precision,
+        prf.recall,
+        prf.f1,
+        unwanted,
+        lr_interactions,
+        induce_ms,
+        extract_ms,
+    ));
 
     // ---- shape checks vs the paper's qualitative claims -----------------------
     assert!(
@@ -160,7 +212,9 @@ fn main() {
         "tree-level rules must be at least as robust as string delimiters"
     );
     assert!(f1s["retrozilla"] > 0.95, "retrozilla F1 = {}", f1s["retrozilla"]);
-    println!("\nShape checks: retrozilla wins targeted F1; automatic induction extracts unwanted data; ");
+    println!(
+        "\nShape checks: retrozilla wins targeted F1; automatic induction extracts unwanted data; "
+    );
     println!("              LR needs labels on every training value and degrades on shifts  ✓");
 
     write_experiment(

@@ -15,7 +15,14 @@ const HELD_OUT: usize = 40;
 
 fn main() {
     println!("E6. Rule convergence vs working-sample size (claim: ~5 pages suffice)\n");
-    println!("{:>6} {:>8} {:>8} {:>8}   (mean over {} seeds)", "sample", "P", "R", "F1", SEEDS.len());
+    println!(
+        "{:>6} {:>8} {:>8} {:>8}   (mean over {} seeds)",
+        "sample",
+        "P",
+        "R",
+        "F1",
+        SEEDS.len()
+    );
 
     let mut series = Vec::new();
     let mut f1_by_size = Vec::new();
@@ -34,8 +41,7 @@ fn main() {
                 ..Default::default()
             };
             let (reports, _, _) = build_movie_rules(&spec, sample_n, MOVIE_COMPONENTS);
-            let rules: Vec<retrozilla::MappingRule> =
-                reports.into_iter().map(|r| r.rule).collect();
+            let rules: Vec<retrozilla::MappingRule> = reports.into_iter().map(|r| r.rule).collect();
             let site = movie::generate(&spec);
             let held_out = &site.pages[sample_n..];
             let prf = evaluate_rules(&rules, held_out, MOVIE_COMPONENTS);
@@ -64,7 +70,12 @@ fn main() {
         f1_12 - f1_5 < 0.08,
         "gains after 5 pages should be marginal: F1(5)={f1_5} F1(12)={f1_12}"
     );
-    println!("\nShape check vs paper: F1(1)={} < F1(5)={} ≈ F1(12)={}  ✓", f3(f1_1), f3(f1_5), f3(f1_12));
+    println!(
+        "\nShape check vs paper: F1(1)={} < F1(5)={} ≈ F1(12)={}  ✓",
+        f3(f1_1),
+        f3(f1_5),
+        f3(f1_12)
+    );
 
     write_experiment(
         "exp_convergence",

@@ -44,7 +44,12 @@ fn main() {
     println!("E7. Extraction accuracy vs document structure grade\n");
     println!(
         "{:<14} {:>8} {:>8} {:>8}   (mean over {} seeds, {} held-out pages)",
-        "structure", "P", "R", "F1", SEEDS.len(), HELD_OUT
+        "structure",
+        "P",
+        "R",
+        "F1",
+        SEEDS.len(),
+        HELD_OUT
     );
 
     let names = ["flat-bare", "flat-labeled", "rows", "rows+wrap"];
@@ -58,8 +63,7 @@ fn main() {
         for &seed in &SEEDS {
             let spec = grade_spec(grade, seed);
             let (reports, _, _) = build_movie_rules(&spec, SAMPLE_N, COMPONENTS);
-            let rules: Vec<retrozilla::MappingRule> =
-                reports.into_iter().map(|r| r.rule).collect();
+            let rules: Vec<retrozilla::MappingRule> = reports.into_iter().map(|r| r.rule).collect();
             let site = movie::generate(&spec);
             let held_out = &site.pages[SAMPLE_N..];
             let prf = evaluate_rules(&rules, held_out, COMPONENTS);
@@ -89,7 +93,10 @@ fn main() {
     assert!(f1_by_grade[3] > 0.95);
     println!(
         "\nShape check vs paper: accuracy rises with structure ({} < {} ≤ {} ≈ {})  ✓",
-        f3(f1_by_grade[0]), f3(f1_by_grade[1]), f3(f1_by_grade[2]), f3(f1_by_grade[3])
+        f3(f1_by_grade[0]),
+        f3(f1_by_grade[1]),
+        f3(f1_by_grade[2]),
+        f3(f1_by_grade[3])
     );
 
     write_experiment(

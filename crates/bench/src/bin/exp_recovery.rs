@@ -8,9 +8,7 @@
 use retroweb_bench::{build_movie_rules, evaluate_rules, f3, write_experiment};
 use retroweb_json::Json;
 use retroweb_sitegen::{drift_movie, movie, Drift, MovieSiteSpec};
-use retrozilla::{
-    repair_rules, working_sample, ClusterRules, ScenarioConfig, SimulatedUser, User,
-};
+use retrozilla::{repair_rules, working_sample, ClusterRules, ScenarioConfig, SimulatedUser, User};
 
 const COMPONENTS: &[&str] = &["title", "runtime", "country", "rating"];
 const SAMPLE_N: usize = 8;
@@ -19,7 +17,13 @@ fn main() {
     println!("E9. Failure detection and semi-automated repair under site drift\n");
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>12} {:>12} {:>14}",
-        "drift", "F1 before", "F1 drifted", "F1 repaired", "detections", "repair cost", "rebuild cost"
+        "drift",
+        "F1 before",
+        "F1 drifted",
+        "F1 repaired",
+        "detections",
+        "repair cost",
+        "rebuild cost"
     );
 
     let spec = MovieSiteSpec {
@@ -59,12 +63,8 @@ fn main() {
         // Cost of building everything from scratch on the drifted site.
         let (_, scratch_stats, _) = {
             let mut user = SimulatedUser::new();
-            let reports = retrozilla::build_rules(
-                COMPONENTS,
-                &sample,
-                &mut user,
-                &ScenarioConfig::default(),
-            );
+            let reports =
+                retrozilla::build_rules(COMPONENTS, &sample, &mut user, &ScenarioConfig::default());
             (reports, user.stats(), ())
         };
         let rebuild_cost = scratch_stats.total();
@@ -72,8 +72,13 @@ fn main() {
         let drift_name = format!("{drift:?}").to_lowercase();
         println!(
             "{:<12} {:>9} {:>10} {:>10} {:>12} {:>12} {:>14}",
-            drift_name, f3(f1_before), f3(f1_drifted), f3(f1_repaired),
-            detections, repair_cost, rebuild_cost
+            drift_name,
+            f3(f1_before),
+            f3(f1_drifted),
+            f3(f1_repaired),
+            detections,
+            repair_cost,
+            rebuild_cost
         );
 
         assert!(f1_before > 0.99, "{drift:?}: baseline must be clean");

@@ -6,7 +6,9 @@
 //! extraction quality.
 
 use retroweb_bench::{evaluate_rules, f3, write_experiment};
-use retroweb_cluster::{cluster_pages, pairwise_f1, purity, rand_index, signature, ClusterParams, PageSignature};
+use retroweb_cluster::{
+    cluster_pages, pairwise_f1, purity, rand_index, signature, ClusterParams, PageSignature,
+};
 use retroweb_html::parse;
 use retroweb_json::Json;
 use retroweb_sitegen::{mixed_corpus, Page};
@@ -41,7 +43,11 @@ fn main() {
     }
     println!(
         "    quality: purity={} rand-index={} pairwise P/R/F1={}/{}/{}",
-        f3(pur), f3(ri), f3(cp), f3(cr), f3(cf1)
+        f3(pur),
+        f3(ri),
+        f3(cp),
+        f3(cr),
+        f3(cf1)
     );
     assert!(pur >= 0.95, "clustering must be essentially pure, got {pur}");
 
@@ -65,8 +71,7 @@ fn main() {
         let sample = sample_from_pages(pages.iter().take(6).cloned().collect());
         let mut user = SimulatedUser::new();
         let reports = build_rules(components, &sample, &mut user, &ScenarioConfig::default());
-        let rules: Vec<retrozilla::MappingRule> =
-            reports.iter().map(|r| r.rule.clone()).collect();
+        let rules: Vec<retrozilla::MappingRule> = reports.iter().map(|r| r.rule.clone()).collect();
         let prf = evaluate_rules(&rules, &pages, components);
         println!(
             "    \"{}\" ({}): {} rules, {} interactions, extraction F1={} over {} pages",

@@ -25,8 +25,10 @@ fn main() {
     }
 
     // §2.1 criteria, measured.
-    let sig_a = signature(&format!("http://imdb.com{}", a.url.trim_start_matches('.')), &parse(&a.html));
-    let sig_c = signature(&format!("http://imdb.com{}", c.url.trim_start_matches('.')), &parse(&c.html));
+    let sig_a =
+        signature(&format!("http://imdb.com{}", a.url.trim_start_matches('.')), &parse(&a.html));
+    let sig_c =
+        signature(&format!("http://imdb.com{}", c.url.trim_start_matches('.')), &parse(&c.html));
     let weights = SimilarityWeights::default();
     let sim = page_similarity(&sig_a, &sig_c, &weights);
 

@@ -19,7 +19,10 @@ fn main() {
     };
     let (reports, stats, sample) = build_movie_rules(&spec, 10, MOVIE_COMPONENTS);
 
-    println!("Figure 3. Mapping rules building scenario — trace over a {}-page sample\n", sample.len());
+    println!(
+        "Figure 3. Mapping rules building scenario — trace over a {}-page sample\n",
+        sample.len()
+    );
     println!(
         "{:<10} {:>10} {:>6} {:<11} {:<13} {:<6}  refinement path",
         "component", "candidate", "iters", "optionality", "multiplicity", "format"
@@ -36,7 +39,11 @@ fn main() {
             r.rule.optionality.to_string(),
             r.rule.multiplicity.to_string(),
             r.rule.format.to_string(),
-            if r.strategies.is_empty() { "candidate OK → record".to_string() } else { r.strategies.join(" → ") }
+            if r.strategies.is_empty() {
+                "candidate OK → record".to_string()
+            } else {
+                r.strategies.join(" → ")
+            }
         );
         assert!(r.ok, "{} did not converge", r.component);
         records.push(Json::object(vec![

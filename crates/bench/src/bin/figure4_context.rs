@@ -26,9 +26,8 @@ fn main() {
     println!("candidate XPath (from selection on the left page):");
     println!("  {candidate}\n");
 
-    let wrong = Engine::new(&right_doc)
-        .select(&Expr::Path(candidate.clone()), right_doc.root())
-        .unwrap();
+    let wrong =
+        Engine::new(&right_doc).select(&Expr::Path(candidate.clone()), right_doc.root()).unwrap();
     let wrong_text = retroweb_xpath::normalize_space(right_doc.text(wrong[0]).unwrap_or(""));
     println!("applied to the right page it matches the WRONG item:");
     println!("  \"{wrong_text}\"\n");

@@ -7,8 +7,8 @@
 use retroweb_bench::write_experiment;
 use retroweb_json::Json;
 use retroweb_sitegen::paper::paper_working_sample;
-use retrozilla::{check_rule, sample_from_pages, ComponentName, Format, MappingRule};
 use retroweb_xpath::parse as xparse;
+use retrozilla::{check_rule, sample_from_pages, ComponentName, Format, MappingRule};
 
 fn main() {
     let sample = sample_from_pages(paper_working_sample());
@@ -24,7 +24,8 @@ fn main() {
     println!("(location: BODY//TR[6]/TD[1]/text()[1])\n");
     print!("{}", table.render());
 
-    let expected = ["108 min", "91 min", "The Wing and the Thigh (International: English title)", "-"];
+    let expected =
+        ["108 min", "91 min", "The Wing and the Thigh (International: English title)", "-"];
     let mut rows_json = Vec::new();
     for (row, want) in table.rows.iter().zip(expected) {
         let got = row.display_value();

@@ -61,7 +61,8 @@ fn main() {
             .first()
             .map(|&n| retroweb_xpath::normalize_space(&doc.text_content(n)))
             .unwrap_or_else(|| "(void)".to_string());
-        let first_short = if first.len() > 42 { format!("{}…", &first[..42]) } else { first.clone() };
+        let first_short =
+            if first.len() > 42 { format!("{}…", &first[..42]) } else { first.clone() };
         println!("{row:>2}. {xpath}");
         println!("      → {} node(s); first: \"{first_short}\"\n", hits.len());
         hits_by_row.push((hits.len(), first));

@@ -16,7 +16,8 @@ const COMPONENTS: &[&str] = &["title", "runtime", "country", "genre"];
 fn main() {
     // Runtime present everywhere so its rule stays mandatory — the §7
     // detector only fires for mandatory components.
-    let spec = MovieSiteSpec { n_pages: 20, seed: 404, p_missing_runtime: 0.0, ..Default::default() };
+    let spec =
+        MovieSiteSpec { n_pages: 20, seed: 404, p_missing_runtime: 0.0, ..Default::default() };
 
     // Measurements backing the feature cells.
     let (reports, stats, _) = build_movie_rules(&spec, 8, COMPONENTS);

@@ -16,10 +16,9 @@ use std::path::PathBuf;
 
 /// Directory where experiment JSON records land.
 pub fn experiments_dir() -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     dir
 }

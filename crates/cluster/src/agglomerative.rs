@@ -95,12 +95,7 @@ fn name_cluster(signatures: &[PageSignature], members: &[usize]) -> String {
         .into_iter()
         .max_by_key(|&(t, c)| (c, std::cmp::Reverse(t.len()), t.to_string()))
         .map(|(t, _)| t.to_string())
-        .unwrap_or_else(|| {
-            members
-                .first()
-                .map(|&m| signatures[m].host.clone())
-                .unwrap_or_default()
-        })
+        .unwrap_or_else(|| members.first().map(|&m| signatures[m].host.clone()).unwrap_or_default())
 }
 
 #[cfg(test)]
@@ -116,9 +111,18 @@ mod tests {
     #[test]
     fn identical_templates_merge() {
         let sigs = vec![
-            sig("http://m.org/title/tt1/", "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>"),
-            sig("http://m.org/title/tt2/", "<body><table><tr><td>Runtime:</td><td>80 min</td></tr></table></body>"),
-            sig("http://m.org/title/tt3/", "<body><table><tr><td>Runtime:</td><td>70 min</td></tr></table></body>"),
+            sig(
+                "http://m.org/title/tt1/",
+                "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>",
+            ),
+            sig(
+                "http://m.org/title/tt2/",
+                "<body><table><tr><td>Runtime:</td><td>80 min</td></tr></table></body>",
+            ),
+            sig(
+                "http://m.org/title/tt3/",
+                "<body><table><tr><td>Runtime:</td><td>70 min</td></tr></table></body>",
+            ),
         ];
         let clusters = cluster_pages(&sigs, &ClusterParams::default());
         assert_eq!(clusters.len(), 1);
@@ -129,8 +133,14 @@ mod tests {
     #[test]
     fn different_templates_stay_apart() {
         let sigs = vec![
-            sig("http://m.org/title/tt1/", "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>"),
-            sig("http://m.org/search/q1", "<body><ul><li>r1</li><li>r2</li><li>r3</li></ul><form><input></form></body>"),
+            sig(
+                "http://m.org/title/tt1/",
+                "<body><table><tr><td>Runtime:</td><td>90 min</td></tr></table></body>",
+            ),
+            sig(
+                "http://m.org/search/q1",
+                "<body><ul><li>r1</li><li>r2</li><li>r3</li></ul><form><input></form></body>",
+            ),
         ];
         let clusters = cluster_pages(&sigs, &ClusterParams::default());
         assert_eq!(clusters.len(), 2);

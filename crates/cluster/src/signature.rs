@@ -40,7 +40,15 @@ pub fn signature(url: &str, doc: &Document) -> PageSignature {
     let mut keywords = HashMap::new();
 
     let mut path: Vec<&str> = Vec::new();
-    collect(doc, doc.root(), &mut path, &mut tag_histogram, &mut path_shingles, &mut tag_sequence, &mut keywords);
+    collect(
+        doc,
+        doc.root(),
+        &mut path,
+        &mut tag_histogram,
+        &mut path_shingles,
+        &mut tag_sequence,
+        &mut keywords,
+    );
 
     PageSignature { host, url_tokens, tag_histogram, path_shingles, tag_sequence, keywords }
 }
@@ -93,10 +101,7 @@ fn collect<'d>(
 /// to `#`, so `/title/tt0095159/` and `/title/tt0071853/` produce
 /// identical token lists — the simple URL-pattern criterion of ref. \[7\] in the paper.
 pub fn tokenize_url(url: &str) -> (String, Vec<String>) {
-    let rest = url
-        .strip_prefix("http://")
-        .or_else(|| url.strip_prefix("https://"))
-        .unwrap_or(url);
+    let rest = url.strip_prefix("http://").or_else(|| url.strip_prefix("https://")).unwrap_or(url);
     let (host, path) = match rest.find('/') {
         Some(i) => (&rest[..i], &rest[i..]),
         None => (rest, ""),

@@ -58,11 +58,7 @@ pub fn sequence_similarity(a: &[String], b: &[String]) -> f64 {
     let mut cur = vec![0u32; b.len() + 1];
     for ai in a {
         for (j, bj) in b.iter().enumerate() {
-            cur[j + 1] = if ai == bj {
-                prev[j] + 1
-            } else {
-                cur[j].max(prev[j + 1])
-            };
+            cur[j + 1] = if ai == bj { prev[j] + 1 } else { cur[j].max(prev[j + 1]) };
         }
         std::mem::swap(&mut prev, &mut cur);
     }

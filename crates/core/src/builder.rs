@@ -74,10 +74,7 @@ pub fn build_rules(
     user: &mut dyn User,
     config: &ScenarioConfig,
 ) -> Vec<ComponentReport> {
-    components
-        .iter()
-        .filter_map(|c| build_rule(c, sample, user, config))
-        .collect()
+    components.iter().filter_map(|c| build_rule(c, sample, user, config)).collect()
 }
 
 #[cfg(test)]

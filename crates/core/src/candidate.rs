@@ -57,13 +57,15 @@ mod tests {
     fn sample_pages() -> Vec<SamplePage> {
         let mut p1 = Page::new(
             "http://x.org/1".into(),
-            "<html><body><table><tr><td>Runtime:</td><td>108 min</td></tr></table></body></html>".into(),
+            "<html><body><table><tr><td>Runtime:</td><td>108 min</td></tr></table></body></html>"
+                .into(),
             "c",
         );
         p1.expect("runtime", "108 min");
         let mut p2 = Page::new(
             "http://x.org/2".into(),
-            "<html><body><table><tr><td>Runtime:</td><td>91 min</td></tr></table></body></html>".into(),
+            "<html><body><table><tr><td>Runtime:</td><td>91 min</td></tr></table></body></html>"
+                .into(),
             "c",
         );
         p2.expect("runtime", "91 min");
@@ -80,10 +82,7 @@ mod tests {
         assert_eq!(cand.rule.optionality, Optionality::Mandatory);
         assert_eq!(cand.rule.multiplicity, Multiplicity::SingleValued);
         assert_eq!(cand.rule.format, Format::Text);
-        assert_eq!(
-            cand.rule.location_display(),
-            "/HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]"
-        );
+        assert_eq!(cand.rule.location_display(), "/HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()[1]");
         // Selection + interpretation = 2 interactions.
         assert_eq!(user.stats().selections, 1);
         assert_eq!(user.stats().interpretations, 1);

@@ -86,13 +86,8 @@ impl CheckTable {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!("Candidate rule checking for component \"{}\"\n", self.component));
-        let uri_width = self
-            .rows
-            .iter()
-            .map(|r| r.uri.len())
-            .max()
-            .unwrap_or(8)
-            .max("Page URI".len());
+        let uri_width =
+            self.rows.iter().map(|r| r.uri.len()).max().unwrap_or(8).max("Page URI".len());
         out.push_str(&format!("   {:<uri_width$}  Component value\n", "Page URI"));
         for (i, row) in self.rows.iter().enumerate() {
             let letter = (b'a' + (i % 26) as u8) as char;
@@ -207,10 +202,7 @@ mod tests {
         assert_eq!(classify(&v(&["108 min"]), &v(&[])), Outcome::Void);
         assert_eq!(classify(&v(&[]), &v(&["junk"])), Outcome::Unexpected);
         assert_eq!(classify(&v(&["108 min"]), &v(&["108"])), Outcome::Incomplete);
-        assert_eq!(
-            classify(&v(&["Drama", "Comedy"]), &v(&["Drama"])),
-            Outcome::PartialMultiple
-        );
+        assert_eq!(classify(&v(&["Drama", "Comedy"]), &v(&["Drama"])), Outcome::PartialMultiple);
         assert_eq!(classify(&v(&["108 min"]), &v(&["The Wing"])), Outcome::Wrong);
         // Multiple matches where one was expected: wrong, not partial.
         assert_eq!(classify(&v(&["a"]), &v(&["a", "b"])), Outcome::Wrong);
@@ -226,8 +218,16 @@ mod tests {
         let table = CheckTable {
             component: "runtime".into(),
             rows: vec![
-                CheckRow { uri: "./title/tt0095159/".into(), matched: v(&["108 min"]), outcome: Outcome::Correct },
-                CheckRow { uri: "./title/tt0102059/".into(), matched: vec![], outcome: Outcome::Void },
+                CheckRow {
+                    uri: "./title/tt0095159/".into(),
+                    matched: v(&["108 min"]),
+                    outcome: Outcome::Correct,
+                },
+                CheckRow {
+                    uri: "./title/tt0102059/".into(),
+                    matched: vec![],
+                    outcome: Outcome::Void,
+                },
             ],
         };
         let rendered = table.render();

@@ -222,7 +222,8 @@ pub fn extract_cluster_parallel_compiled(
 ) -> ExtractionResult {
     let threads = threads.max(1);
     let chunk = pages.len().div_ceil(threads).max(1);
-    let mut slots: Vec<Option<(XmlElement, Vec<RuleFailure>)>> = (0..pages.len()).map(|_| None).collect();
+    let mut slots: Vec<Option<(XmlElement, Vec<RuleFailure>)>> =
+        (0..pages.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         let mut rest: &mut [Option<(XmlElement, Vec<RuleFailure>)>] = &mut slots;
         let mut offset = 0;
@@ -360,10 +361,9 @@ fn structure_schema(rules: &ClusterRules, node: &StructureNode) -> SchemaNode {
             // A structure entry without a rule: emit an optional string leaf.
             None => SchemaNode::leaf(name, true, false, false),
         },
-        StructureNode::Group { name, children } => SchemaNode::group(
-            name,
-            children.iter().map(|c| structure_schema(rules, c)).collect(),
-        ),
+        StructureNode::Group { name, children } => {
+            SchemaNode::group(name, children.iter().map(|c| structure_schema(rules, c)).collect())
+        }
     }
 }
 
@@ -398,7 +398,8 @@ mod tests {
         }
     }
 
-    const PAGE: &str = "<html><body><table><tr><td><b>Runtime:</b></td><td> 108 min </td></tr></table>\
+    const PAGE: &str =
+        "<html><body><table><tr><td><b>Runtime:</b></td><td> 108 min </td></tr></table>\
         <ul><li>Drama</li><li>Comedy</li></ul></body></html>";
 
     fn cluster() -> ClusterRules {
@@ -442,7 +443,8 @@ mod tests {
 
     #[test]
     fn mandatory_missing_detected() {
-        let page_without = "<html><body><p>no facts</p><ul><li>Drama</li><li>X</li></ul></body></html>";
+        let page_without =
+            "<html><body><p>no facts</p><ul><li>Drama</li><li>X</li></ul></body></html>";
         let result = extract_cluster_html(&cluster(), &[("u2".into(), page_without.into())]);
         assert!(result.failures.iter().any(|f| f.component == "runtime"
             && f.kind == FailureKind::MandatoryMissing
@@ -468,10 +470,7 @@ mod tests {
         });
         let page = "<html><body><ul><li>90 min</li><li>95 min</li></ul></body></html>";
         let result = extract_cluster_html(&c, &[("u".into(), page.into())]);
-        assert!(result
-            .failures
-            .iter()
-            .any(|f| f.kind == FailureKind::MultipleForSingleValued));
+        assert!(result.failures.iter().any(|f| f.kind == FailureKind::MultipleForSingleValued));
         // The value emitted is the first match.
         assert!(result.xml.to_string_with(0).contains("<runtime>90 min</runtime>"));
     }
@@ -497,14 +496,12 @@ mod tests {
                 children: vec![StructureNode::Component("genre".into())],
             },
         ]);
-        let pages: Vec<(String, retroweb_html::Document)> = [
-            PAGE,
-            "<html><body><p>no facts</p><ul><li>Drama</li></ul></body></html>",
-        ]
-        .iter()
-        .enumerate()
-        .map(|(i, html)| (format!("u{i}"), retroweb_html::parse(html)))
-        .collect();
+        let pages: Vec<(String, retroweb_html::Document)> =
+            [PAGE, "<html><body><p>no facts</p><ul><li>Drama</li></ul></body></html>"]
+                .iter()
+                .enumerate()
+                .map(|(i, html)| (format!("u{i}"), retroweb_html::parse(html)))
+                .collect();
         let interpreted = extract_cluster_interpreted(&c, &pages);
         let compiled = extract_cluster(&c, &pages);
         assert_eq!(interpreted.xml.to_string_with(2), compiled.xml.to_string_with(2));
@@ -517,9 +514,8 @@ mod tests {
 
     #[test]
     fn parallel_matches_sequential() {
-        let pages: Vec<(String, String)> = (0..12)
-            .map(|i| (format!("u{i}"), PAGE.to_string()))
-            .collect();
+        let pages: Vec<(String, String)> =
+            (0..12).map(|i| (format!("u{i}"), PAGE.to_string())).collect();
         let seq = extract_cluster_html(&cluster(), &pages);
         let par = extract_cluster_parallel(&cluster(), &pages, 4);
         assert_eq!(seq.xml.to_string_with(0), par.xml.to_string_with(0));

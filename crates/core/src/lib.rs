@@ -89,7 +89,9 @@ pub use model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, 
 pub use oracle::{Instance, InteractionStats, SimulatedUser, User};
 pub use post::PostProcess;
 pub use refine::{refine_rule, RefineConfig, RefineOutcome};
-pub use repository::{ClusterRules, CompiledCluster, RuleRepository, StructureNode};
+pub use repository::{
+    ClusterRules, CompiledCluster, RepositoryError, RepositoryStats, RuleRepository, StructureNode,
+};
 pub use sample::{sample_from_pages, working_sample, SamplePage};
 pub use schema_guided::{
     build_with_guide, Conformance, GuideComponent, GuidedComponentResult, SchemaGuide,

@@ -100,14 +100,8 @@ pub fn repair_rules(
             user.select(&sp.doc, &sp.page, &component, Instance::First).map(|n| (i, n))
         });
         if let Some((page_idx, node)) = selection {
-            let outcome = refine_rule(
-                rule.clone(),
-                page_idx,
-                node,
-                sample,
-                user,
-                &RefineConfig::default(),
-            );
+            let outcome =
+                refine_rule(rule.clone(), page_idx, node, sample, user, &RefineConfig::default());
             if outcome.ok {
                 let report = RepairReport {
                     component: component.clone(),
@@ -166,7 +160,8 @@ mod tests {
 
     #[test]
     fn no_failures_without_drift() {
-        let spec = MovieSiteSpec { n_pages: 8, seed: 51, p_missing_runtime: 0.0, ..Default::default() };
+        let spec =
+            MovieSiteSpec { n_pages: 8, seed: 51, p_missing_runtime: 0.0, ..Default::default() };
         let rules = build_cluster(&spec, &["title", "country"]);
         let fresh = movie::generate(&MovieSiteSpec { seed: 52, ..spec });
         let sample = working_sample(&fresh, 8);
@@ -216,10 +211,7 @@ mod tests {
         let failures = detect_failures(&rules, &sample);
         // "Runtime:" label is gone: the contextual rule finds nothing on
         // every page → mandatory-missing fires.
-        assert!(
-            failures.iter().any(|f| f.kind == FailureKind::MandatoryMissing),
-            "{failures:?}"
-        );
+        assert!(failures.iter().any(|f| f.kind == FailureKind::MandatoryMissing), "{failures:?}");
         let mut user = SimulatedUser::new();
         let reports = repair_rules(&mut rules, &sample, &mut user, &ScenarioConfig::default());
         assert!(!reports.is_empty());

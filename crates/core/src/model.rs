@@ -135,11 +135,7 @@ impl MappingRule {
     /// The location property rendered for display (alternatives joined as
     /// a union).
     pub fn location_display(&self) -> String {
-        self.locations
-            .iter()
-            .map(|e| e.to_string())
-            .collect::<Vec<_>>()
-            .join(" | ")
+        self.locations.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(" | ")
     }
 
     /// Compile the rule's location alternatives for repeated application

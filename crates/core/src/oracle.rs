@@ -152,11 +152,8 @@ mod tests {
 
     #[test]
     fn selects_exact_text_node() {
-        let page = page_with(
-            "<body><td>Runtime:</td><td> 108 min </td></body>",
-            "runtime",
-            &["108 min"],
-        );
+        let page =
+            page_with("<body><td>Runtime:</td><td> 108 min </td></body>", "runtime", &["108 min"]);
         let doc = parse(&page.html);
         let mut user = SimulatedUser::new();
         let node = user.select(&doc, &page, "runtime", Instance::First).unwrap();

@@ -30,11 +30,15 @@ impl PostProcess {
         match self {
             PostProcess::StripPrefix(prefix) => values
                 .into_iter()
-                .map(|v| v.strip_prefix(prefix.as_str()).map(|r| r.trim_start().to_string()).unwrap_or(v))
+                .map(|v| {
+                    v.strip_prefix(prefix.as_str()).map(|r| r.trim_start().to_string()).unwrap_or(v)
+                })
                 .collect(),
             PostProcess::StripSuffix(suffix) => values
                 .into_iter()
-                .map(|v| v.strip_suffix(suffix.as_str()).map(|r| r.trim_end().to_string()).unwrap_or(v))
+                .map(|v| {
+                    v.strip_suffix(suffix.as_str()).map(|r| r.trim_end().to_string()).unwrap_or(v)
+                })
                 .collect(),
             PostProcess::Between { before, after } => values
                 .into_iter()
@@ -106,12 +110,12 @@ mod tests {
         let got = PostProcess::Between { before: "(".into(), after: ")".into() }
             .apply(v(&["The Film (1987)"]));
         assert_eq!(got, v(&["1987"]));
-        let got = PostProcess::Between { before: "".into(), after: "/".into() }
-            .apply(v(&["7.4/10"]));
+        let got =
+            PostProcess::Between { before: "".into(), after: "/".into() }.apply(v(&["7.4/10"]));
         assert_eq!(got, v(&["7.4"]));
         // Marker absent: value passes through unchanged.
-        let got = PostProcess::Between { before: "[".into(), after: "]".into() }
-            .apply(v(&["plain"]));
+        let got =
+            PostProcess::Between { before: "[".into(), after: "]".into() }.apply(v(&["plain"]));
         assert_eq!(got, v(&["plain"]));
     }
 

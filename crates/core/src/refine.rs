@@ -136,8 +136,7 @@ pub fn refine_rule(
 /// from some sample pages is optional (§3.4 "a component identified in a
 /// page can be missing in other ones").
 fn finalize_optionality(rule: &mut MappingRule, sample: &[SamplePage], applied: &mut Vec<String>) {
-    let missing_somewhere =
-        sample.iter().any(|sp| sp.page.expected(rule.name.as_str()).is_empty());
+    let missing_somewhere = sample.iter().any(|sp| sp.page.expected(rule.name.as_str()).is_empty());
     if missing_somewhere && rule.optionality == Optionality::Mandatory {
         rule.optionality = Optionality::Optional;
         applied.push("set-optional".to_string());
@@ -179,10 +178,8 @@ fn apply_multivalued(
     // Pick the sample page with the most instances: its first/last
     // selections give the clearest divergence.
     let component = rule.name.as_str().to_string();
-    let Some((page_idx, _)) = sample
-        .iter()
-        .enumerate()
-        .max_by_key(|(_, sp)| sp.page.expected(&component).len())
+    let Some((page_idx, _)) =
+        sample.iter().enumerate().max_by_key(|(_, sp)| sp.page.expected(&component).len())
     else {
         return false;
     };
@@ -252,13 +249,20 @@ fn try_context(
             let failures = check_rule_full(&candidate_rule, sample).failure_count();
             if failures == 0 {
                 rule.locations = candidate_rule.locations;
-                applied.push(format!("add-context({dir_name}=\"{label}\", strip-from={strip_from})"));
+                applied
+                    .push(format!("add-context({dir_name}=\"{label}\", strip-from={strip_from})"));
                 return true;
             }
             if failures < current_failures
                 && best.as_ref().map(|(f, _, _)| failures < *f).unwrap_or(true)
             {
-                best = Some((failures, candidate_path, format!("add-context({dir_name}=\"{label}\", strip-from={strip_from}, partial)")));
+                best = Some((
+                    failures,
+                    candidate_path,
+                    format!(
+                        "add-context({dir_name}=\"{label}\", strip-from={strip_from}, partial)"
+                    ),
+                ));
             }
         }
     }
@@ -368,7 +372,11 @@ mod tests {
         let sample = crate::sample::working_sample(&site, 8);
         let (outcome, _) = refine_component("genre", &sample);
         assert!(outcome.ok, "applied: {:?}\n{}", outcome.applied, outcome.final_table.render());
-        assert!(outcome.applied.iter().any(|s| s.starts_with("set-multivalued")), "{:?}", outcome.applied);
+        assert!(
+            outcome.applied.iter().any(|s| s.starts_with("set-multivalued")),
+            "{:?}",
+            outcome.applied
+        );
         assert_eq!(outcome.rule.multiplicity, Multiplicity::Multivalued);
     }
 
@@ -422,14 +430,19 @@ mod tests {
         p1.expect("field", "v-alpha");
         let mut p2 = Page::new(
             "http://x.org/2".into(),
-            "<html><body><table><tr><td><span> v-beta </span></td></tr></table></body></html>".into(),
+            "<html><body><table><tr><td><span> v-beta </span></td></tr></table></body></html>"
+                .into(),
             "c",
         );
         p2.expect("field", "v-beta");
         let sample = sample_from_pages(vec![p1, p2]);
         let (outcome, _) = refine_component("field", &sample);
         assert!(outcome.ok, "applied: {:?}\n{}", outcome.applied, outcome.final_table.render());
-        assert!(outcome.applied.iter().any(|s| s.starts_with("add-alternative-path")), "{:?}", outcome.applied);
+        assert!(
+            outcome.applied.iter().any(|s| s.starts_with("add-alternative-path")),
+            "{:?}",
+            outcome.applied
+        );
         assert_eq!(outcome.rule.locations.len(), 2);
     }
 

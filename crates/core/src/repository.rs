@@ -14,7 +14,9 @@
 //! [`CompiledCluster`]) and every extraction entry point shares the
 //! `Arc`. Re-recording a cluster invalidates its cached compilation.
 
-use crate::extract::{extract_cluster_compiled, extract_cluster_parallel_compiled, ExtractionResult};
+use crate::extract::{
+    extract_cluster_compiled, extract_cluster_parallel_compiled, ExtractionResult,
+};
 use crate::model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 use crate::post::PostProcess;
 use retroweb_html::Document;
@@ -22,7 +24,9 @@ use retroweb_json::{parse as json_parse, Json};
 use retroweb_xml::ClusterSchema;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::io::Write;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// A node of the enhanced (aggregated) structure: either a leaf
@@ -77,6 +81,18 @@ impl ClusterRules {
         self.rules.iter_mut().find(|r| r.name.as_str() == component)
     }
 
+    /// Serialise this cluster to its repository JSON shape (one entry of
+    /// the `RuleRepository::to_json` array).
+    pub fn to_json(&self) -> Json {
+        cluster_to_json(self)
+    }
+
+    /// Parse one cluster from its repository JSON shape. Errors carry
+    /// the cluster name and offending key where known.
+    pub fn from_json(json: &Json) -> Result<ClusterRules, RepositoryError> {
+        cluster_from_json(json)
+    }
+
     /// Lower every rule's location XPaths to the compiled IR and derive
     /// the cluster schema, producing the shareable execution form.
     pub fn compile(&self) -> CompiledCluster {
@@ -109,25 +125,93 @@ impl CompiledCluster {
     }
 }
 
-/// Repository load/parse errors.
+/// Repository load/parse errors, carrying enough context (file path,
+/// cluster name, offending JSON key) that a rejected document — e.g. a
+/// service `PUT /clusters/{name}` body — is diagnosable from the
+/// message alone.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RepositoryError {
+    /// What went wrong, e.g. `bad optionality 'sometimes'`.
     pub message: String,
+    /// File the repository was being read from, when known.
+    pub path: Option<std::path::PathBuf>,
+    /// Cluster being parsed when the error occurred, when known.
+    pub cluster: Option<String>,
+    /// Dotted path of the offending JSON key, e.g. `rules[1].optionality`.
+    pub key: Option<String>,
 }
 
 impl RepositoryError {
     fn new(msg: impl Into<String>) -> RepositoryError {
-        RepositoryError { message: msg.into() }
+        RepositoryError { message: msg.into(), path: None, cluster: None, key: None }
+    }
+
+    fn with_path(mut self, path: &Path) -> RepositoryError {
+        self.path = Some(path.to_path_buf());
+        self
+    }
+
+    fn in_cluster(mut self, cluster: &str) -> RepositoryError {
+        if self.cluster.is_none() {
+            self.cluster = Some(cluster.to_string());
+        }
+        self
+    }
+
+    fn for_key(mut self, key: impl Into<String>) -> RepositoryError {
+        if self.key.is_none() {
+            self.key = Some(key.into());
+        }
+        self
+    }
+
+    /// Prepend a path segment to the offending-key trail (`rules[3]` +
+    /// `optionality` → `rules[3].optionality`).
+    fn prefix_key(mut self, prefix: impl Into<String>) -> RepositoryError {
+        let prefix = prefix.into();
+        self.key = Some(match self.key.take() {
+            Some(k) => format!("{prefix}.{k}"),
+            None => prefix,
+        });
+        self
     }
 }
 
 impl fmt::Display for RepositoryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rule repository error: {}", self.message)
+        write!(f, "rule repository error: {}", self.message)?;
+        let mut context = Vec::new();
+        if let Some(cluster) = &self.cluster {
+            context.push(format!("cluster '{cluster}'"));
+        }
+        if let Some(key) = &self.key {
+            context.push(format!("key '{key}'"));
+        }
+        if let Some(path) = &self.path {
+            context.push(format!("file '{}'", path.display()));
+        }
+        if !context.is_empty() {
+            write!(f, " ({})", context.join(", "))?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for RepositoryError {}
+
+/// Point-in-time snapshot of the repository's cache counters, for the
+/// service `/metrics` endpoint and capacity planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepositoryStats {
+    /// Recorded clusters at snapshot time.
+    pub clusters: usize,
+    /// `compiled()` calls answered from the cache.
+    pub compiled_cache_hits: u64,
+    /// `compiled()` calls that had to build (cache misses on known clusters).
+    pub compiled_cache_builds: u64,
+    /// Cached compilations dropped by `record`/`remove` (hot reloads).
+    pub compiled_cache_invalidations: u64,
+}
 
 /// A thread-safe collection of cluster rule sets, with a per-cluster
 /// cache of their compiled execution form.
@@ -137,6 +221,9 @@ pub struct RuleRepository {
     /// Lazily built compiled rule sets; an entry is dropped whenever its
     /// cluster is re-recorded, so readers never see stale compilations.
     compiled: RwLock<BTreeMap<String, Arc<CompiledCluster>>>,
+    compiled_hits: AtomicU64,
+    compiled_builds: AtomicU64,
+    invalidations: AtomicU64,
 }
 
 impl RuleRepository {
@@ -145,17 +232,41 @@ impl RuleRepository {
     }
 
     /// Record (insert or replace) a cluster's rules. Invalidates any
-    /// cached compilation of the same cluster.
+    /// cached compilation of the same cluster — this is what makes a
+    /// service `PUT /clusters/{name}` a hot rule reload.
     pub fn record(&self, rules: ClusterRules) {
         let name = rules.cluster.clone();
         self.clusters.write().expect("lock poisoned").insert(name.clone(), rules);
-        self.compiled.write().expect("lock poisoned").remove(&name);
+        if self.compiled.write().expect("lock poisoned").remove(&name).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Remove a cluster (and any cached compilation). Returns whether the
+    /// cluster existed.
+    pub fn remove(&self, cluster: &str) -> bool {
+        let existed = self.clusters.write().expect("lock poisoned").remove(cluster).is_some();
+        if self.compiled.write().expect("lock poisoned").remove(cluster).is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        existed
+    }
+
+    /// Snapshot the cache counters (cheap; relaxed atomics).
+    pub fn stats(&self) -> RepositoryStats {
+        RepositoryStats {
+            clusters: self.len(),
+            compiled_cache_hits: self.compiled_hits.load(Ordering::Relaxed),
+            compiled_cache_builds: self.compiled_builds.load(Ordering::Relaxed),
+            compiled_cache_invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
     }
 
     /// The cluster's rules in compiled form, building and caching them on
     /// first use. Callers across threads share the same `Arc`.
     pub fn compiled(&self, cluster: &str) -> Option<Arc<CompiledCluster>> {
         if let Some(hit) = self.compiled.read().expect("lock poisoned").get(cluster) {
+            self.compiled_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(hit));
         }
         // Build while holding the cache write lock, snapshotting the rules
@@ -166,22 +277,20 @@ impl RuleRepository {
         // so taking `clusters.read` under `compiled.write` cannot deadlock.
         let mut cache = self.compiled.write().expect("lock poisoned");
         if let Some(hit) = cache.get(cluster) {
+            self.compiled_hits.fetch_add(1, Ordering::Relaxed);
             return Some(Arc::clone(hit));
         }
         let rules = self.clusters.read().expect("lock poisoned").get(cluster).cloned()?;
         let compiled = Arc::new(rules.compile());
         cache.insert(cluster.to_string(), Arc::clone(&compiled));
+        self.compiled_builds.fetch_add(1, Ordering::Relaxed);
         Some(compiled)
     }
 
     /// Extract a cluster's pages through the cached compiled rules —
     /// §3.5's "external agents, for instance the XML extractor" entry
     /// point. Returns `None` for an unknown cluster.
-    pub fn extract(
-        &self,
-        cluster: &str,
-        pages: &[(String, Document)],
-    ) -> Option<ExtractionResult> {
+    pub fn extract(&self, cluster: &str, pages: &[(String, Document)]) -> Option<ExtractionResult> {
         let compiled = self.compiled(cluster)?;
         Some(extract_cluster_compiled(&compiled, pages))
     }
@@ -225,22 +334,54 @@ impl RuleRepository {
             .as_array()
             .ok_or_else(|| RepositoryError::new("repository document must be an array"))?;
         let repo = RuleRepository::new();
-        for item in items {
-            repo.record(cluster_from_json(item)?);
+        for (i, item) in items.iter().enumerate() {
+            repo.record(cluster_from_json(item).map_err(|e| e.prefix_key(format!("[{i}]")))?);
         }
         Ok(repo)
     }
 
+    /// Serialise one cluster in the same shape `to_json` uses per array
+    /// entry — the service `GET /clusters/{name}` payload.
+    pub fn cluster_json(&self, cluster: &str) -> Option<Json> {
+        self.clusters.read().expect("lock poisoned").get(cluster).map(cluster_to_json)
+    }
+
+    /// Crash-safe save: the document is written to a temporary file in
+    /// the same directory, fsynced, and atomically renamed over `path`,
+    /// so a killed process can never leave a torn repository on disk.
+    /// The temp name is unique per call (pid + ticket), so concurrent
+    /// saves from different threads never share a temp file — the last
+    /// rename wins with a complete document either way.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(path, self.to_json().to_string_pretty())
+        static SAVE_TICKET: AtomicU64 = AtomicU64::new(0);
+        let text = self.to_json().to_string_pretty();
+        let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "save path has no file name")
+        })?;
+        let tmp = path.with_file_name(format!(
+            ".{file_name}.tmp.{}.{}",
+            std::process::id(),
+            SAVE_TICKET.fetch_add(1, Ordering::Relaxed)
+        ));
+        let result = (|| {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(text.as_bytes())?;
+            f.sync_all()?;
+            drop(f);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     }
 
     pub fn load(path: &Path) -> Result<RuleRepository, RepositoryError> {
         let text = std::fs::read_to_string(path)
-            .map_err(|e| RepositoryError::new(format!("cannot read {}: {e}", path.display())))?;
-        let json =
-            json_parse(&text).map_err(|e| RepositoryError::new(format!("bad JSON: {e}")))?;
-        RuleRepository::from_json(&json)
+            .map_err(|e| RepositoryError::new(format!("cannot read file: {e}")).with_path(path))?;
+        let json = json_parse(&text)
+            .map_err(|e| RepositoryError::new(format!("bad JSON: {e}")).with_path(path))?;
+        RuleRepository::from_json(&json).map_err(|e| e.with_path(path))
     }
 }
 
@@ -253,10 +394,7 @@ fn cluster_to_json(c: &ClusterRules) -> Json {
         ("rules".into(), Json::Array(c.rules.iter().map(rule_to_json).collect())),
     ]);
     if let Some(structure) = &c.structure {
-        obj.set(
-            "structure",
-            Json::Array(structure.iter().map(structure_to_json).collect()),
-        );
+        obj.set("structure", Json::Array(structure.iter().map(structure_to_json).collect()));
     }
     obj
 }
@@ -309,17 +447,29 @@ fn structure_to_json(node: &StructureNode) -> Json {
 
 fn cluster_from_json(json: &Json) -> Result<ClusterRules, RepositoryError> {
     let cluster = str_field(json, "cluster")?;
-    let page_element = str_field(json, "page-element")?;
+    let in_cluster = |e: RepositoryError| e.in_cluster(&cluster);
+    let page_element = str_field(json, "page-element").map_err(in_cluster)?;
     let rules_json = json
         .get("rules")
         .and_then(Json::as_array)
-        .ok_or_else(|| RepositoryError::new("missing 'rules' array"))?;
-    let rules = rules_json.iter().map(rule_from_json).collect::<Result<Vec<_>, _>>()?;
+        .ok_or_else(|| RepositoryError::new("missing 'rules' array").for_key("rules"))
+        .map_err(in_cluster)?;
+    let rules = rules_json
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            rule_from_json(r).map_err(|e| e.prefix_key(format!("rules[{i}]")).in_cluster(&cluster))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     let structure = match json.get("structure").and_then(Json::as_array) {
         Some(items) => Some(
             items
                 .iter()
-                .map(structure_from_json)
+                .enumerate()
+                .map(|(i, s)| {
+                    structure_from_json(s)
+                        .map_err(|e| e.prefix_key(format!("structure[{i}]")).in_cluster(&cluster))
+                })
                 .collect::<Result<Vec<_>, _>>()?,
         ),
         None => None,
@@ -329,33 +479,46 @@ fn cluster_from_json(json: &Json) -> Result<ClusterRules, RepositoryError> {
 
 pub fn rule_from_json(json: &Json) -> Result<MappingRule, RepositoryError> {
     let name = ComponentName::new(&str_field(json, "name")?)
-        .map_err(|e| RepositoryError::new(e.to_string()))?;
+        .map_err(|e| RepositoryError::new(e.to_string()).for_key("name"))?;
     let optionality = match str_field(json, "optionality")?.as_str() {
         "mandatory" => Optionality::Mandatory,
         "optional" => Optionality::Optional,
-        other => return Err(RepositoryError::new(format!("bad optionality '{other}'"))),
+        other => {
+            return Err(
+                RepositoryError::new(format!("bad optionality '{other}'")).for_key("optionality")
+            )
+        }
     };
     let multiplicity = match str_field(json, "multiplicity")?.as_str() {
         "single-valued" => Multiplicity::SingleValued,
         "multivalued" => Multiplicity::Multivalued,
-        other => return Err(RepositoryError::new(format!("bad multiplicity '{other}'"))),
+        other => {
+            return Err(
+                RepositoryError::new(format!("bad multiplicity '{other}'")).for_key("multiplicity")
+            )
+        }
     };
     let format = match str_field(json, "format")?.as_str() {
         "text" => Format::Text,
         "mixed" => Format::Mixed,
-        other => return Err(RepositoryError::new(format!("bad format '{other}'"))),
+        other => {
+            return Err(RepositoryError::new(format!("bad format '{other}'")).for_key("format"))
+        }
     };
     let locations = json
         .get("locations")
         .and_then(Json::as_array)
-        .ok_or_else(|| RepositoryError::new("missing 'locations'"))?
+        .ok_or_else(|| RepositoryError::new("missing 'locations'").for_key("locations"))?
         .iter()
-        .map(|l| {
+        .enumerate()
+        .map(|(i, l)| {
+            let key = || format!("locations[{i}]");
             let text = l
                 .as_str()
-                .ok_or_else(|| RepositoryError::new("location must be a string"))?;
-            retroweb_xpath::parse(text)
-                .map_err(|e| RepositoryError::new(format!("bad location '{text}': {e}")))
+                .ok_or_else(|| RepositoryError::new("location must be a string").for_key(key()))?;
+            retroweb_xpath::parse(text).map_err(|e| {
+                RepositoryError::new(format!("bad location '{text}': {e}")).for_key(key())
+            })
         })
         .collect::<Result<Vec<_>, _>>()?;
     let post = json
@@ -363,7 +526,8 @@ pub fn rule_from_json(json: &Json) -> Result<MappingRule, RepositoryError> {
         .and_then(Json::as_array)
         .unwrap_or(&[])
         .iter()
-        .map(post_from_json)
+        .enumerate()
+        .map(|(i, p)| post_from_json(p).map_err(|e| e.prefix_key(format!("post[{i}]"))))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(MappingRule { name, optionality, multiplicity, format, locations, post })
 }
@@ -378,7 +542,9 @@ fn post_from_json(json: &Json) -> Result<PostProcess, RepositoryError> {
             after: str_field(json, "after")?,
         }),
         "split-list" => Ok(PostProcess::SplitList(str_field(json, "value")?)),
-        other => Err(RepositoryError::new(format!("unknown post-processor '{other}'"))),
+        other => {
+            Err(RepositoryError::new(format!("unknown post-processor '{other}'")).for_key("kind"))
+        }
     }
 }
 
@@ -390,9 +556,10 @@ fn structure_from_json(json: &Json) -> Result<StructureNode, RepositoryError> {
     let children = json
         .get("children")
         .and_then(Json::as_array)
-        .ok_or_else(|| RepositoryError::new("group missing 'children'"))?
+        .ok_or_else(|| RepositoryError::new("group missing 'children'").for_key("children"))?
         .iter()
-        .map(structure_from_json)
+        .enumerate()
+        .map(|(i, c)| structure_from_json(c).map_err(|e| e.prefix_key(format!("children[{i}]"))))
         .collect::<Result<Vec<_>, _>>()?;
     Ok(StructureNode::Group { name, children })
 }
@@ -401,7 +568,7 @@ fn str_field(json: &Json, key: &str) -> Result<String, RepositoryError> {
     json.get(key)
         .and_then(Json::as_str)
         .map(str::to_string)
-        .ok_or_else(|| RepositoryError::new(format!("missing string field '{key}'")))
+        .ok_or_else(|| RepositoryError::new(format!("missing string field '{key}'")).for_key(key))
 }
 
 #[cfg(test)]
@@ -477,13 +644,8 @@ mod tests {
     #[test]
     fn structure_component_names() {
         let cluster = sample_cluster();
-        let names: Vec<String> = cluster
-            .structure
-            .as_ref()
-            .unwrap()
-            .iter()
-            .flat_map(|n| n.component_names())
-            .collect();
+        let names: Vec<String> =
+            cluster.structure.as_ref().unwrap().iter().flat_map(|n| n.component_names()).collect();
         assert_eq!(names, vec!["runtime", "genre"]);
     }
 
@@ -541,6 +703,133 @@ mod tests {
         let html_pages = vec![("u1".to_string(), page.to_string())];
         let par = repo.extract_parallel("imdb-movies", &html_pages, 2).expect("known cluster");
         assert_eq!(par.xml.to_string_with(0), text);
+    }
+
+    #[test]
+    fn stats_track_cache_traffic() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        assert_eq!(repo.stats(), RepositoryStats { clusters: 1, ..Default::default() });
+        repo.compiled("imdb-movies").unwrap(); // build
+        repo.compiled("imdb-movies").unwrap(); // hit
+        repo.compiled("imdb-movies").unwrap(); // hit
+        repo.record(sample_cluster()); // invalidation
+        repo.compiled("imdb-movies").unwrap(); // build
+        let stats = repo.stats();
+        assert_eq!(stats.compiled_cache_builds, 2);
+        assert_eq!(stats.compiled_cache_hits, 2);
+        assert_eq!(stats.compiled_cache_invalidations, 1);
+    }
+
+    #[test]
+    fn remove_drops_cluster_and_compilation() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        repo.compiled("imdb-movies").unwrap();
+        assert!(repo.remove("imdb-movies"));
+        assert!(!repo.remove("imdb-movies"));
+        assert!(repo.get("imdb-movies").is_none());
+        assert!(repo.compiled("imdb-movies").is_none());
+        assert_eq!(repo.stats().compiled_cache_invalidations, 1);
+    }
+
+    #[test]
+    fn errors_carry_cluster_key_and_path_context() {
+        let text = "[{\"cluster\":\"c1\",\"page-element\":\"p\",\"rules\":[{\"name\":\"ok\",\"optionality\":\"sometimes\",\"multiplicity\":\"single-valued\",\"format\":\"text\",\"locations\":[]}]}]";
+        let json = retroweb_json::parse(text).unwrap();
+        let err = RuleRepository::from_json(&json).unwrap_err();
+        assert_eq!(err.cluster.as_deref(), Some("c1"));
+        assert_eq!(err.key.as_deref(), Some("[0].rules[0].optionality"));
+        let shown = err.to_string();
+        assert!(shown.contains("bad optionality 'sometimes'"), "{shown}");
+        assert!(shown.contains("cluster 'c1'"), "{shown}");
+
+        // Bad location and bad post-processor keys are pinpointed too.
+        for (doc, want_key) in [
+            (
+                "{\"cluster\":\"c\",\"page-element\":\"p\",\"rules\":[{\"name\":\"ok\",\"optionality\":\"optional\",\"multiplicity\":\"single-valued\",\"format\":\"text\",\"locations\":[\"//(\"]}]}",
+                "rules[0].locations[0]",
+            ),
+            (
+                "{\"cluster\":\"c\",\"page-element\":\"p\",\"rules\":[{\"name\":\"ok\",\"optionality\":\"optional\",\"multiplicity\":\"single-valued\",\"format\":\"text\",\"locations\":[],\"post\":[{\"kind\":\"shout\"}]}]}",
+                "rules[0].post[0].kind",
+            ),
+        ] {
+            let err = ClusterRules::from_json(&retroweb_json::parse(doc).unwrap()).unwrap_err();
+            assert_eq!(err.key.as_deref(), Some(want_key), "{err}");
+            assert_eq!(err.cluster.as_deref(), Some("c"));
+        }
+
+        // Nested structure errors keep the full child-index trail.
+        let doc = "{\"cluster\":\"c\",\"page-element\":\"p\",\"rules\":[],\
+                   \"structure\":[{\"group\":\"g\",\"children\":[\"ok\",{\"group\":\"h\"}]}]}";
+        let err = ClusterRules::from_json(&retroweb_json::parse(doc).unwrap()).unwrap_err();
+        assert_eq!(err.key.as_deref(), Some("structure[0].children[1].children"), "{err}");
+
+        // Load failures name the file.
+        let missing = std::env::temp_dir().join("retrozilla-no-such-repo.json");
+        let err = RuleRepository::load(&missing).unwrap_err();
+        assert_eq!(err.path.as_deref(), Some(missing.as_path()));
+        assert!(err.to_string().contains("retrozilla-no-such-repo.json"));
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let dir =
+            std::env::temp_dir().join(format!("retrozilla-atomic-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.json");
+        // Seed the target with garbage a torn write would corrupt further.
+        std::fs::write(&path, "not json").unwrap();
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        repo.save(&path).unwrap();
+        let restored = RuleRepository::load(&path).unwrap();
+        assert_eq!(restored.get("imdb-movies"), Some(sample_cluster()));
+        // No temp droppings in the directory.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n != "rules.json")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_saves_never_tear_the_file() {
+        let dir =
+            std::env::temp_dir().join(format!("retrozilla-concurrent-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.json");
+        let repo = std::sync::Arc::new(RuleRepository::new());
+        repo.record(sample_cluster());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let repo = std::sync::Arc::clone(&repo);
+                let path = path.clone();
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        repo.save(&path).unwrap();
+                    }
+                });
+            }
+        });
+        // Whichever rename won, the file is a complete document.
+        let restored = RuleRepository::load(&path).unwrap();
+        assert_eq!(restored.get("imdb-movies"), Some(sample_cluster()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_cluster_json_round_trip() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let json = repo.cluster_json("imdb-movies").expect("known cluster");
+        assert_eq!(json, sample_cluster().to_json());
+        assert_eq!(ClusterRules::from_json(&json).unwrap(), sample_cluster());
+        assert!(repo.cluster_json("unknown").is_none());
     }
 
     #[test]

@@ -81,8 +81,7 @@ impl SchemaGuide {
     /// (`xs:schema` → cluster `xs:element` → page `xs:element` →
     /// component elements, possibly nested in group complexTypes).
     pub fn from_xsd_text(text: &str) -> Result<SchemaGuide, GuideError> {
-        let root =
-            parse_xml(text).map_err(|e| GuideError { message: format!("bad XML: {e}") })?;
+        let root = parse_xml(text).map_err(|e| GuideError { message: format!("bad XML: {e}") })?;
         if root.name != "xs:schema" {
             return Err(GuideError { message: format!("expected xs:schema, got {}", root.name) });
         }
@@ -201,10 +200,7 @@ pub fn build_with_guide(
         .collect()
 }
 
-fn conformance_of(
-    guide: &GuideComponent,
-    report: &ComponentReport,
-) -> Conformance {
+fn conformance_of(guide: &GuideComponent, report: &ComponentReport) -> Conformance {
     let rule = &report.rule;
     let mut expected = Vec::new();
     let mut got = Vec::new();
@@ -238,8 +234,8 @@ mod tests {
     use super::*;
     use crate::oracle::SimulatedUser;
     use crate::sample::working_sample;
-    use retroweb_xml::SchemaNode;
     use retroweb_sitegen::{movie, MovieSiteSpec};
+    use retroweb_xml::SchemaNode;
 
     fn movie_schema() -> ClusterSchema {
         ClusterSchema::new(
@@ -277,12 +273,8 @@ mod tests {
 
     #[test]
     fn guided_build_conforms_on_matching_site() {
-        let spec = MovieSiteSpec {
-            n_pages: 10,
-            seed: 71,
-            p_missing_runtime: 0.3,
-            ..Default::default()
-        };
+        let spec =
+            MovieSiteSpec { n_pages: 10, seed: 71, p_missing_runtime: 0.3, ..Default::default() };
         let site = movie::generate(&spec);
         let sample = working_sample(&site, 8);
         let guide = SchemaGuide::from_cluster_schema(&movie_schema());
@@ -290,7 +282,13 @@ mod tests {
         let results = build_with_guide(&guide, &sample, &mut user, &ScenarioConfig::default());
         assert_eq!(results.len(), 3);
         for r in &results {
-            assert_eq!(r.conformance, Conformance::Conforms, "{}: {:?}", r.component, r.conformance);
+            assert_eq!(
+                r.conformance,
+                Conformance::Conforms,
+                "{}: {:?}",
+                r.component,
+                r.conformance
+            );
             assert!(r.report.as_ref().unwrap().ok);
         }
     }
@@ -304,12 +302,8 @@ mod tests {
             "imdb-movie",
             vec![SchemaNode::leaf("runtime", false, false, false)],
         );
-        let spec = MovieSiteSpec {
-            n_pages: 12,
-            seed: 72,
-            p_missing_runtime: 0.4,
-            ..Default::default()
-        };
+        let spec =
+            MovieSiteSpec { n_pages: 12, seed: 72, p_missing_runtime: 0.4, ..Default::default() };
         let site = movie::generate(&spec);
         let sample = working_sample(&site, 10);
         // Make sure the sample actually misses runtime somewhere.
@@ -317,10 +311,7 @@ mod tests {
         let guide = SchemaGuide::from_cluster_schema(&schema);
         let mut user = SimulatedUser::new();
         let results = build_with_guide(&guide, &sample, &mut user, &ScenarioConfig::default());
-        assert!(matches!(
-            results[0].conformance,
-            Conformance::Mismatch { .. }
-        ));
+        assert!(matches!(results[0].conformance, Conformance::Mismatch { .. }));
     }
 
     #[test]

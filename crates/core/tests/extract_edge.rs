@@ -1,13 +1,13 @@
 //! Extraction-processor and check-table edge cases.
 
+use retroweb_sitegen::Page;
+use retroweb_xpath::parse as xparse;
 use retrozilla::extract::cluster_schema;
 use retrozilla::{
     check_rule, extract_cluster_html, sample_from_pages, CheckRow, CheckTable, ClusterRules,
     ComponentName, Format, MappingRule, Multiplicity, Optionality, Outcome, PostProcess,
     StructureNode,
 };
-use retroweb_sitegen::Page;
-use retroweb_xpath::parse as xparse;
 
 fn rule(name: &str, xpath: &str) -> MappingRule {
     MappingRule {
@@ -24,7 +24,10 @@ fn rule(name: &str, xpath: &str) -> MappingRule {
 fn empty_page_list_gives_empty_document() {
     let cluster = ClusterRules::new("c", "p");
     let result = extract_cluster_html(&cluster, &[]);
-    assert_eq!(result.xml.to_string_with(0), "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<c/>\n");
+    assert_eq!(
+        result.xml.to_string_with(0),
+        "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n<c/>\n"
+    );
     assert!(result.failures.is_empty());
 }
 
@@ -37,13 +40,12 @@ fn structure_with_unknown_component_is_tolerated() {
         StructureNode::Component("ghost".into()), // no rule, no values
         StructureNode::Group { name: "empty-group".into(), children: vec![] },
     ]);
-    let result =
-        extract_cluster_html(&cluster, &[("u".into(), "<body><p>v</p></body>".into())]);
+    let result = extract_cluster_html(&cluster, &[("u".into(), "<body><p>v</p></body>".into())]);
     let xml = result.xml.to_string_with(0);
     assert!(xml.contains("<real>v</real>"));
     assert!(!xml.contains("ghost"));
     assert!(!xml.contains("empty-group")); // empty groups omitted
-    // The schema still declares the ghost slot (as optional).
+                                           // The schema still declares the ghost slot (as optional).
     let xsd = cluster_schema(&cluster).to_xsd().to_string_with(2);
     assert!(xsd.contains("name=\"ghost\" minOccurs=\"0\""));
 }
@@ -122,10 +124,7 @@ fn mixed_format_rule_emits_flattened_text() {
     cluster.rules.push(r);
     let page = "<body><p><b>Lead:</b> rest of <i>the</i> text</p></body>";
     let result = extract_cluster_html(&cluster, &[("u".into(), page.into())]);
-    assert!(result
-        .xml
-        .to_string_with(0)
-        .contains("<para>Lead: rest of the text</para>"));
+    assert!(result.xml.to_string_with(0).contains("<para>Lead: rest of the text</para>"));
     // Mixed leaves get the mixed complexType in the schema.
     let xsd = cluster_schema(&cluster).to_xsd().to_string_with(2);
     assert!(xsd.contains("mixed=\"true\""));

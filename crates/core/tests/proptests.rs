@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use retrozilla::repository::{rule_from_json, rule_to_json};
 use retrozilla::{
-    classify, ClusterRules, ComponentName, Format, MappingRule, Multiplicity, Optionality,
-    Outcome, PostProcess, RuleRepository, StructureNode,
+    classify, ClusterRules, ComponentName, Format, MappingRule, Multiplicity, Optionality, Outcome,
+    PostProcess, RuleRepository, StructureNode,
 };
 
 fn arb_name() -> impl Strategy<Value = ComponentName> {
@@ -55,7 +55,11 @@ fn arb_rule() -> impl Strategy<Value = MappingRule> {
         .prop_map(|(name, opt, multi, mixed, locations, post)| MappingRule {
             name,
             optionality: if opt { Optionality::Optional } else { Optionality::Mandatory },
-            multiplicity: if multi { Multiplicity::Multivalued } else { Multiplicity::SingleValued },
+            multiplicity: if multi {
+                Multiplicity::Multivalued
+            } else {
+                Multiplicity::SingleValued
+            },
             format: if mixed { Format::Mixed } else { Format::Text },
             locations,
             post,

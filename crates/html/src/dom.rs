@@ -190,7 +190,11 @@ impl Document {
     /// Insert `child` immediately before `before` (which must be a child of
     /// `parent`).
     pub fn insert_before(&mut self, parent: NodeId, child: NodeId, before: NodeId) {
-        assert_eq!(self.nodes[before.index()].parent, Some(parent), "`before` is not a child of `parent`");
+        assert_eq!(
+            self.nodes[before.index()].parent,
+            Some(parent),
+            "`before` is not a child of `parent`"
+        );
         assert_ne!(child, before);
         self.detach(child);
         let prev = self.nodes[before.index()].prev;
@@ -460,9 +464,7 @@ impl Document {
     /// order.
     pub fn elements_by_tag(&self, name: &str) -> Vec<NodeId> {
         let lower = name.to_ascii_lowercase();
-        self.descendants(Self::ROOT)
-            .filter(|&n| self.tag_name(n) == Some(lower.as_str()))
-            .collect()
+        self.descendants(Self::ROOT).filter(|&n| self.tag_name(n) == Some(lower.as_str())).collect()
     }
 
     /// The `<html>` element, if present.

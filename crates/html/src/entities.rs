@@ -89,10 +89,7 @@ static NAMED: &[(&str, &str)] = &[
 ];
 
 fn lookup_named(name: &str) -> Option<&'static str> {
-    NAMED
-        .binary_search_by(|(k, _)| k.cmp(&name))
-        .ok()
-        .map(|i| NAMED[i].1)
+    NAMED.binary_search_by(|(k, _)| k.cmp(&name)).ok().map(|i| NAMED[i].1)
 }
 
 /// Decode all character references in `input`.

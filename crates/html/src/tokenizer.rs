@@ -59,8 +59,7 @@ impl<'a> Tokenizer<'a> {
 
     fn starts_with_ci(&self, prefix: &str) -> bool {
         let rest = self.rest().as_bytes();
-        rest.len() >= prefix.len()
-            && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+        rest.len() >= prefix.len() && rest[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
     }
 
     fn skip_ws(&mut self) {
@@ -357,10 +356,7 @@ mod tests {
         let toks = Tokenizer::run("<TABLE BORDER=1></TABLE>");
         assert_eq!(
             toks,
-            vec![
-                start("table", &[("border", "1")]),
-                Token::EndTag { name: "table".into() }
-            ]
+            vec![start("table", &[("border", "1")]), Token::EndTag { name: "table".into() }]
         );
     }
 

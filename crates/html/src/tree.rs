@@ -19,8 +19,20 @@ use crate::tokenizer::{Token, Tokenizer};
 pub fn is_void(tag: &str) -> bool {
     matches!(
         tag,
-        "area" | "base" | "br" | "col" | "embed" | "hr" | "img" | "input" | "link" | "meta"
-            | "param" | "source" | "track" | "wbr"
+        "area"
+            | "base"
+            | "br"
+            | "col"
+            | "embed"
+            | "hr"
+            | "img"
+            | "input"
+            | "link"
+            | "meta"
+            | "param"
+            | "source"
+            | "track"
+            | "wbr"
     )
 }
 
@@ -28,10 +40,35 @@ pub fn is_void(tag: &str) -> bool {
 fn closes_p(tag: &str) -> bool {
     matches!(
         tag,
-        "address" | "article" | "aside" | "blockquote" | "center" | "dir" | "div" | "dl"
-            | "fieldset" | "footer" | "form" | "h1" | "h2" | "h3" | "h4" | "h5" | "h6"
-            | "header" | "hr" | "li" | "main" | "menu" | "nav" | "ol" | "p" | "pre"
-            | "section" | "table" | "ul"
+        "address"
+            | "article"
+            | "aside"
+            | "blockquote"
+            | "center"
+            | "dir"
+            | "div"
+            | "dl"
+            | "fieldset"
+            | "footer"
+            | "form"
+            | "h1"
+            | "h2"
+            | "h3"
+            | "h4"
+            | "h5"
+            | "h6"
+            | "header"
+            | "hr"
+            | "li"
+            | "main"
+            | "menu"
+            | "nav"
+            | "ol"
+            | "p"
+            | "pre"
+            | "section"
+            | "table"
+            | "ul"
     )
 }
 
@@ -302,11 +339,7 @@ impl Builder {
             _ => {}
         }
         // Find the nearest matching open element and pop through it.
-        if let Some(i) = self
-            .stack
-            .iter()
-            .rposition(|&id| self.doc.tag_name(id) == Some(name))
-        {
+        if let Some(i) = self.stack.iter().rposition(|&id| self.doc.tag_name(id) == Some(name)) {
             self.stack.truncate(i);
         }
         // Unmatched end tags are ignored.
@@ -371,10 +404,7 @@ mod tests {
     #[test]
     fn table_cells_imply_ends_no_tbody() {
         let doc = parse("<table><tr><td>a<td>b<tr><td>c</table>");
-        assert_eq!(
-            outline(&doc),
-            "(html(head)(body(table(tr(td'a')(td'b'))(tr(td'c')))))"
-        );
+        assert_eq!(outline(&doc), "(html(head)(body(table(tr(td'a')(td'b'))(tr(td'c')))))");
     }
 
     #[test]
@@ -386,10 +416,7 @@ mod tests {
     #[test]
     fn nested_table_inside_cell() {
         let doc = parse("<table><tr><td><table><tr><td>x</table></table>");
-        assert_eq!(
-            outline(&doc),
-            "(html(head)(body(table(tr(td(table(tr(td'x'))))))))"
-        );
+        assert_eq!(outline(&doc), "(html(head)(body(table(tr(td(table(tr(td'x'))))))))");
     }
 
     #[test]
@@ -401,19 +428,13 @@ mod tests {
     #[test]
     fn void_elements_have_no_children() {
         let doc = parse("Run<br>time<hr><img src=x>z");
-        assert_eq!(
-            outline(&doc),
-            "(html(head)(body'Run'(br)'time'(hr)(img)'z'))"
-        );
+        assert_eq!(outline(&doc), "(html(head)(body'Run'(br)'time'(hr)(img)'z'))");
     }
 
     #[test]
     fn unclosed_inline_closed_by_cell_boundary() {
         let doc = parse("<table><tr><td><b>x<td>y</table>");
-        assert_eq!(
-            outline(&doc),
-            "(html(head)(body(table(tr(td(b'x'))(td'y')))))"
-        );
+        assert_eq!(outline(&doc), "(html(head)(body(table(tr(td(b'x'))(td'y')))))");
     }
 
     #[test]
@@ -425,10 +446,7 @@ mod tests {
     #[test]
     fn head_elements_routed_to_head() {
         let doc = parse("<title>T</title><meta charset=utf-8><p>b</p>");
-        assert_eq!(
-            outline(&doc),
-            "(html(head(title'T')(meta))(body(p'b')))"
-        );
+        assert_eq!(outline(&doc), "(html(head(title'T')(meta))(body(p'b')))");
     }
 
     #[test]
@@ -440,10 +458,8 @@ mod tests {
     #[test]
     fn doctype_and_comment_at_root() {
         let doc = parse("<!DOCTYPE html><!-- c --><p>x</p>");
-        let root_kinds: Vec<bool> = doc
-            .children(Document::ROOT)
-            .map(|c| doc.is_element(c))
-            .collect();
+        let root_kinds: Vec<bool> =
+            doc.children(Document::ROOT).map(|c| doc.is_element(c)).collect();
         // doctype, comment, html
         assert_eq!(root_kinds, vec![false, false, true]);
         assert_eq!(outline(&doc), "(html(head)(body(p'x')))");
@@ -461,10 +477,7 @@ mod tests {
     #[test]
     fn dl_dt_dd_sequence() {
         let doc = parse("<dl><dt>t<dd>d<dt>t2</dl>");
-        assert_eq!(
-            outline(&doc),
-            "(html(head)(body(dl(dt't')(dd'd')(dt't2'))))"
-        );
+        assert_eq!(outline(&doc), "(html(head)(body(dl(dt't')(dd'd')(dt't2'))))");
     }
 
     #[test]
@@ -486,10 +499,7 @@ mod tests {
         // TRs without a table survive as children of body (error tolerance,
         // matching the paper's abstracted markup).
         let body = doc.body().unwrap();
-        let trs: Vec<&str> = doc
-            .child_elements(body)
-            .map(|c| doc.tag_name(c).unwrap())
-            .collect();
+        let trs: Vec<&str> = doc.child_elements(body).map(|c| doc.tag_name(c).unwrap()).collect();
         assert_eq!(trs, vec!["tr", "tr"]);
         let td = doc.elements_by_tag("td")[0];
         assert!(doc.text_content(td).contains("108 min"));

@@ -44,10 +44,7 @@ fn cdata_becomes_text() {
 #[test]
 fn deeply_nested_lists() {
     let doc = parse("<ul><li>a<ul><li>a1<li>a2</ul><li>b</ul>");
-    assert_eq!(
-        outline(&doc),
-        "(html(head)(body(ul(li'a'(ul(li'a1')(li'a2')))(li'b'))))"
-    );
+    assert_eq!(outline(&doc), "(html(head)(body(ul(li'a'(ul(li'a1')(li'a2')))(li'b'))))");
 }
 
 #[test]
@@ -111,7 +108,9 @@ fn numeric_entities_in_attributes() {
 
 #[test]
 fn serializer_handles_all_node_kinds() {
-    let doc = parse("<!DOCTYPE html><!-- c --><html><head><title>t</title></head><body>x<br>y</body></html>");
+    let doc = parse(
+        "<!DOCTYPE html><!-- c --><html><head><title>t</title></head><body>x<br>y</body></html>",
+    );
     let html = doc.to_html();
     assert!(html.starts_with("<!DOCTYPE html>"));
     assert!(html.contains("<!-- c -->"));
@@ -132,7 +131,9 @@ fn replace_and_reinsert_subtree() {
     assert!(p.is_empty()); // p is under the detached div
     doc.append_child(new, old);
     assert_eq!(doc.elements_by_tag("p").len(), 1);
-    assert!(doc.to_html().contains("<section id=\"new\"><div id=\"old\"><p>content</p></div></section>"));
+    assert!(doc
+        .to_html()
+        .contains("<section id=\"new\"><div id=\"old\"><p>content</p></div></section>"));
 }
 
 #[test]

@@ -34,9 +34,8 @@ fn arb_attr() -> impl Strategy<Value = (String, String)> {
 fn arb_tree() -> impl Strategy<Value = Tree> {
     let leaf = prop_oneof![
         arb_text().prop_map(Tree::Text),
-        (arb_tag(), prop::collection::vec(arb_attr(), 0..3)).prop_map(|(tag, attrs)| {
-            Tree::Element { tag, attrs, children: vec![] }
-        }),
+        (arb_tag(), prop::collection::vec(arb_attr(), 0..3))
+            .prop_map(|(tag, attrs)| { Tree::Element { tag, attrs, children: vec![] } }),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         (arb_tag(), prop::collection::vec(arb_attr(), 0..3), prop::collection::vec(inner, 0..4))

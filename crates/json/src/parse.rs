@@ -248,9 +248,7 @@ impl<'a> Parser<'a> {
             }
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("number out of range"))
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("number out of range"))
     }
 }
 
@@ -270,10 +268,7 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(
-            parse(r#""a\n\t\"\\A""#).unwrap(),
-            Json::Str("a\n\t\"\\A".into())
-        );
+        assert_eq!(parse(r#""a\n\t\"\\A""#).unwrap(), Json::Str("a\n\t\"\\A".into()));
         // Surrogate pair for U+1F600.
         assert_eq!(parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
     }

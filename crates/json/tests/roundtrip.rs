@@ -18,9 +18,7 @@ fn arb_json() -> impl Strategy<Value = Json> {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Json::Array),
             prop::collection::vec(("[a-z_]{1,8}", inner), 0..6)
-                .prop_map(|pairs| Json::Object(
-                    pairs.into_iter().collect()
-                )),
+                .prop_map(|pairs| Json::Object(pairs.into_iter().collect())),
         ]
     })
 }

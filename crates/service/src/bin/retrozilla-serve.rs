@@ -1,0 +1,226 @@
+//! `retrozilla-serve` — serve a rule repository over HTTP.
+//!
+//! ```text
+//! retrozilla-serve [--addr 127.0.0.1:7878] [--threads N] [--queue N]
+//!                  [--extract-threads N] [--repo rules.json] [--self-test]
+//! ```
+//!
+//! With `--repo`, the repository is loaded from the file at startup (an
+//! absent file starts empty) and every `PUT`/`DELETE /clusters` persists
+//! back to it crash-safely. `--self-test` runs a loopback smoke test —
+//! record → extract → batch → drift-check → hot-reload → metrics — and
+//! exits non-zero on any mismatch; CI uses it as the serve-layer gate.
+
+use retroweb_service::testdata;
+use retroweb_service::{request_once, Client, Server, ServerConfig};
+use retrozilla::RuleRepository;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: retrozilla-serve [--addr HOST:PORT] [--threads N] [--queue N] \
+                     [--extract-threads N] [--repo FILE.json] [--self-test]";
+
+struct Args {
+    config: ServerConfig,
+    self_test: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
+    let mut self_test = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value =
+            |flag: &str| argv.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"));
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--threads" => {
+                config.threads =
+                    value("--threads")?.parse().map_err(|e| format!("bad --threads: {e}"))?
+            }
+            "--queue" => {
+                config.queue_capacity =
+                    value("--queue")?.parse().map_err(|e| format!("bad --queue: {e}"))?
+            }
+            "--extract-threads" => {
+                config.extract_threads = value("--extract-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --extract-threads: {e}"))?
+            }
+            "--repo" => config.repo_path = Some(PathBuf::from(value("--repo")?)),
+            "--self-test" => self_test = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    Ok(Args { config, self_test })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.self_test {
+        return match self_test() {
+            Ok(summary) => {
+                println!("self-test ok: {summary}");
+                ExitCode::SUCCESS
+            }
+            Err(why) => {
+                eprintln!("self-test FAILED: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let repo = match &args.config.repo_path {
+        Some(path) if path.exists() => match RuleRepository::load(path) {
+            Ok(repo) => {
+                println!("loaded {} cluster(s) from {}", repo.len(), path.display());
+                repo
+            }
+            Err(e) => {
+                eprintln!("cannot load repository: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        Some(path) => {
+            println!("starting with an empty repository (will persist to {})", path.display());
+            RuleRepository::new()
+        }
+        None => RuleRepository::new(),
+    };
+
+    let server = match Server::bind(repo, args.config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", args.config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr().expect("bound listener has an address");
+    let handle = match server.start() {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "retrozilla-serve listening on http://{addr} ({} workers, queue {})",
+        args.config.threads, args.config.queue_capacity
+    );
+    handle.join();
+    ExitCode::SUCCESS
+}
+
+/// Loopback smoke test used by CI: every endpoint once, output checked
+/// against the in-process extraction pipeline.
+fn self_test() -> Result<String, String> {
+    let io = |e: std::io::Error| format!("I/O: {e}");
+    let server = Server::bind(testdata::demo_repository(), ServerConfig::default())
+        .map_err(|e| format!("bind: {e}"))?;
+    let handle = server.start().map_err(|e| format!("start: {e}"))?;
+    let addr = handle.addr();
+
+    // healthz
+    let resp = request_once(addr, "GET", "/healthz", &[], b"").map_err(io)?;
+    expect(resp.status == 200, "healthz status", resp.status)?;
+
+    // single-page extract matches the direct pipeline
+    let rules = testdata::cluster_from(&testdata::demo_cluster_json());
+    let (uri, html) = testdata::demo_page(1);
+    let want = testdata::direct_extract_xml(&rules, &[(uri.clone(), html.clone())]);
+    let resp = request_once(
+        addr,
+        "POST",
+        &format!("/extract/{}", testdata::DEMO_CLUSTER),
+        &[("x-page-uri", &uri)],
+        html.as_bytes(),
+    )
+    .map_err(io)?;
+    expect(resp.status == 200, "extract status", resp.status)?;
+    expect(resp.body_utf8() == want, "extract body differs from direct extraction", "")?;
+
+    // batch extract over a keep-alive client, byte-identical
+    let pages = testdata::demo_pages(16);
+    let want_batch = testdata::direct_extract_xml(&rules, &pages);
+    let mut client = Client::connect(addr).map_err(io)?;
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{}/batch?threads=4", testdata::DEMO_CLUSTER),
+            &[],
+            testdata::pages_json(&pages).as_bytes(),
+        )
+        .map_err(io)?;
+    expect(resp.status == 200, "batch status", resp.status)?;
+    expect(resp.body_utf8() == want_batch, "batch body differs from direct extraction", "")?;
+    expect(
+        resp.header("x-retroweb-pages") == Some("16"),
+        "batch page count header",
+        resp.header("x-retroweb-pages").unwrap_or("missing"),
+    )?;
+
+    // drift check flags the redesigned page
+    let drifted = vec![testdata::drifted_page(0)];
+    let resp = client
+        .request(
+            "POST",
+            &format!("/check/{}", testdata::DEMO_CLUSTER),
+            &[],
+            testdata::pages_json(&drifted).as_bytes(),
+        )
+        .map_err(io)?;
+    expect(resp.status == 200, "check status", resp.status)?;
+    let report = resp.body_json().map_err(|e| format!("check body: {e}"))?;
+    expect(
+        report.get("drifted").and_then(|d| d.as_bool()) == Some(true),
+        "drift detected",
+        report.to_string_compact(),
+    )?;
+
+    // hot reload via PUT, observed by the next extraction
+    let resp = client
+        .request(
+            "PUT",
+            &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+            &[],
+            testdata::updated_cluster_json().as_bytes(),
+        )
+        .map_err(io)?;
+    expect(resp.status == 200, "reload status", resp.status)?;
+    let updated = testdata::cluster_from(&testdata::updated_cluster_json());
+    let want_v2 = testdata::direct_extract_xml(&updated, &pages);
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{}/batch", testdata::DEMO_CLUSTER),
+            &[],
+            testdata::pages_json(&pages).as_bytes(),
+        )
+        .map_err(io)?;
+    expect(resp.body_utf8() == want_v2, "post-reload body differs", "")?;
+
+    // metrics counted all of the above
+    let resp = request_once(addr, "GET", "/metrics", &[], b"").map_err(io)?;
+    let metrics = resp.body_json().map_err(|e| format!("metrics body: {e}"))?;
+    let total =
+        metrics.get("requests").and_then(|r| r.get("total")).and_then(|t| t.as_u64()).unwrap_or(0);
+    expect(total >= 6, "metrics request total", total)?;
+
+    handle.shutdown();
+    Ok(format!("6 endpoints exercised, {total} requests served, drift + hot reload verified"))
+}
+
+fn expect(ok: bool, what: &str, got: impl std::fmt::Display) -> Result<(), String> {
+    if ok {
+        Ok(())
+    } else {
+        Err(format!("{what} (got: {got})"))
+    }
+}

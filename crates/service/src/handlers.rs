@@ -1,0 +1,270 @@
+//! Request routing and endpoint handlers.
+//!
+//! Every handler goes through the shared [`ServiceState`]: extraction
+//! and drift checking run the repository's *compiled-cluster cache*
+//! (`RuleRepository::compiled`), so a `PUT /clusters/{name}` — which
+//! re-records the cluster and thereby invalidates the cache — is a hot
+//! rule reload observed by the very next request.
+
+use crate::http::{Request, Response};
+use crate::metrics::Endpoint;
+use crate::ServiceState;
+use retroweb_json::Json;
+use retroweb_sitegen::Page;
+use retrozilla::{detect_failures_compiled, ClusterRules, FailureKind, SamplePage};
+
+/// Cap on `?threads=` for batch extraction.
+const MAX_EXTRACT_THREADS: usize = 32;
+
+/// Dispatch one request. Returns the endpoint family (for metrics) and
+/// the response.
+pub fn route(state: &ServiceState, req: &Request) -> (Endpoint, Response) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", []) => (Endpoint::Other, index()),
+        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(state)),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(state)),
+        ("GET", ["clusters"]) => (Endpoint::Clusters, list_clusters(state)),
+        ("GET", ["clusters", name]) => (Endpoint::Clusters, get_cluster(state, name)),
+        ("PUT", ["clusters", name]) => (Endpoint::Clusters, put_cluster(state, name, req)),
+        ("DELETE", ["clusters", name]) => (Endpoint::Clusters, delete_cluster(state, name)),
+        ("POST", ["extract", name]) => (Endpoint::Extract, extract_one(state, name, req)),
+        ("POST", ["extract", name, "batch"]) => {
+            (Endpoint::ExtractBatch, extract_batch(state, name, req))
+        }
+        ("POST", ["check", name]) => (Endpoint::Check, check(state, name, req)),
+        // Known paths with the wrong verb get a 405 instead of a 404.
+        (_, ["healthz" | "metrics" | "clusters" | "extract" | "check", ..]) => {
+            (Endpoint::Other, Response::error(405, "method not allowed"))
+        }
+        _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
+    }
+}
+
+fn index() -> Response {
+    Response::text(
+        200,
+        "retroweb-service — rule-repository extraction server\n\
+         \n\
+         GET  /healthz                     liveness + cluster count\n\
+         GET  /metrics                     counters and latency histograms\n\
+         GET  /clusters                    recorded cluster names\n\
+         GET  /clusters/{name}             one cluster's rules (repository JSON)\n\
+         PUT  /clusters/{name}             record rules (hot reload), body = cluster JSON\n\
+         DELETE /clusters/{name}           drop a cluster\n\
+         POST /extract/{name}              body = HTML page -> extracted XML\n\
+         POST /extract/{name}/batch        body = [{\"uri\",\"html\"},...] -> cluster XML\n\
+         POST /check/{name}                body = [{\"uri\",\"html\"},...] -> drift report\n",
+    )
+}
+
+fn healthz(state: &ServiceState) -> Response {
+    let json = Json::object(vec![
+        ("status".into(), Json::from("ok")),
+        ("clusters".into(), Json::from(state.repo().len())),
+        ("shutting_down".into(), Json::from(state.shutting_down())),
+    ]);
+    Response::json(200, &json)
+}
+
+fn metrics(state: &ServiceState) -> Response {
+    Response::json(200, &state.metrics().to_json(state.repo().stats()))
+}
+
+fn list_clusters(state: &ServiceState) -> Response {
+    let names: Vec<Json> =
+        state.repo().cluster_names().iter().map(|n| Json::from(n.as_str())).collect();
+    Response::json(200, &Json::object(vec![("clusters".into(), Json::Array(names))]))
+}
+
+fn get_cluster(state: &ServiceState, name: &str) -> Response {
+    match state.repo().cluster_json(name) {
+        Some(json) => Response::json(200, &json),
+        None => unknown_cluster(name),
+    }
+}
+
+/// `PUT /clusters/{name}`: validate, record (invalidating the compiled
+/// cache — hot reload), and persist when the server owns a repository
+/// file. Rejections surface the repository error's full context so a
+/// bad rule document is diagnosable from the response alone.
+fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return Response::error(400, "body must be UTF-8 JSON");
+    };
+    let json = match retroweb_json::parse(body) {
+        Ok(json) => json,
+        Err(e) => return Response::error(400, &format!("body is not valid JSON: {e}")),
+    };
+    let rules = match ClusterRules::from_json(&json) {
+        Ok(rules) => rules,
+        Err(e) => return Response::error(400, &e.to_string()),
+    };
+    if rules.cluster != name {
+        return Response::error(
+            400,
+            &format!(
+                "cluster name mismatch: path says '{name}', document says '{}'",
+                rules.cluster
+            ),
+        );
+    }
+    let n_rules = rules.rules.len();
+    let replaced = state.repo().get(name).is_some();
+    state.repo().record(rules);
+    state.metrics().add_rule_reload();
+    if let Err(e) = state.persist() {
+        return Response::error(500, &format!("cluster recorded but persistence failed: {e}"));
+    }
+    let json = Json::object(vec![
+        ("cluster".into(), Json::from(name)),
+        ("rules".into(), Json::from(n_rules)),
+        ("replaced".into(), Json::from(replaced)),
+    ]);
+    Response::json(if replaced { 200 } else { 201 }, &json)
+}
+
+fn delete_cluster(state: &ServiceState, name: &str) -> Response {
+    if !state.repo().remove(name) {
+        return unknown_cluster(name);
+    }
+    if let Err(e) = state.persist() {
+        return Response::error(500, &format!("cluster removed but persistence failed: {e}"));
+    }
+    Response::json(200, &Json::object(vec![("removed".into(), Json::from(name))]))
+}
+
+/// Decode a raw HTML page body honouring the request's charset: this
+/// system exists to extract from retro-era sites, so ISO-8859-1 pages
+/// (the encoding the XML output itself declares) must not be lossily
+/// replaced with U+FFFD. Latin-1 decoding is total, so the fallback for
+/// undeclared non-UTF-8 bytes is lossless too.
+fn decode_page_body(req: &Request) -> String {
+    let latin1 = |bytes: &[u8]| -> String { bytes.iter().map(|&b| b as char).collect() };
+    let charset = req
+        .header("content-type")
+        .and_then(|ct| ct.to_ascii_lowercase().split("charset=").nth(1).map(str::to_string))
+        .map(|cs| cs.trim().trim_matches('"').trim_end_matches(';').to_string());
+    match charset.as_deref() {
+        Some(cs) if cs.starts_with("iso-8859-1") || cs.starts_with("latin1") => latin1(&req.body),
+        _ => match std::str::from_utf8(&req.body) {
+            Ok(s) => s.to_string(),
+            Err(_) => latin1(&req.body),
+        },
+    }
+}
+
+/// `POST /extract/{name}`: body is one HTML page; the page URI comes
+/// from the `X-Page-Uri` header when present.
+fn extract_one(state: &ServiceState, name: &str, req: &Request) -> Response {
+    let uri = req.header("x-page-uri").unwrap_or("page").to_string();
+    let html = decode_page_body(req);
+    let pages = vec![(uri, retroweb_html::parse(&html))];
+    let Some(result) = state.repo().extract(name, &pages) else {
+        return unknown_cluster(name);
+    };
+    state.metrics().add_pages_extracted(1);
+    state.metrics().add_failures_detected(result.failures.len());
+    Response::xml(result.xml.to_string_with(2))
+        .with_header("x-retroweb-failures", result.failures.len())
+}
+
+/// `POST /extract/{name}/batch`: body is a JSON array of pages, fanned
+/// out over `?threads=` scoped workers (default from server config).
+/// Output is byte-identical to a direct `extract_cluster` call.
+fn extract_batch(state: &ServiceState, name: &str, req: &Request) -> Response {
+    let pages = match parse_pages(req) {
+        Ok(pages) => pages,
+        Err(resp) => return *resp,
+    };
+    let threads = req
+        .query_param("threads")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(state.extract_threads())
+        .clamp(1, MAX_EXTRACT_THREADS);
+    let n_pages = pages.len();
+    let Some(result) = state.repo().extract_parallel(name, &pages, threads) else {
+        return unknown_cluster(name);
+    };
+    state.metrics().add_pages_extracted(n_pages);
+    state.metrics().add_failures_detected(result.failures.len());
+    Response::xml(result.xml.to_string_with(2))
+        .with_header("x-retroweb-pages", n_pages)
+        .with_header("x-retroweb-failures", result.failures.len())
+}
+
+/// `POST /check/{name}`: run the §7 failure detectors over submitted
+/// pages and report the drift.
+fn check(state: &ServiceState, name: &str, req: &Request) -> Response {
+    let pages = match parse_pages(req) {
+        Ok(pages) => pages,
+        Err(resp) => return *resp,
+    };
+    let Some(compiled) = state.repo().compiled(name) else {
+        return unknown_cluster(name);
+    };
+    let sample: Vec<SamplePage> = pages
+        .into_iter()
+        .map(|(uri, html)| SamplePage::from_page(Page::new(uri, html, name)))
+        .collect();
+    let failures = detect_failures_compiled(&compiled, &sample);
+    state.metrics().add_failures_detected(failures.len());
+    let items: Vec<Json> = failures
+        .iter()
+        .map(|f| {
+            Json::object(vec![
+                ("uri".into(), Json::from(f.uri.as_str())),
+                ("component".into(), Json::from(f.component.as_str())),
+                ("kind".into(), Json::from(failure_kind_name(f.kind))),
+            ])
+        })
+        .collect();
+    let json = Json::object(vec![
+        ("cluster".into(), Json::from(name)),
+        ("pages".into(), Json::from(sample.len())),
+        ("drifted".into(), Json::from(!failures.is_empty())),
+        ("failures".into(), Json::Array(items)),
+    ]);
+    Response::json(200, &json)
+}
+
+fn failure_kind_name(kind: FailureKind) -> &'static str {
+    match kind {
+        FailureKind::MandatoryMissing => "mandatory-missing",
+        FailureKind::MultipleForSingleValued => "multiple-for-single-valued",
+    }
+}
+
+fn unknown_cluster(name: &str) -> Response {
+    Response::error(404, &format!("no cluster '{name}' in the repository"))
+}
+
+/// Parse the `[{"uri": …, "html": …}, …]` page-list body shared by the
+/// batch and check endpoints. Bare strings are accepted as pages with
+/// generated URIs. Boxed error to keep the happy-path result small.
+fn parse_pages(req: &Request) -> Result<Vec<(String, String)>, Box<Response>> {
+    let body = std::str::from_utf8(&req.body)
+        .map_err(|_| Box::new(Response::error(400, "body must be UTF-8 JSON")))?;
+    let json = retroweb_json::parse(body)
+        .map_err(|e| Box::new(Response::error(400, &format!("body is not valid JSON: {e}"))))?;
+    let items = json
+        .as_array()
+        .ok_or_else(|| Box::new(Response::error(400, "body must be a JSON array of pages")))?;
+    let mut pages = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        if let Some(html) = item.as_str() {
+            pages.push((format!("page-{i}"), html.to_string()));
+            continue;
+        }
+        let html = item.get("html").and_then(Json::as_str).ok_or_else(|| {
+            Box::new(Response::error(400, &format!("page [{i}] is missing string field 'html'")))
+        })?;
+        let uri = item
+            .get("uri")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("page-{i}"));
+        pages.push((uri, html.to_string()));
+    }
+    Ok(pages)
+}

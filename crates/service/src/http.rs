@@ -1,0 +1,476 @@
+//! Minimal HTTP/1.1 framing over `std::net::TcpStream`.
+//!
+//! No network crates are available in this build environment, so the
+//! service speaks just enough HTTP itself: request-line + headers +
+//! `Content-Length` bodies, keep-alive by default, `Connection: close`
+//! honoured. Chunked transfer encoding is intentionally not supported —
+//! every client this crate ships (tests, self-test, bench, example)
+//! sends sized bodies.
+//!
+//! The server half reads through [`Conn`], whose read timeout doubles as
+//! the graceful-shutdown poll interval: an idle keep-alive connection
+//! wakes every timeout tick so its worker can notice the shutdown flag
+//! instead of blocking in `read` forever. A small blocking [`Client`] is
+//! included for loopback use.
+
+use std::collections::BTreeMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Upper bound on an accepted request body (64 MiB — a generous batch).
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Consecutive read timeouts tolerated mid-request before the peer is
+/// declared dead (the timeout itself is the server's poll interval).
+const SLOW_CLIENT_STRIKES: u32 = 240;
+
+/// One parsed HTTP request.
+#[derive(Clone, Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path without the query string, e.g. `/extract/movies/batch`.
+    pub path: String,
+    /// Raw query string (empty when absent).
+    pub query: String,
+    /// Header names are lower-cased; values are trimmed.
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+    /// Request came in as HTTP/1.0 (close-by-default semantics).
+    pub http10: bool,
+}
+
+impl Request {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    /// Should the connection close after this exchange? `Connection:
+    /// close`, or an HTTP/1.0 request without an explicit keep-alive —
+    /// 1.0 clients read the body to EOF, so keeping the connection open
+    /// would hang them.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => v.eq_ignore_ascii_case("close"),
+            None => self.http10,
+        }
+    }
+
+    /// Value of a `k=v` query parameter (no percent-decoding).
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
+    }
+
+    pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// Outcome of waiting for the next request on a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    Request(Request),
+    /// Peer closed (or died) before a complete request arrived.
+    Closed,
+    /// Read timed out with no request in flight — caller may poll a
+    /// shutdown flag and wait again.
+    Idle,
+    /// Unparseable, unsupported or oversized input; respond with the
+    /// given status and close.
+    Malformed(u16, &'static str),
+}
+
+/// Server side of one TCP connection, with a reusable read buffer that
+/// carries pipelined bytes across requests.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, read_timeout: Duration) -> std::io::Result<Conn> {
+        stream.set_read_timeout(Some(read_timeout))?;
+        // Responses are written in one piece; without NODELAY the kernel
+        // would sit on small segments waiting for delayed ACKs (~40 ms a
+        // round trip — catastrophic for request latency).
+        stream.set_nodelay(true)?;
+        Ok(Conn { stream, buf: Vec::new() })
+    }
+
+    /// Read one request, honouring the stream's read timeout as an idle
+    /// poll interval.
+    pub fn read_request(&mut self) -> ReadOutcome {
+        let mut strikes = 0u32;
+        loop {
+            if let Some(head_end) = find_head_end(&self.buf) {
+                return self.finish_request(head_end);
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return ReadOutcome::Malformed(400, "request head too large");
+            }
+            match self.fill() {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(_) => strikes = 0,
+                Err(e) if is_timeout(&e) => {
+                    if self.buf.is_empty() {
+                        return ReadOutcome::Idle;
+                    }
+                    strikes += 1;
+                    if strikes > SLOW_CLIENT_STRIKES {
+                        return ReadOutcome::Closed;
+                    }
+                }
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+    }
+
+    /// Head is complete at `head_end`; parse it and read the body.
+    fn finish_request(&mut self, head_end: usize) -> ReadOutcome {
+        let head = match std::str::from_utf8(&self.buf[..head_end]) {
+            Ok(h) => h.to_string(),
+            Err(_) => return ReadOutcome::Malformed(400, "request head is not UTF-8"),
+        };
+        let Some((method, path, query, headers, http10)) = parse_head(&head) else {
+            return ReadOutcome::Malformed(400, "malformed request line or headers");
+        };
+        // Unsupported framing must be rejected, not misread as an empty
+        // body — leftover chunk bytes would desync the connection.
+        if headers.contains_key("transfer-encoding") {
+            return ReadOutcome::Malformed(
+                400,
+                "Transfer-Encoding is not supported; send a Content-Length body",
+            );
+        }
+        let content_length = match headers.get("content-length") {
+            None => 0,
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => return ReadOutcome::Malformed(400, "bad Content-Length"),
+            },
+        };
+        if content_length > MAX_BODY_BYTES {
+            return ReadOutcome::Malformed(413, "request body too large");
+        }
+        let total = head_end + 4 + content_length;
+        let mut strikes = 0u32;
+        while self.buf.len() < total {
+            match self.fill() {
+                Ok(0) => return ReadOutcome::Closed,
+                Ok(_) => strikes = 0,
+                Err(e) if is_timeout(&e) => {
+                    strikes += 1;
+                    if strikes > SLOW_CLIENT_STRIKES {
+                        return ReadOutcome::Closed;
+                    }
+                }
+                Err(_) => return ReadOutcome::Closed,
+            }
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        ReadOutcome::Request(Request { method, path, query, headers, body, http10 })
+    }
+
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+
+    pub fn write_response(&mut self, resp: &Response) -> std::io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+            resp.status,
+            status_text(resp.status),
+            resp.content_type,
+            resp.body.len(),
+            if resp.close { "close" } else { "keep-alive" },
+        );
+        for (name, value) in &resp.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        // One write for head + body: a single TCP segment burst, no
+        // Nagle/delayed-ACK stall between the two halves.
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&resp.body);
+        self.stream.write_all(&out)?;
+        self.stream.flush()
+    }
+}
+
+/// Position of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+#[allow(clippy::type_complexity)]
+fn parse_head(head: &str) -> Option<(String, String, String, BTreeMap<String, String>, bool)> {
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next()?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next()?.to_string();
+    let target = parts.next()?;
+    let version = parts.next()?;
+    if !version.starts_with("HTTP/1.") || parts.next().is_some() || method.is_empty() {
+        return None;
+    }
+    let http10 = version == "HTTP/1.0";
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line.split_once(':')?;
+        headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+    }
+    Some((method, path, query, headers, http10))
+}
+
+/// An HTTP response about to be written.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Extra headers beyond content-type/length/connection.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// Close the connection after this response.
+    pub close: bool,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response { status, content_type, headers: Vec::new(), body, close: false }
+    }
+
+    pub fn json(status: u16, json: &retroweb_json::Json) -> Response {
+        Response::new(status, "application/json", json.to_string_pretty().into_bytes())
+    }
+
+    pub fn xml(body: String) -> Response {
+        Response::new(200, "application/xml; charset=UTF-8", body.into_bytes())
+    }
+
+    pub fn text(status: u16, body: &str) -> Response {
+        Response::new(status, "text/plain; charset=UTF-8", body.as_bytes().to_vec())
+    }
+
+    /// `{"error": message}` with the given status.
+    pub fn error(status: u16, message: &str) -> Response {
+        let json = retroweb_json::Json::object(vec![(
+            "error".to_string(),
+            retroweb_json::Json::from(message),
+        )]);
+        Response::json(status, &json)
+    }
+
+    pub fn with_header(mut self, name: &str, value: impl std::fmt::Display) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    pub fn closed(mut self) -> Response {
+        self.close = true;
+        self
+    }
+}
+
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+// ---- loopback client ------------------------------------------------------
+
+/// A parsed client-side response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    pub status: u16,
+    pub headers: BTreeMap<String, String>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(&name.to_ascii_lowercase()).map(String::as_str)
+    }
+
+    pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+
+    pub fn body_json(&self) -> Result<retroweb_json::Json, retroweb_json::ParseError> {
+        retroweb_json::parse(&self.body_utf8())
+    }
+}
+
+/// Blocking keep-alive HTTP client for loopback tests and benches.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, buf: Vec::new() })
+    }
+
+    /// Send one request and read the sized response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> std::io::Result<ClientResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nhost: loopback\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n\r\n", body.len()));
+        let mut out = head.into_bytes();
+        out.extend_from_slice(body);
+        self.stream.write_all(&out)?;
+        self.stream.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed before response head",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap_or_default().to_string();
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+        let mut headers = BTreeMap::new();
+        for line in lines {
+            if let Some((name, value)) = line.split_once(':') {
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+        let len: usize = headers
+            .get("content-length")
+            .and_then(|v| v.parse().ok())
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing content-length"))?;
+        let total = head_end + 4 + len;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = self.buf[head_end + 4..total].to_vec();
+        self.buf.drain(..total);
+        Ok(ClientResponse { status, headers, body })
+    }
+}
+
+/// One-shot convenience: connect, send with `Connection: close`, read.
+pub fn request_once(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<ClientResponse> {
+    let mut client = Client::connect(addr)?;
+    let mut all: Vec<(&str, &str)> = vec![("connection", "close")];
+    all.extend_from_slice(headers);
+    client.request(method, path, &all, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_parsing() {
+        let (method, path, query, headers, http10) = parse_head(
+            "POST /extract/m/batch?threads=4 HTTP/1.1\r\nContent-Length: 3\r\nX-Page-Uri: u1",
+        )
+        .unwrap();
+        assert_eq!(method, "POST");
+        assert_eq!(path, "/extract/m/batch");
+        assert_eq!(query, "threads=4");
+        assert_eq!(headers.get("content-length").map(String::as_str), Some("3"));
+        assert_eq!(headers.get("x-page-uri").map(String::as_str), Some("u1"));
+        assert!(!http10);
+        assert!(parse_head("GET /x HTTP/1.0").unwrap().4);
+        assert!(parse_head("GARBAGE").is_none());
+        assert!(parse_head("GET /x SPDY/9").is_none());
+    }
+
+    #[test]
+    fn query_params_and_close_semantics() {
+        let mut req = Request {
+            method: "GET".into(),
+            path: "/x".into(),
+            query: "a=1&threads=8".into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            http10: false,
+        };
+        assert_eq!(req.query_param("threads"), Some("8"));
+        assert_eq!(req.query_param("missing"), None);
+        // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+        assert!(!req.wants_close());
+        req.http10 = true;
+        assert!(req.wants_close());
+        req.headers.insert("connection".into(), "keep-alive".into());
+        assert!(!req.wants_close());
+        req.headers.insert("connection".into(), "close".into());
+        assert!(req.wants_close());
+    }
+}

@@ -1,0 +1,258 @@
+//! # retroweb-service — a multi-threaded extraction server
+//!
+//! The paper's §3.5 repository exists so "external agents, for instance
+//! the XML extractor" can apply recorded rules at scale. This crate is
+//! that serving layer: a std-only HTTP/1.1 server
+//! (`std::net::TcpListener` + a fixed-size worker pool with a bounded
+//! job queue — no network dependencies) exposing the rule repository
+//! and the compiled-rule extraction pipeline:
+//!
+//! | Endpoint | Role |
+//! |---|---|
+//! | `POST /extract/{cluster}` | one HTML page → extracted XML |
+//! | `POST /extract/{cluster}/batch` | JSON page array → parallel batched extraction |
+//! | `GET`/`PUT`/`DELETE /clusters/{name}` | rule CRUD over `retroweb-json` persistence |
+//! | `POST /check/{cluster}` | §7 failure detection (drift report) on submitted pages |
+//! | `GET /healthz`, `GET /metrics` | liveness, counters, latency histograms |
+//!
+//! **Hot rule reload for free:** every extraction runs through
+//! `RuleRepository`'s compiled-cluster cache, and `PUT /clusters/{name}`
+//! re-records the cluster, which invalidates that cache — so the next
+//! request (including ones already queued) executes the new rules, with
+//! no restart and no dropped in-flight requests.
+//!
+//! **Graceful shutdown:** [`ServerHandle::shutdown`] stops accepting,
+//! lets the worker pool drain every queued connection, and joins all
+//! threads; accepted requests are never dropped on the floor.
+//!
+//! Ship form: the `retrozilla-serve` binary (`--repo rules.json` to
+//! load/persist, `--self-test` for a loopback smoke test). See the
+//! crate README for a curl walkthrough.
+
+pub mod handlers;
+pub mod http;
+pub mod metrics;
+pub mod pool;
+pub mod testdata;
+
+pub use http::{request_once, Client, ClientResponse, Request, Response};
+pub use metrics::{Endpoint, Histogram, Metrics};
+pub use pool::ThreadPool;
+
+use retrozilla::RuleRepository;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub threads: usize,
+    /// Bounded connection-queue capacity (backpressure past this).
+    pub queue_capacity: usize,
+    /// Default per-batch extraction parallelism (`?threads=` overrides).
+    pub extract_threads: usize,
+    /// Idle-connection poll interval; also bounds shutdown latency.
+    pub read_timeout: Duration,
+    /// When set, `PUT`/`DELETE /clusters` persist the repository here
+    /// (crash-safe atomic rename).
+    pub repo_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 4,
+            queue_capacity: 64,
+            extract_threads: 4,
+            read_timeout: Duration::from_millis(100),
+            repo_path: None,
+        }
+    }
+}
+
+/// State shared by every worker: the repository (with its compiled-rule
+/// cache), the metrics, and the shutdown flag.
+pub struct ServiceState {
+    repo: RuleRepository,
+    metrics: Metrics,
+    extract_threads: usize,
+    repo_path: Option<PathBuf>,
+    /// Serialises repository saves so concurrent PUTs cannot interleave
+    /// their temp-file renames out of order.
+    save_lock: Mutex<()>,
+    shutting_down: AtomicBool,
+}
+
+impl ServiceState {
+    pub fn repo(&self) -> &RuleRepository {
+        &self.repo
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    pub fn extract_threads(&self) -> usize {
+        self.extract_threads
+    }
+
+    pub fn shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Persist the repository to the configured file, if any.
+    pub fn persist(&self) -> io::Result<()> {
+        let Some(path) = &self.repo_path else { return Ok(()) };
+        let _guard = self.save_lock.lock().expect("save lock poisoned");
+        self.repo.save(path)
+    }
+}
+
+/// A bound-but-not-yet-serving server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServiceState>,
+    config: ServerConfig,
+}
+
+impl Server {
+    /// Bind the listener and wrap the repository in shared state.
+    pub fn bind(repo: RuleRepository, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let state = Arc::new(ServiceState {
+            repo,
+            metrics: Metrics::new(),
+            extract_threads: config.extract_threads.max(1),
+            repo_path: config.repo_path.clone(),
+            save_lock: Mutex::new(()),
+            shutting_down: AtomicBool::new(false),
+        });
+        Ok(Server { listener, state, config })
+    }
+
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawn the accept loop and worker pool; returns the control handle.
+    pub fn start(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let Server { listener, state, config } = self;
+        let pool = ThreadPool::new(config.threads, config.queue_capacity);
+        let accept_state = Arc::clone(&state);
+        let read_timeout = config.read_timeout;
+        let acceptor =
+            std::thread::Builder::new().name("retroweb-acceptor".to_string()).spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_state.shutting_down() {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    accept_state.metrics().add_connection();
+                    let conn_state = Arc::clone(&accept_state);
+                    let job = Box::new(move || serve_connection(stream, &conn_state, read_timeout));
+                    if pool.submit(job).is_err() {
+                        break;
+                    }
+                }
+                // Drain: every accepted-and-queued connection still gets
+                // served before the workers exit.
+                pool.shutdown();
+            })?;
+        Ok(ServerHandle { addr, state, acceptor: Some(acceptor) })
+    }
+}
+
+/// Control handle for a running server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn state(&self) -> &Arc<ServiceState> {
+        &self.state
+    }
+
+    /// Graceful shutdown: stop accepting, drain the queue, join every
+    /// thread. In-flight requests complete; idle keep-alive connections
+    /// are closed at the next poll tick.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    /// Block until the server stops (i.e. until some other shutdown
+    /// path, such as SIGKILL, takes the process down).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.state.shutting_down.store(true, Ordering::SeqCst);
+        // Poke the listener so a blocked `accept` observes the flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() {
+            self.begin_shutdown();
+            if let Some(acceptor) = self.acceptor.take() {
+                let _ = acceptor.join();
+            }
+        }
+    }
+}
+
+/// Serve one connection: keep-alive request loop with a shutdown-aware
+/// idle poll. In-flight requests always complete; the connection closes
+/// once the client asks for it, goes away, or shutdown begins.
+fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>, read_timeout: Duration) {
+    let Ok(mut conn) = http::Conn::new(stream, read_timeout) else { return };
+    loop {
+        match conn.read_request() {
+            http::ReadOutcome::Idle => {
+                if state.shutting_down() {
+                    return;
+                }
+            }
+            http::ReadOutcome::Closed => return,
+            http::ReadOutcome::Malformed(status, why) => {
+                let _ = conn.write_response(&Response::error(status, why).closed());
+                return;
+            }
+            http::ReadOutcome::Request(req) => {
+                let started = Instant::now();
+                let (endpoint, mut resp) = handlers::route(state, &req);
+                state.metrics().observe(endpoint, resp.status, started.elapsed());
+                if req.wants_close() || state.shutting_down() {
+                    resp.close = true;
+                }
+                let write_ok = conn.write_response(&resp).is_ok();
+                if !write_ok || resp.close {
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Live service metrics: lock-free atomic counters plus fixed-bucket
+//! latency histograms, rendered as JSON by `GET /metrics`.
+//!
+//! Everything here is written on the request hot path, so recording is a
+//! handful of relaxed atomic increments — no locks, no allocation.
+//! Quantiles are estimated from the histogram buckets (the reported
+//! p50/p99 is the upper bound of the bucket holding that rank), which is
+//! the usual precision/overhead trade for serving metrics.
+
+use retroweb_json::Json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Endpoint families tracked separately (one histogram each).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    Healthz,
+    Metrics,
+    Clusters,
+    Extract,
+    ExtractBatch,
+    Check,
+    Other,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 7] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Clusters,
+        Endpoint::Extract,
+        Endpoint::ExtractBatch,
+        Endpoint::Check,
+        Endpoint::Other,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Clusters => "clusters",
+            Endpoint::Extract => "extract",
+            Endpoint::ExtractBatch => "extract-batch",
+            Endpoint::Check => "check",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL.iter().position(|e| *e == self).expect("endpoint in ALL")
+    }
+}
+
+/// Bucket upper bounds in microseconds; one overflow bucket follows.
+const BUCKET_BOUNDS_US: [u64; 14] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 5_000_000,
+];
+const BUCKETS: usize = BUCKET_BOUNDS_US.len() + 1;
+
+/// Fixed-bucket latency histogram.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    pub fn record(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        let idx = BUCKET_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile in milliseconds: the upper bound of the bucket
+    /// containing the rank (the mean for overflow-bucket ranks).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                if i < BUCKET_BOUNDS_US.len() {
+                    return BUCKET_BOUNDS_US[i] as f64 / 1_000.0;
+                }
+                break;
+            }
+        }
+        self.mean_ms().max(BUCKET_BOUNDS_US[BUCKET_BOUNDS_US.len() - 1] as f64 / 1_000.0)
+    }
+
+    pub fn mean_ms(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum_us.load(Ordering::Relaxed) as f64 / count as f64 / 1_000.0
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("count".into(), Json::from(self.count() as usize)),
+            ("mean_ms".into(), Json::from(round3(self.mean_ms()))),
+            ("p50_ms".into(), Json::from(self.quantile_ms(0.50))),
+            ("p99_ms".into(), Json::from(self.quantile_ms(0.99))),
+        ])
+    }
+}
+
+#[derive(Debug, Default)]
+struct PerEndpoint {
+    requests: AtomicU64,
+    latency: Histogram,
+}
+
+/// All service counters. One instance lives in the shared service state;
+/// handlers and the connection loop update it with relaxed atomics.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    requests_total: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    pages_extracted: AtomicU64,
+    failures_detected: AtomicU64,
+    rule_reloads: AtomicU64,
+    connections: AtomicU64,
+    per_endpoint: [PerEndpoint; Endpoint::ALL.len()],
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Record one completed request.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+        let per = &self.per_endpoint[endpoint.index()];
+        per.requests.fetch_add(1, Ordering::Relaxed);
+        per.latency.record(elapsed);
+    }
+
+    pub fn add_pages_extracted(&self, n: usize) {
+        self.pages_extracted.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_failures_detected(&self, n: usize) {
+        self.failures_detected.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_rule_reload(&self) {
+        self.rule_reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// Full snapshot for `GET /metrics`, folding in the repository's
+    /// compiled-cache counters.
+    pub fn to_json(&self, repo: retrozilla::RepositoryStats) -> Json {
+        let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as usize);
+        let by_endpoint = Endpoint::ALL
+            .iter()
+            .map(|e| (e.name().to_string(), load(&self.per_endpoint[e.index()].requests)))
+            .collect();
+        let latency = Endpoint::ALL
+            .iter()
+            .filter(|e| self.per_endpoint[e.index()].latency.count() > 0)
+            .map(|e| (e.name().to_string(), self.per_endpoint[e.index()].latency.to_json()))
+            .collect();
+        Json::object(vec![
+            (
+                "requests".into(),
+                Json::object(vec![
+                    ("total".into(), load(&self.requests_total)),
+                    ("by_endpoint".into(), Json::Object(by_endpoint)),
+                ]),
+            ),
+            (
+                "responses".into(),
+                Json::object(vec![
+                    ("2xx".into(), load(&self.responses_2xx)),
+                    ("4xx".into(), load(&self.responses_4xx)),
+                    ("5xx".into(), load(&self.responses_5xx)),
+                ]),
+            ),
+            ("connections".into(), load(&self.connections)),
+            ("pages_extracted".into(), load(&self.pages_extracted)),
+            ("failures_detected".into(), load(&self.failures_detected)),
+            ("rule_reloads".into(), load(&self.rule_reloads)),
+            (
+                "repository".into(),
+                Json::object(vec![
+                    ("clusters".into(), Json::from(repo.clusters)),
+                    ("compiled_cache_hits".into(), Json::from(repo.compiled_cache_hits as usize)),
+                    (
+                        "compiled_cache_builds".into(),
+                        Json::from(repo.compiled_cache_builds as usize),
+                    ),
+                    (
+                        "compiled_cache_invalidations".into(),
+                        Json::from(repo.compiled_cache_invalidations as usize),
+                    ),
+                ]),
+            ),
+            ("latency_ms".into(), Json::Object(latency)),
+        ])
+    }
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1_000.0).round() / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles() {
+        let h = Histogram::default();
+        for _ in 0..98 {
+            h.record(Duration::from_micros(80)); // ≤ 100µs bucket
+        }
+        h.record(Duration::from_millis(40)); // ≤ 50ms bucket
+        h.record(Duration::from_secs(30)); // overflow
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_ms(0.50), 0.1);
+        assert_eq!(h.quantile_ms(0.99), 50.0);
+        assert!(h.quantile_ms(1.0) >= 5_000.0);
+        assert!(h.mean_ms() > 0.0);
+    }
+
+    #[test]
+    fn observe_classifies_statuses() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Extract, 200, Duration::from_micros(500));
+        m.observe(Endpoint::Extract, 404, Duration::from_micros(500));
+        m.observe(Endpoint::Check, 500, Duration::from_micros(500));
+        m.add_pages_extracted(7);
+        m.add_failures_detected(2);
+        let json = m.to_json(retrozilla::RepositoryStats::default());
+        assert_eq!(json.get("requests").unwrap().get("total").unwrap().as_u64(), Some(3));
+        assert_eq!(json.get("responses").unwrap().get("2xx").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("responses").unwrap().get("4xx").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("responses").unwrap().get("5xx").unwrap().as_u64(), Some(1));
+        assert_eq!(json.get("pages_extracted").unwrap().as_u64(), Some(7));
+        let by = json.get("requests").unwrap().get("by_endpoint").unwrap();
+        assert_eq!(by.get("extract").unwrap().as_u64(), Some(2));
+        assert!(json.get("latency_ms").unwrap().get("extract").is_some());
+        assert!(json.get("latency_ms").unwrap().get("healthz").is_none());
+    }
+}

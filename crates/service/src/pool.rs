@@ -1,0 +1,237 @@
+//! Fixed-size worker thread pool with a bounded job queue and a
+//! draining shutdown, in the style of the scoped-thread parallel
+//! extractor in `retrozilla::extract`: plain `std::sync` primitives, no
+//! channel crates.
+//!
+//! - `submit` applies backpressure: it blocks while the queue is at
+//!   capacity instead of growing it without bound.
+//! - `shutdown` is graceful: queued jobs are still executed; workers
+//!   exit only once the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// The pool rejected a job because it is shutting down.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejected;
+
+pub struct ThreadPool {
+    shared: Arc<Shared>,
+    capacity: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// `threads` workers over a queue of at most `queue_capacity` waiting
+    /// jobs (both clamped to ≥ 1).
+    pub fn new(threads: usize, queue_capacity: usize) -> ThreadPool {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState { queue: VecDeque::new(), shutting_down: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("retroweb-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        ThreadPool { shared, capacity: queue_capacity.max(1), workers }
+    }
+
+    /// Enqueue a job, blocking while the queue is full. Fails only once
+    /// shutdown has begun.
+    pub fn submit(&self, job: Job) -> Result<(), Rejected> {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        while state.queue.len() >= self.capacity && !state.shutting_down {
+            state = self.shared.not_full.wait(state).expect("pool lock poisoned");
+        }
+        if state.shutting_down {
+            return Err(Rejected);
+        }
+        state.queue.push_back(job);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting (not counting ones being executed).
+    pub fn queued(&self) -> usize {
+        self.shared.state.lock().expect("pool lock poisoned").queue.len()
+    }
+
+    /// Begin shutdown, let workers drain the queue, and join them.
+    pub fn shutdown(mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutting_down = true;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    shared.not_full.notify_one();
+                    break Some(job);
+                }
+                if state.shutting_down {
+                    break None;
+                }
+                state = shared.not_empty.wait(state).expect("pool lock poisoned");
+            }
+        };
+        match job {
+            // A panicking job must not take its worker down with it: a
+            // dead worker is never respawned, and a fully dead pool
+            // leaves `submit` blocked on `not_full` forever.
+            Some(job) => {
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        // One slow worker; everything else queues. Shutdown must still
+        // run every queued job.
+        let pool = ThreadPool::new(1, 64);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                if i == 0 {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn panicking_job_does_not_kill_its_worker() {
+        let pool = ThreadPool::new(1, 8);
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..10 {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                if i % 2 == 0 {
+                    panic!("job {i} exploded");
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        // The single worker survived five panics and ran the other five.
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let pool = ThreadPool::new(2, 4);
+        {
+            let mut state = pool.shared.state.lock().unwrap();
+            state.shutting_down = true;
+        }
+        assert_eq!(pool.submit(Box::new(|| {})), Err(Rejected));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        // Capacity 1, one worker blocked on a gate: while the gate is
+        // shut nothing completes; submitters past capacity block rather
+        // than growing the queue, and everything runs once released.
+        let pool = ThreadPool::new(1, 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        std::thread::scope(|scope| {
+            {
+                let gate = Arc::clone(&gate);
+                let done = Arc::clone(&done);
+                pool.submit(Box::new(move || {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+                .unwrap();
+            }
+            let pool_ref = &pool;
+            let done_ref = Arc::clone(&done);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let done = Arc::clone(&done_ref);
+                    pool_ref
+                        .submit(Box::new(move || {
+                            done.fetch_add(1, Ordering::SeqCst);
+                        }))
+                        .unwrap();
+                }
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            // Nothing can have finished while the gate is shut, and the
+            // bounded queue holds at most one waiting job.
+            assert_eq!(done.load(Ordering::SeqCst), 0);
+            assert!(pool.queued() <= 1, "queue grew past capacity: {}", pool.queued());
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        });
+        pool.shutdown();
+        assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+}

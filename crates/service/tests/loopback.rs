@@ -1,0 +1,364 @@
+//! Loopback end-to-end tests: concurrent clients over real TCP, served
+//! output held byte-identical to direct `extract_cluster` output, hot
+//! rule reload mid-run, and a draining shutdown.
+
+use retroweb_service::testdata::{
+    self, demo_pages, demo_repository, direct_extract_xml, drifted_page, pages_json, DEMO_CLUSTER,
+};
+use retroweb_service::{request_once, Client, Server, ServerConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn start_server(config: ServerConfig) -> retroweb_service::ServerHandle {
+    Server::bind(demo_repository(), config).expect("bind").start().expect("start")
+}
+
+/// The acceptance-criteria test: ≥ 4 concurrent clients hammering
+/// `/extract/{cluster}/batch`, every response byte-identical to the
+/// direct extraction for whichever rule version was live, a mid-run
+/// `PUT /clusters/{name}` hot reload observed by every later request
+/// with nothing dropped, and a shutdown that drains cleanly.
+#[test]
+fn concurrent_batch_extraction_with_hot_reload() {
+    let handle = start_server(ServerConfig { threads: 6, ..Default::default() });
+    let addr = handle.addr();
+
+    let pages = demo_pages(16);
+    let body = pages_json(&pages);
+    let want_v1 =
+        direct_extract_xml(&testdata::cluster_from(&testdata::demo_cluster_json()), &pages);
+    let want_v2 =
+        direct_extract_xml(&testdata::cluster_from(&testdata::updated_cluster_json()), &pages);
+    assert_ne!(want_v1, want_v2, "reload must be observable");
+
+    // Set once the PUT response has come back: any request *sent* after
+    // this point must see the v2 rules.
+    let reloaded = Arc::new(AtomicBool::new(false));
+    // Completed requests across all clients; gates the reload so it
+    // provably lands mid-run.
+    let completed = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    const CLIENTS: usize = 5;
+    const MIN_REQUESTS_PER_CLIENT: usize = 6;
+    std::thread::scope(|scope| {
+        let mut clients = Vec::new();
+        for c in 0..CLIENTS {
+            let body = body.as_str();
+            let want_v1 = want_v1.as_str();
+            let want_v2 = want_v2.as_str();
+            let reloaded = Arc::clone(&reloaded);
+            let completed = Arc::clone(&completed);
+            clients.push(scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let mut saw_v2 = false;
+                let mut requests = 0usize;
+                // Run until this client has both done its share of
+                // traffic and observed the reload.
+                while !(saw_v2 && requests >= MIN_REQUESTS_PER_CLIENT) {
+                    requests += 1;
+                    assert!(requests <= 500, "client {c}: never observed the reload");
+                    let sent_after_reload = reloaded.load(Ordering::SeqCst);
+                    let resp = client
+                        .request(
+                            "POST",
+                            &format!("/extract/{DEMO_CLUSTER}/batch?threads=2"),
+                            &[],
+                            body.as_bytes(),
+                        )
+                        .expect("batch request");
+                    assert_eq!(resp.status, 200, "client {c} request {requests}");
+                    let got = resp.body_utf8();
+                    if got == want_v1 {
+                        assert!(
+                            !sent_after_reload,
+                            "client {c} request {requests}: stale rules after reload completed"
+                        );
+                        assert!(
+                            !saw_v2,
+                            "client {c} request {requests}: rules went backwards (v2 then v1)"
+                        );
+                    } else if got == want_v2 {
+                        saw_v2 = true;
+                    } else {
+                        panic!("client {c} request {requests}: matches neither rule version");
+                    }
+                    completed.fetch_add(1, Ordering::SeqCst);
+                }
+                requests
+            }));
+        }
+
+        // Let real traffic accumulate, then hot-reload mid-run.
+        while completed.load(Ordering::SeqCst) < CLIENTS * 2 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let resp = request_once(
+            addr,
+            "PUT",
+            &format!("/clusters/{DEMO_CLUSTER}"),
+            &[],
+            testdata::updated_cluster_json().as_bytes(),
+        )
+        .expect("PUT reload");
+        assert_eq!(resp.status, 200, "{}", resp.body_utf8());
+        reloaded.store(true, Ordering::SeqCst);
+
+        let totals: Vec<usize> = clients.into_iter().map(|c| c.join().expect("client")).collect();
+        // Every client kept its connection through the reload and did
+        // real work on both sides of it.
+        assert!(totals.iter().all(|&t| t >= MIN_REQUESTS_PER_CLIENT), "{totals:?}");
+    });
+
+    // The repository-level counters saw the invalidation.
+    let stats = handle.state().repo().stats();
+    assert!(stats.compiled_cache_invalidations >= 1, "{stats:?}");
+    assert!(stats.compiled_cache_hits > 0, "{stats:?}");
+    handle.shutdown();
+}
+
+/// Shutdown drains: connections accepted before shutdown still get full
+/// responses, none are dropped.
+#[test]
+fn shutdown_drains_accepted_connections() {
+    // Two workers and a deep queue: most of the burst is still queued
+    // when shutdown begins.
+    let handle =
+        start_server(ServerConfig { threads: 2, queue_capacity: 32, ..Default::default() });
+    let addr = handle.addr();
+    let pages = demo_pages(8);
+    let body = Arc::new(pages_json(&pages));
+    let want = direct_extract_xml(&testdata::cluster_from(&testdata::demo_cluster_json()), &pages);
+
+    const BURST: usize = 10;
+    let mut clients = Vec::new();
+    for _ in 0..BURST {
+        let body = Arc::clone(&body);
+        clients.push(std::thread::spawn(move || {
+            request_once(
+                addr,
+                "POST",
+                &format!("/extract/{DEMO_CLUSTER}/batch"),
+                &[],
+                body.as_bytes(),
+            )
+        }));
+    }
+    // Give the acceptor time to pull the whole burst off the backlog,
+    // then shut down while most responses are still pending.
+    std::thread::sleep(Duration::from_millis(100));
+    handle.shutdown();
+
+    let mut served = 0;
+    for client in clients {
+        let resp = client.join().expect("client thread").expect("response after drain");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_utf8(), want, "drained response still correct");
+        served += 1;
+    }
+    assert_eq!(served, BURST, "no accepted request may be dropped");
+}
+
+#[test]
+fn crud_check_and_errors() {
+    let dir = std::env::temp_dir().join(format!("retroweb-service-crud-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("rules.json");
+    let handle =
+        start_server(ServerConfig { repo_path: Some(repo_path.clone()), ..Default::default() });
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // GET the recorded cluster: exactly its repository JSON.
+    let resp = client.request("GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let got = retroweb_json::parse(&resp.body_utf8()).unwrap();
+    assert_eq!(got, testdata::cluster_from(&testdata::demo_cluster_json()).to_json());
+
+    // Cluster list.
+    let resp = client.request("GET", "/clusters", &[], b"").unwrap();
+    assert!(resp.body_utf8().contains(DEMO_CLUSTER));
+
+    // PUT persists to the configured file (crash-safe save).
+    let resp = client
+        .request(
+            "PUT",
+            &format!("/clusters/{DEMO_CLUSTER}"),
+            &[],
+            testdata::updated_cluster_json().as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    let on_disk = retrozilla::RuleRepository::load(&repo_path).expect("persisted repository");
+    assert_eq!(
+        on_disk.get(DEMO_CLUSTER),
+        Some(testdata::cluster_from(&testdata::updated_cluster_json()))
+    );
+
+    // Bad rule documents are rejected with diagnosable context.
+    let bad = r#"{"cluster":"demo-movies","page-element":"p","rules":[{"name":"ok","optionality":"sometimes","multiplicity":"single-valued","format":"text","locations":[]}]}"#;
+    let resp =
+        client.request("PUT", &format!("/clusters/{DEMO_CLUSTER}"), &[], bad.as_bytes()).unwrap();
+    assert_eq!(resp.status, 400);
+    let msg = resp.body_utf8().into_owned();
+    assert!(msg.contains("bad optionality 'sometimes'"), "{msg}");
+    assert!(msg.contains("rules[0].optionality"), "{msg}");
+
+    // Name mismatch between path and document.
+    let resp = client
+        .request("PUT", "/clusters/other-name", &[], testdata::demo_cluster_json().as_bytes())
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_utf8().contains("mismatch"), "{}", resp.body_utf8());
+
+    // Drift check: clean pages report no drift, drifted pages do.
+    let clean = pages_json(&demo_pages(3));
+    let resp =
+        client.request("POST", &format!("/check/{DEMO_CLUSTER}"), &[], clean.as_bytes()).unwrap();
+    let report = resp.body_json().unwrap();
+    // v2 rules are live after the PUT above; clean pages still satisfy them.
+    assert_eq!(report.get("drifted").and_then(|d| d.as_bool()), Some(false), "{report}");
+
+    let drifted = pages_json(&[drifted_page(0), drifted_page(1)]);
+    let resp =
+        client.request("POST", &format!("/check/{DEMO_CLUSTER}"), &[], drifted.as_bytes()).unwrap();
+    let report = resp.body_json().unwrap();
+    assert_eq!(report.get("drifted").and_then(|d| d.as_bool()), Some(true), "{report}");
+    let failures = report.get("failures").and_then(|f| f.as_array()).unwrap();
+    assert!(
+        failures.iter().any(|f| f.get("component").and_then(|c| c.as_str()) == Some("title")
+            && f.get("kind").and_then(|k| k.as_str()) == Some("mandatory-missing")),
+        "{report}"
+    );
+
+    // Unknown clusters and endpoints.
+    let resp = client.request("POST", "/extract/nope", &[], b"<html></html>").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("GET", "/no/such/path", &[], b"").unwrap();
+    assert_eq!(resp.status, 404);
+    let resp = client.request("PATCH", "/clusters/x", &[], b"").unwrap();
+    assert_eq!(resp.status, 405);
+    let resp = client.request("POST", &format!("/check/{DEMO_CLUSTER}"), &[], b"not json").unwrap();
+    assert_eq!(resp.status, 400);
+
+    // DELETE removes and persists.
+    let resp = client.request("DELETE", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let resp = client.request("GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
+    assert_eq!(resp.status, 404);
+    let on_disk = retrozilla::RuleRepository::load(&repo_path).expect("persisted repository");
+    assert!(on_disk.is_empty());
+
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Unsupported or oversized framing is rejected up front with the right
+/// status, never misread as an empty body.
+#[test]
+fn framing_rejections() {
+    use std::io::{Read, Write};
+
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let raw = |request: &str| -> String {
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut out = String::new();
+        stream.read_to_string(&mut out).expect("read");
+        out
+    };
+
+    // Chunked transfer encoding: rejected, not framed as Content-Length 0.
+    let resp = raw(
+        "POST /extract/demo-movies HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+    );
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+    assert!(resp.contains("Transfer-Encoding is not supported"), "{resp}");
+
+    // Declared body beyond the cap: 413, closed before reading it.
+    let resp = raw("POST /extract/demo-movies HTTP/1.1\r\ncontent-length: 99999999999\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+
+    // HTTP/1.0 without keep-alive: the server must close, or an
+    // EOF-delimited 1.0 client (like this helper) hangs forever.
+    let resp = raw("GET /healthz HTTP/1.0\r\n\r\n");
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    assert!(resp.contains("connection: close"), "{resp}");
+
+    handle.shutdown();
+}
+
+/// ISO-8859-1 pages — the encoding the paper's sites (and our XML
+/// declaration) use — must not be lossily mangled on the way in.
+#[test]
+fn latin1_page_bodies_decode_losslessly() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    // "Amélie" with é as the single Latin-1 byte 0xE9 — invalid UTF-8.
+    let mut body = b"<html><body><h1>Am\xE9lie</h1><ul><li>Drama</li></ul></body></html>".to_vec();
+    assert!(std::str::from_utf8(&body).is_err());
+    let mut client = Client::connect(addr).expect("connect");
+    // Declared charset.
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}"),
+            &[("content-type", "text/html; charset=ISO-8859-1")],
+            &body,
+        )
+        .expect("latin1 extract");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_utf8().contains("<title>Am\u{e9}lie</title>"), "{}", resp.body_utf8());
+    // Undeclared charset falls back to Latin-1 for non-UTF-8 bytes.
+    body.rotate_left(0); // same body, no content-type header
+    let resp = client
+        .request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], &body)
+        .expect("fallback extract");
+    assert!(resp.body_utf8().contains("<title>Am\u{e9}lie</title>"), "{}", resp.body_utf8());
+    handle.shutdown();
+}
+
+#[test]
+fn metrics_reflect_traffic() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let (uri, html) = testdata::demo_page(0);
+    for _ in 0..3 {
+        let resp = client
+            .request(
+                "POST",
+                &format!("/extract/{DEMO_CLUSTER}"),
+                &[("x-page-uri", uri.as_str())],
+                html.as_bytes(),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-retroweb-failures"), Some("0"));
+    }
+    let resp = client.request("POST", "/extract/nope", &[], b"x").unwrap();
+    assert_eq!(resp.status, 404);
+
+    let resp = client.request("GET", "/metrics", &[], b"").unwrap();
+    let metrics = resp.body_json().unwrap();
+    let requests = metrics.get("requests").unwrap();
+    assert!(requests.get("total").unwrap().as_u64().unwrap() >= 4);
+    assert_eq!(requests.get("by_endpoint").unwrap().get("extract").unwrap().as_u64(), Some(4));
+    assert_eq!(metrics.get("pages_extracted").unwrap().as_u64(), Some(3));
+    assert_eq!(metrics.get("responses").unwrap().get("4xx").unwrap().as_u64(), Some(1));
+    let repo = metrics.get("repository").unwrap();
+    assert_eq!(repo.get("clusters").unwrap().as_u64(), Some(1));
+    // 1 build + 2 cache hits from the three extractions.
+    assert_eq!(repo.get("compiled_cache_builds").unwrap().as_u64(), Some(1));
+    assert!(repo.get("compiled_cache_hits").unwrap().as_u64().unwrap() >= 2);
+    let latency = metrics.get("latency_ms").unwrap().get("extract").unwrap();
+    assert_eq!(latency.get("count").unwrap().as_u64(), Some(4));
+    assert!(latency.get("p99_ms").unwrap().as_f64().unwrap() > 0.0);
+
+    let resp = client.request("GET", "/healthz", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_utf8().contains("\"ok\""));
+    handle.shutdown();
+}

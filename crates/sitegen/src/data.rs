@@ -1,74 +1,195 @@
 //! Deterministic data pools for the synthetic sites.
 
 pub const MOVIE_TITLES: &[&str] = &[
-    "The Last Projection", "Midnight Tram", "A Winter Apart", "Glass Harbour",
-    "The Cartographer", "Iron Orchard", "Signal Fires", "The Quiet Divide",
-    "Paper Lanterns", "Thirteen Bridges", "The Salt Road", "Golden Hour",
-    "Night Ferries", "The Forgotten Reel", "Static Horizon", "Copper Sky",
-    "The Long Intermission", "Silent Caravan", "Borrowed Light", "The Archivist",
-    "Wooden Stars", "Autumn Protocol", "The Velvet Gate", "Lowland Express",
-    "Clockwork Tide", "The Ninth Winter", "Amber Station", "Hollow Crown Road",
-    "The Lighthouse Wager", "Vanishing Meridian", "Slow Thunder", "The Glass Piano",
+    "The Last Projection",
+    "Midnight Tram",
+    "A Winter Apart",
+    "Glass Harbour",
+    "The Cartographer",
+    "Iron Orchard",
+    "Signal Fires",
+    "The Quiet Divide",
+    "Paper Lanterns",
+    "Thirteen Bridges",
+    "The Salt Road",
+    "Golden Hour",
+    "Night Ferries",
+    "The Forgotten Reel",
+    "Static Horizon",
+    "Copper Sky",
+    "The Long Intermission",
+    "Silent Caravan",
+    "Borrowed Light",
+    "The Archivist",
+    "Wooden Stars",
+    "Autumn Protocol",
+    "The Velvet Gate",
+    "Lowland Express",
+    "Clockwork Tide",
+    "The Ninth Winter",
+    "Amber Station",
+    "Hollow Crown Road",
+    "The Lighthouse Wager",
+    "Vanishing Meridian",
+    "Slow Thunder",
+    "The Glass Piano",
 ];
 
 pub const PERSON_NAMES: &[&str] = &[
-    "Marta Velasquez", "Henrik Olsen", "Claire Fontaine", "Dmitri Petrov",
-    "Yuki Tanaka", "Samuel Okafor", "Ingrid Bergstrom", "Paolo Ricci",
-    "Anne Delacroix", "Viktor Hansen", "Leila Haddad", "Tomas Novak",
-    "Greta Lindqvist", "Marco Bellini", "Sofia Andersson", "Jean-Pierre Moreau",
-    "Elena Vasquez", "Lars Nilsson", "Camille Rousseau", "Andrei Volkov",
-    "Nadia Rahman", "Oliver Whitfield", "Isabel Castro", "Magnus Berg",
+    "Marta Velasquez",
+    "Henrik Olsen",
+    "Claire Fontaine",
+    "Dmitri Petrov",
+    "Yuki Tanaka",
+    "Samuel Okafor",
+    "Ingrid Bergstrom",
+    "Paolo Ricci",
+    "Anne Delacroix",
+    "Viktor Hansen",
+    "Leila Haddad",
+    "Tomas Novak",
+    "Greta Lindqvist",
+    "Marco Bellini",
+    "Sofia Andersson",
+    "Jean-Pierre Moreau",
+    "Elena Vasquez",
+    "Lars Nilsson",
+    "Camille Rousseau",
+    "Andrei Volkov",
+    "Nadia Rahman",
+    "Oliver Whitfield",
+    "Isabel Castro",
+    "Magnus Berg",
 ];
 
 pub const COUNTRIES: &[&str] = &[
-    "USA", "UK", "France", "Belgium", "Italy", "Germany", "Spain", "Japan",
-    "Canada", "Sweden", "Denmark", "Netherlands", "Australia", "Brazil",
+    "USA",
+    "UK",
+    "France",
+    "Belgium",
+    "Italy",
+    "Germany",
+    "Spain",
+    "Japan",
+    "Canada",
+    "Sweden",
+    "Denmark",
+    "Netherlands",
+    "Australia",
+    "Brazil",
 ];
 
 pub const LANGUAGES: &[&str] = &[
-    "English", "French", "Italian", "German", "Spanish", "Japanese", "Dutch",
-    "Swedish", "Russian", "Portuguese",
+    "English",
+    "French",
+    "Italian",
+    "German",
+    "Spanish",
+    "Japanese",
+    "Dutch",
+    "Swedish",
+    "Russian",
+    "Portuguese",
 ];
 
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Thriller", "Documentary", "Romance", "Mystery",
-    "Adventure", "Animation", "Crime", "Fantasy", "Western", "Musical",
+    "Drama",
+    "Comedy",
+    "Thriller",
+    "Documentary",
+    "Romance",
+    "Mystery",
+    "Adventure",
+    "Animation",
+    "Crime",
+    "Fantasy",
+    "Western",
+    "Musical",
 ];
 
 pub const PRODUCT_NAMES: &[&str] = &[
-    "Aurora Desk Lamp", "Basalt Chef Knife", "Cirrus Travel Mug", "Delta Field Watch",
-    "Ember Space Heater", "Fjord Wool Blanket", "Granite Book Stand", "Harbor Rain Jacket",
-    "Isle Ceramic Teapot", "Juniper Candle Set", "Kestrel Binoculars", "Larch Cutting Board",
-    "Meridian Alarm Clock", "Nimbus Umbrella", "Onyx Fountain Pen", "Pembroke Satchel",
-    "Quarry Stone Mortar", "Reef Snorkel Kit", "Summit Trekking Poles", "Tundra Thermos",
+    "Aurora Desk Lamp",
+    "Basalt Chef Knife",
+    "Cirrus Travel Mug",
+    "Delta Field Watch",
+    "Ember Space Heater",
+    "Fjord Wool Blanket",
+    "Granite Book Stand",
+    "Harbor Rain Jacket",
+    "Isle Ceramic Teapot",
+    "Juniper Candle Set",
+    "Kestrel Binoculars",
+    "Larch Cutting Board",
+    "Meridian Alarm Clock",
+    "Nimbus Umbrella",
+    "Onyx Fountain Pen",
+    "Pembroke Satchel",
+    "Quarry Stone Mortar",
+    "Reef Snorkel Kit",
+    "Summit Trekking Poles",
+    "Tundra Thermos",
 ];
 
 pub const BRANDS: &[&str] = &[
-    "Northwind", "Caldera", "Bellweather", "Osprey & Finch", "Arcadia Works",
-    "Stonebridge", "Meridian Goods", "Halcyon Supply",
+    "Northwind",
+    "Caldera",
+    "Bellweather",
+    "Osprey & Finch",
+    "Arcadia Works",
+    "Stonebridge",
+    "Meridian Goods",
+    "Halcyon Supply",
 ];
 
 pub const FEATURES: &[&str] = &[
-    "Dishwasher safe", "Two-year warranty", "Recycled materials", "Hand finished",
-    "Water resistant", "Lifetime sharpening", "Ships in plain packaging",
-    "Solar assisted", "Left-handed variant available", "Replaceable parts",
+    "Dishwasher safe",
+    "Two-year warranty",
+    "Recycled materials",
+    "Hand finished",
+    "Water resistant",
+    "Lifetime sharpening",
+    "Ships in plain packaging",
+    "Solar assisted",
+    "Left-handed variant available",
+    "Replaceable parts",
 ];
 
 pub const HEADLINE_SUBJECTS: &[&str] = &[
-    "City council", "Research consortium", "Harbour authority", "National archive",
-    "Transit agency", "Observatory", "Botanical gardens", "Housing cooperative",
-    "Film commission", "Fisheries board",
+    "City council",
+    "Research consortium",
+    "Harbour authority",
+    "National archive",
+    "Transit agency",
+    "Observatory",
+    "Botanical gardens",
+    "Housing cooperative",
+    "Film commission",
+    "Fisheries board",
 ];
 
 pub const HEADLINE_VERBS: &[&str] = &[
-    "approves", "delays", "expands", "reviews", "celebrates", "audits",
-    "restores", "digitises", "rethinks", "funds",
+    "approves",
+    "delays",
+    "expands",
+    "reviews",
+    "celebrates",
+    "audits",
+    "restores",
+    "digitises",
+    "rethinks",
+    "funds",
 ];
 
 pub const HEADLINE_OBJECTS: &[&str] = &[
-    "the riverfront plan", "a landmark study", "its oldest collection",
-    "the night bus network", "a restoration project", "the annual census",
-    "a public consultation", "the winter programme", "new storage vaults",
+    "the riverfront plan",
+    "a landmark study",
+    "its oldest collection",
+    "the night bus network",
+    "a restoration project",
+    "the annual census",
+    "a public consultation",
+    "the winter programme",
+    "new storage vaults",
     "an open data portal",
 ];
 
@@ -86,8 +207,13 @@ pub const COMMENT_SENTENCES: &[&str] = &[
 ];
 
 pub const NOISE_SNIPPETS: &[&str] = &[
-    "Advertisement", "Sponsored links", "Site navigation", "Member login",
-    "Top searches this week", "Browse the archive", "Newsletter sign-up",
+    "Advertisement",
+    "Sponsored links",
+    "Site navigation",
+    "Member login",
+    "Top searches this week",
+    "Browse the archive",
+    "Newsletter sign-up",
 ];
 
 /// Deterministic pick helper.

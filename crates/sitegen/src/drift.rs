@@ -69,7 +69,8 @@ mod tests {
 
     #[test]
     fn relabel_changes_label_only() {
-        let base = MovieSiteSpec { n_pages: 2, seed: 22, p_missing_runtime: 0.0, ..Default::default() };
+        let base =
+            MovieSiteSpec { n_pages: 2, seed: 22, p_missing_runtime: 0.0, ..Default::default() };
         let drifted = drift_movie(&base, Drift::Relabel);
         let b = generate(&drifted);
         assert!(b.pages[0].html.contains("Length:"));

@@ -72,9 +72,18 @@ impl Site {
 /// A mixed corpus spanning several ground-truth clusters, for the
 /// clustering experiments (Figure 1 step 1).
 pub fn mixed_corpus(seed: u64, per_cluster: usize) -> Vec<Page> {
-    let movies = movie::generate(&MovieSiteSpec { n_pages: per_cluster, seed, ..Default::default() });
-    let shop = products::generate(&ProductSiteSpec { n_pages: per_cluster, seed: seed + 1, ..Default::default() });
-    let news = news::generate(&NewsSiteSpec { n_pages: per_cluster, seed: seed + 2, ..Default::default() });
+    let movies =
+        movie::generate(&MovieSiteSpec { n_pages: per_cluster, seed, ..Default::default() });
+    let shop = products::generate(&ProductSiteSpec {
+        n_pages: per_cluster,
+        seed: seed + 1,
+        ..Default::default()
+    });
+    let news = news::generate(&NewsSiteSpec {
+        n_pages: per_cluster,
+        seed: seed + 2,
+        ..Default::default()
+    });
     let mut pages = Vec::new();
     pages.extend(movies.pages);
     pages.extend(shop.pages);

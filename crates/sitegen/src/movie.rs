@@ -6,7 +6,9 @@
 //! variation, and multivalued components (genres, cast). Every knob is a
 //! field on [`MovieSiteSpec`]; generation is deterministic in the seed.
 
-use crate::data::{pick, sample, COUNTRIES, GENRES, LANGUAGES, MOVIE_TITLES, NOISE_SNIPPETS, PERSON_NAMES};
+use crate::data::{
+    pick, sample, COUNTRIES, GENRES, LANGUAGES, MOVIE_TITLES, NOISE_SNIPPETS, PERSON_NAMES,
+};
 use crate::{Page, Site};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -78,9 +80,8 @@ impl Default for MovieSiteSpec {
 }
 
 /// Component names produced by this generator.
-pub const MOVIE_COMPONENTS: &[&str] = &[
-    "title", "director", "aka", "runtime", "country", "language", "rating", "genre", "actor",
-];
+pub const MOVIE_COMPONENTS: &[&str] =
+    &["title", "director", "aka", "runtime", "country", "language", "rating", "genre", "actor"];
 
 pub fn generate(spec: &MovieSiteSpec) -> Site {
     let mut pages = Vec::with_capacity(spec.n_pages);
@@ -100,7 +101,8 @@ fn range(rng: &mut SmallRng, (lo, hi): (usize, usize)) -> usize {
 
 fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
     // Seed per page so pages are independent of how many precede them.
-    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(index as u64));
+    let mut rng =
+        SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x9E37_79B9).wrapping_add(index as u64));
     let title = pick(&mut rng, MOVIE_TITLES);
     let year = 1960 + rng.gen_range(0..46);
     let director = pick(&mut rng, PERSON_NAMES);
@@ -124,7 +126,9 @@ fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
     html.push_str("<html><head><title>");
     html.push_str(&format!("{title} ({year})"));
     html.push_str("</title></head><body>\n");
-    html.push_str(&format!("<div class=\"header\"><h1>{title}</h1><span class=\"year\">{year}</span></div>\n"));
+    html.push_str(&format!(
+        "<div class=\"header\"><h1>{title}</h1><span class=\"year\">{year}</span></div>\n"
+    ));
     for _ in 0..range(&mut rng, spec.noise_blocks) {
         let snippet = pick(&mut rng, NOISE_SNIPPETS);
         html.push_str(&format!("<div class=\"noise\">{snippet}</div>\n"));
@@ -140,12 +144,17 @@ fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
         value: String,
         mixed: bool,
     }
-    let mut facts: Vec<Fact> = vec![Fact { label: "Directed by:", value: director.to_string(), mixed: false }];
+    let mut facts: Vec<Fact> =
+        vec![Fact { label: "Directed by:", value: director.to_string(), mixed: false }];
     if has_aka {
         facts.push(Fact { label: "Also Known As:", value: aka.clone(), mixed: false });
     }
     if has_runtime {
-        facts.push(Fact { label: &spec.label_runtime, value: runtime.clone(), mixed: mixed_runtime });
+        facts.push(Fact {
+            label: &spec.label_runtime,
+            value: runtime.clone(),
+            mixed: mixed_runtime,
+        });
     }
     facts.push(Fact { label: "Country:", value: country.to_string(), mixed: false });
     if has_language {
@@ -162,19 +171,25 @@ fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
             for fact in &facts {
                 if fact.mixed {
                     // `<i>108</i> min` — text and markup in one cell.
-                    let (num, unit) = fact.value.split_once(' ').unwrap_or((fact.value.as_str(), ""));
+                    let (num, unit) =
+                        fact.value.split_once(' ').unwrap_or((fact.value.as_str(), ""));
                     html.push_str(&format!(
                         "<tr><td>{}</td><td><i>{num}</i> {unit}</td></tr>\n",
                         fact.label
                     ));
                 } else {
-                    html.push_str(&format!("<tr><td>{}</td><td>{}</td></tr>\n", fact.label, fact.value));
+                    html.push_str(&format!(
+                        "<tr><td>{}</td><td>{}</td></tr>\n",
+                        fact.label, fact.value
+                    ));
                 }
             }
             html.push_str("</table>\n");
         }
         Layout::Flat => {
-            html.push_str("<table class=\"details\"><tr><td class=\"side\">Movie facts</td></tr><tr><td>\n");
+            html.push_str(
+                "<table class=\"details\"><tr><td class=\"side\">Movie facts</td></tr><tr><td>\n",
+            );
             for _ in 0..spec.extra_leading_rows {
                 html.push_str("<b>Studio memo:</b> archived <br>\n");
             }
@@ -201,7 +216,9 @@ fn generate_page(spec: &MovieSiteSpec, index: usize) -> Page {
     for _ in 0..spec.wrapper_depth {
         html.push_str("</div>");
     }
-    html.push_str("</div>\n<div class=\"footer\">Copyright 2006 The Movie Base</div>\n</body></html>\n");
+    html.push_str(
+        "</div>\n<div class=\"footer\">Copyright 2006 The Movie Base</div>\n</body></html>\n",
+    );
 
     let mut page = Page::new(
         format!("http://movies.example.org/title/tt{:07}/", 100_000 + index),
@@ -249,7 +266,8 @@ mod tests {
 
     #[test]
     fn truth_values_appear_in_page_text() {
-        let spec = MovieSiteSpec { n_pages: 8, seed: 3, p_mixed_runtime: 0.5, ..Default::default() };
+        let spec =
+            MovieSiteSpec { n_pages: 8, seed: 3, p_mixed_runtime: 0.5, ..Default::default() };
         for page in &generate(&spec).pages {
             let doc = parse(&page.html);
             let text = normalize_space(&doc.text_content(doc.root()));
@@ -268,7 +286,13 @@ mod tests {
 
     #[test]
     fn optional_components_vary_across_pages() {
-        let spec = MovieSiteSpec { n_pages: 40, seed: 11, p_missing_runtime: 0.4, p_aka: 0.4, ..Default::default() };
+        let spec = MovieSiteSpec {
+            n_pages: 40,
+            seed: 11,
+            p_missing_runtime: 0.4,
+            p_aka: 0.4,
+            ..Default::default()
+        };
         let site = generate(&spec);
         let with_runtime = site.pages.iter().filter(|p| p.truth.contains_key("runtime")).count();
         let with_aka = site.pages.iter().filter(|p| p.truth.contains_key("aka")).count();
@@ -278,7 +302,13 @@ mod tests {
 
     #[test]
     fn multivalued_components_have_multiple_values() {
-        let spec = MovieSiteSpec { n_pages: 10, seed: 5, genres: (2, 4), actors: (3, 5), ..Default::default() };
+        let spec = MovieSiteSpec {
+            n_pages: 10,
+            seed: 5,
+            genres: (2, 4),
+            actors: (3, 5),
+            ..Default::default()
+        };
         for page in &generate(&spec).pages {
             assert!(page.truth["genre"].len() >= 2);
             assert!(page.truth["actor"].len() >= 3);
@@ -287,7 +317,13 @@ mod tests {
 
     #[test]
     fn flat_layout_uses_label_runs() {
-        let spec = MovieSiteSpec { n_pages: 3, seed: 8, layout: Layout::Flat, p_missing_runtime: 0.0, ..Default::default() };
+        let spec = MovieSiteSpec {
+            n_pages: 3,
+            seed: 8,
+            layout: Layout::Flat,
+            p_missing_runtime: 0.0,
+            ..Default::default()
+        };
         for page in &generate(&spec).pages {
             assert!(page.html.contains("<b>Runtime:</b>"));
             assert!(!page.html.contains("<tr><td>Runtime:</td>"));
@@ -296,7 +332,13 @@ mod tests {
 
     #[test]
     fn rows_layout_gives_each_fact_a_cell() {
-        let spec = MovieSiteSpec { n_pages: 3, seed: 8, layout: Layout::Rows, p_missing_runtime: 0.0, ..Default::default() };
+        let spec = MovieSiteSpec {
+            n_pages: 3,
+            seed: 8,
+            layout: Layout::Rows,
+            p_missing_runtime: 0.0,
+            ..Default::default()
+        };
         for page in &generate(&spec).pages {
             assert!(page.html.contains("<tr><td>Runtime:</td><td>"));
         }

@@ -2,7 +2,9 @@
 //! paragraphs and a comments section (the aggregation example of §4 uses
 //! comments + rating → users-opinion).
 
-use crate::data::{pick, COMMENT_SENTENCES, HEADLINE_OBJECTS, HEADLINE_SUBJECTS, HEADLINE_VERBS, PERSON_NAMES};
+use crate::data::{
+    pick, COMMENT_SENTENCES, HEADLINE_OBJECTS, HEADLINE_SUBJECTS, HEADLINE_VERBS, PERSON_NAMES,
+};
 use crate::{Page, Site};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -31,8 +33,18 @@ pub const NEWS_COMPONENTS: &[&str] =
     &["headline", "author", "date", "paragraph", "commenter", "comment"];
 
 const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 pub fn generate(spec: &NewsSiteSpec) -> Site {
@@ -44,7 +56,8 @@ pub fn generate(spec: &NewsSiteSpec) -> Site {
 }
 
 fn generate_page(spec: &NewsSiteSpec, index: usize) -> Page {
-    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0xA24B_AED4).wrapping_add(index as u64));
+    let mut rng =
+        SmallRng::seed_from_u64(spec.seed.wrapping_mul(0xA24B_AED4).wrapping_add(index as u64));
     let headline = format!(
         "{} {} {}",
         pick(&mut rng, HEADLINE_SUBJECTS),

@@ -10,12 +10,8 @@
 use crate::Page;
 
 /// URIs exactly as printed in Table 1.
-pub const PAPER_URIS: [&str; 4] = [
-    "./title/tt0095159/",
-    "./title/tt0071853/",
-    "./title/tt0074103/",
-    "./title/tt0102059/",
-];
+pub const PAPER_URIS: [&str; 4] =
+    ["./title/tt0095159/", "./title/tt0071853/", "./title/tt0074103/", "./title/tt0102059/"];
 
 /// The wrong value the candidate rule selects on page c (Table 1 row c).
 pub const AKA_VALUE: &str = "The Wing and the Thigh (International: English title)";
@@ -73,11 +69,7 @@ pub fn paper_working_sample() -> Vec<Page> {
         build_page(
             PAPER_URIS[2],
             5,
-            &[
-                ("Also Known As:", AKA_VALUE),
-                ("Runtime:", "104 min"),
-                ("Country:", "France"),
-            ],
+            &[("Also Known As:", AKA_VALUE), ("Runtime:", "104 min"), ("Country:", "France")],
         ),
         build_page(
             PAPER_URIS[3],

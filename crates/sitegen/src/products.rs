@@ -35,7 +35,8 @@ impl Default for ProductSiteSpec {
     }
 }
 
-pub const PRODUCT_COMPONENTS: &[&str] = &["name", "brand", "price", "availability", "feature", "sku"];
+pub const PRODUCT_COMPONENTS: &[&str] =
+    &["name", "brand", "price", "availability", "feature", "sku"];
 
 pub fn generate(spec: &ProductSiteSpec) -> Site {
     let mut pages = Vec::with_capacity(spec.n_pages);
@@ -46,7 +47,8 @@ pub fn generate(spec: &ProductSiteSpec) -> Site {
 }
 
 fn generate_page(spec: &ProductSiteSpec, index: usize) -> Page {
-    let mut rng = SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x517C_C1B7).wrapping_add(index as u64));
+    let mut rng =
+        SmallRng::seed_from_u64(spec.seed.wrapping_mul(0x517C_C1B7).wrapping_add(index as u64));
     let name = pick(&mut rng, PRODUCT_NAMES);
     let brand = pick(&mut rng, BRANDS);
     let cents_base = 499 + rng.gen_range(0..19_500);
@@ -67,7 +69,9 @@ fn generate_page(spec: &ProductSiteSpec, index: usize) -> Page {
         pick(&mut rng, NOISE_SNIPPETS)
     ));
     if spec.price_wrapped {
-        html.push_str(&format!("<div class=\"price\"><span class=\"amount\">{price}</span></div>\n"));
+        html.push_str(&format!(
+            "<div class=\"price\"><span class=\"amount\">{price}</span></div>\n"
+        ));
     } else {
         html.push_str(&format!("<div class=\"price\">{price}</div>\n"));
     }
@@ -142,7 +146,8 @@ mod tests {
 
     #[test]
     fn availability_is_optional() {
-        let spec = ProductSiteSpec { n_pages: 30, seed: 4, p_availability: 0.5, ..Default::default() };
+        let spec =
+            ProductSiteSpec { n_pages: 30, seed: 4, p_availability: 0.5, ..Default::default() };
         let site = generate(&spec);
         let with = site.pages.iter().filter(|p| p.truth.contains_key("availability")).count();
         assert!(with > 0 && with < 30);

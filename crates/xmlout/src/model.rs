@@ -87,7 +87,10 @@ impl XmlElement {
     }
 
     /// All child elements with the given name.
-    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> + 'a {
+    pub fn children_named<'a>(
+        &'a self,
+        name: &'a str,
+    ) -> impl Iterator<Item = &'a XmlElement> + 'a {
         self.elements().filter(move |el| el.name == name)
     }
 
@@ -234,8 +237,8 @@ mod tests {
 
     fn movie_doc() -> XmlDocument {
         let mut root = XmlElement::new("imdb-movies");
-        let mut movie = XmlElement::new("imdb-movie")
-            .with_attr("uri", "http://imdb.com/title/tt0095159/");
+        let mut movie =
+            XmlElement::new("imdb-movie").with_attr("uri", "http://imdb.com/title/tt0095159/");
         movie.push_element(XmlElement::new("runtime").with_text("108 min"));
         root.push_element(movie);
         XmlDocument::new(root).with_encoding("ISO-8859-1")

@@ -240,11 +240,7 @@ mod tests {
     #[test]
     fn leaf_names_flatten_groups() {
         let schema = imdb_schema();
-        let names: Vec<String> = schema
-            .components
-            .iter()
-            .flat_map(|c| c.leaf_names())
-            .collect();
+        let names: Vec<String> = schema.components.iter().flat_map(|c| c.leaf_names()).collect();
         assert_eq!(names, vec!["title", "runtime", "genre", "comments", "rating"]);
     }
 

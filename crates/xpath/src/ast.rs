@@ -116,7 +116,11 @@ impl Axis {
     pub fn is_reverse(self) -> bool {
         matches!(
             self,
-            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::PrecedingSibling | Axis::Preceding
+            Axis::Parent
+                | Axis::Ancestor
+                | Axis::AncestorOrSelf
+                | Axis::PrecedingSibling
+                | Axis::Preceding
         )
     }
 }
@@ -219,7 +223,11 @@ pub enum Expr {
     Path(LocationPath),
     /// `primary[preds]/rest…` — a filtered primary expression with an
     /// optional trailing relative path.
-    Filter { primary: Box<Expr>, predicates: Vec<Expr>, path: Option<LocationPath> },
+    Filter {
+        primary: Box<Expr>,
+        predicates: Vec<Expr>,
+        path: Option<LocationPath>,
+    },
     Call(String, Vec<Expr>),
     Literal(String),
     Number(f64),
@@ -252,9 +260,7 @@ impl Expr {
     pub fn union_of(mut exprs: Vec<Expr>) -> Expr {
         assert!(!exprs.is_empty());
         let first = exprs.remove(0);
-        exprs
-            .into_iter()
-            .fold(first, |acc, e| Expr::Union(Box::new(acc), Box::new(e)))
+        exprs.into_iter().fold(first, |acc, e| Expr::Union(Box::new(acc), Box::new(e)))
     }
 }
 

@@ -111,7 +111,9 @@ fn step_for(doc: &Document, node: NodeId) -> Result<Step, BuildError> {
             step.predicates.push(Expr::Number(index as f64));
             Ok(step)
         }
-        NodeData::Document => Err(BuildError { message: "cannot address the document node".into() }),
+        NodeData::Document => {
+            Err(BuildError { message: "cannot address the document node".into() })
+        }
         NodeData::Doctype(_) => Err(BuildError { message: "cannot address a doctype node".into() }),
     }
 }

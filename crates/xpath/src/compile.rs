@@ -175,10 +175,19 @@ impl FnOp {
     fn arity(self) -> (usize, usize) {
         match self {
             FnOp::Position | FnOp::Last | FnOp::TrueFn | FnOp::FalseFn => (0, 0),
-            FnOp::Count | FnOp::Sum | FnOp::BooleanFn | FnOp::Not | FnOp::Floor
-            | FnOp::Ceiling | FnOp::Round => (1, 1),
-            FnOp::NameOf | FnOp::LocalName | FnOp::StringFn | FnOp::StringLength
-            | FnOp::NormalizeSpace | FnOp::NumberFn => (0, 1),
+            FnOp::Count
+            | FnOp::Sum
+            | FnOp::BooleanFn
+            | FnOp::Not
+            | FnOp::Floor
+            | FnOp::Ceiling
+            | FnOp::Round => (1, 1),
+            FnOp::NameOf
+            | FnOp::LocalName
+            | FnOp::StringFn
+            | FnOp::StringLength
+            | FnOp::NormalizeSpace
+            | FnOp::NumberFn => (0, 1),
             FnOp::Contains => (1, 2),
             FnOp::StartsWith | FnOp::EndsWith | FnOp::SubstringBefore | FnOp::SubstringAfter => {
                 (2, 2)
@@ -464,10 +473,9 @@ impl Lowerer {
             CExpr::Num(_) | CExpr::Str(_) => true,
             CExpr::Negate(a) => self.never_errors(*a),
             CExpr::Binary(_, a, b) => self.never_errors(*a) && self.never_errors(*b),
-            CExpr::Union(span) => self
-                .list(*span)
-                .iter()
-                .all(|&e| self.always_nodes(e) && self.never_errors(e)),
+            CExpr::Union(span) => {
+                self.list(*span).iter().all(|&e| self.always_nodes(e) && self.never_errors(e))
+            }
             CExpr::Path(pid) => self.path_never_errors(*pid),
             CExpr::Filter { primary, preds, rest } => {
                 self.always_nodes(*primary)
@@ -502,10 +510,7 @@ impl Lowerer {
     }
 
     fn always_nodes(&self, id: ExprId) -> bool {
-        matches!(
-            self.exprs[id as usize],
-            CExpr::Path(_) | CExpr::Filter { .. } | CExpr::Union(_)
-        )
+        matches!(self.exprs[id as usize], CExpr::Path(_) | CExpr::Filter { .. } | CExpr::Union(_))
     }
 
     fn path_never_errors(&self, pid: u32) -> bool {
@@ -663,12 +668,7 @@ impl<'d> Executor<'d> {
     /// Evaluate and require a node-set of tree nodes (attributes dropped,
     /// as mapping rules locate elements and text nodes only).
     pub fn select(&self, cx: &CompiledXPath, ctx: NodeId) -> Result<Vec<NodeId>, EvalError> {
-        Ok(self
-            .select_refs(cx, ctx)?
-            .into_iter()
-            .filter(|r| !r.is_attr())
-            .map(|r| r.id)
-            .collect())
+        Ok(self.select_refs(cx, ctx)?.into_iter().filter(|r| !r.is_attr()).map(|r| r.id).collect())
     }
 
     /// The string-value of the first selected node, if any.
@@ -770,9 +770,7 @@ impl<'d> Executor<'d> {
                 let base = self.eval_expr(cx, *primary, ctx)?;
                 let mut nodes = match base {
                     V::Nodes(ns) => ns,
-                    other => {
-                        return Err(EvalError::new(format!("cannot filter {}", other.kind())))
-                    }
+                    other => return Err(EvalError::new(format!("cannot filter {}", other.kind()))),
                 };
                 // Filter predicates see the node-set in document order.
                 self.apply_preds(cx, *preds, &mut nodes)?;
@@ -823,7 +821,11 @@ impl<'d> Executor<'d> {
                 }
                 Ok(V::Bool(truthy(&self.eval_expr(cx, b, ctx)?)))
             }
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
             | BinaryOp::Ge => {
                 let va = self.eval_expr(cx, a, ctx)?;
                 let vb = self.eval_expr(cx, b, ctx)?;
@@ -986,8 +988,7 @@ impl<'d> Executor<'d> {
                     StepPlan::LazyPrefix { filters, n } => {
                         scratch.clear();
                         self.push_nth_filtered(cx, node, step, filters, n, &mut scratch)?;
-                        let rest =
-                            (step.preds.0 + filters + 1, step.preds.1 - filters - 1);
+                        let rest = (step.preds.0 + filters + 1, step.preds.1 - filters - 1);
                         self.apply_preds(cx, rest, &mut scratch)?;
                         next.extend_from_slice(&scratch);
                     }
@@ -1019,7 +1020,14 @@ impl<'d> Executor<'d> {
     }
 
     /// Push the `n`-th node matching `step` on its axis, if any.
-    fn push_nth(&self, cx: &CompiledXPath, node: NodeRef, step: CStep, n: f64, out: &mut Vec<NodeRef>) {
+    fn push_nth(
+        &self,
+        cx: &CompiledXPath,
+        node: NodeRef,
+        step: CStep,
+        n: f64,
+        out: &mut Vec<NodeRef>,
+    ) {
         if n < 1.0 || n.fract() != 0.0 {
             return;
         }
@@ -1339,10 +1347,8 @@ impl<'d> Executor<'d> {
                 arity(1, 1)?;
                 match &vals[0] {
                     V::Nodes(ns) => {
-                        let total: f64 = ns
-                            .iter()
-                            .map(|&n| str_to_number(&string_value_cow(doc, n)))
-                            .sum();
+                        let total: f64 =
+                            ns.iter().map(|&n| str_to_number(&string_value_cow(doc, n))).sum();
                         Ok(V::Num(total))
                     }
                     _ => Err(EvalError::new("sum() requires a node-set")),
@@ -1398,9 +1404,7 @@ impl<'d> Executor<'d> {
                 let a = self.to_string_value(&vals[0]);
                 let b = self.to_string_value(&vals[1]);
                 Ok(V::Str(Cow::Owned(
-                    a.find(b.as_ref())
-                        .map(|i| a[i + b.len()..].to_string())
-                        .unwrap_or_default(),
+                    a.find(b.as_ref()).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
                 )))
             }
             FnOp::Substring => {
@@ -1490,7 +1494,6 @@ impl<'d> Executor<'d> {
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -90,7 +90,11 @@ impl<'d> Engine<'d> {
     }
 
     /// The string-value of the first node selected by `expr`, if any.
-    pub fn select_first_string(&self, expr: &Expr, ctx: NodeId) -> Result<Option<String>, EvalError> {
+    pub fn select_first_string(
+        &self,
+        expr: &Expr,
+        ctx: NodeId,
+    ) -> Result<Option<String>, EvalError> {
         let refs = self.select_refs(expr, ctx)?;
         Ok(refs.first().map(|&r| string_value(self.doc, r)))
     }
@@ -124,10 +128,7 @@ impl<'d> Engine<'d> {
                 let nodes = match base {
                     Value::Nodes(ns) => ns,
                     other => {
-                        return Err(EvalError::new(format!(
-                            "cannot filter {}",
-                            kind_name(&other)
-                        )))
+                        return Err(EvalError::new(format!("cannot filter {}", kind_name(&other))))
                     }
                 };
                 // Filter predicates see the node-set in document order.
@@ -170,7 +171,11 @@ impl<'d> Engine<'d> {
                 let vb = self.eval_ctx(b, ctx)?;
                 Ok(Value::Bool(to_boolean(&vb)))
             }
-            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt
+            BinaryOp::Eq
+            | BinaryOp::Ne
+            | BinaryOp::Lt
+            | BinaryOp::Le
+            | BinaryOp::Gt
             | BinaryOp::Ge => {
                 let va = self.eval_ctx(a, ctx)?;
                 let vb = self.eval_ctx(b, ctx)?;
@@ -207,7 +212,11 @@ impl<'d> Engine<'d> {
                     right.iter().any(|sy| match op {
                         Eq => sx == *sy,
                         Ne => sx != *sy,
-                        _ => cmp_numbers(op, crate::value::str_to_number(&sx), crate::value::str_to_number(sy)),
+                        _ => cmp_numbers(
+                            op,
+                            crate::value::str_to_number(&sx),
+                            crate::value::str_to_number(sy),
+                        ),
                     })
                 })
             }
@@ -217,7 +226,13 @@ impl<'d> Engine<'d> {
         }
     }
 
-    fn compare_nodeset_scalar(&self, op: BinaryOp, ns: &[NodeRef], scalar: &Value, flipped: bool) -> bool {
+    fn compare_nodeset_scalar(
+        &self,
+        op: BinaryOp,
+        ns: &[NodeRef],
+        scalar: &Value,
+        flipped: bool,
+    ) -> bool {
         use BinaryOp::*;
         match scalar {
             Value::Bool(b) => {
@@ -283,15 +298,15 @@ impl<'d> Engine<'d> {
     // ---- location paths ----------------------------------------------------
 
     fn eval_path(&self, path: &LocationPath, ctx: &Ctx) -> Result<Vec<NodeRef>, EvalError> {
-        let start = if path.absolute {
-            NodeRef::node(self.doc.root())
-        } else {
-            ctx.node
-        };
+        let start = if path.absolute { NodeRef::node(self.doc.root()) } else { ctx.node };
         self.eval_path_from(path, start)
     }
 
-    fn eval_path_from(&self, path: &LocationPath, start: NodeRef) -> Result<Vec<NodeRef>, EvalError> {
+    fn eval_path_from(
+        &self,
+        path: &LocationPath,
+        start: NodeRef,
+    ) -> Result<Vec<NodeRef>, EvalError> {
         let mut current = vec![start];
         for step in &path.steps {
             let mut next = Vec::new();
@@ -378,18 +393,15 @@ impl<'d> Engine<'d> {
             // Only the attribute axis yields attribute nodes; the principal
             // node type there is "attribute".
             return match &step.test {
-                NodeTest::Name(n) =>
-
-                    crate::value::node_name(doc, r).eq_ignore_ascii_case(n),
+                NodeTest::Name(n) => crate::value::node_name(doc, r).eq_ignore_ascii_case(n),
                 NodeTest::Wildcard | NodeTest::Node => true,
                 NodeTest::Text | NodeTest::Comment => false,
             };
         }
         match &step.test {
-            NodeTest::Name(n) => doc
-                .tag_name(r.id)
-                .map(|t| t.eq_ignore_ascii_case(n))
-                .unwrap_or(false),
+            NodeTest::Name(n) => {
+                doc.tag_name(r.id).map(|t| t.eq_ignore_ascii_case(n)).unwrap_or(false)
+            }
             NodeTest::Wildcard => doc.is_element(r.id),
             NodeTest::Text => doc.is_text(r.id),
             NodeTest::Comment => matches!(doc.node(r.id).data, NodeData::Comment(_)),
@@ -441,16 +453,13 @@ impl<'d> Engine<'d> {
             return refs;
         }
         let doc = self.doc;
-        let mut keyed: Vec<(Vec<u32>, Option<u32>, NodeRef)> = refs
-            .drain(..)
-            .map(|r| (doc.doc_order_key(r.id), r.attr, r))
-            .collect();
+        let mut keyed: Vec<(Vec<u32>, Option<u32>, NodeRef)> =
+            refs.drain(..).map(|r| (doc.doc_order_key(r.id), r.attr, r)).collect();
         keyed.sort();
         keyed.dedup_by(|a, b| a.2 == b.2);
         keyed.into_iter().map(|(_, _, r)| r).collect()
     }
 }
-
 
 fn kind_name(v: &Value) -> &'static str {
     match v {

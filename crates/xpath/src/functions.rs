@@ -3,9 +3,7 @@
 
 use crate::ast::Expr;
 use crate::eval::{Ctx, Engine, EvalError};
-use crate::value::{
-    node_name, string_value, to_boolean, to_number, to_string_value, Value,
-};
+use crate::value::{node_name, string_value, to_boolean, to_number, to_string_value, Value};
 
 impl Engine<'_> {
     pub(crate) fn call(&self, name: &str, args: &[Expr], ctx: &Ctx) -> Result<Value, EvalError> {
@@ -18,9 +16,7 @@ impl Engine<'_> {
         let argc = vals.len();
         let arity = |lo: usize, hi: usize| -> Result<(), EvalError> {
             if argc < lo || argc > hi {
-                Err(EvalError::new(format!(
-                    "{name}() expects {lo}..{hi} arguments, got {argc}"
-                )))
+                Err(EvalError::new(format!("{name}() expects {lo}..{hi} arguments, got {argc}")))
             } else {
                 Ok(())
             }
@@ -120,9 +116,7 @@ impl Engine<'_> {
                 arity(2, 2)?;
                 let a = to_string_value(doc, &vals[0]);
                 let b = to_string_value(doc, &vals[1]);
-                Ok(Value::Str(
-                    a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default(),
-                ))
+                Ok(Value::Str(a.find(&b).map(|i| a[i + b.len()..].to_string()).unwrap_or_default()))
             }
             "substring" => {
                 arity(2, 3)?;

@@ -32,12 +32,8 @@ pub enum ContextDirection {
 pub fn broaden_step(path: &LocationPath, idx: usize) -> LocationPath {
     let mut out = path.clone();
     if let Some(step) = out.steps.get_mut(idx) {
-        let mut preds: Vec<Expr> = step
-            .predicates
-            .iter()
-            .filter(|p| !matches!(p, Expr::Number(_)))
-            .cloned()
-            .collect();
+        let mut preds: Vec<Expr> =
+            step.predicates.iter().filter(|p| !matches!(p, Expr::Number(_))).cloned().collect();
         preds.insert(
             0,
             Expr::Binary(
@@ -88,7 +84,11 @@ pub fn divergence_step(a: &LocationPath, b: &LocationPath) -> Option<usize> {
 /// The nearest non-whitespace text before (or after) `target` in document
 /// order — the label a reader sees next to the value. Returns the
 /// normalised text.
-pub fn context_label(doc: &Document, target: NodeId, direction: ContextDirection) -> Option<String> {
+pub fn context_label(
+    doc: &Document,
+    target: NodeId,
+    direction: ContextDirection,
+) -> Option<String> {
     let label_of = |id: NodeId| -> Option<String> {
         let t = doc.text(id)?;
         let norm = normalize_space(t);
@@ -220,9 +220,7 @@ mod tests {
 
     #[test]
     fn context_label_finds_runtime() {
-        let doc = parse(
-            "<body><td><b>Runtime:</b> 108 min <br><b>Country:</b> USA </td></body>",
-        );
+        let doc = parse("<body><td><b>Runtime:</b> 108 min <br><b>Country:</b> USA </td></body>");
         let td = doc.elements_by_tag("td")[0];
         // "108 min" is the first bare text child of td.
         let value = doc.children(td).find(|&c| doc.is_text(c)).unwrap();
@@ -259,7 +257,8 @@ mod tests {
         // Refine: strip the final position, anchor on the label.
         let label = context_label(&page1, value1, ContextDirection::Before).unwrap();
         let strip_from = candidate.steps.len() - 1;
-        let refined = with_context_predicate(&candidate, strip_from, &label, ContextDirection::Before);
+        let refined =
+            with_context_predicate(&candidate, strip_from, &label, ContextDirection::Before);
 
         let engine1 = Engine::new(&page1);
         let got1 = engine1.select(&Expr::Path(refined.clone()), page1.root()).unwrap();
@@ -293,10 +292,8 @@ mod tests {
         let pred = context_predicate("Runtime:", ContextDirection::Before);
         let mut step = Step::child_text(None);
         step.predicates.push(pred);
-        let path = LocationPath::absolute(vec![
-            Step::new(Axis::DescendantOrSelf, NodeTest::Node),
-            step,
-        ]);
+        let path =
+            LocationPath::absolute(vec![Step::new(Axis::DescendantOrSelf, NodeTest::Node), step]);
         let shown = Expr::Path(path).to_string();
         let reparsed = crate::parser::parse(&shown).unwrap();
         assert_eq!(reparsed.to_string(), shown);

@@ -333,10 +333,7 @@ mod tests {
 
     #[test]
     fn lex_double_slash_and_dots() {
-        assert_eq!(
-            lex("..//.").unwrap(),
-            vec![Tok::DotDot, Tok::DoubleSlash, Tok::Dot]
-        );
+        assert_eq!(lex("..//.").unwrap(), vec![Tok::DotDot, Tok::DoubleSlash, Tok::Dot]);
     }
 
     #[test]

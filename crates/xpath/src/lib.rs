@@ -80,6 +80,6 @@ pub use functions::normalize_space;
 pub use lexer::{lex, LexError, Tok};
 pub use parser::{parse, parse_lenient, parse_path, ParseError};
 pub use value::{
-    format_number, node_name, str_to_number, string_value, string_value_cow, to_boolean,
-    to_number, to_string_value, NodeRef, Value,
+    format_number, node_name, str_to_number, string_value, string_value_cow, to_boolean, to_number,
+    to_string_value, NodeRef, Value,
 };

@@ -232,10 +232,12 @@ impl Parser {
 
     fn path_expr(&mut self) -> Result<Expr, ParseError> {
         match self.peek() {
-            Some(Tok::Slash) | Some(Tok::DoubleSlash) | Some(Tok::Dot) | Some(Tok::DotDot)
-            | Some(Tok::At) | Some(Tok::Star) => {
-                Ok(Expr::Path(self.location_path()?))
-            }
+            Some(Tok::Slash)
+            | Some(Tok::DoubleSlash)
+            | Some(Tok::Dot)
+            | Some(Tok::DotDot)
+            | Some(Tok::At)
+            | Some(Tok::Star) => Ok(Expr::Path(self.location_path()?)),
             Some(Tok::Name(name)) => {
                 let name = name.clone();
                 if self.peek2() == Some(&Tok::LParen) && !NODE_TYPES.contains(&name.as_str()) {
@@ -243,9 +245,7 @@ impl Parser {
                 }
                 Ok(Expr::Path(self.location_path()?))
             }
-            Some(Tok::LParen) | Some(Tok::Literal(_)) | Some(Tok::Number(_)) => {
-                self.filter_expr()
-            }
+            Some(Tok::LParen) | Some(Tok::Literal(_)) | Some(Tok::Number(_)) => self.filter_expr(),
             _ => Err(self.err("expected expression")),
         }
     }
@@ -336,7 +336,11 @@ impl Parser {
     fn starts_step(&self) -> bool {
         matches!(
             self.peek(),
-            Some(Tok::Name(_)) | Some(Tok::Star) | Some(Tok::At) | Some(Tok::Dot) | Some(Tok::DotDot)
+            Some(Tok::Name(_))
+                | Some(Tok::Star)
+                | Some(Tok::At)
+                | Some(Tok::Dot)
+                | Some(Tok::DotDot)
         )
     }
 
@@ -381,7 +385,9 @@ impl Parser {
                     .ok_or_else(|| self.err(&format!("unknown axis '{name}'")))?;
                 self.pos += 2;
                 axis
-            } else if self.lenient && Axis::from_name(&name).is_some() && !self.lenient_name_is_test()
+            } else if self.lenient
+                && Axis::from_name(&name).is_some()
+                && !self.lenient_name_is_test()
             {
                 // Paper notation: a bare axis name stands for
                 // `axis::node()` (Table 2 row b).
@@ -444,7 +450,8 @@ mod tests {
     #[test]
     fn parses_paper_rule_location() {
         // The mapping rule from §2.3.
-        let e = parse("BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/TABLE[1]/TR[6]/TD[1]/text()[1]").unwrap();
+        let e =
+            parse("BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/TABLE[1]/TR[6]/TD[1]/text()[1]").unwrap();
         match &e {
             Expr::Path(p) => {
                 assert!(!p.absolute);

@@ -141,7 +141,11 @@ pub fn format_number(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".to_string() } else { "-Infinity".to_string() }
+        if n > 0.0 {
+            "Infinity".to_string()
+        } else {
+            "-Infinity".to_string()
+        }
     } else if n.fract() == 0.0 && n.abs() < 1.0e15 {
         format!("{}", n as i64)
     } else {

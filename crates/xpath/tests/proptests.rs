@@ -21,11 +21,10 @@ fn arb_document() -> impl Strategy<Value = String> {
     });
     let table = prop::collection::vec(row, 1..5)
         .prop_map(|rows| format!("<table>{}</table>", rows.concat()));
-    let list = prop::collection::vec("[a-z]{1,8}", 1..5)
-        .prop_map(|items| {
-            let lis: String = items.into_iter().map(|i| format!("<li>{i}</li>")).collect();
-            format!("<ul>{lis}</ul>")
-        });
+    let list = prop::collection::vec("[a-z]{1,8}", 1..5).prop_map(|items| {
+        let lis: String = items.into_iter().map(|i| format!("<li>{i}</li>")).collect();
+        format!("<ul>{lis}</ul>")
+    });
     let para = "[a-zA-Z ]{1,20}".prop_map(|t| format!("<p><b>{t}</b> tail</p>"));
     let block = prop_oneof![table, list, para];
     prop::collection::vec(block, 1..6)
@@ -77,7 +76,10 @@ fn arb_xpath() -> impl Strategy<Value = String> {
 
 /// Assert interpreter ≡ compiled IR for one expression on one document:
 /// identical node-sets (via `select_refs`) and identical err-ness.
-fn assert_engines_agree(doc: &Document, xpath: &str) -> Result<(), proptest::test_runner::TestCaseError> {
+fn assert_engines_agree(
+    doc: &Document,
+    xpath: &str,
+) -> Result<(), proptest::test_runner::TestCaseError> {
     let Ok(expr) = xparse(xpath) else { return Ok(()) };
     let engine = Engine::new(doc);
     let exec = Executor::new(doc);

@@ -149,8 +149,12 @@ fn axis_orderings() {
 fn union_type_errors_and_mixed_unions() {
     let doc = parse_html(DOC);
     let engine = Engine::new(&doc);
-    assert!(engine.eval(&parse("//P | 3").unwrap_or(retroweb_xpath::Expr::Number(0.0)), doc.root()).is_err()
-        || parse("//P | 3").is_err());
+    assert!(
+        engine
+            .eval(&parse("//P | 3").unwrap_or(retroweb_xpath::Expr::Number(0.0)), doc.root())
+            .is_err()
+            || parse("//P | 3").is_err()
+    );
     // Union of overlapping sets dedups.
     assert_eq!(select_count("//P | //DIV[1]/P"), 3);
 }

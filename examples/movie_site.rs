@@ -45,7 +45,11 @@ fn main() {
             r.rule.optionality.to_string(),
             r.rule.multiplicity.to_string(),
             r.rule.format.to_string(),
-            if r.strategies.is_empty() { "(candidate was valid)".to_string() } else { r.strategies.join("; ") }
+            if r.strategies.is_empty() {
+                "(candidate was valid)".to_string()
+            } else {
+                r.strategies.join("; ")
+            }
         );
         assert!(r.ok, "{} failed", r.component);
     }
@@ -93,11 +97,8 @@ fn main() {
     println!("\nStep 3 — extraction over {} pages:", all_pages.len());
     println!("  failures detected: {}", result.failures.len());
     let xml = result.xml.to_string_with(2);
-    let first_movie_end = xml
-        .match_indices("</imdb-movie>")
-        .next()
-        .map(|(i, m)| i + m.len())
-        .unwrap_or(xml.len());
+    let first_movie_end =
+        xml.match_indices("</imdb-movie>").next().map(|(i, m)| i + m.len()).unwrap_or(xml.len());
     println!("  first extracted record:\n");
     for line in xml[..first_movie_end].lines().skip(2) {
         println!("    {line}");

@@ -76,7 +76,8 @@ fn main() {
     );
 
     let mut repair_user = SimulatedUser::new();
-    let reports = repair_rules(&mut cluster, &sample_v3, &mut repair_user, &ScenarioConfig::default());
+    let reports =
+        repair_rules(&mut cluster, &sample_v3, &mut repair_user, &ScenarioConfig::default());
     println!("  repair reports:");
     for r in &reports {
         println!("    {:<6} {:?} ({} iterations)", r.component, r.method, r.iterations);

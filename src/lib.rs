@@ -14,14 +14,35 @@
 //! | [`baselines`] | `retroweb-baselines` | RoadRunner-style + LR wrapper baselines |
 //! | [`retrozilla`] | `retrozilla` | the paper's contribution: mapping rules end to end |
 //! | [`json`] | `retroweb-json` | dependency-free JSON for persistence/reports |
+//! | [`service`] | `retroweb-service` | multi-threaded HTTP extraction server |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
 //! for the per-experiment index.
+//!
+//! ## Serving
+//!
+//! The §3.5 rule repository is built to be used by "external agents,
+//! for instance the XML extractor" — [`service`] is that agent surface
+//! in production shape. `retrozilla-serve` (in `crates/service`) hosts
+//! a [`retrozilla::RuleRepository`] behind a std-only HTTP/1.1 server:
+//! a fixed-size worker pool with a bounded queue serves
+//! `POST /extract/{cluster}` and `POST /extract/{cluster}/batch`
+//! (parallel, byte-identical to a direct
+//! [`retrozilla::extract_cluster`] call), `POST /check/{cluster}` runs
+//! the §7 drift detectors, and `GET`/`PUT /clusters/{name}` give rule
+//! CRUD where a `PUT` re-records the cluster — invalidating the
+//! compiled-rule cache and thereby hot-reloading rules with zero
+//! downtime. `GET /healthz` and `GET /metrics` expose liveness,
+//! counters and latency histograms. `PUT`/`DELETE` persist through the
+//! repository's crash-safe (write-temp-then-rename) save. See
+//! `crates/service/README.md` for a curl walkthrough and
+//! `examples/service_roundtrip.rs` for the in-process tour.
 
 pub use retroweb_baselines as baselines;
 pub use retroweb_cluster as cluster;
 pub use retroweb_html as html;
 pub use retroweb_json as json;
+pub use retroweb_service as service;
 pub use retroweb_sitegen as sitegen;
 pub use retroweb_xml as xml;
 pub use retroweb_xpath as xpath;

@@ -60,10 +60,8 @@ fn roadrunner_extracts_unwanted_chunks_too() {
 fn lr_wrapper_handles_stable_context_but_not_position_shifts_alone() {
     let site = movie::generate(&movie_spec());
     // Learn from two pages with labels as context: works.
-    let examples: Vec<(&str, &[String])> = site.pages[..4]
-        .iter()
-        .map(|p| (p.html.as_str(), p.expected("runtime")))
-        .collect();
+    let examples: Vec<(&str, &[String])> =
+        site.pages[..4].iter().map(|p| (p.html.as_str(), p.expected("runtime"))).collect();
     let w = LrWrapper::induce("runtime", &examples).unwrap();
     let mut counts = Counts::default();
     for page in &site.pages[4..] {

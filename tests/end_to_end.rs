@@ -96,7 +96,8 @@ fn parallel_extraction_equals_sequential_on_news() {
 
 #[test]
 fn extraction_output_validates_against_ground_truth() {
-    let spec = MovieSiteSpec { n_pages: 25, seed: 123, p_mixed_runtime: 0.25, ..Default::default() };
+    let spec =
+        MovieSiteSpec { n_pages: 25, seed: 123, p_mixed_runtime: 0.25, ..Default::default() };
     let site = movie::generate(&spec);
     let sample = working_sample(&site, 10);
     let mut user = SimulatedUser::new();
@@ -113,12 +114,7 @@ fn extraction_output_validates_against_ground_truth() {
                 got.insert(rule.name.as_str().to_string(), values);
             }
         }
-        counts.add(retroweb::retrozilla::page_counts(
-            &got,
-            &page.truth,
-            MOVIE_COMPONENTS,
-            false,
-        ));
+        counts.add(retroweb::retrozilla::page_counts(&got, &page.truth, MOVIE_COMPONENTS, false));
     }
     let prf = counts.prf();
     assert!(prf.f1 > 0.97, "{prf:?}");

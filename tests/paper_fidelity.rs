@@ -23,8 +23,9 @@ fn section_2_3_rule_display_form() {
     assert!(display.contains("optionality  : mandatory"));
     assert!(display.contains("multiplicity : single-valued"));
     assert!(display.contains("format       : text"));
-    assert!(display
-        .contains("location     : BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/TABLE[1]/TR[6]/TD[1]/text()[1]"));
+    assert!(display.contains(
+        "location     : BODY[1]/DIV[2]/TABLE[3]/TR[1]/TD[3]/TABLE[1]/TR[6]/TD[1]/text()[1]"
+    ));
 }
 
 #[test]
@@ -65,8 +66,7 @@ fn full_scenario_reaches_table3() {
     let mut user = SimulatedUser::new();
     let report = build_rule("runtime", &sample, &mut user, &ScenarioConfig::default()).unwrap();
     assert!(report.ok);
-    let values: Vec<String> =
-        report.final_table.rows.iter().map(|r| r.display_value()).collect();
+    let values: Vec<String> = report.final_table.rows.iter().map(|r| r.display_value()).collect();
     assert_eq!(values, TABLE3_RUNTIMES.to_vec());
     // Refinement used contextual information, as in Figure 4.
     assert!(report.strategies.iter().any(|s| s.contains("Runtime:")));

@@ -64,12 +64,8 @@ fn every_drift_kind_is_repairable() {
 
 #[test]
 fn relabel_drift_fires_mandatory_missing() {
-    let spec = MovieSiteSpec {
-        n_pages: 12,
-        seed: 92,
-        p_missing_runtime: 0.0,
-        ..Default::default()
-    };
+    let spec =
+        MovieSiteSpec { n_pages: 12, seed: 92, p_missing_runtime: 0.0, ..Default::default() };
     let cluster = build_movie_cluster(&spec, &["runtime"]);
     let drifted = movie::generate(&drift_movie(&spec, Drift::Relabel));
     let sample = working_sample(&drifted, 8);
