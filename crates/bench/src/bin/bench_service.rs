@@ -1,11 +1,19 @@
 //! Service throughput bench: pages/s and request latency over loopback
 //! HTTP, for the `retroweb-service` extraction server.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //! - **single**: one keep-alive client, sequential `POST /extract/{c}`
 //!   requests (per-request latency distribution);
 //! - **batch**: several client threads each streaming
-//!   `POST /extract/{c}/batch` requests (aggregate pages/s).
+//!   `POST /extract/{c}/batch` requests (aggregate pages/s, now over
+//!   chunked responses);
+//! - **memory**: in-process streaming-vs-buffered comparison of the
+//!   batch output path — the buffered baseline materialises the
+//!   `XmlDocument` + full response string (the pre-sink behaviour),
+//!   the streaming path drives `XmlWriterSink` — with **peak heap**
+//!   measured by a tracking global allocator at two batch sizes, so
+//!   the committed numbers pin down that streaming peak memory no
+//!   longer grows with batch size.
 //!
 //! Results go to stdout, `target/experiments/service_throughput.json`,
 //! and `BENCH_service.json` in the working directory — the committed
@@ -17,10 +25,97 @@
 use retroweb_bench::write_experiment;
 use retroweb_json::Json;
 use retroweb_service::testdata::{
-    demo_page, demo_pages, demo_repository, pages_json, DEMO_CLUSTER,
+    cluster_from, demo_cluster_json, demo_page, demo_pages, demo_repository, pages_json,
+    DEMO_CLUSTER,
 };
 use retroweb_service::{Client, Server, ServerConfig};
+use retrozilla::{extract_cluster_parallel_compiled, extract_cluster_parallel_compiled_to};
 use std::time::{Duration, Instant};
+
+/// Heap-tracking allocator: every live byte counted, peak retained, so
+/// the memory scenario reports real peak heap deltas instead of
+/// process-wide RSS noise.
+mod peak_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    pub struct PeakAlloc;
+
+    static CURRENT: AtomicUsize = AtomicUsize::new(0);
+    static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+    unsafe impl GlobalAlloc for PeakAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let p = System.alloc(layout);
+            if !p.is_null() {
+                let live = CURRENT.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            }
+            p
+        }
+
+        unsafe fn dealloc(&self, p: *mut u8, layout: Layout) {
+            System.dealloc(p, layout);
+            CURRENT.fetch_sub(layout.size(), Ordering::Relaxed);
+        }
+    }
+
+    /// Reset the peak to the current live size (start of a scenario).
+    pub fn reset_peak() {
+        PEAK.store(CURRENT.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    pub fn current() -> usize {
+        CURRENT.load(Ordering::Relaxed)
+    }
+
+    pub fn peak() -> usize {
+        PEAK.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static ALLOC: peak_alloc::PeakAlloc = peak_alloc::PeakAlloc;
+
+/// One mode's measurement at one batch size.
+struct MemoryRun {
+    pages_per_s: f64,
+    peak_heap_bytes: usize,
+    output_bytes: u64,
+}
+
+/// Run the batch output path over `pages`, buffered or streaming, and
+/// measure throughput + peak heap delta for the extraction itself.
+fn memory_run(
+    rules: &retrozilla::CompiledCluster,
+    pages: &[(String, String)],
+    threads: usize,
+    streaming: bool,
+) -> MemoryRun {
+    peak_alloc::reset_peak();
+    let before = peak_alloc::current();
+    let started = Instant::now();
+    let output_bytes = if streaming {
+        // The served path: sink straight into an (discarding) writer,
+        // as the chunked connection would consume it.
+        let mut sink = retrozilla::XmlWriterSink::new(std::io::sink());
+        extract_cluster_parallel_compiled_to(rules, pages, threads, &mut sink)
+            .expect("sink never fails");
+        sink.bytes_written()
+    } else {
+        // The pre-streaming path: materialise the whole document, then
+        // the whole response string.
+        let result = extract_cluster_parallel_compiled(rules, pages, threads);
+        let body = result.xml.to_string_with(2);
+        body.len() as u64
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+    MemoryRun {
+        pages_per_s: pages.len() as f64 / elapsed,
+        peak_heap_bytes: peak_alloc::peak().saturating_sub(before),
+        output_bytes,
+    }
+}
 
 struct LatencySummary {
     p50_ms: f64,
@@ -139,6 +234,64 @@ fn main() {
 
     handle.shutdown();
 
+    // ---- scenario 3: streaming vs buffered batch output path -------------
+    let rules = cluster_from(&demo_cluster_json()).compile();
+    let memory_sizes: &[usize] = if quick { &[64, 256] } else { &[256, 2048] };
+    let mut memory_records = Vec::new();
+    println!("\nmemory: streaming vs buffered batch output ({workers} extract threads)");
+    for &size in memory_sizes {
+        let pages = demo_pages(size);
+        // Warm both paths once so allocator pools settle.
+        memory_run(&rules, &pages, workers, false);
+        memory_run(&rules, &pages, workers, true);
+        let buffered = memory_run(&rules, &pages, workers, false);
+        let streaming = memory_run(&rules, &pages, workers, true);
+        assert_eq!(
+            buffered.output_bytes, streaming.output_bytes,
+            "both modes must produce identical output"
+        );
+        println!(
+            "  batch {size:>5}: buffered {:>7.0} pages/s, peak {:>9} B | \
+             streaming {:>7.0} pages/s, peak {:>9} B ({:.1}x less)",
+            buffered.pages_per_s,
+            buffered.peak_heap_bytes,
+            streaming.pages_per_s,
+            streaming.peak_heap_bytes,
+            buffered.peak_heap_bytes as f64 / streaming.peak_heap_bytes.max(1) as f64,
+        );
+        let mode = |run: &MemoryRun| {
+            Json::object(vec![
+                ("pages_per_s".into(), Json::from(round3(run.pages_per_s))),
+                ("peak_heap_bytes".into(), Json::from(run.peak_heap_bytes)),
+            ])
+        };
+        memory_records.push(Json::object(vec![
+            ("batch_size".into(), Json::from(size)),
+            ("output_bytes".into(), Json::from(streaming.output_bytes as usize)),
+            ("buffered".into(), mode(&buffered)),
+            ("streaming".into(), mode(&streaming)),
+        ]));
+    }
+    // The acceptance criterion in machine-checkable form: buffered peak
+    // grows with batch size, streaming peak must not (3x slack covers
+    // allocator jitter on a quick run).
+    let peak_of = |rec: &Json, mode: &str| -> f64 {
+        rec.get(mode).unwrap().get("peak_heap_bytes").unwrap().as_f64().unwrap()
+    };
+    let small = &memory_records[0];
+    let large = &memory_records[memory_records.len() - 1];
+    let streaming_growth = peak_of(large, "streaming") / peak_of(small, "streaming").max(1.0);
+    let buffered_growth = peak_of(large, "buffered") / peak_of(small, "buffered").max(1.0);
+    println!(
+        "  peak-heap growth {}x batch: buffered {buffered_growth:.1}x, \
+         streaming {streaming_growth:.1}x",
+        memory_sizes[memory_sizes.len() - 1] / memory_sizes[0],
+    );
+    assert!(
+        streaming_growth < 3.0,
+        "streaming peak heap grew {streaming_growth:.1}x with batch size"
+    );
+
     let record = Json::object(vec![
         ("bench".into(), Json::from("service_throughput")),
         ("server_workers".into(), Json::from(workers + 1)),
@@ -164,6 +317,7 @@ fn main() {
                 ("p99_ms".into(), Json::from(round3(batch.p99_ms))),
             ]),
         ),
+        ("memory".into(), Json::Array(memory_records)),
     ]);
     write_experiment("service_throughput", &record);
     std::fs::write("BENCH_service.json", record.to_string_pretty())

@@ -16,13 +16,25 @@
 //! rule set is lowered once ([`ClusterRules::compile`], cached by
 //! `RuleRepository`) and applied to every page through a per-page
 //! [`Executor`], instead of re-walking each rule's AST per page.
+//!
+//! Output goes through the [`crate::sink::ExtractionSink`] seam: the
+//! `*_to` drivers push each page's [`crate::sink::PageRecord`] as it
+//! completes (the parallel driver reorders worker output through a
+//! bounded sequencer, so emission order is deterministic and buffering
+//! stays O(threads)); the classic [`extract_cluster`] /
+//! [`extract_cluster_parallel`] entry points are thin wrappers driving
+//! a [`CollectSink`].
 
 use crate::model::{Format, MappingRule, Multiplicity, Optionality};
 use crate::repository::{ClusterRules, CompiledCluster, StructureNode};
+use crate::sink::{ClusterHeader, CollectSink, ExtractionSink, ExtractionStats, PageRecord};
 use retroweb_html::{parse, Document};
 use retroweb_xml::{ClusterSchema, SchemaNode, XmlDocument, XmlElement};
 use retroweb_xpath::{normalize_space, string_value_cow, Executor, NodeRef};
 use std::collections::BTreeMap;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Condvar, Mutex};
 
 /// The §7 failure conditions, detected during extraction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -32,6 +44,17 @@ pub enum FailureKind {
     /// "the extraction of a single-valued text component returns more
     /// than one node"
     MultipleForSingleValued,
+}
+
+impl FailureKind {
+    /// Stable wire name, shared by the service drift report and the
+    /// NDJSON failure lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            FailureKind::MandatoryMissing => "mandatory-missing",
+            FailureKind::MultipleForSingleValued => "multiple-for-single-valued",
+        }
+    }
 }
 
 /// One detected failure.
@@ -180,22 +203,61 @@ pub fn extract_cluster_interpreted(
     }
 }
 
+/// Hand one completed page to a sink: the page record, then each of the
+/// page's §7 failures.
+fn emit_page(
+    sink: &mut dyn ExtractionSink,
+    uri: &str,
+    values: BTreeMap<String, Vec<String>>,
+    failures: Vec<RuleFailure>,
+    stats: &mut ExtractionStats,
+) -> io::Result<()> {
+    stats.pages += 1;
+    stats.failures += failures.len();
+    sink.page(uri, &PageRecord::new(values))?;
+    for f in &failures {
+        sink.failure(f)?;
+    }
+    Ok(())
+}
+
+/// Sequential streaming driver: extract every page through an already
+/// compiled rule set, pushing each page's record into `sink` the moment
+/// it completes. The first record reaches the sink before the second
+/// page is even looked at — memory stays O(page).
+pub fn extract_cluster_compiled_to(
+    rules: &CompiledCluster,
+    pages: &[(String, Document)],
+    sink: &mut dyn ExtractionSink,
+) -> io::Result<ExtractionStats> {
+    sink.begin_cluster(&ClusterHeader::of(rules))?;
+    let mut stats = ExtractionStats::default();
+    for (uri, doc) in pages {
+        let mut failures = Vec::new();
+        let values = extract_page_compiled(rules, uri, doc, &mut failures);
+        emit_page(sink, uri, values, failures, &mut stats)?;
+    }
+    sink.end_cluster()?;
+    Ok(stats)
+}
+
+/// Sequential streaming driver over uncompiled rules (compiles once).
+pub fn extract_cluster_to(
+    rules: &ClusterRules,
+    pages: &[(String, Document)],
+    sink: &mut dyn ExtractionSink,
+) -> io::Result<ExtractionStats> {
+    extract_cluster_compiled_to(&rules.compile(), pages, sink)
+}
+
 /// Extract a whole cluster through an already compiled rule set.
 pub fn extract_cluster_compiled(
     rules: &CompiledCluster,
     pages: &[(String, Document)],
 ) -> ExtractionResult {
-    let mut failures = Vec::new();
-    let mut root = XmlElement::new(&rules.cluster);
-    for (uri, doc) in pages {
-        let values = extract_page_compiled(rules, uri, doc, &mut failures);
-        root.push_element(page_element(rules, uri, &values));
-    }
-    ExtractionResult {
-        xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
-        schema: rules.schema.clone(),
-        failures,
-    }
+    let mut sink = CollectSink::new();
+    extract_cluster_compiled_to(rules, pages, &mut sink).expect("CollectSink never fails");
+    sink.into_result()
 }
 
 /// Extract a whole cluster to XML + XSD. The rule set is compiled once
@@ -211,51 +273,143 @@ pub fn extract_cluster_html(rules: &ClusterRules, pages: &[(String, String)]) ->
     extract_cluster(rules, &parsed)
 }
 
-/// Parallel extraction through an already compiled (shared) rule set:
-/// pages are parsed and extracted across `threads` scoped worker
-/// threads — each with its own per-page [`Executor`] over the shared
-/// `CompiledCluster` — then reassembled in page order.
+/// One page's extracted values + failures travelling through the
+/// sequencer.
+type PageValues = (BTreeMap<String, Vec<String>>, Vec<RuleFailure>);
+type PageOutput = (usize, BTreeMap<String, Vec<String>>, Vec<RuleFailure>);
+
+/// Claim gate shared by the parallel workers: a worker may only start
+/// page `i` once `i < emitted + window`, so completed-but-unemitted
+/// output can never exceed `window` records no matter how skewed
+/// per-page costs are. `usize::MAX` doubles as the abort signal.
+struct SequencerGate {
+    emitted: Mutex<usize>,
+    advanced: Condvar,
+    window: usize,
+}
+
+impl SequencerGate {
+    fn wait_for_turn(&self, index: usize) {
+        let mut emitted = self.emitted.lock().expect("gate poisoned");
+        while index >= emitted.saturating_add(self.window) {
+            emitted = self.advanced.wait(emitted).expect("gate poisoned");
+        }
+    }
+
+    fn advance_to(&self, emitted_count: usize) {
+        *self.emitted.lock().expect("gate poisoned") = emitted_count;
+        self.advanced.notify_all();
+    }
+}
+
+/// Parallel streaming driver: pages are parsed and extracted across
+/// `threads` scoped workers — each with its own per-page [`Executor`]
+/// over the shared `CompiledCluster` — and completions are funnelled
+/// through a **bounded sequencer** back onto the calling thread, which
+/// feeds `sink` strictly in input page order.
+///
+/// Output is therefore byte-identical to the sequential driver for any
+/// sink, while at most O(threads) page records exist outside the sink
+/// at any instant (claim window + channel capacity), independent of
+/// batch size — the property that lets a service stream megapage
+/// batches from bounded memory.
+///
+/// A sink error aborts the drive: remaining pages are abandoned and the
+/// error is returned without `end_cluster`.
+pub fn extract_cluster_parallel_compiled_to(
+    rules: &CompiledCluster,
+    pages: &[(String, String)],
+    threads: usize,
+    sink: &mut dyn ExtractionSink,
+) -> io::Result<ExtractionStats> {
+    let threads = threads.max(1).min(pages.len().max(1));
+    sink.begin_cluster(&ClusterHeader::of(rules))?;
+    let mut stats = ExtractionStats::default();
+    if threads == 1 {
+        for (uri, html) in pages {
+            let doc = parse(html);
+            let mut failures = Vec::new();
+            let values = extract_page_compiled(rules, uri, &doc, &mut failures);
+            emit_page(sink, uri, values, failures, &mut stats)?;
+        }
+        sink.end_cluster()?;
+        return Ok(stats);
+    }
+
+    let gate =
+        SequencerGate { emitted: Mutex::new(0), advanced: Condvar::new(), window: threads * 4 };
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::sync_channel::<PageOutput>(threads * 2);
+    let mut result: io::Result<()> = Ok(());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (gate, next) = (&gate, &next);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pages.len() {
+                    break;
+                }
+                gate.wait_for_turn(i);
+                let (uri, html) = &pages[i];
+                let doc = parse(html);
+                let mut failures = Vec::new();
+                let values = extract_page_compiled(rules, uri, &doc, &mut failures);
+                if tx.send((i, values, failures)).is_err() {
+                    // Receiver gone: the emitter hit a sink error.
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        // Emitter (this thread): reorder completions into page order.
+        let mut pending: BTreeMap<usize, PageValues> = BTreeMap::new();
+        let mut emit_next = 0usize;
+        'recv: for (i, values, failures) in rx.iter() {
+            pending.insert(i, (values, failures));
+            while let Some((values, failures)) = pending.remove(&emit_next) {
+                if let Err(e) = emit_page(sink, &pages[emit_next].0, values, failures, &mut stats) {
+                    result = Err(e);
+                    break 'recv;
+                }
+                emit_next += 1;
+                gate.advance_to(emit_next);
+            }
+        }
+        // Unblock any worker parked at the gate (no-op on clean exit),
+        // then drop the receiver so a worker blocked in `send` fails out
+        // instead of waiting on a channel nobody drains. Both must
+        // happen before the scope joins the workers.
+        gate.advance_to(usize::MAX);
+        drop(rx);
+    });
+    result?;
+    sink.end_cluster()?;
+    Ok(stats)
+}
+
+/// Parallel streaming driver over uncompiled rules (compiles once).
+pub fn extract_cluster_parallel_to(
+    rules: &ClusterRules,
+    pages: &[(String, String)],
+    threads: usize,
+    sink: &mut dyn ExtractionSink,
+) -> io::Result<ExtractionStats> {
+    extract_cluster_parallel_compiled_to(&rules.compile(), pages, threads, sink)
+}
+
+/// Parallel extraction through an already compiled (shared) rule set,
+/// materialised as the classic [`ExtractionResult`].
 pub fn extract_cluster_parallel_compiled(
     rules: &CompiledCluster,
     pages: &[(String, String)],
     threads: usize,
 ) -> ExtractionResult {
-    let threads = threads.max(1);
-    let chunk = pages.len().div_ceil(threads).max(1);
-    let mut slots: Vec<Option<(XmlElement, Vec<RuleFailure>)>> =
-        (0..pages.len()).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<(XmlElement, Vec<RuleFailure>)>] = &mut slots;
-        let mut offset = 0;
-        while offset < pages.len() {
-            let take = chunk.min(pages.len() - offset);
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let page_slice = &pages[offset..offset + take];
-            scope.spawn(move || {
-                for (slot, (uri, html)) in head.iter_mut().zip(page_slice) {
-                    let doc = parse(html);
-                    let mut failures = Vec::new();
-                    let values = extract_page_compiled(rules, uri, &doc, &mut failures);
-                    *slot = Some((page_element(rules, uri, &values), failures));
-                }
-            });
-            offset += take;
-        }
-    });
-
-    let mut failures = Vec::new();
-    let mut root = XmlElement::new(&rules.cluster);
-    for slot in slots.into_iter().flatten() {
-        let (el, f) = slot;
-        root.push_element(el);
-        failures.extend(f);
-    }
-    ExtractionResult {
-        xml: XmlDocument::new(root).with_encoding("ISO-8859-1"),
-        schema: rules.schema.clone(),
-        failures,
-    }
+    let mut sink = CollectSink::new();
+    extract_cluster_parallel_compiled_to(rules, pages, threads, &mut sink)
+        .expect("CollectSink never fails");
+    sink.into_result()
 }
 
 /// Parallel extraction, compiling the rule set once up front. Useful for
@@ -268,23 +422,9 @@ pub fn extract_cluster_parallel(
     extract_cluster_parallel_compiled(&rules.compile(), pages, threads)
 }
 
-/// Build one page element, honouring the enhanced structure if present.
-fn page_element(
-    rules: &CompiledCluster,
-    uri: &str,
-    values: &BTreeMap<String, Vec<String>>,
-) -> XmlElement {
-    page_element_parts(
-        &rules.page_element,
-        rules.structure.as_deref(),
-        rules.rules.iter().map(|r| r.name.as_str()),
-        uri,
-        values,
-    )
-}
-
-/// Shared page-element assembly for the compiled and interpreted paths.
-fn page_element_parts<'n>(
+/// Shared page-element assembly for the compiled and interpreted paths
+/// (and, via [`ClusterHeader::page_xml`], every XML-producing sink).
+pub(crate) fn page_element_parts<'n>(
     page_name: &str,
     structure: Option<&[StructureNode]>,
     rule_names: impl Iterator<Item = &'n str>,
@@ -520,5 +660,119 @@ mod tests {
         let par = extract_cluster_parallel(&cluster(), &pages, 4);
         assert_eq!(seq.xml.to_string_with(0), par.xml.to_string_with(0));
         assert_eq!(seq.failures, par.failures);
+    }
+
+    /// Pages that vary per index, so any reordering bug changes bytes.
+    fn varied_pages(n: usize) -> Vec<(String, String)> {
+        (0..n)
+            .map(|i| {
+                (
+                    format!("u{i}"),
+                    format!(
+                        "<html><body><table><tr><td><b>Runtime:</b></td><td> {} min </td></tr>\
+                         </table><ul><li>G{i}</li><li>H{i}</li></ul></body></html>",
+                        60 + i
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn streaming_xml_sink_matches_materialised_document() {
+        let pages = varied_pages(40);
+        let c = cluster();
+        let want = extract_cluster_html(&c, &pages).xml.to_string_with(2);
+        for threads in [1, 3, 8] {
+            let mut sink = crate::sink::XmlWriterSink::new(Vec::new());
+            let stats = extract_cluster_parallel_to(&c, &pages, threads, &mut sink).unwrap();
+            assert_eq!(stats.pages, pages.len());
+            assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), want, "threads={threads}");
+        }
+        // Sequential driver over parsed documents too.
+        let parsed: Vec<(String, retroweb_html::Document)> =
+            pages.iter().map(|(u, h)| (u.clone(), retroweb_html::parse(h))).collect();
+        let mut sink = crate::sink::XmlWriterSink::new(Vec::new());
+        extract_cluster_to(&c, &parsed, &mut sink).unwrap();
+        assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), want);
+    }
+
+    #[test]
+    fn parallel_driver_reports_failures_in_page_order() {
+        // Odd pages are missing the mandatory runtime component.
+        let pages: Vec<(String, String)> = (0..16)
+            .map(|i| {
+                let html = if i % 2 == 1 {
+                    format!("<html><body><ul><li>G{i}</li></ul></body></html>")
+                } else {
+                    PAGE.to_string()
+                };
+                (format!("u{i}"), html)
+            })
+            .collect();
+        let mut sink = crate::sink::CollectSink::new();
+        let stats = extract_cluster_parallel_to(&cluster(), &pages, 4, &mut sink).unwrap();
+        let result = sink.into_result();
+        assert_eq!(stats.failures, 8);
+        assert_eq!(result.failures.len(), 8);
+        let uris: Vec<&str> = result.failures.iter().map(|f| f.uri.as_str()).collect();
+        assert_eq!(uris, ["u1", "u3", "u5", "u7", "u9", "u11", "u13", "u15"]);
+        assert_eq!(
+            result.xml.to_string_with(2),
+            extract_cluster_html(&cluster(), &pages).xml.to_string_with(2)
+        );
+    }
+
+    /// A sink that fails after a fixed number of pages: the parallel
+    /// drive must abort promptly (no hang, no end_cluster) and return
+    /// the error.
+    struct FailingSink {
+        pages: usize,
+        fail_after: usize,
+        ended: bool,
+    }
+
+    impl crate::sink::ExtractionSink for FailingSink {
+        fn begin_cluster(&mut self, _h: &crate::sink::ClusterHeader) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn page(&mut self, _uri: &str, _r: &crate::sink::PageRecord) -> std::io::Result<()> {
+            self.pages += 1;
+            if self.pages > self.fail_after {
+                return Err(std::io::Error::new(std::io::ErrorKind::BrokenPipe, "peer gone"));
+            }
+            Ok(())
+        }
+        fn failure(&mut self, _f: &RuleFailure) -> std::io::Result<()> {
+            Ok(())
+        }
+        fn end_cluster(&mut self) -> std::io::Result<()> {
+            self.ended = true;
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn sink_error_aborts_parallel_drive() {
+        let pages = varied_pages(200);
+        let mut sink = FailingSink { pages: 0, fail_after: 5, ended: false };
+        let err = extract_cluster_parallel_to(&cluster(), &pages, 4, &mut sink).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(!sink.ended, "end_cluster must not run after an error");
+        assert!(sink.pages <= 7, "drive kept pushing after the error: {}", sink.pages);
+    }
+
+    #[test]
+    fn counting_sink_dry_run_over_repository_drive() {
+        let pages = varied_pages(10);
+        let parsed: Vec<(String, retroweb_html::Document)> =
+            pages.iter().map(|(u, h)| (u.clone(), retroweb_html::parse(h))).collect();
+        let mut count = crate::sink::CountingSink::new();
+        let stats = extract_cluster_to(&cluster(), &parsed, &mut count).unwrap();
+        assert_eq!(count.pages, 10);
+        assert_eq!(count.pages_with_values, 10);
+        // runtime + two genres per page.
+        assert_eq!(count.values, 30);
+        assert_eq!(count.failures, stats.failures);
     }
 }

@@ -40,6 +40,21 @@
 //!   and [`maintain`] (`detect_failures`, `repair_rules`) apply the
 //!   compiled rules with one `retroweb_xpath::Executor` per page.
 //!
+//! ## Streaming output: the sink seam
+//!
+//! Extraction output flows through [`sink::ExtractionSink`]: the `*_to`
+//! drivers ([`extract::extract_cluster_to`],
+//! [`extract::extract_cluster_parallel_to`],
+//! [`repository::RuleRepository::extract_to`]) push one
+//! [`sink::PageRecord`] per page as it completes — the parallel driver
+//! reorders worker output through a bounded sequencer, so any sink sees
+//! the deterministic sequential order from O(threads) memory. Shipped
+//! sinks: [`sink::XmlWriterSink`] (streamed §4 XML, byte-identical to
+//! the materialised document), [`sink::JsonLinesSink`] (NDJSON feed),
+//! [`sink::CollectSink`] (classic [`extract::ExtractionResult`], behind
+//! the back-compat wrappers) and [`sink::CountingSink`] (dry-run
+//! tallies).
+//!
 //! The tree-walking interpreter remains the single-page reference path
 //! ([`MappingRule::select`] / [`MappingRule::extract_values`]), and the
 //! differential test suites hold the two engines equal.
@@ -73,13 +88,15 @@ pub mod refine;
 pub mod repository;
 pub mod sample;
 pub mod schema_guided;
+pub mod sink;
 
 pub use builder::{build_rule, build_rules, ComponentReport, ScenarioConfig};
 pub use check::{check_rule, classify, CheckRow, CheckTable, Outcome};
 pub use extract::{
-    extract_cluster, extract_cluster_compiled, extract_cluster_html, extract_cluster_interpreted,
-    extract_cluster_parallel, extract_cluster_parallel_compiled, extract_page_compiled,
-    ExtractionResult, FailureKind, RuleFailure,
+    extract_cluster, extract_cluster_compiled, extract_cluster_compiled_to, extract_cluster_html,
+    extract_cluster_interpreted, extract_cluster_parallel, extract_cluster_parallel_compiled,
+    extract_cluster_parallel_compiled_to, extract_cluster_parallel_to, extract_cluster_to,
+    extract_page_compiled, ExtractionResult, FailureKind, RuleFailure,
 };
 pub use maintain::{
     detect_failures, detect_failures_compiled, repair_rules, RepairMethod, RepairReport,
@@ -95,4 +112,8 @@ pub use repository::{
 pub use sample::{sample_from_pages, working_sample, SamplePage};
 pub use schema_guided::{
     build_with_guide, Conformance, GuideComponent, GuidedComponentResult, SchemaGuide,
+};
+pub use sink::{
+    ClusterHeader, CollectSink, CountingSink, ExtractionSink, ExtractionStats, JsonLinesSink,
+    PageRecord, XmlWriterSink, OUTPUT_ENCODING,
 };

@@ -15,10 +15,12 @@
 //! `Arc`. Re-recording a cluster invalidates its cached compilation.
 
 use crate::extract::{
-    extract_cluster_compiled, extract_cluster_parallel_compiled, ExtractionResult,
+    extract_cluster_compiled, extract_cluster_compiled_to, extract_cluster_parallel_compiled,
+    extract_cluster_parallel_compiled_to, ExtractionResult,
 };
 use crate::model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 use crate::post::PostProcess;
+use crate::sink::{ExtractionSink, ExtractionStats};
 use retroweb_html::Document;
 use retroweb_json::{parse as json_parse, Json};
 use retroweb_xml::ClusterSchema;
@@ -304,6 +306,33 @@ impl RuleRepository {
     ) -> Option<ExtractionResult> {
         let compiled = self.compiled(cluster)?;
         Some(extract_cluster_parallel_compiled(&compiled, pages, threads))
+    }
+
+    /// Streaming variant of [`RuleRepository::extract`]: push each
+    /// page's record into `sink` as it completes instead of
+    /// materialising a document. `None` for an unknown cluster.
+    pub fn extract_to(
+        &self,
+        cluster: &str,
+        pages: &[(String, Document)],
+        sink: &mut dyn ExtractionSink,
+    ) -> Option<std::io::Result<ExtractionStats>> {
+        let compiled = self.compiled(cluster)?;
+        Some(extract_cluster_compiled_to(&compiled, pages, sink))
+    }
+
+    /// Streaming parallel variant over raw HTML — the service batch
+    /// path. Deterministic sink order, O(threads) buffering (see
+    /// [`crate::sink::ExtractionSink`] for the reordering guarantee).
+    pub fn extract_parallel_to(
+        &self,
+        cluster: &str,
+        pages: &[(String, String)],
+        threads: usize,
+        sink: &mut dyn ExtractionSink,
+    ) -> Option<std::io::Result<ExtractionStats>> {
+        let compiled = self.compiled(cluster)?;
+        Some(extract_cluster_parallel_compiled_to(&compiled, pages, threads, sink))
     }
 
     pub fn get(&self, cluster: &str) -> Option<ClusterRules> {
@@ -703,6 +732,39 @@ mod tests {
         let html_pages = vec![("u1".to_string(), page.to_string())];
         let par = repo.extract_parallel("imdb-movies", &html_pages, 2).expect("known cluster");
         assert_eq!(par.xml.to_string_with(0), text);
+    }
+
+    #[test]
+    fn repository_streaming_entry_points_match_materialised() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let page = "<html><body><table><tr><td> Runtime: </td><td> 104 min </td></tr></table>\
+                    <ul><li>Drama</li><li>Comedy</li></ul></body></html>";
+        let html_pages: Vec<(String, String)> =
+            (0..6).map(|i| (format!("u{i}"), page.to_string())).collect();
+        let parsed: Vec<(String, Document)> =
+            html_pages.iter().map(|(u, h)| (u.clone(), retroweb_html::parse(h))).collect();
+        let want = repo.extract("imdb-movies", &parsed).expect("known cluster");
+
+        let mut sink = crate::sink::XmlWriterSink::new(Vec::new());
+        let stats =
+            repo.extract_to("imdb-movies", &parsed, &mut sink).expect("known cluster").unwrap();
+        assert_eq!(stats.pages, 6);
+        assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), want.xml.to_string_with(2));
+
+        let mut sink = crate::sink::XmlWriterSink::new(Vec::new());
+        let stats = repo
+            .extract_parallel_to("imdb-movies", &html_pages, 3, &mut sink)
+            .expect("known cluster")
+            .unwrap();
+        assert_eq!(stats.pages, 6);
+        assert_eq!(String::from_utf8(sink.into_inner()).unwrap(), want.xml.to_string_with(2));
+
+        // Unknown clusters are None before the sink sees anything.
+        let mut sink = crate::sink::CountingSink::new();
+        assert!(repo.extract_to("nope", &parsed, &mut sink).is_none());
+        assert!(repo.extract_parallel_to("nope", &html_pages, 2, &mut sink).is_none());
+        assert_eq!(sink.pages, 0);
     }
 
     #[test]

@@ -1,0 +1,154 @@
+//! Property suite for the sink-based output path: over arbitrary
+//! cluster shapes — recursively nested `StructureNode` groups, unicode
+//! component names and values (the same generator shapes as
+//! `repository_proptests.rs`) — the streamed [`XmlWriterSink`] bytes
+//! must be identical to the materialised
+//! `XmlDocument::to_string_with(2)`, and the [`CollectSink`]-rebuilt
+//! result must round-trip records and failures exactly.
+
+use proptest::prelude::*;
+use retroweb_xml::{ClusterSchema, XmlDocument, XmlElement};
+use retrozilla::sink::{
+    ClusterHeader, CollectSink, CountingSink, ExtractionSink, PageRecord, XmlWriterSink,
+    OUTPUT_ENCODING,
+};
+use retrozilla::{FailureKind, RuleFailure, StructureNode};
+use std::collections::BTreeMap;
+
+/// Recursively nested enhanced structures, as in `repository_proptests`.
+fn arb_structure() -> BoxedStrategy<StructureNode> {
+    let leaf = "\\PC{1,8}".prop_map(StructureNode::Component);
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        ("\\PC{1,8}", prop::collection::vec(inner, 0..4))
+            .prop_map(|(name, children)| StructureNode::Group { name, children })
+    })
+    .boxed()
+}
+
+/// A header over the generated structure: the component list is the
+/// flattened structure view plus a few extra names, mimicking rule
+/// order for the default (structure-less) layout.
+fn arb_header() -> impl Strategy<Value = ClusterHeader> {
+    (
+        "[a-zA-Z][a-zA-Z0-9-]{0,10}",
+        "[a-zA-Z][a-zA-Z0-9-]{0,10}",
+        prop::collection::vec(arb_structure(), 0..4),
+        any::<bool>(),
+        prop::collection::vec("\\PC{1,8}", 0..3),
+    )
+        .prop_map(|(cluster, page_element, structure, with_structure, extra)| {
+            let mut components: Vec<String> =
+                structure.iter().flat_map(StructureNode::component_names).collect();
+            components.extend(extra);
+            components.dedup();
+            ClusterHeader {
+                schema: ClusterSchema::new(&cluster, &page_element, Vec::new()),
+                cluster,
+                page_element,
+                structure: with_structure.then_some(structure),
+                components,
+            }
+        })
+}
+
+/// One page's raw value entries: component picked by index (mod the
+/// header's component count), with unicode content the writer has to
+/// escape.
+type RawRecord = Vec<(usize, Vec<String>)>;
+
+/// Headers and page records generated jointly (the compat proptest shim
+/// has no `prop_flat_map`): record entries reference components by
+/// index, resolved against whatever component list the header grew.
+fn arb_case() -> impl Strategy<Value = (ClusterHeader, Vec<(String, PageRecord)>)> {
+    let raw_record =
+        prop::collection::vec((0usize..64, prop::collection::vec("\\PC{0,12}", 0..3)), 0..6);
+    (arb_header(), prop::collection::vec(raw_record, 0..5)).prop_map(|(header, raw)| {
+        let pages: Vec<(String, PageRecord)> = raw
+            .into_iter()
+            .enumerate()
+            .map(|(i, entries): (usize, RawRecord)| {
+                let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+                for (idx, vals) in entries {
+                    if !header.components.is_empty() {
+                        let name = &header.components[idx % header.components.len()];
+                        values.entry(name.clone()).or_default().extend(vals);
+                    }
+                }
+                (format!("uri-{i} &<>\""), PageRecord::new(values))
+            })
+            .collect();
+        (header, pages)
+    })
+}
+
+/// Drive a sink through the call-order contract with a failure after
+/// every second page.
+fn drive(
+    sink: &mut dyn ExtractionSink,
+    header: &ClusterHeader,
+    pages: &[(String, PageRecord)],
+) -> std::io::Result<()> {
+    sink.begin_cluster(header)?;
+    for (i, (uri, record)) in pages.iter().enumerate() {
+        sink.page(uri, record)?;
+        if i % 2 == 1 {
+            sink.failure(&RuleFailure {
+                uri: uri.clone(),
+                component: "c".into(),
+                kind: FailureKind::MandatoryMissing,
+            })?;
+        }
+    }
+    sink.end_cluster()
+}
+
+/// The reference: materialise the whole document the way the classic
+/// builder does, then serialise in one shot.
+fn materialised(header: &ClusterHeader, pages: &[(String, PageRecord)]) -> XmlDocument {
+    let mut root = XmlElement::new(&header.cluster);
+    for (uri, record) in pages {
+        root.push_element(header.page_xml(uri, record));
+    }
+    XmlDocument::new(root).with_encoding(OUTPUT_ENCODING)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn xml_writer_sink_is_byte_identical_to_materialised_document(case in arb_case()) {
+        let (header, pages) = case;
+        let want = materialised(&header, &pages);
+        let mut sink = XmlWriterSink::new(Vec::new());
+        drive(&mut sink, &header, &pages).unwrap();
+        let bytes = sink.bytes_written();
+        let streamed = String::from_utf8(sink.into_inner()).unwrap();
+        prop_assert_eq!(&streamed, &want.to_string_with(2));
+        prop_assert_eq!(bytes, streamed.len() as u64);
+
+        // Figure-5 flat layout too.
+        let mut flat = XmlWriterSink::with_indent(Vec::new(), 0);
+        drive(&mut flat, &header, &pages).unwrap();
+        prop_assert_eq!(
+            String::from_utf8(flat.into_inner()).unwrap(),
+            want.to_string_with(0)
+        );
+    }
+
+    #[test]
+    fn collect_sink_round_trips_records_and_failures(case in arb_case()) {
+        let (header, pages) = case;
+        let mut collect = CollectSink::new();
+        drive(&mut collect, &header, &pages).unwrap();
+        let result = collect.into_result();
+        prop_assert_eq!(&result.xml.to_string_with(2), &materialised(&header, &pages).to_string_with(2));
+        prop_assert_eq!(result.failures.len(), pages.len() / 2);
+
+        let mut count = CountingSink::new();
+        drive(&mut count, &header, &pages).unwrap();
+        prop_assert_eq!(count.pages, pages.len());
+        prop_assert_eq!(count.failures, pages.len() / 2);
+        let want_values: usize = pages.iter().map(|(_, r)| r.value_count()).sum();
+        prop_assert_eq!(count.values, want_values);
+    }
+}

@@ -161,10 +161,38 @@ fn self_test() -> Result<String, String> {
     expect(resp.status == 200, "batch status", resp.status)?;
     expect(resp.body_utf8() == want_batch, "batch body differs from direct extraction", "")?;
     expect(
-        resp.header("x-retroweb-pages") == Some("16"),
-        "batch page count header",
-        resp.header("x-retroweb-pages").unwrap_or("missing"),
+        resp.header("transfer-encoding") == Some("chunked"),
+        "batch chunked framing",
+        resp.header("transfer-encoding").unwrap_or("missing"),
     )?;
+
+    // NDJSON negotiation: one line per page plus a summary line
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{}/batch", testdata::DEMO_CLUSTER),
+            &[("accept", "application/x-ndjson")],
+            testdata::pages_json(&pages).as_bytes(),
+        )
+        .map_err(io)?;
+    expect(
+        resp.header("content-type") == Some("application/x-ndjson"),
+        "ndjson content type",
+        resp.header("content-type").unwrap_or("missing"),
+    )?;
+    let lines = resp.body_utf8().lines().count();
+    expect(lines == pages.len() + 1, "ndjson line count", lines)?;
+
+    // unparseable ?threads= is a diagnosed client error
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{}/batch?threads=abc", testdata::DEMO_CLUSTER),
+            &[],
+            testdata::pages_json(&pages).as_bytes(),
+        )
+        .map_err(io)?;
+    expect(resp.status == 400, "bad threads status", resp.status)?;
 
     // drift check flags the redesigned page
     let drifted = vec![testdata::drifted_page(0)];
@@ -214,7 +242,9 @@ fn self_test() -> Result<String, String> {
     expect(total >= 6, "metrics request total", total)?;
 
     handle.shutdown();
-    Ok(format!("6 endpoints exercised, {total} requests served, drift + hot reload verified"))
+    Ok(format!(
+        "6 endpoints exercised, {total} requests served, streaming + drift + hot reload verified"
+    ))
 }
 
 fn expect(ok: bool, what: &str, got: impl std::fmt::Display) -> Result<(), String> {

@@ -6,38 +6,46 @@
 //! re-records the cluster and thereby invalidates the cache — is a hot
 //! rule reload observed by the very next request.
 
-use crate::http::{Request, Response};
+use crate::http::{Reply, Request, Response, StreamingResponse};
 use crate::metrics::Endpoint;
 use crate::ServiceState;
 use retroweb_json::Json;
 use retroweb_sitegen::Page;
-use retrozilla::{detect_failures_compiled, ClusterRules, FailureKind, SamplePage};
+use retrozilla::{
+    detect_failures_compiled, extract_cluster_parallel_compiled_to, ClusterRules, JsonLinesSink,
+    SamplePage, XmlWriterSink,
+};
+use std::sync::Arc;
 
 /// Cap on `?threads=` for batch extraction.
 const MAX_EXTRACT_THREADS: usize = 32;
 
 /// Dispatch one request. Returns the endpoint family (for metrics) and
-/// the response.
-pub fn route(state: &ServiceState, req: &Request) -> (Endpoint, Response) {
+/// the reply — fully materialised for most endpoints, streamed for
+/// `/extract/{c}/batch`.
+pub fn route(arc_state: &Arc<ServiceState>, req: &Request) -> (Endpoint, Reply) {
+    // Plain handlers borrow the state; only the streaming batch handler
+    // needs the `Arc` itself (its body closure outlives this call).
+    let state: &ServiceState = arc_state;
     let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
     match (req.method.as_str(), segments.as_slice()) {
-        ("GET", []) => (Endpoint::Other, index()),
-        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(state)),
-        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(state)),
-        ("GET", ["clusters"]) => (Endpoint::Clusters, list_clusters(state)),
-        ("GET", ["clusters", name]) => (Endpoint::Clusters, get_cluster(state, name)),
-        ("PUT", ["clusters", name]) => (Endpoint::Clusters, put_cluster(state, name, req)),
-        ("DELETE", ["clusters", name]) => (Endpoint::Clusters, delete_cluster(state, name)),
-        ("POST", ["extract", name]) => (Endpoint::Extract, extract_one(state, name, req)),
+        ("GET", []) => (Endpoint::Other, index().into()),
+        ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(state).into()),
+        ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(state).into()),
+        ("GET", ["clusters"]) => (Endpoint::Clusters, list_clusters(state).into()),
+        ("GET", ["clusters", name]) => (Endpoint::Clusters, get_cluster(state, name).into()),
+        ("PUT", ["clusters", name]) => (Endpoint::Clusters, put_cluster(state, name, req).into()),
+        ("DELETE", ["clusters", name]) => (Endpoint::Clusters, delete_cluster(state, name).into()),
+        ("POST", ["extract", name]) => (Endpoint::Extract, extract_one(state, name, req).into()),
         ("POST", ["extract", name, "batch"]) => {
-            (Endpoint::ExtractBatch, extract_batch(state, name, req))
+            (Endpoint::ExtractBatch, extract_batch(arc_state, name, req))
         }
-        ("POST", ["check", name]) => (Endpoint::Check, check(state, name, req)),
+        ("POST", ["check", name]) => (Endpoint::Check, check(state, name, req).into()),
         // Known paths with the wrong verb get a 405 instead of a 404.
         (_, ["healthz" | "metrics" | "clusters" | "extract" | "check", ..]) => {
-            (Endpoint::Other, Response::error(405, "method not allowed"))
+            (Endpoint::Other, Response::error(405, "method not allowed").into())
         }
-        _ => (Endpoint::Other, Response::error(404, "no such endpoint")),
+        _ => (Endpoint::Other, Response::error(404, "no such endpoint").into()),
     }
 }
 
@@ -53,7 +61,8 @@ fn index() -> Response {
          PUT  /clusters/{name}             record rules (hot reload), body = cluster JSON\n\
          DELETE /clusters/{name}           drop a cluster\n\
          POST /extract/{name}              body = HTML page -> extracted XML\n\
-         POST /extract/{name}/batch        body = [{\"uri\",\"html\"},...] -> cluster XML\n\
+         POST /extract/{name}/batch        body = [{\"uri\",\"html\"},...] -> streamed cluster XML\n\
+                                           (chunked; Accept: application/x-ndjson for NDJSON records)\n\
          POST /check/{name}                body = [{\"uri\",\"html\"},...] -> drift report\n",
     )
 }
@@ -169,28 +178,80 @@ fn extract_one(state: &ServiceState, name: &str, req: &Request) -> Response {
         .with_header("x-retroweb-failures", result.failures.len())
 }
 
+/// Did the client ask for the NDJSON record stream instead of XML?
+fn wants_ndjson(req: &Request) -> bool {
+    req.header("accept").is_some_and(|accept| {
+        accept.split(',').any(|part| {
+            part.split(';')
+                .next()
+                .is_some_and(|mt| mt.trim().eq_ignore_ascii_case("application/x-ndjson"))
+        })
+    })
+}
+
 /// `POST /extract/{name}/batch`: body is a JSON array of pages, fanned
-/// out over `?threads=` scoped workers (default from server config).
-/// Output is byte-identical to a direct `extract_cluster` call.
-fn extract_batch(state: &ServiceState, name: &str, req: &Request) -> Response {
+/// out over `?threads=` scoped workers (default from server config) and
+/// **streamed** — the response is chunked, with the first page's bytes
+/// on the wire while later pages are still extracting, and server
+/// memory bounded by O(threads) regardless of batch size. The
+/// concatenated XML body is byte-identical to a direct
+/// `extract_cluster` call; `Accept: application/x-ndjson` selects the
+/// NDJSON record stream instead. Summary counts live on `GET /metrics`
+/// (`pages_extracted`, `failures_detected`, `bytes_streamed`) — a
+/// streamed reply cannot carry them as headers.
+fn extract_batch(state: &Arc<ServiceState>, name: &str, req: &Request) -> Reply {
     let pages = match parse_pages(req) {
         Ok(pages) => pages,
-        Err(resp) => return *resp,
+        Err(resp) => return Reply::Full(*resp),
     };
-    let threads = req
-        .query_param("threads")
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(state.extract_threads())
-        .clamp(1, MAX_EXTRACT_THREADS);
-    let n_pages = pages.len();
-    let Some(result) = state.repo().extract_parallel(name, &pages, threads) else {
-        return unknown_cluster(name);
+    // An unparseable ?threads= is a client error, not a silent default.
+    let threads = match req.query_param("threads") {
+        None => state.extract_threads(),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Reply::Full(Response::error(
+                    400,
+                    &format!("bad ?threads= value '{raw}': expected a positive integer"),
+                ))
+            }
+        },
+    }
+    .clamp(1, MAX_EXTRACT_THREADS);
+    // Everything that can 4xx is decided before the head is sent; the
+    // compiled rules are pinned here so a concurrent rule reload cannot
+    // change them mid-stream.
+    let Some(compiled) = state.repo().compiled(name) else {
+        return Reply::Full(unknown_cluster(name));
     };
-    state.metrics().add_pages_extracted(n_pages);
-    state.metrics().add_failures_detected(result.failures.len());
-    Response::xml(result.xml.to_string_with(2))
-        .with_header("x-retroweb-pages", n_pages)
-        .with_header("x-retroweb-failures", result.failures.len())
+    let ndjson = wants_ndjson(req);
+    let state = Arc::clone(state);
+    let body = Box::new(move |out: &mut dyn std::io::Write| {
+        let stats = if ndjson {
+            let mut sink = JsonLinesSink::new(out);
+            let stats = extract_cluster_parallel_compiled_to(&compiled, &pages, threads, &mut sink);
+            state.metrics().add_bytes_streamed(sink.bytes_written());
+            stats?
+        } else {
+            let mut sink = XmlWriterSink::new(out);
+            let stats = extract_cluster_parallel_compiled_to(&compiled, &pages, threads, &mut sink);
+            state.metrics().add_bytes_streamed(sink.bytes_written());
+            stats?
+        };
+        state.metrics().add_pages_extracted(stats.pages);
+        state.metrics().add_failures_detected(stats.failures);
+        Ok(())
+    });
+    Reply::Streaming(StreamingResponse {
+        status: 200,
+        content_type: if ndjson {
+            "application/x-ndjson"
+        } else {
+            "application/xml; charset=UTF-8"
+        },
+        headers: Vec::new(),
+        body,
+    })
 }
 
 /// `POST /check/{name}`: run the §7 failure detectors over submitted
@@ -215,7 +276,7 @@ fn check(state: &ServiceState, name: &str, req: &Request) -> Response {
             Json::object(vec![
                 ("uri".into(), Json::from(f.uri.as_str())),
                 ("component".into(), Json::from(f.component.as_str())),
-                ("kind".into(), Json::from(failure_kind_name(f.kind))),
+                ("kind".into(), Json::from(f.kind.name())),
             ])
         })
         .collect();
@@ -226,13 +287,6 @@ fn check(state: &ServiceState, name: &str, req: &Request) -> Response {
         ("failures".into(), Json::Array(items)),
     ]);
     Response::json(200, &json)
-}
-
-fn failure_kind_name(kind: FailureKind) -> &'static str {
-    match kind {
-        FailureKind::MandatoryMissing => "mandatory-missing",
-        FailureKind::MultipleForSingleValued => "multiple-for-single-valued",
-    }
 }
 
 fn unknown_cluster(name: &str) -> Response {

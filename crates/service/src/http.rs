@@ -3,9 +3,14 @@
 //! No network crates are available in this build environment, so the
 //! service speaks just enough HTTP itself: request-line + headers +
 //! `Content-Length` bodies, keep-alive by default, `Connection: close`
-//! honoured. Chunked transfer encoding is intentionally not supported —
-//! every client this crate ships (tests, self-test, bench, example)
-//! sends sized bodies.
+//! honoured. Chunked transfer encoding is not accepted on *requests*
+//! (every client this crate ships sends sized bodies), but **is
+//! produced on responses**: a [`StreamingResponse`] writes its body
+//! through a [`ChunkedWriter`] as the handler generates it, so a batch
+//! extraction's first bytes hit the wire after the first page instead
+//! of after the last. HTTP/1.0 clients, which predate chunked framing,
+//! get the same stream EOF-delimited with `Connection: close`. The
+//! loopback [`Client`] decodes both framings.
 //!
 //! The server half reads through [`Conn`], whose read timeout doubles as
 //! the graceful-shutdown poll interval: an idle keep-alive connection
@@ -157,6 +162,20 @@ impl Conn {
             return ReadOutcome::Malformed(413, "request body too large");
         }
         let total = head_end + 4 + content_length;
+        // An `Expect: 100-continue` client (curl does this for any
+        // body over ~1 KiB) holds the body back until the server nods —
+        // ignoring it costs a fixed ~1 s stall per large request, which
+        // would dwarf the streamed first-byte latency. Nod immediately.
+        // Never for HTTP/1.0 peers: 1xx interim responses postdate 1.0
+        // (RFC 7231 §5.1.1 says ignore their Expect), and a 1.0 client
+        // would misread the nod as the final response.
+        if !http10
+            && self.buf.len() < total
+            && headers.get("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+            && self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+        {
+            return ReadOutcome::Closed;
+        }
         let mut strikes = 0u32;
         while self.buf.len() < total {
             match self.fill() {
@@ -205,6 +224,176 @@ impl Conn {
         out.extend_from_slice(&resp.body);
         self.stream.write_all(&out)?;
         self.stream.flush()
+    }
+
+    /// Write a streamed response: head first, then the body produced
+    /// incrementally by `resp.body` — chunked framing when `chunked`
+    /// (HTTP/1.1), raw EOF-delimited bytes otherwise (HTTP/1.0, which
+    /// forces `close`). Returns the body bytes that reached the wire.
+    ///
+    /// An `Err` means the stream is in an unknown state (the head, and
+    /// possibly a partial body, may have been sent) — the caller must
+    /// close the connection; a chunked client detects the truncation by
+    /// the missing terminal chunk.
+    pub fn write_streaming(
+        &mut self,
+        resp: StreamingResponse,
+        chunked: bool,
+        close: bool,
+    ) -> std::io::Result<u64> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{}connection: {}\r\n",
+            resp.status,
+            status_text(resp.status),
+            resp.content_type,
+            if chunked { "transfer-encoding: chunked\r\n" } else { "" },
+            if close && chunked {
+                "close"
+            } else if chunked {
+                "keep-alive"
+            } else {
+                "close"
+            },
+        );
+        for (name, value) in &resp.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str("\r\n");
+        self.stream.write_all(head.as_bytes())?;
+        let body = resp.body;
+        let bytes = if chunked {
+            let mut writer = ChunkedWriter::new(&mut self.stream);
+            body(&mut writer)?;
+            writer.finish()?
+        } else {
+            let mut writer = CountingWriter { inner: &mut self.stream, bytes: 0 };
+            body(&mut writer)?;
+            writer.bytes
+        };
+        self.stream.flush()?;
+        Ok(bytes)
+    }
+}
+
+/// Body producer of a [`StreamingResponse`]: writes the whole body into
+/// the given sink (a [`ChunkedWriter`] over the connection), returning
+/// an error to abort mid-stream.
+pub type StreamBody = Box<dyn FnOnce(&mut dyn Write) -> std::io::Result<()> + Send>;
+
+/// A response whose body is produced incrementally while it is written
+/// to the connection — the status and headers must be decidable up
+/// front, which is why handlers validate everything *before* returning
+/// one. Memory stays bounded by the producer's working set, not the
+/// body size.
+pub struct StreamingResponse {
+    pub status: u16,
+    pub content_type: &'static str,
+    /// Extra headers beyond content-type/transfer-encoding/connection.
+    pub headers: Vec<(String, String)>,
+    pub body: StreamBody,
+}
+
+impl std::fmt::Debug for StreamingResponse {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingResponse")
+            .field("status", &self.status)
+            .field("content_type", &self.content_type)
+            .field("headers", &self.headers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a handler hands back: a fully materialised [`Response`] or a
+/// [`StreamingResponse`] driven while writing.
+#[derive(Debug)]
+pub enum Reply {
+    Full(Response),
+    Streaming(StreamingResponse),
+}
+
+impl From<Response> for Reply {
+    fn from(resp: Response) -> Reply {
+        Reply::Full(resp)
+    }
+}
+
+/// Buffer threshold before a chunk is flushed: large enough that chunk
+/// framing overhead is noise, small enough that the first page of a
+/// batch reaches the client promptly and peak buffering stays constant.
+const CHUNK_FLUSH_BYTES: usize = 16 * 1024;
+
+/// An [`io::Write`](Write) adapter producing HTTP chunked framing:
+/// accumulates writes into a fixed-threshold buffer, emits each full
+/// buffer as one `<len-hex>\r\n…\r\n` chunk, and
+/// [`finish`](ChunkedWriter::finish) flushes the tail plus the terminal
+/// `0\r\n\r\n` chunk.
+pub struct ChunkedWriter<'a> {
+    inner: &'a mut TcpStream,
+    buf: Vec<u8>,
+    /// Body bytes accepted (pre-framing), for metrics.
+    bytes: u64,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    pub fn new(inner: &'a mut TcpStream) -> ChunkedWriter<'a> {
+        ChunkedWriter { inner, buf: Vec::with_capacity(CHUNK_FLUSH_BYTES + 1024), bytes: 0 }
+    }
+
+    fn flush_chunk(&mut self) -> std::io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let mut framed = format!("{:x}\r\n", self.buf.len()).into_bytes();
+        framed.extend_from_slice(&self.buf);
+        framed.extend_from_slice(b"\r\n");
+        self.buf.clear();
+        self.inner.write_all(&framed)
+    }
+
+    /// Flush the remaining buffer and write the terminal chunk. Returns
+    /// the total body bytes streamed (pre-framing).
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.flush_chunk()?;
+        self.inner.write_all(b"0\r\n\r\n")?;
+        Ok(self.bytes)
+    }
+}
+
+impl Write for ChunkedWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend_from_slice(data);
+        self.bytes += data.len() as u64;
+        if self.buf.len() >= CHUNK_FLUSH_BYTES {
+            self.flush_chunk()?;
+        }
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.flush_chunk()?;
+        self.inner.flush()
+    }
+}
+
+/// Plain pass-through writer that counts body bytes (the HTTP/1.0
+/// EOF-delimited stream path).
+struct CountingWriter<'a> {
+    inner: &'a mut TcpStream,
+    bytes: u64,
+}
+
+impl Write for CountingWriter<'_> {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.inner.write_all(data)?;
+        self.bytes += data.len() as u64;
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
     }
 }
 
@@ -395,25 +584,88 @@ impl Client {
                 headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
             }
         }
-        let len: usize = headers
-            .get("content-length")
-            .and_then(|v| v.parse().ok())
-            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "missing content-length"))?;
-        let total = head_end + 4 + len;
-        while self.buf.len() < total {
+        self.buf.drain(..head_end + 4);
+        let chunked =
+            headers.get("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else if let Some(len) =
+            headers.get("content-length").and_then(|v| v.parse::<usize>().ok())
+        {
+            self.read_sized_body(len)?
+        } else if headers.get("connection").is_some_and(|v| v.eq_ignore_ascii_case("close")) {
+            // EOF-delimited (the HTTP/1.0-style streamed fallback).
+            self.read_to_close()?
+        } else {
+            return Err(std::io::Error::new(ErrorKind::InvalidData, "missing content-length"));
+        };
+        Ok(ClientResponse { status, headers, body })
+    }
+
+    /// Read `n` more bytes into the buffer, erroring on EOF.
+    fn fill_buf(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+
+    fn read_sized_body(&mut self, len: usize) -> std::io::Result<Vec<u8>> {
+        while self.buf.len() < len {
+            self.fill_buf()?;
+        }
+        let body = self.buf[..len].to_vec();
+        self.buf.drain(..len);
+        Ok(body)
+    }
+
+    /// Decode a chunked body: `<len-hex>\r\n<data>\r\n`… `0\r\n\r\n`.
+    /// A truncated stream (server aborted mid-body) surfaces as
+    /// `UnexpectedEof`, never as a silently short body.
+    fn read_chunked_body(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut body = Vec::new();
+        loop {
+            let line_end = loop {
+                if let Some(pos) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                    break pos;
+                }
+                self.fill_buf()?;
+            };
+            let size_line = String::from_utf8_lossy(&self.buf[..line_end]).into_owned();
+            self.buf.drain(..line_end + 2);
+            let size = usize::from_str_radix(size_line.trim(), 16).map_err(|_| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("bad chunk size '{size_line}'"))
+            })?;
+            while self.buf.len() < size + 2 {
+                self.fill_buf()?;
+            }
+            body.extend_from_slice(&self.buf[..size]);
+            if &self.buf[size..size + 2] != b"\r\n" {
+                return Err(std::io::Error::new(ErrorKind::InvalidData, "chunk missing CRLF"));
+            }
+            self.buf.drain(..size + 2);
+            if size == 0 {
+                return Ok(body);
+            }
+        }
+    }
+
+    fn read_to_close(&mut self) -> std::io::Result<Vec<u8>> {
+        loop {
             let mut chunk = [0u8; 16 * 1024];
             let n = self.stream.read(&mut chunk)?;
             if n == 0 {
-                return Err(std::io::Error::new(
-                    ErrorKind::UnexpectedEof,
-                    "connection closed mid-body",
-                ));
+                let body = std::mem::take(&mut self.buf);
+                return Ok(body);
             }
             self.buf.extend_from_slice(&chunk[..n]);
         }
-        let body = self.buf[head_end + 4..total].to_vec();
-        self.buf.drain(..total);
-        Ok(ClientResponse { status, headers, body })
     }
 }
 

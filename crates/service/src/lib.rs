@@ -10,10 +10,16 @@
 //! | Endpoint | Role |
 //! |---|---|
 //! | `POST /extract/{cluster}` | one HTML page → extracted XML |
-//! | `POST /extract/{cluster}/batch` | JSON page array → parallel batched extraction |
+//! | `POST /extract/{cluster}/batch` | JSON page array → parallel extraction **streamed** as chunked XML (or NDJSON via `Accept: application/x-ndjson`) |
 //! | `GET`/`PUT`/`DELETE /clusters/{name}` | rule CRUD over `retroweb-json` persistence |
 //! | `POST /check/{cluster}` | §7 failure detection (drift report) on submitted pages |
 //! | `GET /healthz`, `GET /metrics` | liveness, counters, latency histograms |
+//!
+//! **Streaming batches:** the batch endpoint drives the extraction
+//! sinks (`retrozilla::ExtractionSink`) straight into the connection —
+//! first bytes on the wire after the first page, server memory
+//! O(threads) instead of O(batch), concatenated XML byte-identical to
+//! the materialised document.
 //!
 //! **Hot rule reload for free:** every extraction runs through
 //! `RuleRepository`'s compiled-cluster cache, and `PUT /clusters/{name}`
@@ -35,7 +41,7 @@ pub mod metrics;
 pub mod pool;
 pub mod testdata;
 
-pub use http::{request_once, Client, ClientResponse, Request, Response};
+pub use http::{request_once, Client, ClientResponse, Reply, Request, Response, StreamingResponse};
 pub use metrics::{Endpoint, Histogram, Metrics};
 pub use pool::ThreadPool;
 
@@ -243,14 +249,33 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>, read_timeout: 
             }
             http::ReadOutcome::Request(req) => {
                 let started = Instant::now();
-                let (endpoint, mut resp) = handlers::route(state, &req);
-                state.metrics().observe(endpoint, resp.status, started.elapsed());
-                if req.wants_close() || state.shutting_down() {
-                    resp.close = true;
-                }
-                let write_ok = conn.write_response(&resp).is_ok();
-                if !write_ok || resp.close {
-                    return;
+                let (endpoint, reply) = handlers::route(state, &req);
+                match reply {
+                    http::Reply::Full(mut resp) => {
+                        state.metrics().observe(endpoint, resp.status, started.elapsed());
+                        if req.wants_close() || state.shutting_down() {
+                            resp.close = true;
+                        }
+                        let write_ok = conn.write_response(&resp).is_ok();
+                        if !write_ok || resp.close {
+                            return;
+                        }
+                    }
+                    http::Reply::Streaming(resp) => {
+                        // Chunked framing needs an HTTP/1.1 peer; a 1.0
+                        // client gets the stream EOF-delimited, which
+                        // forces close. Latency is measured to the end
+                        // of the body — the handler's work happens
+                        // while writing.
+                        let chunked = !req.http10;
+                        let close = !chunked || req.wants_close() || state.shutting_down();
+                        let status = resp.status;
+                        let write_ok = conn.write_streaming(resp, chunked, close).is_ok();
+                        state.metrics().observe(endpoint, status, started.elapsed());
+                        if !write_ok || close {
+                            return;
+                        }
+                    }
                 }
             }
         }

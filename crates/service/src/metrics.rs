@@ -135,6 +135,9 @@ pub struct Metrics {
     responses_5xx: AtomicU64,
     pages_extracted: AtomicU64,
     failures_detected: AtomicU64,
+    /// Response-body bytes produced by streamed (chunked) replies —
+    /// pre-framing, i.e. what the client decodes.
+    bytes_streamed: AtomicU64,
     rule_reloads: AtomicU64,
     connections: AtomicU64,
     per_endpoint: [PerEndpoint; Endpoint::ALL.len()],
@@ -165,6 +168,10 @@ impl Metrics {
 
     pub fn add_failures_detected(&self, n: usize) {
         self.failures_detected.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    pub fn add_bytes_streamed(&self, n: u64) {
+        self.bytes_streamed.fetch_add(n, Ordering::Relaxed);
     }
 
     pub fn add_rule_reload(&self) {
@@ -211,6 +218,7 @@ impl Metrics {
             ("connections".into(), load(&self.connections)),
             ("pages_extracted".into(), load(&self.pages_extracted)),
             ("failures_detected".into(), load(&self.failures_detected)),
+            ("bytes_streamed".into(), load(&self.bytes_streamed)),
             ("rule_reloads".into(), load(&self.rule_reloads)),
             (
                 "repository".into(),

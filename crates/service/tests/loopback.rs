@@ -286,6 +286,40 @@ fn framing_rejections() {
     assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
     assert!(resp.contains("connection: close"), "{resp}");
 
+    // `Expect: 100-continue` gets an immediate interim nod (otherwise
+    // curl stalls ~1 s before uploading any large batch body), then the
+    // real response once the body arrives.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            b"POST /extract/demo-movies HTTP/1.1\r\nexpect: 100-continue\r\n\
+              connection: close\r\ncontent-length: 26\r\n\r\n",
+        )
+        .expect("write head");
+    let mut first = [0u8; 25];
+    stream.read_exact(&mut first).expect("interim response");
+    assert_eq!(&first, b"HTTP/1.1 100 Continue\r\n\r\n");
+    stream.write_all(b"<html><body>x</body></html>"[..26].as_ref()).expect("write body");
+    let mut rest = String::new();
+    stream.read_to_string(&mut rest).expect("final response");
+    assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+
+    // An HTTP/1.0 peer's Expect header is ignored (RFC 7231 §5.1.1):
+    // 1xx interim responses postdate 1.0 and would be misread as the
+    // final response. The first bytes it sees must be the real reply.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            b"POST /extract/demo-movies HTTP/1.0\r\nexpect: 100-continue\r\n\
+              content-length: 26\r\n\r\n",
+        )
+        .expect("write head");
+    std::thread::sleep(Duration::from_millis(50)); // give a buggy nod time to arrive
+    stream.write_all(b"<html><body>x</body></html>"[..26].as_ref()).expect("write body");
+    let mut resp = String::new();
+    stream.read_to_string(&mut resp).expect("response");
+    assert!(resp.starts_with("HTTP/1.1 200"), "1.0 peer must never see a 100: {resp}");
+
     handle.shutdown();
 }
 
@@ -316,6 +350,174 @@ fn latin1_page_bodies_decode_losslessly() {
         .request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], &body)
         .expect("fallback extract");
     assert!(resp.body_utf8().contains("<title>Am\u{e9}lie</title>"), "{}", resp.body_utf8());
+    handle.shutdown();
+}
+
+/// The streaming acceptance criterion: `/extract/{c}/batch` responds
+/// with chunked Transfer-Encoding, and the decoded body is byte-
+/// identical to the pre-streaming buffered output (= a direct
+/// `extract_cluster(...).xml.to_string_with(2)`).
+#[test]
+fn chunked_batch_decodes_to_buffered_bytes() {
+    use std::io::{Read, Write};
+
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let pages = demo_pages(48);
+    let body = pages_json(&pages);
+    let want = direct_extract_xml(&testdata::cluster_from(&testdata::demo_cluster_json()), &pages);
+
+    // Through the decoding client: body equality plus framing headers.
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .request("POST", &format!("/extract/{DEMO_CLUSTER}/batch?threads=3"), &[], body.as_bytes())
+        .expect("batch");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(resp.header("content-length"), None, "streamed reply must not be sized");
+    assert_eq!(resp.header("x-retroweb-pages"), None, "batch no longer carries count headers");
+    assert_eq!(resp.body_utf8(), want);
+    // The connection stays usable after a chunked exchange.
+    let resp = client.request("GET", "/healthz", &[], b"").expect("keep-alive after chunked");
+    assert_eq!(resp.status, 200);
+    // Summary counters for the batch path live on /metrics now.
+    let resp = client.request("GET", "/metrics", &[], b"").expect("metrics");
+    let metrics = resp.body_json().unwrap();
+    assert!(
+        metrics.get("bytes_streamed").unwrap().as_u64().unwrap() >= want.len() as u64,
+        "{metrics}"
+    );
+    assert_eq!(metrics.get("pages_extracted").unwrap().as_u64(), Some(48));
+
+    // Raw socket: the wire really is chunk-framed (hex length lines),
+    // not just advertised as such.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /extract/{DEMO_CLUSTER}/batch HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\
+         content-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    let body_start = raw.find("\r\n\r\n").unwrap() + 4;
+    let first_chunk_line = raw[body_start..].lines().next().unwrap();
+    assert!(
+        usize::from_str_radix(first_chunk_line.trim(), 16).is_ok(),
+        "first body line must be a hex chunk size, got {first_chunk_line:?}"
+    );
+    assert!(raw.ends_with("0\r\n\r\n"), "terminal chunk missing");
+
+    // An HTTP/1.0 peer (no chunked framing) gets the same bytes
+    // EOF-delimited with `connection: close`.
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    let head = format!(
+        "POST /extract/{DEMO_CLUSTER}/batch HTTP/1.0\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("connection: close"), "{}", &raw[..raw.find("\r\n\r\n").unwrap()]);
+    assert!(!raw.contains("transfer-encoding"), "1.0 peer must not get chunked framing");
+    assert_eq!(&raw[raw.find("\r\n\r\n").unwrap() + 4..], want);
+
+    handle.shutdown();
+}
+
+/// `Accept: application/x-ndjson` negotiates the record stream: one
+/// JSON object per page, failures in-line, a summary line last.
+#[test]
+fn batch_ndjson_negotiation() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let mut pages = demo_pages(5);
+    pages.push(drifted_page(5)); // one mandatory-missing failure
+    let body = pages_json(&pages);
+
+    let mut client = Client::connect(addr).expect("connect");
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}/batch?threads=2"),
+            &[("accept", "application/x-ndjson")],
+            body.as_bytes(),
+        )
+        .expect("ndjson batch");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/x-ndjson"));
+    let text = resp.body_utf8().into_owned();
+    let lines: Vec<retroweb_json::Json> =
+        text.lines().map(|l| retroweb_json::parse(l).expect(l)).collect();
+    // 6 page lines + 1 failure line + 1 summary line, pages in order.
+    assert_eq!(lines.len(), 8, "{text}");
+    let page_uris: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.get("type").and_then(|t| t.as_str()) == Some("page"))
+        .map(|l| l.get("uri").and_then(|u| u.as_str()).unwrap())
+        .collect();
+    let want_uris: Vec<&str> = pages.iter().map(|(u, _)| u.as_str()).collect();
+    assert_eq!(page_uris, want_uris);
+    assert_eq!(
+        lines[0].get("values").unwrap().get("title").unwrap().as_array().unwrap()[0].as_str(),
+        Some("Movie 0")
+    );
+    let failure = lines
+        .iter()
+        .find(|l| l.get("type").and_then(|t| t.as_str()) == Some("failure"))
+        .expect("failure line");
+    assert_eq!(failure.get("component").and_then(|c| c.as_str()), Some("title"));
+    assert_eq!(failure.get("kind").and_then(|k| k.as_str()), Some("mandatory-missing"));
+    let summary = lines.last().unwrap();
+    assert_eq!(summary.get("type").and_then(|t| t.as_str()), Some("summary"));
+    assert_eq!(summary.get("pages").and_then(|p| p.as_u64()), Some(6));
+    assert_eq!(summary.get("failures").and_then(|f| f.as_u64()), Some(1));
+
+    // XML remains the default for clients that don't ask for NDJSON.
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}/batch"),
+            &[("accept", "text/html, application/xml")],
+            body.as_bytes(),
+        )
+        .expect("xml batch");
+    assert!(resp.header("content-type").unwrap().starts_with("application/xml"));
+
+    handle.shutdown();
+}
+
+/// An unparseable `?threads=` is a diagnosed 400, not a silent default.
+#[test]
+fn bad_threads_param_is_rejected() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let body = pages_json(&demo_pages(2));
+    let mut client = Client::connect(addr).expect("connect");
+    for bad in ["abc", "-1", "3.5", ""] {
+        let resp = client
+            .request(
+                "POST",
+                &format!("/extract/{DEMO_CLUSTER}/batch?threads={bad}"),
+                &[],
+                body.as_bytes(),
+            )
+            .expect("request");
+        assert_eq!(resp.status, 400, "threads={bad}");
+        assert!(resp.body_utf8().contains("threads"), "{}", resp.body_utf8());
+    }
+    // Parseable values still work (and are clamped, not rejected).
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}/batch?threads=9999"),
+            &[],
+            body.as_bytes(),
+        )
+        .expect("request");
+    assert_eq!(resp.status, 200);
     handle.shutdown();
 }
 

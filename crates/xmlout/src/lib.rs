@@ -20,7 +20,9 @@
 mod model;
 mod reader;
 mod schema;
+mod writer;
 
 pub use model::{escape_xml_attr, escape_xml_text, XmlDocument, XmlElement, XmlNode};
 pub use reader::{parse_xml, XmlParseError};
 pub use schema::{ClusterSchema, LeafContent, MaxOccurs, SchemaNode};
+pub use writer::{stream_document, XmlStreamWriter};

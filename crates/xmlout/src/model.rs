@@ -113,6 +113,14 @@ impl XmlElement {
         self.children.iter().all(|c| matches!(c, XmlNode::Text(_)))
     }
 
+    /// Serialise this element into `out` at the given indent level —
+    /// the exact writer [`XmlDocument::to_string_with`] runs, exposed
+    /// so incremental producers ([`crate::XmlStreamWriter`]) emit
+    /// byte-identical fragments one element at a time.
+    pub fn render_into(&self, out: &mut String, indent: usize, level: usize) {
+        self.write(out, indent, level);
+    }
+
     fn write(&self, out: &mut String, indent: usize, level: usize) {
         let pad = " ".repeat(indent * level);
         out.push_str(&pad);

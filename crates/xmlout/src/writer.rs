@@ -1,0 +1,235 @@
+//! Incremental XML document writer.
+//!
+//! [`XmlDocument::to_string_with`] materialises the whole tree before a
+//! single byte leaves the process — fine for one page, O(batch) memory
+//! for a cluster of thousands. [`XmlStreamWriter`] produces the *same
+//! bytes* one root child at a time over any [`io::Write`]: the producer
+//! hands over each child element as it becomes available, the buffer
+//! never holds more than one child, and the document header / root
+//! open-close framing is handled here (including the self-closing root
+//! a childless document serialises to).
+//!
+//! The equivalence with the batch writer is structural, not aspirational:
+//! both paths run [`XmlElement::render_into`], and a property test in
+//! `retrozilla` holds the outputs byte-identical over arbitrary nested
+//! structures.
+
+use crate::model::{escape_xml_attr, XmlDocument, XmlElement};
+use std::io;
+
+/// Streams an XML document — declaration, root element, root children —
+/// to an [`io::Write`], byte-identical to
+/// [`XmlDocument::to_string_with`] on the equivalent tree.
+///
+/// Call order: [`begin`](XmlStreamWriter::begin) once, then
+/// [`child`](XmlStreamWriter::child) per root child, then
+/// [`finish`](XmlStreamWriter::finish) exactly once. The root open tag
+/// is deferred to the first child so that a childless document
+/// self-closes (`<root/>`), exactly like the tree writer.
+#[derive(Debug)]
+pub struct XmlStreamWriter<W: io::Write> {
+    out: W,
+    indent: usize,
+    /// Root tag bytes (`name` + rendered attrs), captured at `begin`.
+    root: Option<String>,
+    /// Root open tag has been written (i.e. at least one child emitted).
+    opened: bool,
+    finished: bool,
+    /// Reusable per-child render buffer; holds one child at a time.
+    buf: String,
+    bytes: u64,
+}
+
+impl<W: io::Write> XmlStreamWriter<W> {
+    /// A writer emitting with the given indent width (0 reproduces the
+    /// paper's Figure 5 flat layout, 2 the service layout).
+    pub fn new(out: W, indent: usize) -> XmlStreamWriter<W> {
+        XmlStreamWriter {
+            out,
+            indent,
+            root: None,
+            opened: false,
+            finished: false,
+            buf: String::new(),
+            bytes: 0,
+        }
+    }
+
+    /// Write the XML declaration and record the root element's tag. The
+    /// root element itself may carry attributes; its children (if any)
+    /// are ignored — they arrive through [`child`](XmlStreamWriter::child).
+    pub fn begin(&mut self, encoding: &str, root: &XmlElement) -> io::Result<()> {
+        assert!(self.root.is_none(), "begin called twice");
+        self.buf.clear();
+        self.buf.push_str(&format!("<?xml version=\"1.0\" encoding=\"{encoding}\"?>\n"));
+        self.flush_buf()?;
+        let mut tag = root.name.clone();
+        for (k, v) in &root.attrs {
+            tag.push(' ');
+            tag.push_str(k);
+            tag.push_str("=\"");
+            tag.push_str(&escape_xml_attr(v));
+            tag.push('"');
+        }
+        self.root = Some(tag);
+        Ok(())
+    }
+
+    /// Emit one root child, opening the root element first if this is
+    /// the first child.
+    pub fn child(&mut self, el: &XmlElement) -> io::Result<()> {
+        let root = self.root.as_ref().expect("begin before child");
+        self.buf.clear();
+        if !self.opened {
+            self.buf.push('<');
+            self.buf.push_str(root);
+            self.buf.push_str(">\n");
+            self.opened = true;
+        }
+        el.render_into(&mut self.buf, self.indent, 1);
+        self.flush_buf()
+    }
+
+    /// Close the root element (or self-close it when no child was ever
+    /// emitted) and flush the underlying writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        assert!(!self.finished, "finish called twice");
+        let root = self.root.take().expect("begin before finish");
+        self.finished = true;
+        self.buf.clear();
+        if self.opened {
+            self.buf.push_str("</");
+            // Close tag uses the bare name, not the attributed open tag.
+            let name_end = root.find(' ').unwrap_or(root.len());
+            self.buf.push_str(&root[..name_end]);
+            self.buf.push_str(">\n");
+        } else {
+            self.buf.push('<');
+            self.buf.push_str(&root);
+            self.buf.push_str("/>\n");
+        }
+        self.flush_buf()?;
+        self.out.flush()
+    }
+
+    /// Total bytes handed to the underlying writer so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    pub fn get_ref(&self) -> &W {
+        &self.out
+    }
+
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn flush_buf(&mut self) -> io::Result<()> {
+        self.out.write_all(self.buf.as_bytes())?;
+        self.bytes += self.buf.len() as u64;
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// Stream an already materialised document — a convenience used by the
+/// differential tests; real streaming producers call the three-phase
+/// API as results arrive.
+pub fn stream_document<W: io::Write>(doc: &XmlDocument, indent: usize, out: W) -> io::Result<u64> {
+    let mut w = XmlStreamWriter::new(out, indent);
+    w.begin(&doc.encoding, &doc.root)?;
+    for child in &doc.root.children {
+        if let crate::model::XmlNode::Element(el) = child {
+            w.child(el)?;
+        }
+    }
+    w.finish()?;
+    Ok(w.bytes_written())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::XmlNode;
+
+    fn doc_with(children: usize) -> XmlDocument {
+        let mut root = XmlElement::new("movies");
+        for i in 0..children {
+            let mut m = XmlElement::new("movie").with_attr("uri", &format!("u{i}"));
+            m.push_element(XmlElement::new("title").with_text(&format!("T & {i} <x>")));
+            if i % 2 == 0 {
+                m.push_element(XmlElement::new("empty"));
+            }
+            root.push_element(m);
+        }
+        XmlDocument::new(root).with_encoding("ISO-8859-1")
+    }
+
+    #[test]
+    fn matches_batch_writer_bytes() {
+        for children in [0usize, 1, 3] {
+            for indent in [0usize, 2, 4] {
+                let doc = doc_with(children);
+                let mut out = Vec::new();
+                let n = stream_document(&doc, indent, &mut out).unwrap();
+                let want = doc.to_string_with(indent);
+                assert_eq!(String::from_utf8(out).unwrap(), want, "children={children}");
+                assert_eq!(n, want.len() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_root_self_closes() {
+        let mut out = Vec::new();
+        let mut w = XmlStreamWriter::new(&mut out, 2);
+        w.begin("UTF-8", &XmlElement::new("empty-cluster")).unwrap();
+        w.finish().unwrap();
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n<empty-cluster/>\n"
+        );
+    }
+
+    #[test]
+    fn root_attrs_survive_open_and_close() {
+        let root = XmlElement::new("r").with_attr("k", "a \"b\"");
+        let mut doc = XmlDocument::new(root.clone());
+        doc.root.push_element(XmlElement::new("c"));
+        let mut out = Vec::new();
+        let mut w = XmlStreamWriter::new(&mut out, 2);
+        w.begin(&doc.encoding, &root).unwrap();
+        for child in &doc.root.children {
+            if let XmlNode::Element(el) = child {
+                w.child(el).unwrap();
+            }
+        }
+        w.finish().unwrap();
+        assert_eq!(String::from_utf8(out).unwrap(), doc.to_string_with(2));
+    }
+
+    #[test]
+    fn incremental_children_arrive_before_finish() {
+        // The writer must emit bytes per child, not hold them all.
+        struct CountWrites(usize);
+        impl io::Write for CountWrites {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0 += 1;
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut w = XmlStreamWriter::new(CountWrites(0), 2);
+        w.begin("UTF-8", &XmlElement::new("r")).unwrap();
+        assert_eq!(w.get_ref().0, 1); // declaration flushed immediately
+        w.child(&XmlElement::new("a")).unwrap();
+        let after_first = w.get_ref().0;
+        assert!(after_first >= 2, "first child flushed before finish");
+        w.child(&XmlElement::new("b")).unwrap();
+        assert!(w.get_ref().0 > after_first, "each child flushed independently");
+        w.finish().unwrap();
+    }
+}

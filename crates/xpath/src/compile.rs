@@ -11,8 +11,9 @@
 //!   by `u32` ids; execution never clones AST nodes;
 //! - **interned name tests** — element/attribute names are stored once
 //!   (lowercased) and referenced by id;
-//! - **resolved functions** — function names are resolved to a [`FnOp`]
-//!   at compile time instead of string-matched per call;
+//! - **resolved functions** — function names are resolved to an
+//!   internal `FnOp` at compile time instead of string-matched per
+//!   call;
 //! - **positional step specialisation** — the `TAG[n]` steps emitted by
 //!   the precise-path builder walk the axis only as far as the `n`-th
 //!   match instead of materialising and filtering every candidate;

@@ -1,17 +1,21 @@
-//! Data integration over a news site: multivalued mixed-content
-//! paragraphs, a comments section aggregated a-posteriori into a
-//! `users-opinion`-style group (the §4 aggregation example), and export
-//! to XML consumed back through the XML reader (the "external agent"
-//! role of §3.5).
+//! Data integration over a news site, feed-style: rules are built over
+//! a working sample, then the whole site is extracted **as a stream** —
+//! NDJSON records to stdout via `JsonLinesSink` (one page per line, the
+//! shape a feed consumer or log shipper tails), with the parallel
+//! driver's bounded sequencer keeping page order deterministic. The
+//! same drive also runs a `CountingSink` dry run and a streamed-XML
+//! digest, showing that one extraction API feeds any output.
 //!
 //! Run with: `cargo run --example news_digest`
+//! Pipe the records: `cargo run --example news_digest | grep '"type": "page"'`
 
 use retroweb::retrozilla::{
-    build_rules, extract_cluster_parallel, working_sample, ClusterRules, ScenarioConfig,
-    SimulatedUser, StructureNode,
+    build_rules, extract_cluster_parallel_to, working_sample, ClusterRules, CountingSink,
+    JsonLinesSink, ScenarioConfig, SimulatedUser, StructureNode, XmlWriterSink,
 };
 use retroweb::sitegen::{news, NewsSiteSpec};
 use retroweb::xml::parse_xml;
+use std::io::Write;
 
 fn main() {
     let spec = NewsSiteSpec { n_pages: 14, seed: 19, ..Default::default() };
@@ -22,11 +26,11 @@ fn main() {
     let mut user = SimulatedUser::new();
     let reports = build_rules(&components, &sample, &mut user, &ScenarioConfig::default());
 
-    println!("Rules over the ledger-articles cluster:");
+    eprintln!("Rules over the ledger-articles cluster:");
     let mut cluster = ClusterRules::new("ledger-articles", "article");
     for r in reports {
         assert!(r.ok, "{}: {:?}\n{}", r.component, r.strategies, r.final_table.render());
-        println!(
+        eprintln!(
             "  {:<10} {:<9} {:<13} {:<5}  {}",
             r.component,
             r.rule.optionality.to_string(),
@@ -58,19 +62,47 @@ fn main() {
         },
     ]);
 
-    // Parallel extraction over the whole site (migration workload).
     let pages: Vec<(String, String)> =
         site.pages.iter().map(|p| (p.url.clone(), p.html.clone())).collect();
-    let result = extract_cluster_parallel(&cluster, &pages, 4);
-    assert!(result.failures.is_empty(), "{:?}", result.failures);
 
-    let xml_text = result.xml.to_string_with(2);
-    println!("\nExtracted {} articles ({} bytes of XML).", pages.len(), xml_text.len());
+    // Dry run first: a CountingSink drive tells us what the feed will
+    // carry without producing a byte of output.
+    let mut count = CountingSink::new();
+    extract_cluster_parallel_to(&cluster, &pages, 4, &mut count).expect("counting never fails");
+    eprintln!(
+        "\nDry run: {} pages, {} values, {} failures — streaming the feed:\n",
+        count.pages, count.values, count.failures
+    );
+    assert_eq!(count.failures, 0);
 
-    // An external agent consumes the XML (here: a digest builder using
-    // the strict XML reader).
+    // The feed itself: NDJSON records streamed to stdout as each page
+    // completes. `{"type": "page", "uri": …, "values": …}` per page,
+    // one summary line last — pipe-friendly, O(threads) memory however
+    // large the site is.
+    let stdout = std::io::stdout();
+    let mut sink = JsonLinesSink::new(stdout.lock());
+    let stats = extract_cluster_parallel_to(&cluster, &pages, 4, &mut sink).expect("stdout open");
+    let ndjson_bytes = sink.bytes_written();
+    assert_eq!(stats.pages, pages.len());
+
+    // The same drive can still produce the paper's §4 XML document —
+    // streamed through XmlWriterSink, consumed here by the strict XML
+    // reader acting as the §3.5 "external agent".
+    let mut xml_sink = XmlWriterSink::new(Vec::new());
+    extract_cluster_parallel_to(&cluster, &pages, 4, &mut xml_sink).expect("vec sink");
+    let xml_text = String::from_utf8(xml_sink.into_inner()).expect("extraction output is UTF-8");
     let root = parse_xml(&xml_text).expect("extraction output is well-formed");
-    println!("\nDigest (headline / date / #paragraphs / #comments):");
+
+    let mut err = std::io::stderr().lock();
+    writeln!(
+        err,
+        "\nStreamed {} articles: {} bytes of NDJSON, {} bytes of XML.",
+        pages.len(),
+        ndjson_bytes,
+        xml_text.len()
+    )
+    .unwrap();
+    writeln!(err, "\nDigest (headline / date / #paragraphs / #comments):").unwrap();
     for article in root.children_named("article").take(6) {
         let headline = article.child("headline").map(|e| e.text_content()).unwrap_or_default();
         let date = article
@@ -83,11 +115,6 @@ fn main() {
             .child("reader-feedback")
             .map(|f| f.children_named("comment").count())
             .unwrap_or(0);
-        println!("  {headline:<55} {date:<17} {paras} paras, {comments} comments");
-    }
-
-    println!("\nXML Schema for the aggregated structure:");
-    for line in result.schema.to_xsd().to_string_with(2).lines().take(20) {
-        println!("  {line}");
+        writeln!(err, "  {headline:<55} {date:<17} {paras} paras, {comments} comments").unwrap();
     }
 }

@@ -26,9 +26,15 @@
 //! in production shape. `retrozilla-serve` (in `crates/service`) hosts
 //! a [`retrozilla::RuleRepository`] behind a std-only HTTP/1.1 server:
 //! a fixed-size worker pool with a bounded queue serves
-//! `POST /extract/{cluster}` and `POST /extract/{cluster}/batch`
-//! (parallel, byte-identical to a direct
-//! [`retrozilla::extract_cluster`] call), `POST /check/{cluster}` runs
+//! `POST /extract/{cluster}` and `POST /extract/{cluster}/batch` —
+//! the batch path *streams*: extraction drives a
+//! [`retrozilla::ExtractionSink`] straight into the chunked response
+//! (first bytes after the first page, memory O(threads)), with the
+//! concatenated XML byte-identical to a direct
+//! [`retrozilla::extract_cluster`] call and
+//! `Accept: application/x-ndjson` selecting NDJSON records instead
+//! (see `examples/news_digest.rs` for the same sink API used as a
+//! library). `POST /check/{cluster}` runs
 //! the §7 drift detectors, and `GET`/`PUT /clusters/{name}` give rule
 //! CRUD where a `PUT` re-records the cluster — invalidating the
 //! compiled-rule cache and thereby hot-reloading rules with zero
