@@ -1,7 +1,7 @@
 //! Service throughput bench: pages/s and request latency over loopback
 //! HTTP, for the `retroweb-service` extraction server.
 //!
-//! Three scenarios:
+//! Four scenarios:
 //! - **single**: one keep-alive client, sequential `POST /extract/{c}`
 //!   requests (per-request latency distribution);
 //! - **batch**: several client threads each streaming
@@ -13,7 +13,11 @@
 //!   the streaming path drives `XmlWriterSink` — with **peak heap**
 //!   measured by a tracking global allocator at two batch sizes, so
 //!   the committed numbers pin down that streaming peak memory no
-//!   longer grows with batch size.
+//!   longer grows with batch size;
+//! - **rule churn**: durable rule mutations against a populated
+//!   repository, WAL append (O(change)) vs whole-snapshot rewrite
+//!   (O(repo)) — both fully fsynced — in mutations/s, pinning down the
+//!   serving layer's `PUT /clusters/{name}` persistence cost.
 //!
 //! Results go to stdout, `target/experiments/service_throughput.json`,
 //! and `BENCH_service.json` in the working directory — the committed
@@ -29,7 +33,10 @@ use retroweb_service::testdata::{
     DEMO_CLUSTER,
 };
 use retroweb_service::{Client, Server, ServerConfig};
-use retrozilla::{extract_cluster_parallel_compiled, extract_cluster_parallel_compiled_to};
+use retrozilla::{
+    extract_cluster_parallel_compiled, extract_cluster_parallel_compiled_to, DurableRepository,
+    RuleRepository,
+};
 use std::time::{Duration, Instant};
 
 /// Heap-tracking allocator: every live byte counted, peak retained, so
@@ -115,6 +122,53 @@ fn memory_run(
         peak_heap_bytes: peak_alloc::peak().saturating_sub(before),
         output_bytes,
     }
+}
+
+/// One persistence mode's rule-churn measurement.
+struct ChurnRun {
+    mutations_per_s: f64,
+    bytes_written: u64,
+}
+
+/// Apply `mutations` alternating record mutations of one cluster to a
+/// repository pre-populated with `repo_clusters` clusters, through the
+/// given durable store, and measure acknowledged mutations/s. Both
+/// modes pay a real fsync per mutation — the difference is O(change)
+/// log appends vs O(repo) snapshot rewrites.
+fn churn_run(dir: &std::path::Path, repo_clusters: usize, mutations: usize, wal: bool) -> ChurnRun {
+    let base = RuleRepository::new();
+    for i in 0..repo_clusters {
+        let mut c = cluster_from(&demo_cluster_json());
+        c.cluster = format!("cluster-{i:04}");
+        base.record(c);
+    }
+    let snapshot = dir.join(if wal { "churn-wal.json" } else { "churn-rewrite.json" });
+    let durable = if wal {
+        let wal_path = dir.join("churn.wal");
+        let _ = std::fs::remove_file(&wal_path);
+        // Compaction stays out of the measured window (the default 1024
+        // cadence amortises it away in production too).
+        DurableRepository::attach_wal(base, snapshot.clone(), &wal_path, u64::MAX).expect("wal")
+    } else {
+        DurableRepository::full_rewrite(base, snapshot.clone())
+    };
+    let v1 = cluster_from(&demo_cluster_json());
+    let v2 = cluster_from(&retroweb_service::testdata::updated_cluster_json());
+    let started = Instant::now();
+    for i in 0..mutations {
+        let mut c = if i % 2 == 0 { v2.clone() } else { v1.clone() };
+        c.cluster = "cluster-0000".to_string();
+        durable.record(c).expect("durable record");
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let bytes_written = match durable.wal_stats() {
+        Some(stats) => stats.appended_bytes,
+        None => {
+            // Full-rewrite mode rewrites the whole snapshot per mutation.
+            std::fs::metadata(&snapshot).map(|m| m.len()).unwrap_or(0) * mutations as u64
+        }
+    };
+    ChurnRun { mutations_per_s: mutations as f64 / elapsed, bytes_written }
 }
 
 struct LatencySummary {
@@ -292,6 +346,52 @@ fn main() {
         "streaming peak heap grew {streaming_growth:.1}x with batch size"
     );
 
+    // ---- scenario 4: rule churn, WAL append vs snapshot rewrite ----------
+    let churn_dir =
+        std::env::temp_dir().join(format!("retrozilla-bench-churn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&churn_dir);
+    std::fs::create_dir_all(&churn_dir).expect("churn dir");
+    let repo_clusters = 200;
+    let churn_mutations = if quick { 40 } else { 400 };
+    // Warm both stores (file creation, allocator) outside the window.
+    churn_run(&churn_dir, 8, 4, false);
+    churn_run(&churn_dir, 8, 4, true);
+    let rewrite = churn_run(&churn_dir, repo_clusters, churn_mutations, false);
+    let wal = churn_run(&churn_dir, repo_clusters, churn_mutations, true);
+    let _ = std::fs::remove_dir_all(&churn_dir);
+    println!(
+        "\nchurn:  {churn_mutations} fsynced mutations over {repo_clusters} clusters\n\
+         \x20 rewrite {:>7.0} mut/s ({} B written) | wal {:>7.0} mut/s ({} B appended) \
+         -> {:.1}x",
+        rewrite.mutations_per_s,
+        rewrite.bytes_written,
+        wal.mutations_per_s,
+        wal.bytes_written,
+        wal.mutations_per_s / rewrite.mutations_per_s.max(f64::MIN_POSITIVE),
+    );
+    assert!(
+        wal.bytes_written < rewrite.bytes_written,
+        "a WAL append must write less than a whole-repository rewrite"
+    );
+    let churn_mode = |run: &ChurnRun| {
+        Json::object(vec![
+            ("mutations_per_s".into(), Json::from(round3(run.mutations_per_s))),
+            ("bytes_written".into(), Json::from(run.bytes_written as usize)),
+        ])
+    };
+    let churn_record = Json::object(vec![
+        ("repo_clusters".into(), Json::from(repo_clusters)),
+        ("mutations".into(), Json::from(churn_mutations)),
+        ("full_rewrite".into(), churn_mode(&rewrite)),
+        ("wal".into(), churn_mode(&wal)),
+        (
+            "wal_speedup".into(),
+            Json::from(round3(
+                wal.mutations_per_s / rewrite.mutations_per_s.max(f64::MIN_POSITIVE),
+            )),
+        ),
+    ]);
+
     let record = Json::object(vec![
         ("bench".into(), Json::from("service_throughput")),
         ("server_workers".into(), Json::from(workers + 1)),
@@ -318,6 +418,7 @@ fn main() {
             ]),
         ),
         ("memory".into(), Json::Array(memory_records)),
+        ("rule_churn".into(), churn_record),
     ]);
     write_experiment("service_throughput", &record);
     std::fs::write("BENCH_service.json", record.to_string_pretty())

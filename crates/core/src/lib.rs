@@ -89,6 +89,7 @@ pub mod repository;
 pub mod sample;
 pub mod schema_guided;
 pub mod sink;
+pub mod wal;
 
 pub use builder::{build_rule, build_rules, ComponentReport, ScenarioConfig};
 pub use check::{check_rule, classify, CheckRow, CheckTable, Outcome};
@@ -117,3 +118,4 @@ pub use sink::{
     ClusterHeader, CollectSink, CountingSink, ExtractionSink, ExtractionStats, JsonLinesSink,
     PageRecord, XmlWriterSink, OUTPUT_ENCODING,
 };
+pub use wal::{DurableRepository, FsStep, Replay, Wal, WalOp, WalStats};

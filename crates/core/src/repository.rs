@@ -26,7 +26,6 @@ use retroweb_json::{parse as json_parse, Json};
 use retroweb_xml::ClusterSchema;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::Write;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -207,6 +206,10 @@ impl std::error::Error for RepositoryError {}
 pub struct RepositoryStats {
     /// Recorded clusters at snapshot time.
     pub clusters: usize,
+    /// Compiled clusters currently cached. Coherence invariant: never
+    /// exceeds `clusters` — a removed cluster's compilation is dropped
+    /// with it, so cache entries can't reference dead clusters.
+    pub compiled_cache_entries: usize,
     /// `compiled()` calls answered from the cache.
     pub compiled_cache_hits: u64,
     /// `compiled()` calls that had to build (cache misses on known clusters).
@@ -254,10 +257,12 @@ impl RuleRepository {
         existed
     }
 
-    /// Snapshot the cache counters (cheap; relaxed atomics).
+    /// Snapshot the cache counters (cheap; relaxed atomics plus two
+    /// uncontended read locks for the size gauges).
     pub fn stats(&self) -> RepositoryStats {
         RepositoryStats {
             clusters: self.len(),
+            compiled_cache_entries: self.compiled.read().expect("lock poisoned").len(),
             compiled_cache_hits: self.compiled_hits.load(Ordering::Relaxed),
             compiled_cache_builds: self.compiled_builds.load(Ordering::Relaxed),
             compiled_cache_invalidations: self.invalidations.load(Ordering::Relaxed),
@@ -376,33 +381,27 @@ impl RuleRepository {
     }
 
     /// Crash-safe save: the document is written to a temporary file in
-    /// the same directory, fsynced, and atomically renamed over `path`,
-    /// so a killed process can never leave a torn repository on disk.
-    /// The temp name is unique per call (pid + ticket), so concurrent
-    /// saves from different threads never share a temp file — the last
-    /// rename wins with a complete document either way.
+    /// the same directory, fsynced, atomically renamed over `path`, and
+    /// then the **parent directory is fsynced** — without that last
+    /// step the rename itself (a directory update) can be lost on power
+    /// failure even though the file data reached disk. Temp names are
+    /// unique per call (pid + ticket), so concurrent saves never share
+    /// a temp file — the last rename wins with a complete document.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        static SAVE_TICKET: AtomicU64 = AtomicU64::new(0);
+        self.save_with_observer(path, &mut |_| {})
+    }
+
+    /// [`save`](Self::save) with the durability-sequence seam exposed:
+    /// every filesystem step is reported to `observe` in the order it
+    /// happens, so tests can assert the write→fsync→rename→dir-fsync
+    /// ordering that the end state cannot show.
+    pub fn save_with_observer(
+        &self,
+        path: &Path,
+        observe: &mut dyn FnMut(crate::wal::FsStep),
+    ) -> std::io::Result<()> {
         let text = self.to_json().to_string_pretty();
-        let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidInput, "save path has no file name")
-        })?;
-        let tmp = path.with_file_name(format!(
-            ".{file_name}.tmp.{}.{}",
-            std::process::id(),
-            SAVE_TICKET.fetch_add(1, Ordering::Relaxed)
-        ));
-        let result = (|| {
-            let mut f = std::fs::File::create(&tmp)?;
-            f.write_all(text.as_bytes())?;
-            f.sync_all()?;
-            drop(f);
-            std::fs::rename(&tmp, path)
-        })();
-        if result.is_err() {
-            let _ = std::fs::remove_file(&tmp);
-        }
-        result
+        crate::wal::atomic_replace(path, text.as_bytes(), observe)
     }
 
     pub fn load(path: &Path) -> Result<RuleRepository, RepositoryError> {
@@ -857,6 +856,45 @@ mod tests {
             .collect();
         assert!(leftovers.is_empty(), "{leftovers:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_fsyncs_file_then_renames_then_fsyncs_directory() {
+        use crate::wal::FsStep;
+        let dir = std::env::temp_dir().join(format!("retrozilla-fsync-seq-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.json");
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let mut steps = Vec::new();
+        repo.save_with_observer(&path, &mut |s| steps.push(s)).unwrap();
+        // The durability contract is the *order*: data is on disk before
+        // the rename makes it visible, and the directory entry is synced
+        // after — otherwise the rename itself can be lost on power
+        // failure even though the temp file's data survived.
+        assert_eq!(
+            steps,
+            vec![FsStep::WriteTemp, FsStep::SyncFile, FsStep::Rename, FsStep::SyncDir]
+        );
+        assert_eq!(RuleRepository::load(&path).unwrap().get("imdb-movies"), Some(sample_cluster()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_entries_gauge_tracks_cache_coherently() {
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        assert_eq!(repo.stats().compiled_cache_entries, 0, "nothing compiled yet");
+        repo.compiled("imdb-movies").unwrap();
+        let stats = repo.stats();
+        assert_eq!(stats.compiled_cache_entries, 1);
+        assert!(stats.compiled_cache_entries <= stats.clusters);
+        // DELETE coherence: removing the cluster drops its compilation,
+        // so the cache can never hold an entry for a dead cluster.
+        repo.remove("imdb-movies");
+        let stats = repo.stats();
+        assert_eq!(stats.clusters, 0);
+        assert_eq!(stats.compiled_cache_entries, 0);
     }
 
     #[test]

@@ -1,0 +1,868 @@
+//! Durable rule mutations: a write-ahead log with compaction.
+//!
+//! The paper's §7 maintenance loop treats mapping rules as long-lived
+//! assets under constant *incremental* churn — a repaired rule here, a
+//! retired cluster there — yet persisting the repository by rewriting
+//! its whole JSON document makes every mutation O(repo). This module
+//! makes rule mutations O(change) and crash-durable:
+//!
+//! - [`Wal`] appends one length-prefixed, CRC-32-checksummed record per
+//!   mutation and fsyncs **before the mutation is acknowledged**;
+//! - [`replay`] reads a WAL back, tolerating a torn tail: the first
+//!   record that fails its length or checksum ends the replay and the
+//!   file is truncated to the last durable record (a crashed append can
+//!   only ever tear the tail, because every acknowledged record was
+//!   fsynced behind it);
+//! - [`DurableRepository`] glues a [`RuleRepository`] to a WAL plus a
+//!   base JSON *snapshot*: mutations append to the log, and every
+//!   `compact_every` mutations the log is folded into the snapshot
+//!   (crash-safe atomic rename + directory fsync) and truncated.
+//!
+//! ## Durability contract
+//!
+//! When [`DurableRepository::record`] or [`DurableRepository::remove`]
+//! returns `Ok`, the mutation has been fsynced to the WAL (or, in
+//! full-rewrite mode, the whole snapshot has been rewritten and the
+//! rename fsynced into its directory). Re-opening the pair of files
+//! after a crash at *any* point reproduces every acknowledged mutation:
+//! replay is idempotent (`record` is insert-or-replace, `remove` of an
+//! absent cluster is a no-op), so a crash between snapshot write and
+//! log truncation merely replays operations the snapshot already holds.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! wal   := magic record*
+//! magic := "RZWAL001" (8 bytes)
+//! record:= len:u32le crc:u32le payload[len]
+//! ```
+//!
+//! `crc` is CRC-32 (IEEE, the zlib polynomial) over the payload bytes.
+//! The payload is compact JSON: `{"op":"record","cluster":{…}}` with
+//! the cluster in repository JSON shape, or `{"op":"remove","name":…}`.
+//! JSON keeps the log greppable and forward-compatible; the binary
+//! envelope is what makes torn tails detectable.
+
+use crate::repository::{ClusterRules, RepositoryError, RuleRepository};
+use retroweb_json::Json;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// File magic: 8 bytes, versioned so a future format bump is detectable.
+pub const WAL_MAGIC: &[u8; 8] = b"RZWAL001";
+
+/// Per-record envelope overhead (`len` + `crc`).
+const RECORD_HEADER_BYTES: u64 = 8;
+
+/// Upper bound on one record's payload (a single cluster's rules JSON;
+/// 64 MiB is far beyond any real rule set). A length field above this is
+/// treated as tail corruption, not an allocation request.
+const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+// ---- CRC-32 ----------------------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `bytes` — the
+/// checksum guarding every WAL record payload.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // Table built on first use; 1 KiB, shared process-wide.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *slot = c;
+        }
+        table
+    });
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+// ---- filesystem steps (the fsync seam) -------------------------------------
+
+/// One step of a crash-safe file replacement, reported through the
+/// observer seam so tests can assert the durability *sequence* — the
+/// ordering is the guarantee, and it is invisible in the end state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsStep {
+    /// The new content was written to the temp file.
+    WriteTemp,
+    /// The temp file's data and metadata were fsynced.
+    SyncFile,
+    /// The temp file was renamed over the destination.
+    Rename,
+    /// The destination's parent directory was fsynced, making the
+    /// rename itself durable.
+    SyncDir,
+}
+
+/// Fsync the parent directory of `path`, making a just-performed rename
+/// or creation in it durable. An atomic rename updates the *directory*,
+/// and POSIX only guarantees directory updates reach disk once the
+/// directory itself is synced — fsyncing the file alone leaves the new
+/// name loseable on power failure.
+pub fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        // A bare file name lives in the CWD.
+        _ => Path::new("."),
+    };
+    File::open(parent)?.sync_all()
+}
+
+/// Crash-safe whole-file replacement: write `bytes` to a uniquely named
+/// temp file in `path`'s directory, fsync it, atomically rename it over
+/// `path`, then fsync the directory so the rename survives power loss.
+/// Each step is reported to `observe` (the test seam asserting order).
+/// On error the temp file is removed; `path` is either the old or the
+/// new complete content, never torn.
+pub fn atomic_replace(
+    path: &Path,
+    bytes: &[u8],
+    observe: &mut dyn FnMut(FsStep),
+) -> std::io::Result<()> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static TICKET: AtomicU64 = AtomicU64::new(0);
+    let file_name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "target path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TICKET.fetch_add(1, Ordering::Relaxed)
+    ));
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        observe(FsStep::WriteTemp);
+        f.sync_all()?;
+        observe(FsStep::SyncFile);
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        observe(FsStep::Rename);
+        fsync_parent_dir(path)?;
+        observe(FsStep::SyncDir);
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+// ---- WAL operations --------------------------------------------------------
+
+/// One logged rule mutation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WalOp {
+    /// Insert-or-replace a cluster's rules.
+    Record(ClusterRules),
+    /// Drop a cluster by name.
+    Remove(String),
+}
+
+impl WalOp {
+    /// The compact-JSON payload this op serialises to.
+    fn to_payload(&self) -> Vec<u8> {
+        let json = match self {
+            WalOp::Record(rules) => Json::object(vec![
+                ("op".into(), Json::from("record")),
+                ("cluster".into(), rules.to_json()),
+            ]),
+            WalOp::Remove(name) => Json::object(vec![
+                ("op".into(), Json::from("remove")),
+                ("name".into(), Json::from(name.as_str())),
+            ]),
+        };
+        json.to_string_compact().into_bytes()
+    }
+
+    /// Parse a payload back; `None` for anything malformed (replay
+    /// treats that the same as a checksum failure: tail corruption).
+    fn from_payload(payload: &[u8]) -> Option<WalOp> {
+        let text = std::str::from_utf8(payload).ok()?;
+        let json = retroweb_json::parse(text).ok()?;
+        match json.get("op")?.as_str()? {
+            "record" => {
+                let cluster = ClusterRules::from_json(json.get("cluster")?).ok()?;
+                Some(WalOp::Record(cluster))
+            }
+            "remove" => Some(WalOp::Remove(json.get("name")?.as_str()?.to_string())),
+            _ => None,
+        }
+    }
+
+    /// Apply this op to an in-memory repository (replay and the live
+    /// mutation path share this, so they cannot diverge).
+    pub fn apply(&self, repo: &RuleRepository) {
+        match self {
+            WalOp::Record(rules) => repo.record(rules.clone()),
+            WalOp::Remove(name) => {
+                repo.remove(name);
+            }
+        }
+    }
+}
+
+/// Outcome of replaying a WAL file.
+#[derive(Debug)]
+pub struct Replay {
+    /// Every intact operation, in append order.
+    pub ops: Vec<WalOp>,
+    /// Offset of the first byte past the last intact record — where
+    /// appending resumes after recovery.
+    pub valid_len: u64,
+    /// Bytes discarded past `valid_len` (0 for a clean log). A non-zero
+    /// value after a crash is the torn tail of an unacknowledged append.
+    pub torn_bytes: u64,
+}
+
+/// Read `path` and decode every intact record. A missing file replays
+/// as empty. A torn or corrupt tail — short header, absurd length,
+/// checksum mismatch, undecodable payload — ends the replay at the last
+/// intact record; nothing here panics on arbitrary bytes. A file too
+/// short or wrong-magic'd is treated as fully torn (`valid_len` covers
+/// just the magic to be rewritten).
+pub fn replay(path: &Path) -> std::io::Result<Replay> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // Empty, torn-before-magic, or foreign content: recover as an
+        // empty log. The snapshot remains the durable base; `torn_bytes`
+        // surfaces how much was discarded so operators can alert on it.
+        return Ok(Replay { ops: Vec::new(), valid_len: 0, torn_bytes: bytes.len() as u64 });
+    }
+    let mut ops = Vec::new();
+    let mut offset = WAL_MAGIC.len();
+    loop {
+        let rest = &bytes[offset..];
+        if rest.is_empty() {
+            break; // clean end
+        }
+        if rest.len() < RECORD_HEADER_BYTES as usize {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_BYTES {
+            break; // corrupt length field
+        }
+        let body_end = RECORD_HEADER_BYTES as usize + len as usize;
+        if rest.len() < body_end {
+            break; // torn payload
+        }
+        let payload = &rest[RECORD_HEADER_BYTES as usize..body_end];
+        if crc32(payload) != crc {
+            break; // checksum mismatch
+        }
+        let Some(op) = WalOp::from_payload(payload) else {
+            break; // checksum ok but undecodable: treat as corruption
+        };
+        ops.push(op);
+        offset += body_end;
+    }
+    Ok(Replay { ops, valid_len: offset as u64, torn_bytes: (bytes.len() - offset) as u64 })
+}
+
+/// An open write-ahead log, positioned at its end. Created by
+/// [`Wal::open`], which replays and recovers first.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Current file length (all-durable; appends move it).
+    len: u64,
+    /// Set when a failed append could not be rolled back: the tail may
+    /// hold partial bytes, so further appends would risk burying a
+    /// corrupt record in the *middle* of the log — exactly what replay
+    /// recovery cannot distinguish from data loss. Poisoned logs refuse
+    /// to append; reopening re-runs recovery.
+    poisoned: bool,
+}
+
+impl Wal {
+    /// Open (creating if absent) the WAL at `path`, replay its intact
+    /// records, truncate any torn tail, and leave the file positioned
+    /// for appending. Returns the recovered operations alongside the
+    /// writer.
+    pub fn open(path: &Path) -> std::io::Result<(Wal, Replay)> {
+        let replayed = replay(path)?;
+        // Deliberately no `truncate(true)`: the log's existing records
+        // are the durable history — only a *torn tail* is cut, below.
+        #[allow(clippy::suspicious_open_options)]
+        let mut file = OpenOptions::new().read(true).write(true).create(true).open(path)?;
+        let disk_len = file.metadata()?.len();
+        let mut len = replayed.valid_len;
+        if len == 0 {
+            // Fresh, fully-torn, or foreign file: (re)initialise the magic.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(WAL_MAGIC)?;
+            file.sync_all()?;
+            // A *new* log's directory entry must be durable before the
+            // first acknowledged append can claim to be.
+            fsync_parent_dir(path)?;
+            len = WAL_MAGIC.len() as u64;
+        } else if disk_len > len {
+            // Torn tail: cut back to the last intact record.
+            file.set_len(len)?;
+            file.sync_all()?;
+        }
+        file.seek(SeekFrom::Start(len))?;
+        Ok((Wal { file, path: path.to_path_buf(), len, poisoned: false }, replayed))
+    }
+
+    /// Append one operation and fsync. When this returns `Ok`, the
+    /// record is durable; the byte count returned is the framed record
+    /// size on disk.
+    ///
+    /// On `Err`, the log is rolled back to its pre-append length, so
+    /// the "corruption only ever at the tail" invariant that replay
+    /// recovery depends on survives a failed append (ENOSPC, a failed
+    /// fsync): the *next* append continues a clean log rather than
+    /// burying garbage mid-file, and a record whose fsync failed (and
+    /// whose mutation was therefore rejected) cannot resurface on
+    /// replay. If even the rollback fails, the log is poisoned and
+    /// refuses further appends until reopened (which re-runs recovery).
+    pub fn append(&mut self, op: &WalOp) -> std::io::Result<u64> {
+        if self.poisoned {
+            return Err(std::io::Error::other(
+                "WAL poisoned by an earlier unrecoverable append failure; reopen to recover",
+            ));
+        }
+        let payload = op.to_payload();
+        if payload.len() as u64 > MAX_RECORD_BYTES as u64 {
+            // Refused up front: an over-bound record would be dropped as
+            // corruption on replay, silently breaking durability for it
+            // and everything appended after it.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "WAL record payload is {} bytes; the maximum is {MAX_RECORD_BYTES}",
+                    payload.len()
+                ),
+            ));
+        }
+        let mut framed = Vec::with_capacity(RECORD_HEADER_BYTES as usize + payload.len());
+        framed.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        framed.extend_from_slice(&crc32(&payload).to_le_bytes());
+        framed.extend_from_slice(&payload);
+        // sync_data would do; sync_all also covers the length metadata,
+        // which a replayer depends on to see the record at all.
+        let result = self.file.write_all(&framed).and_then(|()| self.file.sync_all());
+        match result {
+            Ok(()) => {
+                self.len += framed.len() as u64;
+                Ok(framed.len() as u64)
+            }
+            Err(e) => {
+                // Cut any partial bytes back off and re-park the cursor;
+                // the truncation is itself synced so a crash right after
+                // can't resurrect the failed record.
+                let rollback = self
+                    .file
+                    .set_len(self.len)
+                    .and_then(|()| self.file.sync_all())
+                    .and_then(|()| self.file.seek(SeekFrom::Start(self.len)))
+                    .map(|_| ());
+                if rollback.is_err() {
+                    self.poisoned = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Truncate back to an empty (magic-only) log — the tail end of a
+    /// compaction, once the snapshot holding these records is durable.
+    pub fn truncate(&mut self) -> std::io::Result<()> {
+        self.file.set_len(WAL_MAGIC.len() as u64)?;
+        self.file.sync_all()?;
+        self.file.seek(SeekFrom::Start(WAL_MAGIC.len() as u64))?;
+        self.len = WAL_MAGIC.len() as u64;
+        Ok(())
+    }
+
+    /// Current on-disk length in bytes (magic + records).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records (just the magic).
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+// ---- durable repository ----------------------------------------------------
+
+/// Point-in-time WAL counters for `/metrics` and capacity planning.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended since open.
+    pub appended_records: u64,
+    /// Framed bytes appended since open.
+    pub appended_bytes: u64,
+    /// Compactions performed since open.
+    pub compactions: u64,
+    /// Intact records replayed at open.
+    pub replayed_records: u64,
+    /// Torn-tail bytes discarded at open (0 for a clean log).
+    pub replay_torn_bytes: u64,
+    /// Current WAL file size.
+    pub wal_bytes: u64,
+    /// Mutations logged since the last compaction.
+    pub since_compaction: u64,
+}
+
+/// How a [`DurableRepository`] persists mutations.
+enum Persist {
+    /// Nothing on disk (tests, ad-hoc in-memory serving).
+    Ephemeral,
+    /// Legacy whole-file rewrite per mutation: O(repo) but simple.
+    FullRewrite { snapshot: PathBuf },
+    /// WAL append per mutation, folded into the snapshot every
+    /// `compact_every` mutations: O(change).
+    Wal { snapshot: PathBuf, wal: Wal, compact_every: u64, stats: WalStats },
+}
+
+/// A [`RuleRepository`] whose mutations are durable before they are
+/// acknowledged. Readers go straight to [`repo`](Self::repo) (lock-free
+/// of this layer); writers are serialised through one mutex so the WAL
+/// order always equals the in-memory apply order.
+pub struct DurableRepository {
+    repo: RuleRepository,
+    persist: Mutex<Persist>,
+}
+
+impl std::fmt::Debug for DurableRepository {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableRepository").field("repo", &self.repo).finish_non_exhaustive()
+    }
+}
+
+impl DurableRepository {
+    /// No persistence: mutations live only in memory.
+    pub fn ephemeral(repo: RuleRepository) -> DurableRepository {
+        DurableRepository { repo, persist: Mutex::new(Persist::Ephemeral) }
+    }
+
+    /// Legacy mode: every mutation rewrites the whole snapshot (atomic
+    /// rename + directory fsync). Kept for comparison benchmarks and as
+    /// an explicit opt-out of the WAL.
+    pub fn full_rewrite(repo: RuleRepository, snapshot: PathBuf) -> DurableRepository {
+        DurableRepository { repo, persist: Mutex::new(Persist::FullRewrite { snapshot }) }
+    }
+
+    /// WAL mode over an already-loaded base state: replay any existing
+    /// log at `wal_path` on top of `repo` (recovering a torn tail), and
+    /// log every future mutation there, compacting into `snapshot`
+    /// every `compact_every` mutations.
+    ///
+    /// `repo` must be the state loaded from `snapshot` (or empty when
+    /// the snapshot doesn't exist yet) — replay assumes the log extends
+    /// exactly that base.
+    pub fn attach_wal(
+        repo: RuleRepository,
+        snapshot: PathBuf,
+        wal_path: &Path,
+        compact_every: u64,
+    ) -> std::io::Result<DurableRepository> {
+        let (wal, replayed) = Wal::open(wal_path)?;
+        for op in &replayed.ops {
+            op.apply(&repo);
+        }
+        let stats = WalStats {
+            replayed_records: replayed.ops.len() as u64,
+            replay_torn_bytes: replayed.torn_bytes,
+            wal_bytes: wal.len(),
+            since_compaction: replayed.ops.len() as u64,
+            ..WalStats::default()
+        };
+        Ok(DurableRepository {
+            repo,
+            persist: Mutex::new(Persist::Wal {
+                snapshot,
+                wal,
+                compact_every: compact_every.max(1),
+                stats,
+            }),
+        })
+    }
+
+    /// Open snapshot + WAL from disk: load `snapshot` (absent = empty),
+    /// replay the log over it. The standard server startup path.
+    pub fn open_wal(
+        snapshot: PathBuf,
+        wal_path: &Path,
+        compact_every: u64,
+    ) -> Result<DurableRepository, RepositoryError> {
+        let repo = if snapshot.exists() {
+            RuleRepository::load(&snapshot)?
+        } else {
+            RuleRepository::new()
+        };
+        DurableRepository::attach_wal(repo, snapshot, wal_path, compact_every)
+            .map_err(|e| RepositoryError::io(&format!("cannot open WAL: {e}"), wal_path))
+    }
+
+    /// The in-memory repository — all reads (and extraction) go here.
+    pub fn repo(&self) -> &RuleRepository {
+        &self.repo
+    }
+
+    /// Insert-or-replace a cluster durably. On `Ok`, the mutation is
+    /// fsynced (WAL append or full rewrite) *and* applied in memory.
+    pub fn record(&self, rules: ClusterRules) -> std::io::Result<()> {
+        self.mutate(WalOp::Record(rules))?;
+        Ok(())
+    }
+
+    /// Remove a cluster durably. Returns whether it existed. An absent
+    /// cluster is not logged (nothing changed, nothing to make durable).
+    pub fn remove(&self, cluster: &str) -> std::io::Result<bool> {
+        // Check-and-log under one lock acquisition, so two racing
+        // removes of the same cluster log exactly one record.
+        let mut guard = self.persist.lock().expect("persist lock poisoned");
+        if self.repo.get(cluster).is_none() {
+            return Ok(false);
+        }
+        Self::mutate_locked(&self.repo, &mut guard, WalOp::Remove(cluster.to_string()))?;
+        Ok(true)
+    }
+
+    /// Log-then-apply under the persist lock: WAL order == apply order,
+    /// and a failed fsync means the mutation is *not* applied (the
+    /// caller's 500 is honest — nothing half-happened).
+    fn mutate(&self, op: WalOp) -> std::io::Result<()> {
+        let mut guard = self.persist.lock().expect("persist lock poisoned");
+        Self::mutate_locked(&self.repo, &mut guard, op)
+    }
+
+    fn mutate_locked(repo: &RuleRepository, guard: &mut Persist, op: WalOp) -> std::io::Result<()> {
+        match guard {
+            Persist::Ephemeral => {
+                op.apply(repo);
+            }
+            Persist::FullRewrite { snapshot } => {
+                // Apply, rewrite the whole file from the new state, and
+                // on a failed save roll the in-memory apply back — so
+                // this mode honours the same contract as the WAL path:
+                // an errored mutation leaves the old rules live, in
+                // memory and on disk. (Readers may glimpse the new
+                // rules during the save window; they can never keep
+                // serving rules the caller was told failed.)
+                let undo_key = match &op {
+                    WalOp::Record(c) => c.cluster.clone(),
+                    WalOp::Remove(name) => name.clone(),
+                };
+                let undo = repo.get(&undo_key);
+                op.apply(repo);
+                let snapshot = snapshot.clone();
+                if let Err(e) = repo.save(&snapshot) {
+                    match undo {
+                        Some(prev) => repo.record(prev),
+                        None => {
+                            repo.remove(&undo_key);
+                        }
+                    }
+                    return Err(e);
+                }
+            }
+            Persist::Wal { snapshot, wal, compact_every, stats } => {
+                let appended = wal.append(&op)?;
+                op.apply(repo);
+                stats.appended_records += 1;
+                stats.appended_bytes += appended;
+                stats.since_compaction += 1;
+                stats.wal_bytes = wal.len();
+                if stats.since_compaction >= *compact_every {
+                    let snapshot = snapshot.clone();
+                    Self::compact_locked(repo, &snapshot, wal, stats)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold the log into the snapshot and truncate it. No-op outside
+    /// WAL mode or when the log is empty.
+    pub fn compact(&self) -> std::io::Result<()> {
+        let mut guard = self.persist.lock().expect("persist lock poisoned");
+        if let Persist::Wal { snapshot, wal, stats, .. } = &mut *guard {
+            if stats.since_compaction > 0 || !wal.is_empty() {
+                let snapshot = snapshot.clone();
+                Self::compact_locked(&self.repo, &snapshot, wal, stats)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot-then-truncate, in that order: the snapshot (and its
+    /// directory entry) must be durable before the records it absorbs
+    /// are dropped from the log. A crash in between replays ops the
+    /// snapshot already holds — harmless, because replay is idempotent.
+    fn compact_locked(
+        repo: &RuleRepository,
+        snapshot: &Path,
+        wal: &mut Wal,
+        stats: &mut WalStats,
+    ) -> std::io::Result<()> {
+        repo.save(snapshot)?; // atomic rename + directory fsync
+        wal.truncate()?;
+        stats.compactions += 1;
+        stats.since_compaction = 0;
+        stats.wal_bytes = wal.len();
+        Ok(())
+    }
+
+    /// WAL counters, `None` outside WAL mode.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        match &*self.persist.lock().expect("persist lock poisoned") {
+            Persist::Wal { stats, .. } => Some(*stats),
+            _ => None,
+        }
+    }
+}
+
+impl RepositoryError {
+    /// An I/O-flavoured repository error carrying the file path.
+    fn io(message: &str, path: &Path) -> RepositoryError {
+        RepositoryError {
+            message: message.to_string(),
+            path: Some(path.to_path_buf()),
+            cluster: None,
+            key: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ComponentName, Format, Multiplicity, Optionality};
+    use crate::MappingRule;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("retrozilla-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn cluster(name: &str, n_rules: usize) -> ClusterRules {
+        let mut c = ClusterRules::new(name, "page");
+        for i in 0..n_rules {
+            c.rules.push(MappingRule {
+                name: ComponentName::new(&format!("c{i}")).unwrap(),
+                optionality: Optionality::Mandatory,
+                multiplicity: Multiplicity::SingleValued,
+                format: Format::Text,
+                locations: vec![retroweb_xpath::parse("/HTML[1]/BODY[1]/H1[1]/text()").unwrap()],
+                post: vec![],
+            });
+        }
+        c
+    }
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard test vector for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_replay_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("rules.wal");
+        let ops = vec![
+            WalOp::Record(cluster("a", 2)),
+            WalOp::Record(cluster("b", 1)),
+            WalOp::Remove("a".to_string()),
+            WalOp::Record(cluster("a", 3)),
+        ];
+        {
+            let (mut wal, replayed) = Wal::open(&path).unwrap();
+            assert!(replayed.ops.is_empty());
+            for op in &ops {
+                wal.append(op).unwrap();
+            }
+        }
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.ops, ops);
+        assert_eq!(replayed.torn_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let dir = temp_dir("torn");
+        let path = dir.join("rules.wal");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&WalOp::Record(cluster("a", 1))).unwrap();
+            wal.append(&WalOp::Record(cluster("b", 1))).unwrap();
+        }
+        // Tear the tail mid-record: keep the first record plus 5 bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.ops.len(), 2);
+        let first_end = {
+            // magic + header + payload of record 0
+            let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+            8 + 8 + len
+        };
+        std::fs::write(&path, &bytes[..first_end + 5]).unwrap();
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.ops.len(), 1, "only the intact record survives");
+        assert_eq!(replayed.torn_bytes, 5);
+        assert_eq!(wal.len(), first_end as u64, "file truncated to last intact record");
+        // And the recovered log keeps working.
+        drop(wal);
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        wal.append(&WalOp::Record(cluster("c", 1))).unwrap();
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.ops.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_record_is_refused_up_front() {
+        let dir = temp_dir("oversize");
+        let path = dir.join("rules.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        // A payload past MAX_RECORD_BYTES would be dropped as corruption
+        // on replay — appending it would silently break durability, so
+        // it must be an error *before* anything reaches the file.
+        let mut huge = ClusterRules::new("c", "p");
+        huge.page_element = "x".repeat(MAX_RECORD_BYTES as usize + 1);
+        let err = wal.append(&WalOp::Record(huge)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(wal.is_empty(), "nothing may reach the log");
+        // The log is not poisoned: normal appends still work.
+        wal.append(&WalOp::Record(cluster("a", 1))).unwrap();
+        drop(wal);
+        let (_, replayed) = Wal::open(&path).unwrap();
+        assert_eq!(replayed.ops.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_magic_recovers_empty() {
+        let dir = temp_dir("magic");
+        let path = dir.join("rules.wal");
+        std::fs::write(&path, b"GARBAGE!junk records here").unwrap();
+        let (wal, replayed) = Wal::open(&path).unwrap();
+        assert!(replayed.ops.is_empty());
+        assert_eq!(replayed.torn_bytes, 25);
+        assert!(wal.is_empty());
+        assert_eq!(std::fs::read(&path).unwrap(), WAL_MAGIC);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_repository_replays_after_reopen() {
+        let dir = temp_dir("durable");
+        let snapshot = dir.join("rules.json");
+        let wal = dir.join("rules.wal");
+        {
+            let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
+            repo.record(cluster("a", 2)).unwrap();
+            repo.record(cluster("b", 1)).unwrap();
+            assert!(repo.remove("a").unwrap());
+            assert!(!repo.remove("nope").unwrap());
+            let stats = repo.wal_stats().unwrap();
+            assert_eq!(stats.appended_records, 3);
+            assert_eq!(stats.compactions, 0);
+            // No compaction yet: the snapshot file does not even exist.
+            assert!(!snapshot.exists());
+        } // dropped without compaction — simulated crash
+        let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
+        assert_eq!(repo.repo().cluster_names(), vec!["b"]);
+        assert_eq!(repo.wal_stats().unwrap().replayed_records, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_log_into_snapshot() {
+        let dir = temp_dir("compact");
+        let snapshot = dir.join("rules.json");
+        let wal = dir.join("rules.wal");
+        {
+            let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 2).unwrap();
+            repo.record(cluster("a", 1)).unwrap();
+            assert!(repo.wal_stats().unwrap().compactions == 0);
+            repo.record(cluster("b", 1)).unwrap(); // second mutation triggers compaction
+            let stats = repo.wal_stats().unwrap();
+            assert_eq!(stats.compactions, 1);
+            assert_eq!(stats.since_compaction, 0);
+            assert_eq!(stats.wal_bytes, WAL_MAGIC.len() as u64);
+        }
+        // Snapshot alone reproduces the state; the log is empty.
+        let on_disk = RuleRepository::load(&snapshot).unwrap();
+        assert_eq!(on_disk.cluster_names(), vec!["a", "b"]);
+        assert_eq!(std::fs::read(&wal).unwrap(), WAL_MAGIC);
+        // Reopen: replay is a no-op over the compacted snapshot.
+        let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 2).unwrap();
+        assert_eq!(repo.repo().cluster_names(), vec!["a", "b"]);
+        assert_eq!(repo.wal_stats().unwrap().replayed_records, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncate_is_idempotent() {
+        let dir = temp_dir("idem");
+        let snapshot = dir.join("rules.json");
+        let wal = dir.join("rules.wal");
+        {
+            let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
+            repo.record(cluster("a", 1)).unwrap();
+            repo.record(cluster("b", 2)).unwrap();
+            // Simulate the crash window: snapshot written, log NOT yet
+            // truncated.
+            repo.repo().save(&snapshot).unwrap();
+        }
+        // Replay re-applies ops the snapshot already holds — same state.
+        let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
+        assert_eq!(repo.repo().cluster_names(), vec!["a", "b"]);
+        assert_eq!(repo.repo().get("b"), Some(cluster("b", 2)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn full_rewrite_mode_matches_pre_wal_behaviour() {
+        let dir = temp_dir("rewrite");
+        let snapshot = dir.join("rules.json");
+        let repo = DurableRepository::full_rewrite(RuleRepository::new(), snapshot.clone());
+        repo.record(cluster("a", 1)).unwrap();
+        assert_eq!(RuleRepository::load(&snapshot).unwrap().cluster_names(), vec!["a"]);
+        assert!(repo.remove("a").unwrap());
+        assert!(RuleRepository::load(&snapshot).unwrap().is_empty());
+        assert!(repo.wal_stats().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ephemeral_mode_touches_no_disk() {
+        let repo = DurableRepository::ephemeral(RuleRepository::new());
+        repo.record(cluster("a", 1)).unwrap();
+        assert!(repo.remove("a").unwrap());
+        assert!(repo.wal_stats().is_none());
+    }
+}

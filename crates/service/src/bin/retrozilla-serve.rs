@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! retrozilla-serve [--addr 127.0.0.1:7878] [--threads N] [--queue N]
-//!                  [--extract-threads N] [--repo rules.json] [--self-test]
+//!                  [--extract-threads N] [--repo rules.json]
+//!                  [--wal FILE.wal] [--compact-every N] [--no-wal]
+//!                  [--self-test]
 //! ```
 //!
-//! With `--repo`, the repository is loaded from the file at startup (an
-//! absent file starts empty) and every `PUT`/`DELETE /clusters` persists
-//! back to it crash-safely. `--self-test` runs a loopback smoke test —
-//! record → extract → batch → drift-check → hot-reload → metrics — and
-//! exits non-zero on any mismatch; CI uses it as the serve-layer gate.
+//! With `--repo`, the snapshot is loaded at startup (an absent file
+//! starts empty), any existing write-ahead log (`<repo>.wal`, or
+//! `--wal PATH`) is **replayed over it** — recovering mutations
+//! acknowledged after the last compaction — and every
+//! `PUT`/`DELETE /clusters` becomes one fsynced O(change) log append.
+//! The log folds into the snapshot every `--compact-every` mutations
+//! (default 1024). `--no-wal` restores the legacy whole-file rewrite
+//! per mutation. `--self-test` runs a loopback smoke test — record →
+//! extract → batch → drift-check → hot-reload → percent-decoding →
+//! metrics, plus a WAL replay-on-startup exercise — and exits non-zero
+//! on any mismatch; CI uses it as the serve-layer gate.
 
 use retroweb_service::testdata;
 use retroweb_service::{request_once, Client, Server, ServerConfig};
@@ -18,7 +26,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: retrozilla-serve [--addr HOST:PORT] [--threads N] [--queue N] \
-                     [--extract-threads N] [--repo FILE.json] [--self-test]";
+                     [--extract-threads N] [--repo FILE.json] [--wal FILE.wal] \
+                     [--compact-every N] [--no-wal] [--self-test]";
 
 struct Args {
     config: ServerConfig,
@@ -48,6 +57,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --extract-threads: {e}"))?
             }
             "--repo" => config.repo_path = Some(PathBuf::from(value("--repo")?)),
+            "--wal" => config.wal_path = Some(PathBuf::from(value("--wal")?)),
+            "--compact-every" => {
+                config.compact_every = value("--compact-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --compact-every: {e}"))?
+            }
+            "--no-wal" => config.wal_disabled = true,
             "--self-test" => self_test = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -110,6 +126,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(wal) = handle.state().wal_stats() {
+        println!(
+            "WAL {} — replayed {} record(s){} over the snapshot",
+            args.config
+                .effective_wal_path()
+                .map(|p| p.display().to_string())
+                .unwrap_or_else(|| "?".into()),
+            wal.replayed_records,
+            if wal.replay_torn_bytes > 0 {
+                format!(" (recovered a torn tail: {} byte(s) discarded)", wal.replay_torn_bytes)
+            } else {
+                String::new()
+            },
+        );
+    }
     println!(
         "retrozilla-serve listening on http://{addr} ({} workers, queue {})",
         args.config.threads, args.config.queue_capacity
@@ -234,6 +265,17 @@ fn self_test() -> Result<String, String> {
         .map_err(io)?;
     expect(resp.body_utf8() == want_v2, "post-reload body differs", "")?;
 
+    // percent-encoded cluster names round-trip: the PUT and the GET
+    // address the same (decoded) cluster, and bad escapes are 400s
+    let spaced = testdata::demo_cluster_json().replace("demo-movies", "demo movies");
+    let resp =
+        client.request("PUT", "/clusters/demo%20movies", &[], spaced.as_bytes()).map_err(io)?;
+    expect(resp.status == 201, "percent-encoded PUT status", resp.status)?;
+    let resp = client.request("GET", "/clusters/demo%20movies", &[], b"").map_err(io)?;
+    expect(resp.status == 200, "percent-encoded GET status", resp.status)?;
+    let resp = client.request("GET", "/clusters/%zz", &[], b"").map_err(io)?;
+    expect(resp.status == 400, "invalid escape status", resp.status)?;
+
     // metrics counted all of the above
     let resp = request_once(addr, "GET", "/metrics", &[], b"").map_err(io)?;
     let metrics = resp.body_json().map_err(|e| format!("metrics body: {e}"))?;
@@ -242,8 +284,53 @@ fn self_test() -> Result<String, String> {
     expect(total >= 6, "metrics request total", total)?;
 
     handle.shutdown();
+
+    // WAL replay on startup: a mutation acknowledged by one server
+    // instance — logged, never compacted into a snapshot — must be
+    // live after a restart over the same files.
+    let dir = std::env::temp_dir().join(format!("retrozilla-selftest-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(io)?;
+    let repo_path = dir.join("rules.json");
+    let wal_config = ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        compact_every: 1_000_000, // keep everything in the log
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(RuleRepository::new(), wal_config.clone())
+        .map_err(|e| format!("wal bind: {e}"))?;
+    let handle = server.start().map_err(|e| format!("wal start: {e}"))?;
+    let resp = request_once(
+        handle.addr(),
+        "PUT",
+        &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+        &[],
+        testdata::demo_cluster_json().as_bytes(),
+    )
+    .map_err(io)?;
+    expect(resp.status == 201, "wal PUT status", resp.status)?;
+    expect(!repo_path.exists(), "snapshot untouched (mutation was a log append)", "rewritten")?;
+    handle.shutdown();
+    let server =
+        Server::bind(RuleRepository::new(), wal_config).map_err(|e| format!("wal rebind: {e}"))?;
+    let handle = server.start().map_err(|e| format!("wal restart: {e}"))?;
+    let replayed = handle.state().wal_stats().map(|w| w.replayed_records).unwrap_or(0);
+    expect(replayed == 1, "replayed record count after restart", replayed)?;
+    let resp = request_once(
+        handle.addr(),
+        "GET",
+        &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+        &[],
+        b"",
+    )
+    .map_err(io)?;
+    expect(resp.status == 200, "replayed cluster served after restart", resp.status)?;
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+
     Ok(format!(
-        "6 endpoints exercised, {total} requests served, streaming + drift + hot reload verified"
+        "6 endpoints exercised, {total} requests served, streaming + drift + hot reload + \
+         percent-decoding + WAL replay verified"
     ))
 }
 

@@ -27,7 +27,24 @@ pub fn route(arc_state: &Arc<ServiceState>, req: &Request) -> (Endpoint, Reply) 
     // Plain handlers borrow the state; only the streaming batch handler
     // needs the `Arc` itself (its body closure outlives this call).
     let state: &ServiceState = arc_state;
-    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    // Path segments are percent-decoded before matching, so
+    // `PUT /clusters/my%20cluster` addresses the cluster "my cluster" —
+    // the same name a `GET` with the decoded form resolves. An invalid
+    // escape is the client's bug, reported as such. Escape-free
+    // segments (every hot-path request) borrow — no allocation.
+    let decoded: Result<Vec<std::borrow::Cow<'_, str>>, ()> = req
+        .path
+        .split('/')
+        .filter(|s| !s.is_empty())
+        .map(|seg| crate::http::percent_decode(seg).ok_or(()))
+        .collect();
+    let Ok(decoded) = decoded else {
+        return (
+            Endpoint::Other,
+            Response::error(400, "invalid percent-escape in request path").into(),
+        );
+    };
+    let segments: Vec<&str> = decoded.iter().map(|s| s.as_ref()).collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("GET", []) => (Endpoint::Other, index().into()),
         ("GET", ["healthz"]) => (Endpoint::Healthz, healthz(state).into()),
@@ -77,7 +94,7 @@ fn healthz(state: &ServiceState) -> Response {
 }
 
 fn metrics(state: &ServiceState) -> Response {
-    Response::json(200, &state.metrics().to_json(state.repo().stats()))
+    Response::json(200, &state.metrics().to_json(state.repo().stats(), state.wal_stats()))
 }
 
 fn list_clusters(state: &ServiceState) -> Response {
@@ -120,11 +137,13 @@ fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
     }
     let n_rules = rules.rules.len();
     let replaced = state.repo().get(name).is_some();
-    state.repo().record(rules);
-    state.metrics().add_rule_reload();
-    if let Err(e) = state.persist() {
-        return Response::error(500, &format!("cluster recorded but persistence failed: {e}"));
+    // Durable before acknowledged: in WAL mode this is one fsynced
+    // O(change) log append (plus the in-memory hot reload), not a whole-
+    // repository rewrite. A failed fsync leaves the old rules live.
+    if let Err(e) = state.record_cluster(rules) {
+        return Response::error(500, &format!("cannot persist cluster mutation: {e}"));
     }
+    state.metrics().add_rule_reload();
     let json = Json::object(vec![
         ("cluster".into(), Json::from(name)),
         ("rules".into(), Json::from(n_rules)),
@@ -134,13 +153,11 @@ fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
 }
 
 fn delete_cluster(state: &ServiceState, name: &str) -> Response {
-    if !state.repo().remove(name) {
-        return unknown_cluster(name);
+    match state.remove_cluster(name) {
+        Ok(true) => Response::json(200, &Json::object(vec![("removed".into(), Json::from(name))])),
+        Ok(false) => unknown_cluster(name),
+        Err(e) => Response::error(500, &format!("cannot persist cluster removal: {e}")),
     }
-    if let Err(e) = state.persist() {
-        return Response::error(500, &format!("cluster removed but persistence failed: {e}"));
-    }
-    Response::json(200, &Json::object(vec![("removed".into(), Json::from(name))]))
 }
 
 /// Decode a raw HTML page body honouring the request's charset: this
@@ -204,10 +221,14 @@ fn extract_batch(state: &Arc<ServiceState>, name: &str, req: &Request) -> Reply 
         Ok(pages) => pages,
         Err(resp) => return Reply::Full(*resp),
     };
-    // An unparseable ?threads= is a client error, not a silent default.
-    let threads = match req.query_param("threads") {
-        None => state.extract_threads(),
-        Some(raw) => match raw.parse::<usize>() {
+    // An unparseable ?threads= is a client error, not a silent default;
+    // so is an invalid percent-escape in the value.
+    let threads = match req.decoded_query_param("threads") {
+        Err(_) => {
+            return Reply::Full(Response::error(400, "invalid percent-escape in ?threads= value"))
+        }
+        Ok(None) => state.extract_threads(),
+        Ok(Some(raw)) => match raw.parse::<usize>() {
             Ok(n) => n,
             Err(_) => {
                 return Reply::Full(Response::error(

@@ -62,7 +62,9 @@ impl Request {
         }
     }
 
-    /// Value of a `k=v` query parameter (no percent-decoding).
+    /// Raw value of a `k=v` query parameter (no percent-decoding; use
+    /// [`decoded_query_param`](Self::decoded_query_param) for values
+    /// that may carry escapes).
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.split('&').find_map(|pair| {
             let (k, v) = pair.split_once('=')?;
@@ -70,10 +72,40 @@ impl Request {
         })
     }
 
+    /// Percent-decoded value of a `k=v` query parameter. Keys are
+    /// decoded before matching too, so `thr%65ads=4` still names
+    /// `threads`. [`InvalidEscape`] means the matched pair carries an
+    /// invalid escape — the caller should answer 400, not guess.
+    pub fn decoded_query_param(&self, name: &str) -> Result<Option<String>, InvalidEscape> {
+        for pair in self.query.split('&') {
+            let Some((k, v)) = pair.split_once('=') else { continue };
+            // An undecodable *key* can't match any caller's name; an
+            // undecodable value on the matched key is the caller's 400.
+            let Some(k) = percent_decode(k) else { continue };
+            if k == name {
+                return percent_decode(v).map(|v| Some(v.into_owned())).ok_or(InvalidEscape);
+            }
+        }
+        Ok(None)
+    }
+
     pub fn body_utf8(&self) -> std::borrow::Cow<'_, str> {
         String::from_utf8_lossy(&self.body)
     }
 }
+
+/// Marker error: a percent-escaped component failed to decode (bad hex
+/// digits or non-UTF-8 result). Maps to a 400 at the handler layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvalidEscape;
+
+impl std::fmt::Display for InvalidEscape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("invalid percent-escape")
+    }
+}
+
+impl std::error::Error for InvalidEscape {}
 
 /// Outcome of waiting for the next request on a connection.
 #[derive(Debug)]
@@ -397,6 +429,35 @@ impl Write for CountingWriter<'_> {
     }
 }
 
+/// Decode `%XX` percent-escapes in a path segment or query component.
+/// Escape-free input (the hot path: every well-known route) borrows —
+/// no allocation. Returns `None` for an invalid escape (`%` not
+/// followed by two hex digits) or when the decoded bytes are not
+/// UTF-8 — both are client errors, never silently passed through. `+`
+/// is left literal: these are URI components, not
+/// `application/x-www-form-urlencoded` bodies.
+pub fn percent_decode(s: &str) -> Option<std::borrow::Cow<'_, str>> {
+    if !s.contains('%') {
+        return Some(std::borrow::Cow::Borrowed(s));
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hi = (hex[0] as char).to_digit(16)?;
+            let lo = (hex[1] as char).to_digit(16)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok().map(std::borrow::Cow::Owned)
+}
+
 /// Position of the `\r\n\r\n` head terminator, if present.
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
@@ -702,6 +763,48 @@ mod tests {
         assert!(parse_head("GET /x HTTP/1.0").unwrap().4);
         assert!(parse_head("GARBAGE").is_none());
         assert!(parse_head("GET /x SPDY/9").is_none());
+    }
+
+    #[test]
+    fn percent_decoding() {
+        assert_eq!(percent_decode("plain").as_deref(), Some("plain"));
+        assert!(
+            matches!(percent_decode("plain"), Some(std::borrow::Cow::Borrowed(_))),
+            "escape-free input must not allocate"
+        );
+        assert_eq!(percent_decode("my%20cluster").as_deref(), Some("my cluster"));
+        assert_eq!(percent_decode("a%2Fb").as_deref(), Some("a/b"));
+        assert_eq!(percent_decode("caf%C3%A9").as_deref(), Some("café"));
+        assert_eq!(
+            percent_decode("a+b").as_deref(),
+            Some("a+b"),
+            "+ stays literal in URI components"
+        );
+        // Invalid escapes and non-UTF-8 results are rejected, not guessed.
+        assert_eq!(percent_decode("bad%"), None);
+        assert_eq!(percent_decode("bad%2"), None);
+        assert_eq!(percent_decode("bad%zz"), None);
+        assert_eq!(percent_decode("lone%FF"), None, "0xFF alone is not UTF-8");
+    }
+
+    #[test]
+    fn decoded_query_params() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/x".into(),
+            query: "name=my%20cluster&thr%65ads=4&bad=%zz".into(),
+            headers: BTreeMap::new(),
+            body: Vec::new(),
+            http10: false,
+        };
+        assert_eq!(req.decoded_query_param("name"), Ok(Some("my cluster".into())));
+        assert_eq!(req.decoded_query_param("threads"), Ok(Some("4".into())), "escaped key matches");
+        assert_eq!(
+            req.decoded_query_param("bad"),
+            Err(InvalidEscape),
+            "invalid escape in value is an error"
+        );
+        assert_eq!(req.decoded_query_param("missing"), Ok(None));
     }
 
     #[test]

@@ -45,12 +45,12 @@ pub use http::{request_once, Client, ClientResponse, Reply, Request, Response, S
 pub use metrics::{Endpoint, Histogram, Metrics};
 pub use pool::ThreadPool;
 
-use retrozilla::RuleRepository;
+use retrozilla::{ClusterRules, DurableRepository, RuleRepository, WalStats};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,9 +67,19 @@ pub struct ServerConfig {
     pub extract_threads: usize,
     /// Idle-connection poll interval; also bounds shutdown latency.
     pub read_timeout: Duration,
-    /// When set, `PUT`/`DELETE /clusters` persist the repository here
-    /// (crash-safe atomic rename).
+    /// When set, `PUT`/`DELETE /clusters` persist the repository here.
+    /// By default mutations go through a write-ahead log next to this
+    /// file (see `wal_path` / `compact_every`); with `wal_disabled`
+    /// each mutation rewrites the whole snapshot instead.
     pub repo_path: Option<PathBuf>,
+    /// WAL file for rule mutations; `None` derives `<repo_path>.wal`.
+    /// Ignored without `repo_path`.
+    pub wal_path: Option<PathBuf>,
+    /// Mutations folded into the snapshot per compaction.
+    pub compact_every: u64,
+    /// Opt out of the WAL: every mutation rewrites the whole snapshot
+    /// (the pre-WAL behaviour; O(repo) per mutation).
+    pub wal_disabled: bool,
 }
 
 impl Default for ServerConfig {
@@ -81,26 +91,49 @@ impl Default for ServerConfig {
             extract_threads: 4,
             read_timeout: Duration::from_millis(100),
             repo_path: None,
+            wal_path: None,
+            compact_every: 1024,
+            wal_disabled: false,
         }
     }
 }
 
-/// State shared by every worker: the repository (with its compiled-rule
-/// cache), the metrics, and the shutdown flag.
+impl ServerConfig {
+    /// The effective WAL path: explicit `wal_path`, else `<repo>.wal`.
+    pub fn effective_wal_path(&self) -> Option<PathBuf> {
+        if self.wal_disabled {
+            return None;
+        }
+        match (&self.wal_path, &self.repo_path) {
+            (Some(wal), _) => Some(wal.clone()),
+            (None, Some(repo)) => {
+                let mut name = repo.file_name().unwrap_or_default().to_os_string();
+                name.push(".wal");
+                Some(repo.with_file_name(name))
+            }
+            (None, None) => None,
+        }
+    }
+}
+
+/// State shared by every worker: the durable repository (in-memory
+/// rules + compiled-rule cache + WAL/snapshot persistence), the
+/// metrics, and the shutdown flag.
 pub struct ServiceState {
-    repo: RuleRepository,
+    durable: DurableRepository,
     metrics: Metrics,
     extract_threads: usize,
-    repo_path: Option<PathBuf>,
-    /// Serialises repository saves so concurrent PUTs cannot interleave
-    /// their temp-file renames out of order.
-    save_lock: Mutex<()>,
     shutting_down: AtomicBool,
 }
 
 impl ServiceState {
     pub fn repo(&self) -> &RuleRepository {
-        &self.repo
+        self.durable.repo()
+    }
+
+    /// The persistence layer itself, for mutation endpoints.
+    pub fn durable(&self) -> &DurableRepository {
+        &self.durable
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -115,11 +148,20 @@ impl ServiceState {
         self.shutting_down.load(Ordering::SeqCst)
     }
 
-    /// Persist the repository to the configured file, if any.
-    pub fn persist(&self) -> io::Result<()> {
-        let Some(path) = &self.repo_path else { return Ok(()) };
-        let _guard = self.save_lock.lock().expect("save lock poisoned");
-        self.repo.save(path)
+    /// Record a cluster durably: on `Ok`, the mutation is fsynced (a WAL
+    /// append in WAL mode — O(change), not O(repo)) and live in memory.
+    pub fn record_cluster(&self, rules: ClusterRules) -> io::Result<()> {
+        self.durable.record(rules)
+    }
+
+    /// Remove a cluster durably; returns whether it existed.
+    pub fn remove_cluster(&self, name: &str) -> io::Result<bool> {
+        self.durable.remove(name)
+    }
+
+    /// WAL counters for `/metrics`; `None` when not in WAL mode.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.durable.wal_stats()
     }
 }
 
@@ -132,14 +174,26 @@ pub struct Server {
 
 impl Server {
     /// Bind the listener and wrap the repository in shared state.
+    ///
+    /// `repo` is the base state (typically loaded from the snapshot
+    /// file, or seeded in-process). With `repo_path` set and the WAL
+    /// enabled (the default), any existing `<repo>.wal` is **replayed
+    /// over `repo`** here — recovering mutations acknowledged after the
+    /// last compaction — and future mutations append to it. With
+    /// `wal_disabled`, mutations rewrite the snapshot whole.
     pub fn bind(repo: RuleRepository, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let durable = match (&config.repo_path, config.effective_wal_path()) {
+            (Some(snapshot), Some(wal)) => {
+                DurableRepository::attach_wal(repo, snapshot.clone(), &wal, config.compact_every)?
+            }
+            (Some(snapshot), None) => DurableRepository::full_rewrite(repo, snapshot.clone()),
+            (None, _) => DurableRepository::ephemeral(repo),
+        };
         let state = Arc::new(ServiceState {
-            repo,
+            durable,
             metrics: Metrics::new(),
             extract_threads: config.extract_threads.max(1),
-            repo_path: config.repo_path.clone(),
-            save_lock: Mutex::new(()),
             shutting_down: AtomicBool::new(false),
         });
         Ok(Server { listener, state, config })

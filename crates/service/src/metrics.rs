@@ -187,8 +187,13 @@ impl Metrics {
     }
 
     /// Full snapshot for `GET /metrics`, folding in the repository's
-    /// compiled-cache counters.
-    pub fn to_json(&self, repo: retrozilla::RepositoryStats) -> Json {
+    /// compiled-cache counters and — when the server persists through a
+    /// write-ahead log — the WAL's append/compaction/replay counters.
+    pub fn to_json(
+        &self,
+        repo: retrozilla::RepositoryStats,
+        wal: Option<retrozilla::WalStats>,
+    ) -> Json {
         let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as usize);
         let by_endpoint = Endpoint::ALL
             .iter()
@@ -199,7 +204,7 @@ impl Metrics {
             .filter(|e| self.per_endpoint[e.index()].latency.count() > 0)
             .map(|e| (e.name().to_string(), self.per_endpoint[e.index()].latency.to_json()))
             .collect();
-        Json::object(vec![
+        let mut root = Json::object(vec![
             (
                 "requests".into(),
                 Json::object(vec![
@@ -224,6 +229,7 @@ impl Metrics {
                 "repository".into(),
                 Json::object(vec![
                     ("clusters".into(), Json::from(repo.clusters)),
+                    ("compiled_cache_entries".into(), Json::from(repo.compiled_cache_entries)),
                     ("compiled_cache_hits".into(), Json::from(repo.compiled_cache_hits as usize)),
                     (
                         "compiled_cache_builds".into(),
@@ -236,7 +242,22 @@ impl Metrics {
                 ]),
             ),
             ("latency_ms".into(), Json::Object(latency)),
-        ])
+        ]);
+        if let Some(wal) = wal {
+            root.set(
+                "wal",
+                Json::object(vec![
+                    ("appended_records".into(), Json::from(wal.appended_records as usize)),
+                    ("appended_bytes".into(), Json::from(wal.appended_bytes as usize)),
+                    ("compactions".into(), Json::from(wal.compactions as usize)),
+                    ("since_compaction".into(), Json::from(wal.since_compaction as usize)),
+                    ("wal_bytes".into(), Json::from(wal.wal_bytes as usize)),
+                    ("replayed_records".into(), Json::from(wal.replayed_records as usize)),
+                    ("replay_torn_bytes".into(), Json::from(wal.replay_torn_bytes as usize)),
+                ]),
+            );
+        }
+        root
     }
 }
 
@@ -271,7 +292,8 @@ mod tests {
         m.observe(Endpoint::Check, 500, Duration::from_micros(500));
         m.add_pages_extracted(7);
         m.add_failures_detected(2);
-        let json = m.to_json(retrozilla::RepositoryStats::default());
+        let json = m.to_json(retrozilla::RepositoryStats::default(), None);
+        assert!(json.get("wal").is_none(), "no wal section outside WAL mode");
         assert_eq!(json.get("requests").unwrap().get("total").unwrap().as_u64(), Some(3));
         assert_eq!(json.get("responses").unwrap().get("2xx").unwrap().as_u64(), Some(1));
         assert_eq!(json.get("responses").unwrap().get("4xx").unwrap().as_u64(), Some(1));
@@ -281,5 +303,28 @@ mod tests {
         assert_eq!(by.get("extract").unwrap().as_u64(), Some(2));
         assert!(json.get("latency_ms").unwrap().get("extract").is_some());
         assert!(json.get("latency_ms").unwrap().get("healthz").is_none());
+    }
+
+    #[test]
+    fn wal_section_rendered_when_present() {
+        let m = Metrics::new();
+        let wal = retrozilla::WalStats {
+            appended_records: 5,
+            appended_bytes: 1234,
+            compactions: 1,
+            replayed_records: 3,
+            replay_torn_bytes: 7,
+            wal_bytes: 200,
+            since_compaction: 2,
+        };
+        let json = m.to_json(retrozilla::RepositoryStats::default(), Some(wal));
+        let w = json.get("wal").expect("wal section");
+        assert_eq!(w.get("appended_records").unwrap().as_u64(), Some(5));
+        assert_eq!(w.get("appended_bytes").unwrap().as_u64(), Some(1234));
+        assert_eq!(w.get("compactions").unwrap().as_u64(), Some(1));
+        assert_eq!(w.get("replayed_records").unwrap().as_u64(), Some(3));
+        assert_eq!(w.get("replay_torn_bytes").unwrap().as_u64(), Some(7));
+        assert_eq!(w.get("wal_bytes").unwrap().as_u64(), Some(200));
+        assert_eq!(w.get("since_compaction").unwrap().as_u64(), Some(2));
     }
 }

@@ -179,7 +179,9 @@ fn crud_check_and_errors() {
     let resp = client.request("GET", "/clusters", &[], b"").unwrap();
     assert!(resp.body_utf8().contains(DEMO_CLUSTER));
 
-    // PUT persists to the configured file (crash-safe save).
+    // PUT persists durably — but as a WAL append, not a snapshot
+    // rewrite: the snapshot file is untouched, and replaying the pair
+    // of files reproduces the acknowledged mutation.
     let resp = client
         .request(
             "PUT",
@@ -189,11 +191,16 @@ fn crud_check_and_errors() {
         )
         .unwrap();
     assert_eq!(resp.status, 200);
-    let on_disk = retrozilla::RuleRepository::load(&repo_path).expect("persisted repository");
+    assert!(!repo_path.exists(), "PUT must not rewrite the whole repository file");
+    let wal_path = dir.join("rules.json.wal");
+    assert!(wal_path.exists(), "mutation must be logged");
+    let on_disk =
+        retrozilla::DurableRepository::open_wal(repo_path.clone(), &wal_path, 1024).unwrap();
     assert_eq!(
-        on_disk.get(DEMO_CLUSTER),
+        on_disk.repo().get(DEMO_CLUSTER),
         Some(testdata::cluster_from(&testdata::updated_cluster_json()))
     );
+    drop(on_disk);
 
     // Bad rule documents are rejected with diagnosable context.
     let bad = r#"{"cluster":"demo-movies","page-element":"p","rules":[{"name":"ok","optionality":"sometimes","multiplicity":"single-valued","format":"text","locations":[]}]}"#;
@@ -241,15 +248,16 @@ fn crud_check_and_errors() {
     let resp = client.request("POST", &format!("/check/{DEMO_CLUSTER}"), &[], b"not json").unwrap();
     assert_eq!(resp.status, 400);
 
-    // DELETE removes and persists.
+    // DELETE removes and persists (another log append).
     let resp = client.request("DELETE", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
     assert_eq!(resp.status, 200);
     let resp = client.request("GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
     assert_eq!(resp.status, 404);
-    let on_disk = retrozilla::RuleRepository::load(&repo_path).expect("persisted repository");
-    assert!(on_disk.is_empty());
-
     handle.shutdown();
+    let on_disk =
+        retrozilla::DurableRepository::open_wal(repo_path.clone(), &wal_path, 1024).unwrap();
+    assert!(on_disk.repo().is_empty());
+
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -518,6 +526,243 @@ fn bad_threads_param_is_rejected() {
         )
         .expect("request");
     assert_eq!(resp.status, 200);
+    handle.shutdown();
+}
+
+/// The WAL acceptance criterion end-to-end: acknowledged mutations are
+/// single log appends (no snapshot rewrite), a restart replays them,
+/// and crossing `compact_every` folds the log into the snapshot and
+/// truncates it.
+#[test]
+fn wal_mutations_survive_restart_and_compact() {
+    let dir = std::env::temp_dir().join(format!("retroweb-service-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("rules.json");
+    let wal_path = dir.join("rules.json.wal");
+    let config =
+        ServerConfig { repo_path: Some(repo_path.clone()), compact_every: 3, ..Default::default() };
+
+    // First server lifetime: two mutations — below the compaction
+    // threshold, so everything lives in the log.
+    let handle = Server::bind(retrozilla::RuleRepository::new(), config.clone())
+        .expect("bind")
+        .start()
+        .expect("start");
+    let addr = handle.addr();
+    let resp = request_once(
+        addr,
+        "PUT",
+        &format!("/clusters/{DEMO_CLUSTER}"),
+        &[],
+        testdata::demo_cluster_json().as_bytes(),
+    )
+    .expect("PUT");
+    assert_eq!(resp.status, 201, "{}", resp.body_utf8());
+    let resp = request_once(
+        addr,
+        "PUT",
+        &format!("/clusters/{DEMO_CLUSTER}"),
+        &[],
+        testdata::updated_cluster_json().as_bytes(),
+    )
+    .expect("PUT v2");
+    assert_eq!(resp.status, 200);
+    assert!(!repo_path.exists(), "mutations must not rewrite the snapshot");
+    let resp = request_once(addr, "GET", "/metrics", &[], b"").expect("metrics");
+    let wal = resp.body_json().unwrap().get("wal").expect("wal metrics section").clone();
+    assert_eq!(wal.get("appended_records").unwrap().as_u64(), Some(2), "{wal}");
+    assert!(wal.get("appended_bytes").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(wal.get("compactions").unwrap().as_u64(), Some(0));
+    handle.shutdown();
+
+    // Restart: the log replays over the (absent) snapshot; v2 is live.
+    let handle = Server::bind(retrozilla::RuleRepository::new(), config.clone())
+        .expect("rebind")
+        .start()
+        .expect("restart");
+    let addr = handle.addr();
+    let resp =
+        request_once(addr, "GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").expect("GET");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        retroweb_json::parse(&resp.body_utf8()).unwrap(),
+        testdata::cluster_from(&testdata::updated_cluster_json()).to_json(),
+        "replayed state must be the last acknowledged mutation"
+    );
+    let resp = request_once(addr, "GET", "/metrics", &[], b"").expect("metrics");
+    let wal = resp.body_json().unwrap().get("wal").expect("wal section").clone();
+    assert_eq!(wal.get("replayed_records").unwrap().as_u64(), Some(2), "{wal}");
+    assert_eq!(wal.get("replay_torn_bytes").unwrap().as_u64(), Some(0));
+
+    // One more mutation crosses compact_every (2 replayed + 1 = 3):
+    // the snapshot appears, the log truncates back to its magic.
+    let resp = request_once(
+        addr,
+        "PUT",
+        &format!("/clusters/{DEMO_CLUSTER}"),
+        &[],
+        testdata::demo_cluster_json().as_bytes(),
+    )
+    .expect("PUT triggering compaction");
+    assert_eq!(resp.status, 200);
+    let resp = request_once(addr, "GET", "/metrics", &[], b"").expect("metrics");
+    let wal = resp.body_json().unwrap().get("wal").expect("wal section").clone();
+    assert_eq!(wal.get("compactions").unwrap().as_u64(), Some(1), "{wal}");
+    assert_eq!(wal.get("since_compaction").unwrap().as_u64(), Some(0));
+    assert!(repo_path.exists(), "compaction must write the snapshot");
+    let snapshot = retrozilla::RuleRepository::load(&repo_path).expect("compacted snapshot");
+    assert_eq!(
+        snapshot.get(DEMO_CLUSTER),
+        Some(testdata::cluster_from(&testdata::demo_cluster_json()))
+    );
+    assert_eq!(std::fs::metadata(&wal_path).unwrap().len(), 8, "log truncated to its magic");
+    handle.shutdown();
+
+    // Third lifetime: state comes purely from the snapshot.
+    let handle =
+        Server::bind(retrozilla::RuleRepository::load(&repo_path).expect("load snapshot"), config)
+            .expect("rebind")
+            .start()
+            .expect("restart");
+    let resp = request_once(handle.addr(), "GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"")
+        .expect("GET");
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--no-wal` keeps the legacy behaviour: every mutation rewrites the
+/// whole snapshot, loadable directly.
+#[test]
+fn no_wal_mode_rewrites_snapshot_per_mutation() {
+    let dir = std::env::temp_dir().join(format!("retroweb-service-nowal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("rules.json");
+    let handle = start_server(ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        wal_disabled: true,
+        ..Default::default()
+    });
+    let resp = request_once(
+        handle.addr(),
+        "PUT",
+        &format!("/clusters/{DEMO_CLUSTER}"),
+        &[],
+        testdata::updated_cluster_json().as_bytes(),
+    )
+    .expect("PUT");
+    assert_eq!(resp.status, 200);
+    let on_disk = retrozilla::RuleRepository::load(&repo_path).expect("rewritten snapshot");
+    assert_eq!(
+        on_disk.get(DEMO_CLUSTER),
+        Some(testdata::cluster_from(&testdata::updated_cluster_json()))
+    );
+    assert!(!dir.join("rules.json.wal").exists(), "no log in --no-wal mode");
+    let resp = request_once(handle.addr(), "GET", "/metrics", &[], b"").expect("metrics");
+    assert!(resp.body_json().unwrap().get("wal").is_none(), "no wal metrics in --no-wal mode");
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Percent-encoded path segments and query values are decoded before
+/// matching; invalid escapes are diagnosed 400s, not silent literals.
+#[test]
+fn percent_encoded_names_round_trip() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // PUT under an encoded name records the *decoded* cluster…
+    let body = testdata::demo_cluster_json().replace("demo-movies", "demo movies");
+    let resp = client.request("PUT", "/clusters/demo%20movies", &[], body.as_bytes()).unwrap();
+    assert_eq!(resp.status, 201, "{}", resp.body_utf8());
+    // …which the cluster list shows decoded…
+    let resp = client.request("GET", "/clusters", &[], b"").unwrap();
+    assert!(resp.body_utf8().contains("demo movies"), "{}", resp.body_utf8());
+    assert!(!resp.body_utf8().contains("demo%20movies"), "{}", resp.body_utf8());
+    // …and an encoded GET resolves. (Pre-fix, the PUT recorded a
+    // cluster literally named "demo%20movies" and this GET 404'd.)
+    let resp = client.request("GET", "/clusters/demo%20movies", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let got = retroweb_json::parse(&resp.body_utf8()).unwrap();
+    assert_eq!(got.get("cluster").and_then(|c| c.as_str()), Some("demo movies"));
+    // Extraction works through the encoded name too.
+    let (_, html) = testdata::demo_page(0);
+    let resp = client.request("POST", "/extract/demo%20movies", &[], html.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_utf8().contains("<title>Movie 0</title>"), "{}", resp.body_utf8());
+    // DELETE through the encoded name.
+    let resp = client.request("DELETE", "/clusters/demo%20movies", &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+
+    // Invalid escapes: path and query are both diagnosed.
+    for path in ["/clusters/bad%zz", "/clusters/trunc%2", "/clusters/%ff"] {
+        let resp = client.request("GET", path, &[], b"").unwrap();
+        assert_eq!(resp.status, 400, "{path}");
+        assert!(resp.body_utf8().contains("percent-escape"), "{}", resp.body_utf8());
+    }
+    let pages = pages_json(&demo_pages(2));
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}/batch?threads=%zz"),
+            &[],
+            pages.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_utf8().contains("percent-escape"), "{}", resp.body_utf8());
+    // A valid escaped query value decodes (%34 = "4").
+    let resp = client
+        .request(
+            "POST",
+            &format!("/extract/{DEMO_CLUSTER}/batch?threads=%34"),
+            &[],
+            pages.as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_utf8());
+    handle.shutdown();
+}
+
+/// After a DELETE, the repository metrics stay coherent: the compiled-
+/// cache entry dies with its cluster, so the entries gauge can never
+/// exceed the cluster count.
+#[test]
+fn metrics_repo_counters_coherent_after_delete() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Compile the cluster by extracting once.
+    let (_, html) = testdata::demo_page(0);
+    let resp =
+        client.request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], html.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    let repo = |client: &mut Client| {
+        let resp = client.request("GET", "/metrics", &[], b"").unwrap();
+        resp.body_json().unwrap().get("repository").unwrap().clone()
+    };
+    let before = repo(&mut client);
+    assert_eq!(before.get("clusters").unwrap().as_u64(), Some(1));
+    assert_eq!(before.get("compiled_cache_entries").unwrap().as_u64(), Some(1));
+
+    let resp = client.request("DELETE", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"").unwrap();
+    assert_eq!(resp.status, 200);
+    let after = repo(&mut client);
+    assert_eq!(after.get("clusters").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        after.get("compiled_cache_entries").unwrap().as_u64(),
+        Some(0),
+        "a removed cluster's compilation must die with it: {after}"
+    );
+    assert_eq!(after.get("compiled_cache_invalidations").unwrap().as_u64(), Some(1));
+    // And extraction against the dead cluster is a 404, not a stale hit.
+    let resp =
+        client.request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], html.as_bytes()).unwrap();
+    assert_eq!(resp.status, 404);
     handle.shutdown();
 }
 
