@@ -89,6 +89,7 @@ pub mod repository;
 pub mod sample;
 pub mod schema_guided;
 pub mod sink;
+pub mod store;
 pub mod wal;
 
 pub use builder::{build_rule, build_rules, ComponentReport, ScenarioConfig};
@@ -118,4 +119,8 @@ pub use sink::{
     ClusterHeader, CollectSink, CountingSink, ExtractionSink, ExtractionStats, JsonLinesSink,
     PageRecord, XmlWriterSink, OUTPUT_ENCODING,
 };
-pub use wal::{DurableRepository, FsStep, Replay, Wal, WalOp, WalStats};
+pub use store::{shard_for, ClusterStore, RepositorySnapshot, ShardedRepository};
+pub use wal::{
+    wal_info, DurableRepository, FsStep, Replay, ShardManifest, ShardedOpenReport, Wal, WalInfo,
+    WalOp, WalStats,
+};

@@ -21,6 +21,7 @@ use crate::extract::{
 use crate::model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 use crate::post::PostProcess;
 use crate::sink::{ExtractionSink, ExtractionStats};
+use crate::store::{ClusterStore, RepositorySnapshot};
 use retroweb_html::Document;
 use retroweb_json::{parse as json_parse, Json};
 use retroweb_xml::ClusterSchema;
@@ -218,11 +219,33 @@ pub struct RepositoryStats {
     pub compiled_cache_invalidations: u64,
 }
 
+impl RepositoryStats {
+    /// Fold another snapshot into this one — how per-shard gauges are
+    /// summed into a store-wide aggregate.
+    pub fn accumulate(&mut self, other: &RepositoryStats) {
+        self.clusters += other.clusters;
+        self.compiled_cache_entries += other.compiled_cache_entries;
+        self.compiled_cache_hits += other.compiled_cache_hits;
+        self.compiled_cache_builds += other.compiled_cache_builds;
+        self.compiled_cache_invalidations += other.compiled_cache_invalidations;
+    }
+}
+
 /// A thread-safe collection of cluster rule sets, with a per-cluster
 /// cache of their compiled execution form.
+///
+/// This is the **monolithic** [`ClusterStore`]: one `RwLock` map for
+/// the rules, one for the compiled cache. It remains the simple
+/// embedded/library store (and the contention-benchmark baseline);
+/// [`crate::store::ShardedRepository`] is the serving-scale
+/// implementation. Rules are held as `Arc`s so
+/// [`snapshot`](RuleRepository::snapshot) — and therefore `to_json`, `save` and
+/// `cluster_names` — is O(clusters) pointer work under the lock, never
+/// a deep copy: a slow save serialises from its snapshot while
+/// mutations proceed.
 #[derive(Debug, Default)]
 pub struct RuleRepository {
-    clusters: RwLock<BTreeMap<String, ClusterRules>>,
+    clusters: RwLock<BTreeMap<String, Arc<ClusterRules>>>,
     /// Lazily built compiled rule sets; an entry is dropped whenever its
     /// cluster is re-recorded, so readers never see stale compilations.
     compiled: RwLock<BTreeMap<String, Arc<CompiledCluster>>>,
@@ -241,7 +264,7 @@ impl RuleRepository {
     /// service `PUT /clusters/{name}` a hot rule reload.
     pub fn record(&self, rules: ClusterRules) {
         let name = rules.cluster.clone();
-        self.clusters.write().expect("lock poisoned").insert(name.clone(), rules);
+        self.clusters.write().expect("lock poisoned").insert(name.clone(), Arc::new(rules));
         if self.compiled.write().expect("lock poisoned").remove(&name).is_some() {
             self.invalidations.fetch_add(1, Ordering::Relaxed);
         }
@@ -341,11 +364,21 @@ impl RuleRepository {
     }
 
     pub fn get(&self, cluster: &str) -> Option<ClusterRules> {
-        self.clusters.read().expect("lock poisoned").get(cluster).cloned()
+        self.clusters.read().expect("lock poisoned").get(cluster).map(|c| (**c).clone())
     }
 
+    /// A point-in-time view of every recorded cluster: `Arc` clones
+    /// under the read lock, so the lock is held for O(clusters) pointer
+    /// work — everything slow (serialisation, disk writes) happens on
+    /// the snapshot, after the lock is gone.
+    pub fn snapshot(&self) -> RepositorySnapshot {
+        RepositorySnapshot::from_arcs(self.clusters.read().expect("lock poisoned").clone())
+    }
+
+    /// Recorded cluster names, via [`snapshot`](Self::snapshot) — the
+    /// name-list allocation happens outside the lock.
     pub fn cluster_names(&self) -> Vec<String> {
-        self.clusters.read().expect("lock poisoned").keys().cloned().collect()
+        self.snapshot().cluster_names()
     }
 
     pub fn len(&self) -> usize {
@@ -358,9 +391,11 @@ impl RuleRepository {
 
     // ---- persistence ------------------------------------------------------
 
+    /// The repository JSON document, serialised **from a snapshot**: a
+    /// concurrent `record`/`remove` proceeds immediately instead of
+    /// stalling behind the serialisation of every cluster.
     pub fn to_json(&self) -> Json {
-        let clusters = self.clusters.read().expect("lock poisoned");
-        Json::Array(clusters.values().map(cluster_to_json).collect())
+        self.snapshot().to_json()
     }
 
     pub fn from_json(json: &Json) -> Result<RuleRepository, RepositoryError> {
@@ -375,9 +410,11 @@ impl RuleRepository {
     }
 
     /// Serialise one cluster in the same shape `to_json` uses per array
-    /// entry — the service `GET /clusters/{name}` payload.
+    /// entry — the service `GET /clusters/{name}` payload. The `Arc` is
+    /// cloned out first, so serialisation happens outside the lock.
     pub fn cluster_json(&self, cluster: &str) -> Option<Json> {
-        self.clusters.read().expect("lock poisoned").get(cluster).map(cluster_to_json)
+        let rules = self.clusters.read().expect("lock poisoned").get(cluster).cloned()?;
+        Some(cluster_to_json(&rules))
     }
 
     /// Crash-safe save: the document is written to a temporary file in
@@ -413,9 +450,51 @@ impl RuleRepository {
     }
 }
 
+/// The monolithic store exposes the exact same storage API as the
+/// sharded one, so every consumer — extraction, checking, maintenance,
+/// the service, the durability layer — is written against
+/// [`ClusterStore`] and runs on either.
+impl ClusterStore for RuleRepository {
+    fn get(&self, cluster: &str) -> Option<ClusterRules> {
+        RuleRepository::get(self, cluster)
+    }
+
+    fn compiled(&self, cluster: &str) -> Option<Arc<CompiledCluster>> {
+        RuleRepository::compiled(self, cluster)
+    }
+
+    fn record(&self, rules: ClusterRules) {
+        RuleRepository::record(self, rules)
+    }
+
+    fn remove(&self, cluster: &str) -> bool {
+        RuleRepository::remove(self, cluster)
+    }
+
+    fn snapshot(&self) -> RepositorySnapshot {
+        RuleRepository::snapshot(self)
+    }
+
+    fn stats(&self) -> RepositoryStats {
+        RuleRepository::stats(self)
+    }
+
+    fn cluster_json(&self, cluster: &str) -> Option<Json> {
+        RuleRepository::cluster_json(self, cluster)
+    }
+
+    fn len(&self) -> usize {
+        RuleRepository::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        RuleRepository::is_empty(self)
+    }
+}
+
 // ---- (de)serialisation ---------------------------------------------------
 
-fn cluster_to_json(c: &ClusterRules) -> Json {
+pub(crate) fn cluster_to_json(c: &ClusterRules) -> Json {
     let mut obj = Json::object(vec![
         ("cluster".into(), Json::from(c.cluster.as_str())),
         ("page-element".into(), Json::from(c.page_element.as_str())),
@@ -930,6 +1009,65 @@ mod tests {
         assert_eq!(json, sample_cluster().to_json());
         assert_eq!(ClusterRules::from_json(&json).unwrap(), sample_cluster());
         assert!(repo.cluster_json("unknown").is_none());
+    }
+
+    #[test]
+    fn serialization_runs_on_a_snapshot_not_under_the_lock() {
+        // Satellite regression for the pre-snapshot behaviour where
+        // `to_json`/`save`/`cluster_names` held the read lock across
+        // full serialisation, so a slow save stalled every mutation.
+        // Structural half: a snapshot is point-in-time — mutations
+        // after it land immediately and never change what it
+        // serialises (if serialisation read the live map, the
+        // post-snapshot record would leak into the JSON).
+        let repo = RuleRepository::new();
+        repo.record(sample_cluster());
+        let snap = repo.snapshot();
+        let mut altered = sample_cluster();
+        altered.cluster = "other".into();
+        repo.record(altered); // must not block behind the held snapshot
+        assert!(repo.remove("imdb-movies"));
+        assert_eq!(snap.cluster_names(), vec!["imdb-movies"]);
+        assert_eq!(snap.get("imdb-movies"), Some(&sample_cluster()));
+        let json = snap.to_json();
+        assert_eq!(json.as_array().unwrap().len(), 1);
+        assert_eq!(repo.cluster_names(), vec!["other"]);
+
+        // Concurrency half: saves hammering the disk while a writer
+        // hammers the map — every mutation completes and the final
+        // file is some complete snapshot. (Pre-fix this contended on
+        // the clusters lock for the whole serialisation; it still
+        // passed functionally but stalled — the structural assertion
+        // above is the real regression guard.)
+        let dir = std::env::temp_dir().join(format!("retrozilla-snap-save-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.json");
+        let repo = std::sync::Arc::new(RuleRepository::new());
+        for i in 0..40 {
+            let mut c = sample_cluster();
+            c.cluster = format!("c{i:02}");
+            repo.record(c);
+        }
+        std::thread::scope(|scope| {
+            let saver = std::sync::Arc::clone(&repo);
+            let save_path = path.clone();
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    saver.save(&save_path).unwrap();
+                }
+            });
+            let writer = std::sync::Arc::clone(&repo);
+            scope.spawn(move || {
+                for round in 0..200 {
+                    let mut c = sample_cluster();
+                    c.cluster = format!("c{:02}", round % 40);
+                    writer.record(c);
+                }
+            });
+        });
+        let restored = RuleRepository::load(&path).unwrap();
+        assert!(restored.len() <= 40);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

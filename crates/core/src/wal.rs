@@ -13,21 +13,31 @@
 //!   file is truncated to the last durable record (a crashed append can
 //!   only ever tear the tail, because every acknowledged record was
 //!   fsynced behind it);
-//! - [`DurableRepository`] glues a [`RuleRepository`] to a WAL plus a
-//!   base JSON *snapshot*: mutations append to the log, and every
-//!   `compact_every` mutations the log is folded into the snapshot
-//!   (crash-safe atomic rename + directory fsync) and truncated.
+//! - [`DurableRepository`] glues any [`ClusterStore`] to one WAL **per
+//!   store shard** plus a base JSON *snapshot* per shard: a mutation
+//!   appends to the WAL its cluster's shard routes to (so writes to one
+//!   shard never contend with writes — or compactions — of another),
+//!   and every `compact_every` mutations per shard that shard's log is
+//!   folded into its snapshot (crash-safe atomic rename + directory
+//!   fsync) and truncated. The single-file legacy layout is simply the
+//!   one-shard case. Sharded layouts live in a directory (see
+//!   [`ShardManifest`]) and are replayed **in parallel** on open;
+//!   [`DurableRepository::open_sharded`] also migrates a legacy
+//!   single-file snapshot+log pair into the directory layout on first
+//!   contact.
 //!
 //! ## Durability contract
 //!
 //! When [`DurableRepository::record`] or [`DurableRepository::remove`]
-//! returns `Ok`, the mutation has been fsynced to the WAL (or, in
-//! full-rewrite mode, the whole snapshot has been rewritten and the
-//! rename fsynced into its directory). Re-opening the pair of files
-//! after a crash at *any* point reproduces every acknowledged mutation:
-//! replay is idempotent (`record` is insert-or-replace, `remove` of an
-//! absent cluster is a no-op), so a crash between snapshot write and
-//! log truncation merely replays operations the snapshot already holds.
+//! returns `Ok`, the mutation has been fsynced to its shard's WAL (or,
+//! in full-rewrite mode, the whole snapshot has been rewritten and the
+//! rename fsynced into its directory). Re-opening the files after a
+//! crash at *any* point reproduces every acknowledged mutation: replay
+//! is idempotent (`record` is insert-or-replace, `remove` of an absent
+//! cluster is a no-op), so a crash between snapshot write and log
+//! truncation merely replays operations the snapshot already holds.
+//! Shards are independent: tearing one shard's log tail loses at most
+//! that shard's unacknowledged suffix, never another shard's records.
 //!
 //! ## On-disk format
 //!
@@ -44,11 +54,12 @@
 //! envelope is what makes torn tails detectable.
 
 use crate::repository::{ClusterRules, RepositoryError, RuleRepository};
+use crate::store::{shard_for, ClusterStore, ShardedRepository};
 use retroweb_json::Json;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// File magic: 8 bytes, versioned so a future format bump is detectable.
 pub const WAL_MAGIC: &[u8; 8] = b"RZWAL001";
@@ -200,14 +211,22 @@ impl WalOp {
         }
     }
 
-    /// Apply this op to an in-memory repository (replay and the live
+    /// Apply this op to an in-memory store (replay and the live
     /// mutation path share this, so they cannot diverge).
-    pub fn apply(&self, repo: &RuleRepository) {
+    pub fn apply(&self, store: &dyn ClusterStore) {
         match self {
-            WalOp::Record(rules) => repo.record(rules.clone()),
+            WalOp::Record(rules) => store.record(rules.clone()),
             WalOp::Remove(name) => {
-                repo.remove(name);
+                store.remove(name);
             }
+        }
+    }
+
+    /// The cluster name this op addresses — what shard routing keys on.
+    pub fn cluster(&self) -> &str {
+        match self {
+            WalOp::Record(rules) => &rules.cluster,
+            WalOp::Remove(name) => name,
         }
     }
 }
@@ -273,6 +292,50 @@ pub fn replay(path: &Path) -> std::io::Result<Replay> {
         offset += body_end;
     }
     Ok(Replay { ops, valid_len: offset as u64, torn_bytes: (bytes.len() - offset) as u64 })
+}
+
+/// Read-only replay statistics for one WAL file — what
+/// `retrozilla-serve --wal-info` prints, and the first step toward
+/// point-in-time recovery tooling (the `valid_len` offset is exactly
+/// the "replay-to-offset" cursor a future tool would seek).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalInfo {
+    pub path: PathBuf,
+    /// Intact records that would replay.
+    pub records: u64,
+    /// How many of them are cluster upserts.
+    pub record_ops: u64,
+    /// How many of them are cluster removals.
+    pub remove_ops: u64,
+    /// Offset of the first byte past the last intact record — where a
+    /// recovery would truncate to, and where appending resumes.
+    pub last_offset: u64,
+    /// Bytes past `last_offset` (non-zero = torn/corrupt tail).
+    pub torn_bytes: u64,
+    /// Current file size on disk (0 when the file does not exist).
+    pub file_bytes: u64,
+}
+
+/// Inspect a WAL **without mutating it**: unlike [`Wal::open`], no torn
+/// tail is truncated and no magic is (re)initialised — safe to run
+/// against a live server's log or a post-crash artefact being triaged.
+pub fn wal_info(path: &Path) -> std::io::Result<WalInfo> {
+    let replayed = replay(path)?;
+    let file_bytes = match std::fs::metadata(path) {
+        Ok(meta) => meta.len(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => 0,
+        Err(e) => return Err(e),
+    };
+    let record_ops = replayed.ops.iter().filter(|op| matches!(op, WalOp::Record(_))).count() as u64;
+    Ok(WalInfo {
+        path: path.to_path_buf(),
+        records: replayed.ops.len() as u64,
+        record_ops,
+        remove_ops: replayed.ops.len() as u64 - record_ops,
+        last_offset: replayed.valid_len,
+        torn_bytes: replayed.torn_bytes,
+        file_bytes,
+    })
 }
 
 /// An open write-ahead log, positioned at its end. Created by
@@ -409,9 +472,84 @@ impl Wal {
     }
 }
 
+// ---- sharded directory layout ----------------------------------------------
+
+/// The on-disk identity of a sharded repository directory: shard count
+/// and hash scheme, committed as `manifest.json`. The manifest is the
+/// migration commit point — a directory without one is (re)initialised
+/// from scratch or from the legacy single-file pair, so a crash mid-
+/// migration simply redoes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardManifest {
+    pub shards: usize,
+}
+
+impl ShardManifest {
+    pub const FILE_NAME: &'static str = "manifest.json";
+    /// The only routing hash ever written; see
+    /// [`shard_for`] for why it must stay stable.
+    pub const HASH_NAME: &'static str = "fnv1a-64";
+
+    pub fn path(dir: &Path) -> PathBuf {
+        dir.join(Self::FILE_NAME)
+    }
+
+    /// Shard `i`'s base snapshot file (repository JSON array).
+    pub fn snapshot_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard:03}.json"))
+    }
+
+    /// Shard `i`'s write-ahead log.
+    pub fn wal_path(dir: &Path, shard: usize) -> PathBuf {
+        dir.join(format!("shard-{shard:03}.wal"))
+    }
+
+    /// Load the manifest; `Ok(None)` when the directory has none yet.
+    pub fn load(dir: &Path) -> Result<Option<ShardManifest>, RepositoryError> {
+        let path = Self::path(dir);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => {
+                return Err(RepositoryError::io(&format!("cannot read manifest: {e}"), &path))
+            }
+        };
+        let bad = |msg: &str| RepositoryError::io(msg, &path);
+        let json = retroweb_json::parse(&text)
+            .map_err(|e| bad(&format!("manifest is not valid JSON: {e}")))?;
+        let version = json.get("version").and_then(Json::as_u64);
+        if version != Some(1) {
+            return Err(bad(&format!("unsupported manifest version {version:?}")));
+        }
+        let hash = json.get("hash").and_then(Json::as_str);
+        if hash != Some(Self::HASH_NAME) {
+            return Err(bad(&format!("unsupported shard hash {hash:?}")));
+        }
+        let shards = json
+            .get("shards")
+            .and_then(Json::as_u64)
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| bad("manifest missing a positive 'shards' count"))?;
+        Ok(Some(ShardManifest { shards: shards as usize }))
+    }
+
+    /// Durably write the manifest (atomic replace + directory fsync).
+    pub fn save(&self, dir: &Path) -> std::io::Result<()> {
+        let json = Json::object(vec![
+            ("version".into(), Json::from(1usize)),
+            ("shards".into(), Json::from(self.shards)),
+            ("hash".into(), Json::from(Self::HASH_NAME)),
+        ]);
+        atomic_replace(&Self::path(dir), json.to_string_pretty().as_bytes(), &mut |_| {})
+    }
+}
+
 // ---- durable repository ----------------------------------------------------
 
 /// Point-in-time WAL counters for `/metrics` and capacity planning.
+/// In sharded mode these exist per shard; [`DurableRepository::wal_stats`]
+/// returns the sum and [`DurableRepository::shard_wal_stats`] the
+/// breakdown.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct WalStats {
     /// Records appended since open.
@@ -430,62 +568,116 @@ pub struct WalStats {
     pub since_compaction: u64,
 }
 
+impl WalStats {
+    /// Fold another counter snapshot into this one — how per-shard WAL
+    /// counters are summed into a store-wide aggregate.
+    pub fn accumulate(&mut self, other: &WalStats) {
+        self.appended_records += other.appended_records;
+        self.appended_bytes += other.appended_bytes;
+        self.compactions += other.compactions;
+        self.replayed_records += other.replayed_records;
+        self.replay_torn_bytes += other.replay_torn_bytes;
+        self.wal_bytes += other.wal_bytes;
+        self.since_compaction += other.since_compaction;
+    }
+}
+
+/// What a shard's compaction snapshots: the whole store (legacy
+/// single-file layout) or just the clusters routed to one shard.
+#[derive(Clone, Copy, Debug)]
+enum SnapshotScope {
+    Whole,
+    Shard(usize),
+}
+
+/// One write-ahead log plus its base snapshot and counters. Guarded by
+/// its own mutex inside [`Persist::Wal`], so appends (and compactions)
+/// for different shards never serialise on each other.
+struct WalShard {
+    snapshot: PathBuf,
+    wal: Wal,
+    scope: SnapshotScope,
+    compact_every: u64,
+    stats: WalStats,
+}
+
 /// How a [`DurableRepository`] persists mutations.
 enum Persist {
     /// Nothing on disk (tests, ad-hoc in-memory serving).
     Ephemeral,
-    /// Legacy whole-file rewrite per mutation: O(repo) but simple.
-    FullRewrite { snapshot: PathBuf },
-    /// WAL append per mutation, folded into the snapshot every
-    /// `compact_every` mutations: O(change).
-    Wal { snapshot: PathBuf, wal: Wal, compact_every: u64, stats: WalStats },
+    /// Legacy whole-file rewrite per mutation: O(repo) but simple. One
+    /// mutex — this mode exists for comparison, not concurrency.
+    FullRewrite { snapshot: PathBuf, lock: Mutex<()> },
+    /// WAL append per mutation, folded into the shard's snapshot every
+    /// `compact_every` mutations: O(change). One entry per store shard
+    /// (a single entry is the legacy single-file layout).
+    Wal { shards: Vec<Mutex<WalShard>> },
 }
 
-/// A [`RuleRepository`] whose mutations are durable before they are
-/// acknowledged. Readers go straight to [`repo`](Self::repo) (lock-free
-/// of this layer); writers are serialised through one mutex so the WAL
-/// order always equals the in-memory apply order.
+/// A [`ClusterStore`] whose mutations are durable before they are
+/// acknowledged. Readers go straight to [`store`](Self::store) — the
+/// durability layer is never on the read path; writers take only the
+/// mutex of the one WAL shard their cluster routes to, so the WAL order
+/// per shard always equals the in-memory apply order per cluster.
 pub struct DurableRepository {
-    repo: RuleRepository,
-    persist: Mutex<Persist>,
+    store: Arc<dyn ClusterStore>,
+    persist: Persist,
 }
 
 impl std::fmt::Debug for DurableRepository {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("DurableRepository").field("repo", &self.repo).finish_non_exhaustive()
+        f.debug_struct("DurableRepository").field("store", &self.store).finish_non_exhaustive()
     }
+}
+
+/// What [`DurableRepository::open_sharded`] did on startup, for banners
+/// and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardedOpenReport {
+    /// Effective shard count (the manifest's, once one exists).
+    pub shards: usize,
+    /// Clusters carried over from the legacy single-file layout, when
+    /// this open performed that migration.
+    pub migrated_clusters: Option<usize>,
+    /// True when an existing manifest's shard count overrode the
+    /// requested one.
+    pub adopted_manifest_shards: bool,
 }
 
 impl DurableRepository {
     /// No persistence: mutations live only in memory.
-    pub fn ephemeral(repo: RuleRepository) -> DurableRepository {
-        DurableRepository { repo, persist: Mutex::new(Persist::Ephemeral) }
+    pub fn ephemeral(store: Arc<dyn ClusterStore>) -> DurableRepository {
+        DurableRepository { store, persist: Persist::Ephemeral }
     }
 
     /// Legacy mode: every mutation rewrites the whole snapshot (atomic
     /// rename + directory fsync). Kept for comparison benchmarks and as
     /// an explicit opt-out of the WAL.
-    pub fn full_rewrite(repo: RuleRepository, snapshot: PathBuf) -> DurableRepository {
-        DurableRepository { repo, persist: Mutex::new(Persist::FullRewrite { snapshot }) }
+    pub fn full_rewrite(store: Arc<dyn ClusterStore>, snapshot: PathBuf) -> DurableRepository {
+        DurableRepository {
+            store,
+            persist: Persist::FullRewrite { snapshot, lock: Mutex::new(()) },
+        }
     }
 
-    /// WAL mode over an already-loaded base state: replay any existing
-    /// log at `wal_path` on top of `repo` (recovering a torn tail), and
-    /// log every future mutation there, compacting into `snapshot`
-    /// every `compact_every` mutations.
+    /// Single-WAL mode over an already-loaded base state: replay any
+    /// existing log at `wal_path` on top of `store` (recovering a torn
+    /// tail), and log every future mutation there, compacting the whole
+    /// store into `snapshot` every `compact_every` mutations.
     ///
-    /// `repo` must be the state loaded from `snapshot` (or empty when
-    /// the snapshot doesn't exist yet) — replay assumes the log extends
-    /// exactly that base.
+    /// `store` must hold the state loaded from `snapshot` (or be empty
+    /// when the snapshot doesn't exist yet) — replay assumes the log
+    /// extends exactly that base. The store may be sharded in memory;
+    /// with one WAL all mutations still serialise on its mutex.
     pub fn attach_wal(
-        repo: RuleRepository,
+        store: Arc<dyn ClusterStore>,
         snapshot: PathBuf,
         wal_path: &Path,
         compact_every: u64,
     ) -> std::io::Result<DurableRepository> {
         let (wal, replayed) = Wal::open(wal_path)?;
         for op in &replayed.ops {
-            op.apply(&repo);
+            op.apply(store.as_ref());
         }
         let stats = WalStats {
             replayed_records: replayed.ops.len() as u64,
@@ -495,18 +687,22 @@ impl DurableRepository {
             ..WalStats::default()
         };
         Ok(DurableRepository {
-            repo,
-            persist: Mutex::new(Persist::Wal {
-                snapshot,
-                wal,
-                compact_every: compact_every.max(1),
-                stats,
-            }),
+            store,
+            persist: Persist::Wal {
+                shards: vec![Mutex::new(WalShard {
+                    snapshot,
+                    wal,
+                    scope: SnapshotScope::Whole,
+                    compact_every: compact_every.max(1),
+                    stats,
+                })],
+            },
         })
     }
 
-    /// Open snapshot + WAL from disk: load `snapshot` (absent = empty),
-    /// replay the log over it. The standard server startup path.
+    /// Open the legacy single-file snapshot + WAL pair from disk: load
+    /// `snapshot` (absent = empty) into a monolithic [`RuleRepository`],
+    /// replay the log over it. The single-file server startup path.
     pub fn open_wal(
         snapshot: PathBuf,
         wal_path: &Path,
@@ -517,97 +713,338 @@ impl DurableRepository {
         } else {
             RuleRepository::new()
         };
-        DurableRepository::attach_wal(repo, snapshot, wal_path, compact_every)
+        DurableRepository::attach_wal(Arc::new(repo), snapshot, wal_path, compact_every)
             .map_err(|e| RepositoryError::io(&format!("cannot open WAL: {e}"), wal_path))
     }
 
-    /// The in-memory repository — all reads (and extraction) go here.
-    pub fn repo(&self) -> &RuleRepository {
-        &self.repo
+    /// Open (creating or migrating if needed) a **sharded** repository
+    /// directory: one snapshot + WAL pair per shard, all replayed in
+    /// parallel, per-shard compaction from then on.
+    ///
+    /// - An existing `manifest.json` fixes the shard count (the
+    ///   requested count is ignored with
+    ///   [`ShardedOpenReport::adopted_manifest_shards`] set — resharding
+    ///   an existing layout is a ROADMAP follow-up);
+    /// - without a manifest, the initial state — optional `seed`
+    ///   clusters, overlaid by a legacy single-file pair
+    ///   (`legacy_snapshot` + `legacy_wal`, both optional, which win
+    ///   over the seed like a loaded snapshot wins over a bind seed) —
+    ///   is partitioned into per-shard snapshot files, then the
+    ///   manifest is written as the commit point. The legacy files are
+    ///   left untouched (they are superseded; delete them once
+    ///   satisfied). A crash at *any* point before the manifest leaves
+    ///   no manifest, so the next open redoes the whole
+    ///   initialisation — seed included — from the still-intact
+    ///   sources; once a manifest exists, the layout's own history is
+    ///   authoritative and the seed is ignored.
+    pub fn open_sharded(
+        dir: &Path,
+        requested_shards: usize,
+        compact_every: u64,
+        seed: Option<&crate::store::RepositorySnapshot>,
+        legacy_snapshot: Option<&Path>,
+        legacy_wal: Option<&Path>,
+    ) -> Result<(DurableRepository, Arc<ShardedRepository>, ShardedOpenReport), RepositoryError>
+    {
+        let io_err = |msg: String| RepositoryError::io(&msg, dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| io_err(format!("cannot create shard directory: {e}")))?;
+        let mut report = ShardedOpenReport::default();
+        let shards = match ShardManifest::load(dir)? {
+            Some(manifest) => {
+                report.adopted_manifest_shards = manifest.shards != requested_shards.max(1);
+                manifest.shards
+            }
+            None => {
+                let shards = requested_shards.max(1);
+                report.migrated_clusters =
+                    Some(Self::migrate_legacy(dir, shards, seed, legacy_snapshot, legacy_wal)?);
+                ShardManifest { shards }
+                    .save(dir)
+                    .map_err(|e| io_err(format!("cannot write manifest: {e}")))?;
+                shards
+            }
+        };
+        report.shards = shards;
+
+        let store = Arc::new(ShardedRepository::new(shards));
+        // Load + replay every shard in parallel: shards are disjoint by
+        // construction, and the store's writers are per-shard, so the
+        // only coordination needed is joining the threads.
+        let wal_shards =
+            std::thread::scope(|scope| -> Result<Vec<Mutex<WalShard>>, RepositoryError> {
+                let mut handles = Vec::with_capacity(shards);
+                for i in 0..shards {
+                    let store = Arc::clone(&store);
+                    handles
+                        .push(scope.spawn(move || Self::open_shard(dir, i, &store, compact_every)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard open thread panicked").map(Mutex::new))
+                    .collect()
+            })?;
+        let durable = DurableRepository {
+            store: Arc::clone(&store) as Arc<dyn ClusterStore>,
+            persist: Persist::Wal { shards: wal_shards },
+        };
+        Ok((durable, store, report))
+    }
+
+    /// Partition the layout's initial state — seed clusters overlaid
+    /// by the legacy single-file snapshot + replayed log — into
+    /// per-shard snapshot files. Returns how many clusters moved. Any
+    /// shard files lying around from an aborted earlier initialisation
+    /// are deleted first — without a manifest they are not history.
+    fn migrate_legacy(
+        dir: &Path,
+        shards: usize,
+        seed: Option<&crate::store::RepositorySnapshot>,
+        legacy_snapshot: Option<&Path>,
+        legacy_wal: Option<&Path>,
+    ) -> Result<usize, RepositoryError> {
+        for i in 0..shards {
+            let _ = std::fs::remove_file(ShardManifest::wal_path(dir, i));
+            let _ = std::fs::remove_file(ShardManifest::snapshot_path(dir, i));
+        }
+        let legacy = match (seed, legacy_snapshot.filter(|p| p.exists())) {
+            // No seed: the loaded snapshot is the base state directly.
+            (None, Some(path)) => RuleRepository::load(path)?,
+            (seed, snapshot) => {
+                let legacy = RuleRepository::new();
+                if let Some(seed) = seed {
+                    for (_, rules) in seed.iter() {
+                        legacy.record(rules.clone());
+                    }
+                }
+                if let Some(path) = snapshot {
+                    // The legacy pair wins over the seed, exactly as a
+                    // loaded snapshot wins over a bind seed.
+                    for (_, rules) in RuleRepository::load(path)?.snapshot().iter() {
+                        legacy.record(rules.clone());
+                    }
+                }
+                legacy
+            }
+        };
+        if let Some(wal_path) = legacy_wal {
+            // Read-only replay: the legacy log is left byte-identical in
+            // case the operator needs to roll back to single-file mode.
+            let replayed = replay(wal_path).map_err(|e| {
+                RepositoryError::io(&format!("cannot replay legacy WAL: {e}"), wal_path)
+            })?;
+            for op in &replayed.ops {
+                op.apply(&legacy);
+            }
+        }
+        let snapshot = legacy.snapshot();
+        if snapshot.is_empty() {
+            return Ok(0);
+        }
+        let mut partitions: Vec<Vec<Json>> = vec![Vec::new(); shards];
+        for (name, rules) in snapshot.iter() {
+            partitions[shard_for(name, shards)].push(rules.to_json());
+        }
+        for (i, clusters) in partitions.into_iter().enumerate() {
+            if clusters.is_empty() {
+                continue; // an absent shard snapshot loads as empty
+            }
+            let path = ShardManifest::snapshot_path(dir, i);
+            let text = Json::Array(clusters).to_string_pretty();
+            atomic_replace(&path, text.as_bytes(), &mut |_| {}).map_err(|e| {
+                RepositoryError::io(&format!("cannot write shard snapshot: {e}"), &path)
+            })?;
+        }
+        Ok(snapshot.len())
+    }
+
+    /// Load one shard's snapshot into the store and replay its WAL.
+    fn open_shard(
+        dir: &Path,
+        shard: usize,
+        store: &ShardedRepository,
+        compact_every: u64,
+    ) -> Result<WalShard, RepositoryError> {
+        let snapshot_path = ShardManifest::snapshot_path(dir, shard);
+        if snapshot_path.exists() {
+            for (name, rules) in RuleRepository::load(&snapshot_path)?.snapshot().iter() {
+                // A cluster in the wrong shard file means the routing
+                // hash changed or the file was hand-edited; loading it
+                // anyway would strand it where no mutation can reach.
+                if store.shard_of(name) != shard {
+                    return Err(RepositoryError::io(
+                        &format!(
+                            "cluster '{name}' does not route to shard {shard}; \
+                             the shard layout is corrupt"
+                        ),
+                        &snapshot_path,
+                    ));
+                }
+                store.record(rules.clone());
+            }
+        }
+        let wal_path = ShardManifest::wal_path(dir, shard);
+        let (wal, replayed) = Wal::open(&wal_path)
+            .map_err(|e| RepositoryError::io(&format!("cannot open shard WAL: {e}"), &wal_path))?;
+        for op in &replayed.ops {
+            // Same corruption class the snapshot check rejects: a
+            // record for a cluster that routes elsewhere would be
+            // absorbed into a foreign shard racily during parallel
+            // replay and then diverge across compactions.
+            if store.shard_of(op.cluster()) != shard {
+                return Err(RepositoryError::io(
+                    &format!(
+                        "WAL record for cluster '{}' does not route to shard {shard}; \
+                         the shard layout is corrupt",
+                        op.cluster()
+                    ),
+                    &wal_path,
+                ));
+            }
+            op.apply(store);
+        }
+        let stats = WalStats {
+            replayed_records: replayed.ops.len() as u64,
+            replay_torn_bytes: replayed.torn_bytes,
+            wal_bytes: wal.len(),
+            since_compaction: replayed.ops.len() as u64,
+            ..WalStats::default()
+        };
+        Ok(WalShard {
+            snapshot: snapshot_path,
+            wal,
+            scope: SnapshotScope::Shard(shard),
+            compact_every: compact_every.max(1),
+            stats,
+        })
+    }
+
+    /// The in-memory store — all reads (and extraction) go here.
+    pub fn store(&self) -> &Arc<dyn ClusterStore> {
+        &self.store
     }
 
     /// Insert-or-replace a cluster durably. On `Ok`, the mutation is
     /// fsynced (WAL append or full rewrite) *and* applied in memory.
     pub fn record(&self, rules: ClusterRules) -> std::io::Result<()> {
-        self.mutate(WalOp::Record(rules))?;
-        Ok(())
+        self.mutate(WalOp::Record(rules))
     }
 
     /// Remove a cluster durably. Returns whether it existed. An absent
     /// cluster is not logged (nothing changed, nothing to make durable).
     pub fn remove(&self, cluster: &str) -> std::io::Result<bool> {
-        // Check-and-log under one lock acquisition, so two racing
-        // removes of the same cluster log exactly one record.
-        let mut guard = self.persist.lock().expect("persist lock poisoned");
-        if self.repo.get(cluster).is_none() {
-            return Ok(false);
+        match &self.persist {
+            Persist::Ephemeral => Ok(self.store.remove(cluster)),
+            Persist::FullRewrite { snapshot, lock } => {
+                // Check-and-log under one lock acquisition, so two
+                // racing removes of the same cluster log exactly once.
+                let _guard = lock.lock().expect("persist lock poisoned");
+                if self.store.get(cluster).is_none() {
+                    return Ok(false);
+                }
+                Self::rewrite_locked(
+                    self.store.as_ref(),
+                    snapshot,
+                    WalOp::Remove(cluster.to_string()),
+                )?;
+                Ok(true)
+            }
+            Persist::Wal { shards } => {
+                let mut shard = self.wal_shard(shards, cluster);
+                if self.store.get(cluster).is_none() {
+                    return Ok(false);
+                }
+                Self::wal_mutate_locked(
+                    self.store.as_ref(),
+                    &mut shard,
+                    WalOp::Remove(cluster.to_string()),
+                )?;
+                Ok(true)
+            }
         }
-        Self::mutate_locked(&self.repo, &mut guard, WalOp::Remove(cluster.to_string()))?;
-        Ok(true)
     }
 
-    /// Log-then-apply under the persist lock: WAL order == apply order,
-    /// and a failed fsync means the mutation is *not* applied (the
-    /// caller's 500 is honest — nothing half-happened).
+    /// Which WAL shard a cluster's mutations are logged in, locked. The
+    /// store's routing decides — persistence and memory must agree, or
+    /// a shard's snapshot would miss clusters its log mutated.
+    fn wal_shard<'a>(
+        &self,
+        shards: &'a [Mutex<WalShard>],
+        cluster: &str,
+    ) -> std::sync::MutexGuard<'a, WalShard> {
+        let index = if shards.len() == 1 { 0 } else { self.store.shard_of(cluster) };
+        shards[index].lock().expect("wal shard lock poisoned")
+    }
+
+    /// Log-then-apply under the target shard's lock: per-shard WAL
+    /// order == apply order, and a failed fsync means the mutation is
+    /// *not* applied (the caller's 500 is honest — nothing
+    /// half-happened).
     fn mutate(&self, op: WalOp) -> std::io::Result<()> {
-        let mut guard = self.persist.lock().expect("persist lock poisoned");
-        Self::mutate_locked(&self.repo, &mut guard, op)
+        match &self.persist {
+            Persist::Ephemeral => {
+                op.apply(self.store.as_ref());
+                Ok(())
+            }
+            Persist::FullRewrite { snapshot, lock } => {
+                let _guard = lock.lock().expect("persist lock poisoned");
+                Self::rewrite_locked(self.store.as_ref(), snapshot, op)
+            }
+            Persist::Wal { shards } => {
+                let mut shard = self.wal_shard(shards, op.cluster());
+                Self::wal_mutate_locked(self.store.as_ref(), &mut shard, op)
+            }
+        }
     }
 
-    fn mutate_locked(repo: &RuleRepository, guard: &mut Persist, op: WalOp) -> std::io::Result<()> {
-        match guard {
-            Persist::Ephemeral => {
-                op.apply(repo);
-            }
-            Persist::FullRewrite { snapshot } => {
-                // Apply, rewrite the whole file from the new state, and
-                // on a failed save roll the in-memory apply back — so
-                // this mode honours the same contract as the WAL path:
-                // an errored mutation leaves the old rules live, in
-                // memory and on disk. (Readers may glimpse the new
-                // rules during the save window; they can never keep
-                // serving rules the caller was told failed.)
-                let undo_key = match &op {
-                    WalOp::Record(c) => c.cluster.clone(),
-                    WalOp::Remove(name) => name.clone(),
-                };
-                let undo = repo.get(&undo_key);
-                op.apply(repo);
-                let snapshot = snapshot.clone();
-                if let Err(e) = repo.save(&snapshot) {
-                    match undo {
-                        Some(prev) => repo.record(prev),
-                        None => {
-                            repo.remove(&undo_key);
-                        }
-                    }
-                    return Err(e);
+    /// Full-rewrite mutation: apply, rewrite the whole file from the
+    /// new state, and on a failed save roll the in-memory apply back —
+    /// so this mode honours the same contract as the WAL path: an
+    /// errored mutation leaves the old rules live, in memory and on
+    /// disk. (Readers may glimpse the new rules during the save window;
+    /// they can never keep serving rules the caller was told failed.)
+    fn rewrite_locked(store: &dyn ClusterStore, snapshot: &Path, op: WalOp) -> std::io::Result<()> {
+        let undo_key = op.cluster().to_string();
+        let undo = store.get(&undo_key);
+        op.apply(store);
+        if let Err(e) = store.save(snapshot) {
+            match undo {
+                Some(prev) => store.record(prev),
+                None => {
+                    store.remove(&undo_key);
                 }
             }
-            Persist::Wal { snapshot, wal, compact_every, stats } => {
-                let appended = wal.append(&op)?;
-                op.apply(repo);
-                stats.appended_records += 1;
-                stats.appended_bytes += appended;
-                stats.since_compaction += 1;
-                stats.wal_bytes = wal.len();
-                if stats.since_compaction >= *compact_every {
-                    let snapshot = snapshot.clone();
-                    Self::compact_locked(repo, &snapshot, wal, stats)?;
-                }
-            }
+            return Err(e);
         }
         Ok(())
     }
 
-    /// Fold the log into the snapshot and truncate it. No-op outside
-    /// WAL mode or when the log is empty.
+    fn wal_mutate_locked(
+        store: &dyn ClusterStore,
+        shard: &mut WalShard,
+        op: WalOp,
+    ) -> std::io::Result<()> {
+        let appended = shard.wal.append(&op)?;
+        op.apply(store);
+        shard.stats.appended_records += 1;
+        shard.stats.appended_bytes += appended;
+        shard.stats.since_compaction += 1;
+        shard.stats.wal_bytes = shard.wal.len();
+        if shard.stats.since_compaction >= shard.compact_every {
+            Self::compact_locked(store, shard)?;
+        }
+        Ok(())
+    }
+
+    /// Fold every dirty shard's log into its snapshot and truncate it.
+    /// No-op outside WAL mode or for clean shards.
     pub fn compact(&self) -> std::io::Result<()> {
-        let mut guard = self.persist.lock().expect("persist lock poisoned");
-        if let Persist::Wal { snapshot, wal, stats, .. } = &mut *guard {
-            if stats.since_compaction > 0 || !wal.is_empty() {
-                let snapshot = snapshot.clone();
-                Self::compact_locked(&self.repo, &snapshot, wal, stats)?;
+        if let Persist::Wal { shards } = &self.persist {
+            for shard in shards {
+                let mut shard = shard.lock().expect("wal shard lock poisoned");
+                if shard.stats.since_compaction > 0 || !shard.wal.is_empty() {
+                    Self::compact_locked(self.store.as_ref(), &mut shard)?;
+                }
             }
         }
         Ok(())
@@ -617,24 +1054,40 @@ impl DurableRepository {
     /// directory entry) must be durable before the records it absorbs
     /// are dropped from the log. A crash in between replays ops the
     /// snapshot already holds — harmless, because replay is idempotent.
-    fn compact_locked(
-        repo: &RuleRepository,
-        snapshot: &Path,
-        wal: &mut Wal,
-        stats: &mut WalStats,
-    ) -> std::io::Result<()> {
-        repo.save(snapshot)?; // atomic rename + directory fsync
-        wal.truncate()?;
-        stats.compactions += 1;
-        stats.since_compaction = 0;
-        stats.wal_bytes = wal.len();
+    /// Sharded scope snapshots only this shard's clusters, so one
+    /// shard's compaction never reads (let alone rewrites) the others.
+    fn compact_locked(store: &dyn ClusterStore, shard: &mut WalShard) -> std::io::Result<()> {
+        let snapshot = match shard.scope {
+            SnapshotScope::Whole => store.snapshot(),
+            SnapshotScope::Shard(i) => store.shard_snapshot(i),
+        };
+        snapshot.save(&shard.snapshot)?; // atomic rename + directory fsync
+        shard.wal.truncate()?;
+        shard.stats.compactions += 1;
+        shard.stats.since_compaction = 0;
+        shard.stats.wal_bytes = shard.wal.len();
         Ok(())
     }
 
-    /// WAL counters, `None` outside WAL mode.
+    /// Aggregate WAL counters (summed over shards), `None` outside WAL
+    /// mode.
     pub fn wal_stats(&self) -> Option<WalStats> {
-        match &*self.persist.lock().expect("persist lock poisoned") {
-            Persist::Wal { stats, .. } => Some(*stats),
+        self.shard_wal_stats().map(|per_shard| {
+            let mut total = WalStats::default();
+            for stats in &per_shard {
+                total.accumulate(stats);
+            }
+            total
+        })
+    }
+
+    /// Per-shard WAL counters in shard order, `None` outside WAL mode.
+    /// Single-WAL mode reports one entry.
+    pub fn shard_wal_stats(&self) -> Option<Vec<WalStats>> {
+        match &self.persist {
+            Persist::Wal { shards } => Some(
+                shards.iter().map(|s| s.lock().expect("wal shard lock poisoned").stats).collect(),
+            ),
             _ => None,
         }
     }
@@ -794,7 +1247,7 @@ mod tests {
             assert!(!snapshot.exists());
         } // dropped without compaction — simulated crash
         let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
-        assert_eq!(repo.repo().cluster_names(), vec!["b"]);
+        assert_eq!(repo.store().cluster_names(), vec!["b"]);
         assert_eq!(repo.wal_stats().unwrap().replayed_records, 3);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -820,7 +1273,7 @@ mod tests {
         assert_eq!(std::fs::read(&wal).unwrap(), WAL_MAGIC);
         // Reopen: replay is a no-op over the compacted snapshot.
         let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 2).unwrap();
-        assert_eq!(repo.repo().cluster_names(), vec!["a", "b"]);
+        assert_eq!(repo.store().cluster_names(), vec!["a", "b"]);
         assert_eq!(repo.wal_stats().unwrap().replayed_records, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -836,12 +1289,12 @@ mod tests {
             repo.record(cluster("b", 2)).unwrap();
             // Simulate the crash window: snapshot written, log NOT yet
             // truncated.
-            repo.repo().save(&snapshot).unwrap();
+            repo.store().save(&snapshot).unwrap();
         }
         // Replay re-applies ops the snapshot already holds — same state.
         let repo = DurableRepository::open_wal(snapshot.clone(), &wal, 1_000).unwrap();
-        assert_eq!(repo.repo().cluster_names(), vec!["a", "b"]);
-        assert_eq!(repo.repo().get("b"), Some(cluster("b", 2)));
+        assert_eq!(repo.store().cluster_names(), vec!["a", "b"]);
+        assert_eq!(repo.store().get("b"), Some(cluster("b", 2)));
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -849,7 +1302,8 @@ mod tests {
     fn full_rewrite_mode_matches_pre_wal_behaviour() {
         let dir = temp_dir("rewrite");
         let snapshot = dir.join("rules.json");
-        let repo = DurableRepository::full_rewrite(RuleRepository::new(), snapshot.clone());
+        let repo =
+            DurableRepository::full_rewrite(Arc::new(RuleRepository::new()), snapshot.clone());
         repo.record(cluster("a", 1)).unwrap();
         assert_eq!(RuleRepository::load(&snapshot).unwrap().cluster_names(), vec!["a"]);
         assert!(repo.remove("a").unwrap());
@@ -860,9 +1314,262 @@ mod tests {
 
     #[test]
     fn ephemeral_mode_touches_no_disk() {
-        let repo = DurableRepository::ephemeral(RuleRepository::new());
+        let repo = DurableRepository::ephemeral(Arc::new(RuleRepository::new()));
         repo.record(cluster("a", 1)).unwrap();
         assert!(repo.remove("a").unwrap());
         assert!(repo.wal_stats().is_none());
+    }
+
+    #[test]
+    fn wal_info_is_read_only() {
+        let dir = temp_dir("info");
+        let path = dir.join("rules.wal");
+        // Missing file: everything zero.
+        let info = wal_info(&path).unwrap();
+        assert_eq!((info.records, info.torn_bytes, info.file_bytes), (0, 0, 0));
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(&WalOp::Record(cluster("a", 1))).unwrap();
+            wal.append(&WalOp::Record(cluster("b", 1))).unwrap();
+            wal.append(&WalOp::Remove("a".to_string())).unwrap();
+        }
+        let clean = std::fs::read(&path).unwrap();
+        let info = wal_info(&path).unwrap();
+        assert_eq!(info.records, 3);
+        assert_eq!(info.record_ops, 2);
+        assert_eq!(info.remove_ops, 1);
+        assert_eq!(info.last_offset, clean.len() as u64);
+        assert_eq!(info.torn_bytes, 0);
+        assert_eq!(info.file_bytes, clean.len() as u64);
+        // Tear the tail: info reports it but must not truncate.
+        let mut torn = clean.clone();
+        torn.extend_from_slice(&[1, 2, 3, 4, 5]);
+        std::fs::write(&path, &torn).unwrap();
+        let info = wal_info(&path).unwrap();
+        assert_eq!(info.records, 3);
+        assert_eq!(info.torn_bytes, 5);
+        assert_eq!(info.last_offset, clean.len() as u64);
+        assert_eq!(std::fs::read(&path).unwrap(), torn, "wal_info must never mutate the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_round_trip_and_rejections() {
+        let dir = temp_dir("manifest");
+        assert_eq!(ShardManifest::load(&dir).unwrap(), None);
+        ShardManifest { shards: 8 }.save(&dir).unwrap();
+        assert_eq!(ShardManifest::load(&dir).unwrap(), Some(ShardManifest { shards: 8 }));
+        for bad in [
+            "{}",
+            "{\"version\":2,\"shards\":8,\"hash\":\"fnv1a-64\"}",
+            "{\"version\":1,\"shards\":8,\"hash\":\"sha256\"}",
+            "{\"version\":1,\"shards\":0,\"hash\":\"fnv1a-64\"}",
+            "not json",
+        ] {
+            std::fs::write(ShardManifest::path(&dir), bad).unwrap();
+            assert!(ShardManifest::load(&dir).is_err(), "{bad}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_open_mutate_crash_replay_round_trip() {
+        let dir = temp_dir("sharded");
+        let shard_dir = dir.join("rules.d");
+        {
+            let (durable, store, report) =
+                DurableRepository::open_sharded(&shard_dir, 4, 1_000, None, None, None).unwrap();
+            assert_eq!(report.shards, 4);
+            assert_eq!(report.migrated_clusters, Some(0));
+            assert!(!report.adopted_manifest_shards);
+            assert_eq!(store.shard_count(), 4);
+            for i in 0..12 {
+                durable.record(cluster(&format!("c{i}"), 1 + i % 2)).unwrap();
+            }
+            assert!(durable.remove("c3").unwrap());
+            assert!(!durable.remove("c3").unwrap());
+            // Mutations land in the WAL of the shard the cluster
+            // routes to, and nowhere else.
+            let per_shard = durable.shard_wal_stats().unwrap();
+            assert_eq!(per_shard.len(), 4);
+            assert_eq!(per_shard.iter().map(|s| s.appended_records).sum::<u64>(), 13);
+            for (i, stats) in per_shard.iter().enumerate() {
+                let expected = (0..12).filter(|&c| shard_for(&format!("c{c}"), 4) == i).count()
+                    as u64
+                    + u64::from(shard_for("c3", 4) == i);
+                assert_eq!(stats.appended_records, expected, "shard {i}");
+            }
+        } // crash: nothing compacted
+        let (durable, store, report) =
+            DurableRepository::open_sharded(&shard_dir, 4, 1_000, None, None, None).unwrap();
+        assert_eq!(report.migrated_clusters, None, "manifest exists; no re-migration");
+        assert_eq!(store.len(), 11);
+        assert!(store.get("c3").is_none());
+        assert_eq!(store.get("c5"), Some(cluster("c5", 2)));
+        assert_eq!(durable.wal_stats().unwrap().replayed_records, 13);
+        // Compact every shard, reopen: state now lives in the per-shard
+        // snapshots, logs are empty.
+        durable.compact().unwrap();
+        drop(durable);
+        for i in 0..4 {
+            let wal = ShardManifest::wal_path(&shard_dir, i);
+            assert_eq!(std::fs::read(&wal).unwrap(), WAL_MAGIC, "shard {i} log truncated");
+        }
+        let (durable, store, _) =
+            DurableRepository::open_sharded(&shard_dir, 4, 1_000, None, None, None).unwrap();
+        assert_eq!(store.len(), 11);
+        assert_eq!(durable.wal_stats().unwrap().replayed_records, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_open_migrates_legacy_single_file_layout() {
+        let dir = temp_dir("migrate");
+        let legacy_snapshot = dir.join("rules.json");
+        let legacy_wal = dir.join("rules.json.wal");
+        // Build a legacy single-file state: snapshot + uncompacted log.
+        {
+            let repo = RuleRepository::new();
+            repo.record(cluster("alpha", 1));
+            repo.record(cluster("beta", 2));
+            repo.save(&legacy_snapshot).unwrap();
+            let durable =
+                DurableRepository::open_wal(legacy_snapshot.clone(), &legacy_wal, 1_000).unwrap();
+            durable.record(cluster("gamma", 1)).unwrap(); // log-only
+            durable.record(cluster("beta", 3)).unwrap(); // log-only replace
+        }
+        let legacy_wal_bytes = std::fs::read(&legacy_wal).unwrap();
+        let shard_dir = dir.join("rules.d");
+        let (durable, store, report) = DurableRepository::open_sharded(
+            &shard_dir,
+            4,
+            1_000,
+            None,
+            Some(&legacy_snapshot),
+            Some(&legacy_wal),
+        )
+        .unwrap();
+        assert_eq!(report.migrated_clusters, Some(3));
+        assert_eq!(store.cluster_names(), vec!["alpha", "beta", "gamma"]);
+        assert_eq!(store.get("beta"), Some(cluster("beta", 3)), "log-only state migrated");
+        // The legacy pair is untouched (rollback stays possible)…
+        assert_eq!(std::fs::read(&legacy_wal).unwrap(), legacy_wal_bytes);
+        assert!(legacy_snapshot.exists());
+        // …and every migrated cluster lives in its routed shard file.
+        for (name, _) in store.snapshot().iter() {
+            let path = ShardManifest::snapshot_path(&shard_dir, store.shard_of(name));
+            assert!(
+                std::fs::read_to_string(&path).unwrap().contains(name),
+                "{name} missing from {path:?}"
+            );
+        }
+        // A later open ignores the legacy pair entirely: mutate the
+        // sharded store, reopen with the same legacy arguments, and the
+        // sharded state (not a re-migration) wins.
+        durable.record(cluster("delta", 1)).unwrap();
+        drop(durable);
+        let (_, store, report) = DurableRepository::open_sharded(
+            &shard_dir,
+            4,
+            1_000,
+            None,
+            Some(&legacy_snapshot),
+            Some(&legacy_wal),
+        )
+        .unwrap();
+        assert_eq!(report.migrated_clusters, None);
+        assert_eq!(store.len(), 4);
+        assert!(store.get("delta").is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_open_adopts_manifest_shard_count() {
+        let dir = temp_dir("adopt");
+        let shard_dir = dir.join("rules.d");
+        {
+            let (durable, _, _) =
+                DurableRepository::open_sharded(&shard_dir, 2, 1_000, None, None, None).unwrap();
+            durable.record(cluster("a", 1)).unwrap();
+        }
+        // Requesting 8 shards over a 2-shard layout: the manifest wins
+        // (resharding is a follow-up), and the report says so.
+        let (_, store, report) =
+            DurableRepository::open_sharded(&shard_dir, 8, 1_000, None, None, None).unwrap();
+        assert_eq!(report.shards, 2);
+        assert!(report.adopted_manifest_shards);
+        assert_eq!(store.shard_count(), 2);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_torn_shard_tail_only_loses_that_shard() {
+        let dir = temp_dir("shardtorn");
+        let shard_dir = dir.join("rules.d");
+        let names: Vec<String> = (0..16).map(|i| format!("c{i}")).collect();
+        {
+            let (durable, _, _) =
+                DurableRepository::open_sharded(&shard_dir, 4, 1_000, None, None, None).unwrap();
+            for name in &names {
+                durable.record(cluster(name, 1)).unwrap();
+            }
+        }
+        // Tear the tail off shard 0's log mid-record.
+        let victim = ShardManifest::wal_path(&shard_dir, 0);
+        let bytes = std::fs::read(&victim).unwrap();
+        std::fs::write(&victim, &bytes[..bytes.len() - 3]).unwrap();
+        let victims: Vec<&String> = names.iter().filter(|n| shard_for(n, 4) == 0).collect();
+        assert!(!victims.is_empty());
+        let (durable, store, _) =
+            DurableRepository::open_sharded(&shard_dir, 4, 1_000, None, None, None).unwrap();
+        // Exactly the victim shard's last record is gone; every other
+        // shard replays in full.
+        assert_eq!(store.len(), names.len() - 1);
+        let lost: Vec<&String> = names.iter().filter(|n| store.get(n).is_none()).collect();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(shard_for(lost[0], 4), 0, "only shard 0 may lose records");
+        let per_shard = durable.shard_wal_stats().unwrap();
+        assert!(per_shard[0].replay_torn_bytes > 0);
+        assert_eq!(per_shard[0].replayed_records as usize, victims.len() - 1);
+        for (i, stats) in per_shard.iter().enumerate().skip(1) {
+            assert_eq!(stats.replay_torn_bytes, 0, "shard {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_compaction_is_per_shard() {
+        let dir = temp_dir("shardcompact");
+        let shard_dir = dir.join("rules.d");
+        let (durable, store, _) =
+            DurableRepository::open_sharded(&shard_dir, 4, 3, None, None, None).unwrap();
+        // Drive one shard over its compaction threshold while the
+        // others stay below it.
+        let busy: Vec<String> =
+            (0..100).map(|i| format!("x{i}")).filter(|n| shard_for(n, 4) == 2).take(3).collect();
+        assert_eq!(busy.len(), 3);
+        let quiet: String =
+            (0..100).map(|i| format!("q{i}")).find(|n| shard_for(n, 4) == 1).unwrap();
+        durable.record(cluster(&quiet, 1)).unwrap();
+        for name in &busy {
+            durable.record(cluster(name, 1)).unwrap();
+        }
+        let per_shard = durable.shard_wal_stats().unwrap();
+        assert_eq!(per_shard[2].compactions, 1, "busy shard compacted");
+        assert_eq!(per_shard[2].since_compaction, 0);
+        assert_eq!(per_shard[1].compactions, 0, "quiet shard untouched");
+        assert_eq!(per_shard[1].since_compaction, 1);
+        // The busy shard's snapshot holds exactly its clusters.
+        let snap_2 = ShardManifest::snapshot_path(&shard_dir, 2);
+        let loaded = RuleRepository::load(&snap_2).unwrap();
+        let mut want = busy.clone();
+        want.sort();
+        assert_eq!(loaded.cluster_names(), want);
+        // Quiet shard: no snapshot yet (nothing compacted).
+        assert!(!ShardManifest::snapshot_path(&shard_dir, 1).exists());
+        drop(durable);
+        let _ = store;
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use retrozilla::wal::{replay, Wal, WalOp, WAL_MAGIC};
-use retrozilla::{ClusterRules, DurableRepository, RuleRepository};
+use retrozilla::{ClusterRules, DurableRepository};
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -81,7 +81,7 @@ fn model_after(ops: &[WalOp]) -> BTreeMap<String, ClusterRules> {
     model
 }
 
-fn repo_as_map(repo: &RuleRepository) -> BTreeMap<String, ClusterRules> {
+fn repo_as_map(repo: &dyn retrozilla::ClusterStore) -> BTreeMap<String, ClusterRules> {
     repo.cluster_names().into_iter().map(|n| (n.clone(), repo.get(&n).unwrap())).collect()
 }
 
@@ -126,7 +126,7 @@ proptest! {
         } // crash: dropped wherever the compaction cycle happened to be
         {
             let repo = DurableRepository::open_wal(snapshot.clone(), &wal, compact_every).unwrap();
-            prop_assert_eq!(repo_as_map(repo.repo()), model_after(&ops[..split]));
+            prop_assert_eq!(repo_as_map(repo.store().as_ref()), model_after(&ops[..split]));
             // Second lifetime applies the rest.
             for op in &ops[split..] {
                 match op {
@@ -136,13 +136,13 @@ proptest! {
             }
         }
         let repo = DurableRepository::open_wal(snapshot.clone(), &wal, compact_every).unwrap();
-        prop_assert_eq!(repo_as_map(repo.repo()), model_after(&ops));
+        prop_assert_eq!(repo_as_map(repo.store().as_ref()), model_after(&ops));
         // An explicit compaction folds everything into the snapshot and
         // changes nothing observable.
         repo.compact().unwrap();
         drop(repo);
         let repo = DurableRepository::open_wal(snapshot, &wal, compact_every).unwrap();
-        prop_assert_eq!(repo_as_map(repo.repo()), model_after(&ops));
+        prop_assert_eq!(repo_as_map(repo.store().as_ref()), model_after(&ops));
         prop_assert_eq!(repo.wal_stats().unwrap().replayed_records, 0);
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,7 +4,7 @@
 //! retrozilla-serve [--addr 127.0.0.1:7878] [--threads N] [--queue N]
 //!                  [--extract-threads N] [--repo rules.json]
 //!                  [--wal FILE.wal] [--compact-every N] [--no-wal]
-//!                  [--self-test]
+//!                  [--shards N] [--wal-info] [--self-test]
 //! ```
 //!
 //! With `--repo`, the snapshot is loaded at startup (an absent file
@@ -14,29 +14,47 @@
 //! `PUT`/`DELETE /clusters` becomes one fsynced O(change) log append.
 //! The log folds into the snapshot every `--compact-every` mutations
 //! (default 1024). `--no-wal` restores the legacy whole-file rewrite
-//! per mutation. `--self-test` runs a loopback smoke test — record →
-//! extract → batch → drift-check → hot-reload → percent-decoding →
-//! metrics, plus a WAL replay-on-startup exercise — and exits non-zero
-//! on any mismatch; CI uses it as the serve-layer gate.
+//! per mutation.
+//!
+//! `--shards N` switches persistence to the **sharded directory
+//! layout** `<repo>.d/` — one snapshot + WAL pair per shard of the
+//! in-memory store, replayed in parallel at startup and compacted
+//! independently. An existing single-file pair is migrated in on first
+//! start (and left in place, superseded). An existing directory's
+//! `manifest.json` fixes the shard count.
+//!
+//! `--wal-info` prints replay statistics (records, torn bytes, last
+//! intact offset) for every WAL the current flags address — per shard
+//! in the directory layout — **without starting the server and without
+//! mutating any file**: the first step toward point-in-time recovery
+//! tooling.
+//!
+//! `--self-test` runs a loopback smoke test — record → extract → batch
+//! → drift-check → hot-reload → percent-decoding → metrics, plus WAL
+//! replay-on-startup exercises for both the single-file and the
+//! sharded layout — and exits non-zero on any mismatch; CI uses it as
+//! the serve-layer gate.
 
 use retroweb_service::testdata;
 use retroweb_service::{request_once, Client, Server, ServerConfig};
-use retrozilla::RuleRepository;
+use retrozilla::{wal_info, RuleRepository, ShardManifest};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: retrozilla-serve [--addr HOST:PORT] [--threads N] [--queue N] \
                      [--extract-threads N] [--repo FILE.json] [--wal FILE.wal] \
-                     [--compact-every N] [--no-wal] [--self-test]";
+                     [--compact-every N] [--no-wal] [--shards N] [--wal-info] [--self-test]";
 
 struct Args {
     config: ServerConfig,
     self_test: bool,
+    wal_info: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
     let mut self_test = false;
+    let mut wal_info = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value =
@@ -64,12 +82,80 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad --compact-every: {e}"))?
             }
             "--no-wal" => config.wal_disabled = true,
+            "--shards" => {
+                config.shards = value("--shards")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("bad --shards: expected a positive integer")?;
+                config.sharded_wal = true;
+            }
+            "--wal-info" => wal_info = true,
             "--self-test" => self_test = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
-    Ok(Args { config, self_test })
+    Ok(Args { config, self_test, wal_info })
+}
+
+/// `--wal-info`: print replay statistics for every WAL the flags
+/// address, read-only. The sharded directory layout (detected by its
+/// manifest, or requested via `--shards`) reports each shard; otherwise
+/// the single-file log is reported.
+fn print_wal_info(config: &ServerConfig) -> Result<(), String> {
+    let describe = |path: &std::path::Path| -> Result<retrozilla::WalInfo, String> {
+        wal_info(path).map_err(|e| format!("cannot inspect {}: {e}", path.display()))
+    };
+    let line = |label: &str, info: &retrozilla::WalInfo| {
+        println!(
+            "  {label}: {} record(s) ({} upsert / {} remove), last offset {}, \
+             torn {} byte(s), file {} byte(s)",
+            info.records,
+            info.record_ops,
+            info.remove_ops,
+            info.last_offset,
+            info.torn_bytes,
+            info.file_bytes,
+        );
+        if info.torn_bytes > 0 {
+            println!(
+                "    ! torn/corrupt tail: a recovery would truncate to offset {}",
+                info.last_offset
+            );
+        }
+    };
+    let shard_dir = config.shard_dir();
+    let manifest = match &shard_dir {
+        Some(dir) if dir.exists() => {
+            ShardManifest::load(dir).map_err(|e| format!("bad shard directory: {e}"))?
+        }
+        _ => None,
+    };
+    match (manifest, shard_dir) {
+        (Some(manifest), Some(dir)) => {
+            println!("sharded WAL layout at {} ({} shard(s)):", dir.display(), manifest.shards);
+            let mut total_records = 0u64;
+            let mut total_torn = 0u64;
+            for shard in 0..manifest.shards {
+                let path = ShardManifest::wal_path(&dir, shard);
+                let info = describe(&path)?;
+                line(&format!("shard-{shard:03}.wal"), &info);
+                total_records += info.records;
+                total_torn += info.torn_bytes;
+            }
+            println!("  total: {total_records} record(s), {total_torn} torn byte(s)");
+        }
+        _ => {
+            let path = config
+                .legacy_wal_path()
+                .ok_or("--wal-info needs --repo (or --wal) to locate a log")?;
+            println!("single-file WAL:");
+            let info = describe(&path)?;
+            line(&path.display().to_string(), &info);
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -92,8 +178,21 @@ fn main() -> ExitCode {
             }
         };
     }
+    if args.wal_info {
+        return match print_wal_info(&args.config) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(why) => {
+                eprintln!("{why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
+    // In the sharded layout the server opens (and, on first start,
+    // migrates) the directory itself — seeding the snapshot here too
+    // would append every cluster to the WALs again on each start.
     let repo = match &args.config.repo_path {
+        Some(_) if args.config.sharded_wal && !args.config.wal_disabled => RuleRepository::new(),
         Some(path) if path.exists() => match RuleRepository::load(path) {
             Ok(repo) => {
                 println!("loaded {} cluster(s) from {}", repo.len(), path.display());
@@ -126,19 +225,44 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if let Some(wal) = handle.state().wal_stats() {
+    if let Some(report) = handle.state().sharded_open_report() {
+        let dir = args.config.shard_dir().expect("sharded mode implies a shard dir");
         println!(
-            "WAL {} — replayed {} record(s){} over the snapshot",
-            args.config
-                .effective_wal_path()
-                .map(|p| p.display().to_string())
-                .unwrap_or_else(|| "?".into()),
+            "sharded repository at {} — {} shard(s), {} cluster(s) live",
+            dir.display(),
+            report.shards,
+            handle.state().repo().len(),
+        );
+        if let Some(migrated) = report.migrated_clusters {
+            println!(
+                "  migrated {migrated} cluster(s) from the single-file layout \
+                 (legacy files left in place, superseded)"
+            );
+        }
+        if report.adopted_manifest_shards {
+            println!(
+                "  note: the directory's manifest fixes the shard count at {}; \
+                 the requested --shards value was ignored",
+                report.shards
+            );
+        }
+    }
+    if let Some(wal) = handle.state().wal_stats() {
+        let location = if args.config.sharded_wal {
+            args.config.shard_dir().map(|p| format!("{}/shard-*.wal", p.display()))
+        } else {
+            args.config.effective_wal_path().map(|p| p.display().to_string())
+        };
+        println!(
+            "WAL {} — replayed {} record(s){} over the snapshot{}",
+            location.unwrap_or_else(|| "?".into()),
             wal.replayed_records,
             if wal.replay_torn_bytes > 0 {
                 format!(" (recovered a torn tail: {} byte(s) discarded)", wal.replay_torn_bytes)
             } else {
                 String::new()
             },
+            if args.config.sharded_wal { "s (parallel replay)" } else { "" },
         );
     }
     println!(
@@ -295,6 +419,7 @@ fn self_test() -> Result<String, String> {
     let wal_config = ServerConfig {
         repo_path: Some(repo_path.clone()),
         compact_every: 1_000_000, // keep everything in the log
+        shards: 1,                // the single-file layout under test
         ..ServerConfig::default()
     };
     let server = Server::bind(RuleRepository::new(), wal_config.clone())
@@ -326,11 +451,72 @@ fn self_test() -> Result<String, String> {
     .map_err(io)?;
     expect(resp.status == 200, "replayed cluster served after restart", resp.status)?;
     handle.shutdown();
+
+    // Sharded layout: the single-file state above migrates into
+    // `<repo>.d/` on first sharded start, a mutation lands in exactly
+    // one shard's WAL, and a restart replays it (in parallel).
+    let sharded_config = ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        compact_every: 1_000_000,
+        shards: 4,
+        sharded_wal: true,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(RuleRepository::new(), sharded_config.clone())
+        .map_err(|e| format!("sharded bind: {e}"))?;
+    let handle = server.start().map_err(|e| format!("sharded start: {e}"))?;
+    let report = handle.state().sharded_open_report().ok_or("missing sharded open report")?;
+    expect(report.shards == 4, "sharded shard count", report.shards)?;
+    expect(
+        report.migrated_clusters == Some(1),
+        "single-file cluster migrated into the sharded layout",
+        format!("{:?}", report.migrated_clusters),
+    )?;
+    let spaced = testdata::demo_cluster_json().replace("demo-movies", "sharded movies");
+    let resp =
+        request_once(handle.addr(), "PUT", "/clusters/sharded%20movies", &[], spaced.as_bytes())
+            .map_err(io)?;
+    expect(resp.status == 201, "sharded PUT status", resp.status)?;
+    let resp = request_once(handle.addr(), "GET", "/metrics", &[], b"").map_err(io)?;
+    let metrics = resp.body_json().map_err(|e| format!("sharded metrics body: {e}"))?;
+    let shard_gauges = metrics
+        .get("repository")
+        .and_then(|r| r.get("shards"))
+        .and_then(|s| s.as_array())
+        .map(<[retroweb_json::Json]>::len)
+        .unwrap_or(0);
+    expect(shard_gauges == 4, "per-shard repository gauges on /metrics", shard_gauges)?;
+    let wal_gauges = metrics
+        .get("wal")
+        .and_then(|w| w.get("per_shard"))
+        .and_then(|s| s.as_array())
+        .map(<[retroweb_json::Json]>::len)
+        .unwrap_or(0);
+    expect(wal_gauges == 4, "per-shard wal gauges on /metrics", wal_gauges)?;
+    handle.shutdown();
+    let server = Server::bind(RuleRepository::new(), sharded_config)
+        .map_err(|e| format!("sharded rebind: {e}"))?;
+    let handle = server.start().map_err(|e| format!("sharded restart: {e}"))?;
+    let replayed = handle.state().wal_stats().map(|w| w.replayed_records).unwrap_or(0);
+    expect(replayed == 1, "sharded replayed record count after restart", replayed)?;
+    let resp =
+        request_once(handle.addr(), "GET", "/clusters/sharded%20movies", &[], b"").map_err(io)?;
+    expect(resp.status == 200, "sharded replayed cluster served", resp.status)?;
+    let resp = request_once(
+        handle.addr(),
+        "GET",
+        &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+        &[],
+        b"",
+    )
+    .map_err(io)?;
+    expect(resp.status == 200, "migrated cluster served from sharded layout", resp.status)?;
+    handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 
     Ok(format!(
         "6 endpoints exercised, {total} requests served, streaming + drift + hot reload + \
-         percent-decoding + WAL replay verified"
+         percent-decoding + WAL replay (single-file and sharded, incl. migration) verified"
     ))
 }
 

@@ -94,7 +94,24 @@ fn healthz(state: &ServiceState) -> Response {
 }
 
 fn metrics(state: &ServiceState) -> Response {
-    Response::json(200, &state.metrics().to_json(state.repo().stats(), state.wal_stats()))
+    // Per-shard gauges are fetched once and the aggregates summed from
+    // them — reading each shard twice would double the snapshot loads
+    // and take every WAL shard mutex a second time.
+    let shard_stats = state.shard_stats();
+    let mut repo_total = retrozilla::RepositoryStats::default();
+    for per_shard in &shard_stats {
+        repo_total.accumulate(per_shard);
+    }
+    let wal_shards = state.shard_wal_stats();
+    let wal_total = wal_shards.as_ref().map(|shards| {
+        let mut total = retrozilla::WalStats::default();
+        for per_shard in shards {
+            total.accumulate(per_shard);
+        }
+        total
+    });
+    let json = state.metrics().to_json(repo_total, &shard_stats, wal_total, wal_shards.as_deref());
+    Response::json(200, &json)
 }
 
 fn list_clusters(state: &ServiceState) -> Response {

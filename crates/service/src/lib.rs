@@ -21,8 +21,18 @@
 //! O(threads) instead of O(batch), concatenated XML byte-identical to
 //! the materialised document.
 //!
-//! **Hot rule reload for free:** every extraction runs through
-//! `RuleRepository`'s compiled-cluster cache, and `PUT /clusters/{name}`
+//! **Sharded, lock-free repository:** the in-memory store is a
+//! `retrozilla::ShardedRepository` used exclusively through the
+//! `retrozilla::ClusterStore` storage trait — reads (extraction,
+//! `GET`s, metrics) clone an atomically-published `Arc` snapshot and
+//! never take a lock; a `PUT` copy-on-writes only the one shard its
+//! cluster hashes to. With `--shards N`, persistence moves to a
+//! `<repo>.d/` directory with one snapshot + WAL pair per shard
+//! (parallel replay, per-shard compaction, migration from the
+//! single-file pair; see the README's sharding section).
+//!
+//! **Hot rule reload for free:** every extraction runs through the
+//! store's compiled-cluster cache, and `PUT /clusters/{name}`
 //! re-records the cluster, which invalidates that cache — so the next
 //! request (including ones already queued) executes the new rules, with
 //! no restart and no dropped in-flight requests.
@@ -45,7 +55,10 @@ pub use http::{request_once, Client, ClientResponse, Reply, Request, Response, S
 pub use metrics::{Endpoint, Histogram, Metrics};
 pub use pool::ThreadPool;
 
-use retrozilla::{ClusterRules, DurableRepository, RuleRepository, WalStats};
+use retrozilla::{
+    ClusterRules, ClusterStore, DurableRepository, RepositoryStats, RuleRepository,
+    ShardedOpenReport, ShardedRepository, WalStats,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -75,11 +88,21 @@ pub struct ServerConfig {
     /// WAL file for rule mutations; `None` derives `<repo_path>.wal`.
     /// Ignored without `repo_path`.
     pub wal_path: Option<PathBuf>,
-    /// Mutations folded into the snapshot per compaction.
+    /// Mutations folded into the snapshot per compaction (per shard in
+    /// sharded-WAL mode).
     pub compact_every: u64,
     /// Opt out of the WAL: every mutation rewrites the whole snapshot
     /// (the pre-WAL behaviour; O(repo) per mutation).
     pub wal_disabled: bool,
+    /// In-memory repository shards. Reads are always lock-free `Arc`
+    /// snapshot clones; more shards spread *writer* contention and (in
+    /// sharded-WAL mode) the on-disk layout.
+    pub shards: usize,
+    /// Use the sharded WAL **directory** layout (`<repo>.d/`, one
+    /// snapshot + log pair per shard) instead of the single-file pair.
+    /// Requires `repo_path`; ignored with `wal_disabled`. An existing
+    /// single-file layout is migrated in on first start.
+    pub sharded_wal: bool,
 }
 
 impl Default for ServerConfig {
@@ -94,46 +117,79 @@ impl Default for ServerConfig {
             wal_path: None,
             compact_every: 1024,
             wal_disabled: false,
+            shards: 8,
+            sharded_wal: false,
         }
     }
 }
 
 impl ServerConfig {
-    /// The effective WAL path: explicit `wal_path`, else `<repo>.wal`.
+    /// The effective single-file WAL path: explicit `wal_path`, else
+    /// `<repo>.wal`. `None` when the WAL is disabled or the sharded
+    /// directory layout is active.
     pub fn effective_wal_path(&self) -> Option<PathBuf> {
-        if self.wal_disabled {
+        if self.wal_disabled || self.sharded_wal {
             return None;
         }
+        self.legacy_wal_path()
+    }
+
+    /// The sharded layout's directory: `<repo>.d` next to the snapshot.
+    pub fn shard_dir(&self) -> Option<PathBuf> {
+        self.repo_path.as_deref().map(|repo| Self::suffixed(repo, ".d"))
+    }
+
+    /// The legacy single-file WAL the sharded layout migrates from:
+    /// explicit `wal_path`, else `<repo>.wal`.
+    pub fn legacy_wal_path(&self) -> Option<PathBuf> {
         match (&self.wal_path, &self.repo_path) {
             (Some(wal), _) => Some(wal.clone()),
-            (None, Some(repo)) => {
-                let mut name = repo.file_name().unwrap_or_default().to_os_string();
-                name.push(".wal");
-                Some(repo.with_file_name(name))
-            }
+            (None, Some(repo)) => Some(Self::suffixed(repo, ".wal")),
             (None, None) => None,
         }
     }
+
+    fn suffixed(path: &std::path::Path, suffix: &str) -> PathBuf {
+        let mut name = path.file_name().unwrap_or_default().to_os_string();
+        name.push(suffix);
+        path.with_file_name(name)
+    }
 }
 
-/// State shared by every worker: the durable repository (in-memory
-/// rules + compiled-rule cache + WAL/snapshot persistence), the
-/// metrics, and the shutdown flag.
+/// State shared by every worker: the sharded rule store (lock-free
+/// snapshot reads + per-shard compiled-rule caches), its durability
+/// layer (per-shard WAL/snapshot persistence), the metrics, and the
+/// shutdown flag.
 pub struct ServiceState {
+    store: Arc<ShardedRepository>,
     durable: DurableRepository,
+    sharded_open: Option<ShardedOpenReport>,
     metrics: Metrics,
     extract_threads: usize,
     shutting_down: AtomicBool,
 }
 
 impl ServiceState {
-    pub fn repo(&self) -> &RuleRepository {
-        self.durable.repo()
+    /// The rule store, through the [`ClusterStore`] storage API — the
+    /// only repository surface handlers use.
+    pub fn repo(&self) -> &dyn ClusterStore {
+        self.store.as_ref()
+    }
+
+    /// Per-shard cache/size gauges for `/metrics`.
+    pub fn shard_stats(&self) -> Vec<RepositoryStats> {
+        self.store.shard_stats()
     }
 
     /// The persistence layer itself, for mutation endpoints.
     pub fn durable(&self) -> &DurableRepository {
         &self.durable
+    }
+
+    /// What the sharded open did at startup (migration, manifest
+    /// adoption); `None` outside sharded-WAL mode.
+    pub fn sharded_open_report(&self) -> Option<ShardedOpenReport> {
+        self.sharded_open
     }
 
     pub fn metrics(&self) -> &Metrics {
@@ -159,9 +215,15 @@ impl ServiceState {
         self.durable.remove(name)
     }
 
-    /// WAL counters for `/metrics`; `None` when not in WAL mode.
+    /// Aggregate WAL counters for `/metrics`; `None` when not in WAL
+    /// mode.
     pub fn wal_stats(&self) -> Option<WalStats> {
         self.durable.wal_stats()
+    }
+
+    /// Per-WAL-shard counters; `None` when not in WAL mode.
+    pub fn shard_wal_stats(&self) -> Option<Vec<WalStats>> {
+        self.durable.shard_wal_stats()
     }
 }
 
@@ -175,23 +237,60 @@ pub struct Server {
 impl Server {
     /// Bind the listener and wrap the repository in shared state.
     ///
-    /// `repo` is the base state (typically loaded from the snapshot
-    /// file, or seeded in-process). With `repo_path` set and the WAL
-    /// enabled (the default), any existing `<repo>.wal` is **replayed
-    /// over `repo`** here — recovering mutations acknowledged after the
-    /// last compaction — and future mutations append to it. With
-    /// `wal_disabled`, mutations rewrite the snapshot whole.
-    pub fn bind(repo: RuleRepository, config: ServerConfig) -> io::Result<Server> {
+    /// `seed` is the base state (typically loaded from the snapshot
+    /// file, or seeded in-process); its clusters are recorded into the
+    /// sharded store. With `repo_path` set and the WAL enabled (the
+    /// default), any existing `<repo>.wal` is **replayed over the
+    /// seeded store** here — recovering mutations acknowledged after
+    /// the last compaction — and future mutations append to it. With
+    /// `sharded_wal`, the `<repo>.d/` directory layout is opened
+    /// instead (one snapshot + log per shard, migrated from the
+    /// single-file pair on first start); the seed initialises a
+    /// brand-new layout (inside the migration's crash-safe commit
+    /// point, legacy files winning over seed clusters) — an existing
+    /// layout's replayed history (including deletions) is
+    /// authoritative and the seed is ignored. With `wal_disabled`,
+    /// mutations rewrite the snapshot whole.
+    pub fn bind(seed: RuleRepository, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
-        let durable = match (&config.repo_path, config.effective_wal_path()) {
-            (Some(snapshot), Some(wal)) => {
-                DurableRepository::attach_wal(repo, snapshot.clone(), &wal, config.compact_every)?
-            }
-            (Some(snapshot), None) => DurableRepository::full_rewrite(repo, snapshot.clone()),
-            (None, _) => DurableRepository::ephemeral(repo),
-        };
+        let shards = config.shards.max(1);
+        let (store, durable, sharded_open) =
+            if config.repo_path.is_some() && config.sharded_wal && !config.wal_disabled {
+                let dir = config.shard_dir().expect("repo_path implies a shard dir");
+                let (durable, store, report) = DurableRepository::open_sharded(
+                    &dir,
+                    shards,
+                    config.compact_every,
+                    Some(&seed.snapshot()),
+                    config.repo_path.as_deref(),
+                    config.legacy_wal_path().as_deref(),
+                )
+                .map_err(io::Error::other)?;
+                (store, durable, Some(report))
+            } else {
+                let store = Arc::new(ShardedRepository::new(shards));
+                for (_, rules) in seed.snapshot().iter() {
+                    store.record(rules.clone());
+                }
+                let dyn_store = Arc::clone(&store) as Arc<dyn ClusterStore>;
+                let durable = match (&config.repo_path, config.effective_wal_path()) {
+                    (Some(snapshot), Some(wal)) => DurableRepository::attach_wal(
+                        dyn_store,
+                        snapshot.clone(),
+                        &wal,
+                        config.compact_every,
+                    )?,
+                    (Some(snapshot), None) => {
+                        DurableRepository::full_rewrite(dyn_store, snapshot.clone())
+                    }
+                    (None, _) => DurableRepository::ephemeral(dyn_store),
+                };
+                (store, durable, None)
+            };
         let state = Arc::new(ServiceState {
+            store,
             durable,
+            sharded_open,
             metrics: Metrics::new(),
             extract_threads: config.extract_threads.max(1),
             shutting_down: AtomicBool::new(false),

@@ -187,12 +187,16 @@ impl Metrics {
     }
 
     /// Full snapshot for `GET /metrics`, folding in the repository's
-    /// compiled-cache counters and — when the server persists through a
-    /// write-ahead log — the WAL's append/compaction/replay counters.
+    /// compiled-cache counters (aggregate plus per-shard gauges when
+    /// the store is sharded) and — when the server persists through a
+    /// write-ahead log — the WAL's append/compaction/replay counters
+    /// (again aggregate plus per-shard in the sharded layout).
     pub fn to_json(
         &self,
         repo: retrozilla::RepositoryStats,
+        repo_shards: &[retrozilla::RepositoryStats],
         wal: Option<retrozilla::WalStats>,
+        wal_shards: Option<&[retrozilla::WalStats]>,
     ) -> Json {
         let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as usize);
         let by_endpoint = Endpoint::ALL
@@ -225,40 +229,59 @@ impl Metrics {
             ("failures_detected".into(), load(&self.failures_detected)),
             ("bytes_streamed".into(), load(&self.bytes_streamed)),
             ("rule_reloads".into(), load(&self.rule_reloads)),
-            (
-                "repository".into(),
-                Json::object(vec![
-                    ("clusters".into(), Json::from(repo.clusters)),
-                    ("compiled_cache_entries".into(), Json::from(repo.compiled_cache_entries)),
-                    ("compiled_cache_hits".into(), Json::from(repo.compiled_cache_hits as usize)),
-                    (
-                        "compiled_cache_builds".into(),
-                        Json::from(repo.compiled_cache_builds as usize),
-                    ),
-                    (
-                        "compiled_cache_invalidations".into(),
-                        Json::from(repo.compiled_cache_invalidations as usize),
-                    ),
-                ]),
-            ),
+            ("repository".into(), {
+                let mut section = repo_stats_json(&repo);
+                if repo_shards.len() > 1 {
+                    section.set(
+                        "shards",
+                        Json::Array(repo_shards.iter().map(repo_stats_json).collect()),
+                    );
+                }
+                section
+            }),
             ("latency_ms".into(), Json::Object(latency)),
         ]);
         if let Some(wal) = wal {
-            root.set(
-                "wal",
-                Json::object(vec![
-                    ("appended_records".into(), Json::from(wal.appended_records as usize)),
-                    ("appended_bytes".into(), Json::from(wal.appended_bytes as usize)),
-                    ("compactions".into(), Json::from(wal.compactions as usize)),
-                    ("since_compaction".into(), Json::from(wal.since_compaction as usize)),
-                    ("wal_bytes".into(), Json::from(wal.wal_bytes as usize)),
-                    ("replayed_records".into(), Json::from(wal.replayed_records as usize)),
-                    ("replay_torn_bytes".into(), Json::from(wal.replay_torn_bytes as usize)),
-                ]),
-            );
+            let mut section = wal_stats_json(&wal);
+            if let Some(shards) = wal_shards {
+                if shards.len() > 1 {
+                    section
+                        .set("per_shard", Json::Array(shards.iter().map(wal_stats_json).collect()));
+                }
+            }
+            root.set("wal", section);
         }
         root
     }
+}
+
+/// One repository-gauge object — shared by the aggregate `repository`
+/// section and each entry of its per-shard breakdown.
+fn repo_stats_json(repo: &retrozilla::RepositoryStats) -> Json {
+    Json::object(vec![
+        ("clusters".into(), Json::from(repo.clusters)),
+        ("compiled_cache_entries".into(), Json::from(repo.compiled_cache_entries)),
+        ("compiled_cache_hits".into(), Json::from(repo.compiled_cache_hits as usize)),
+        ("compiled_cache_builds".into(), Json::from(repo.compiled_cache_builds as usize)),
+        (
+            "compiled_cache_invalidations".into(),
+            Json::from(repo.compiled_cache_invalidations as usize),
+        ),
+    ])
+}
+
+/// One WAL-counter object — aggregate `wal` section and each per-shard
+/// entry.
+fn wal_stats_json(wal: &retrozilla::WalStats) -> Json {
+    Json::object(vec![
+        ("appended_records".into(), Json::from(wal.appended_records as usize)),
+        ("appended_bytes".into(), Json::from(wal.appended_bytes as usize)),
+        ("compactions".into(), Json::from(wal.compactions as usize)),
+        ("since_compaction".into(), Json::from(wal.since_compaction as usize)),
+        ("wal_bytes".into(), Json::from(wal.wal_bytes as usize)),
+        ("replayed_records".into(), Json::from(wal.replayed_records as usize)),
+        ("replay_torn_bytes".into(), Json::from(wal.replay_torn_bytes as usize)),
+    ])
 }
 
 fn round3(x: f64) -> f64 {
@@ -292,7 +315,7 @@ mod tests {
         m.observe(Endpoint::Check, 500, Duration::from_micros(500));
         m.add_pages_extracted(7);
         m.add_failures_detected(2);
-        let json = m.to_json(retrozilla::RepositoryStats::default(), None);
+        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], None, None);
         assert!(json.get("wal").is_none(), "no wal section outside WAL mode");
         assert_eq!(json.get("requests").unwrap().get("total").unwrap().as_u64(), Some(3));
         assert_eq!(json.get("responses").unwrap().get("2xx").unwrap().as_u64(), Some(1));
@@ -317,7 +340,7 @@ mod tests {
             wal_bytes: 200,
             since_compaction: 2,
         };
-        let json = m.to_json(retrozilla::RepositoryStats::default(), Some(wal));
+        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], Some(wal), None);
         let w = json.get("wal").expect("wal section");
         assert_eq!(w.get("appended_records").unwrap().as_u64(), Some(5));
         assert_eq!(w.get("appended_bytes").unwrap().as_u64(), Some(1234));
@@ -326,5 +349,39 @@ mod tests {
         assert_eq!(w.get("replay_torn_bytes").unwrap().as_u64(), Some(7));
         assert_eq!(w.get("wal_bytes").unwrap().as_u64(), Some(200));
         assert_eq!(w.get("since_compaction").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn per_shard_gauges_rendered_when_sharded() {
+        let m = Metrics::new();
+        let shard = |clusters: usize, hits: u64| retrozilla::RepositoryStats {
+            clusters,
+            compiled_cache_hits: hits,
+            ..Default::default()
+        };
+        let total = shard(5, 9);
+        let per_shard = [shard(2, 4), shard(3, 5)];
+        let wal_shard =
+            |records: u64| retrozilla::WalStats { appended_records: records, ..Default::default() };
+        let wal_total = wal_shard(7);
+        let wal_per_shard = [wal_shard(3), wal_shard(4)];
+        let json = m.to_json(total, &per_shard, Some(wal_total), Some(&wal_per_shard));
+        let repo = json.get("repository").unwrap();
+        assert_eq!(repo.get("clusters").unwrap().as_u64(), Some(5));
+        let shards = repo.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(shards[0].get("clusters").unwrap().as_u64(), Some(2));
+        assert_eq!(shards[1].get("compiled_cache_hits").unwrap().as_u64(), Some(5));
+        let wal = json.get("wal").unwrap();
+        assert_eq!(wal.get("appended_records").unwrap().as_u64(), Some(7));
+        let wal_shards = wal.get("per_shard").unwrap().as_array().unwrap();
+        assert_eq!(wal_shards.len(), 2);
+        assert_eq!(wal_shards[1].get("appended_records").unwrap().as_u64(), Some(4));
+
+        // A single-shard store keeps the flat sections (no breakdown
+        // noise in the legacy layout).
+        let json = m.to_json(total, &per_shard[..1], Some(wal_total), Some(&wal_per_shard[..1]));
+        assert!(json.get("repository").unwrap().get("shards").is_none());
+        assert!(json.get("wal").unwrap().get("per_shard").is_none());
     }
 }

@@ -197,7 +197,7 @@ fn crud_check_and_errors() {
     let on_disk =
         retrozilla::DurableRepository::open_wal(repo_path.clone(), &wal_path, 1024).unwrap();
     assert_eq!(
-        on_disk.repo().get(DEMO_CLUSTER),
+        on_disk.store().get(DEMO_CLUSTER),
         Some(testdata::cluster_from(&testdata::updated_cluster_json()))
     );
     drop(on_disk);
@@ -256,7 +256,7 @@ fn crud_check_and_errors() {
     handle.shutdown();
     let on_disk =
         retrozilla::DurableRepository::open_wal(repo_path.clone(), &wal_path, 1024).unwrap();
-    assert!(on_disk.repo().is_empty());
+    assert!(on_disk.store().is_empty());
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -628,6 +628,211 @@ fn wal_mutations_survive_restart_and_compact() {
     let resp = request_once(handle.addr(), "GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"")
         .expect("GET");
     assert_eq!(resp.status, 200);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The sharded-layout acceptance path end-to-end over HTTP: a server
+/// started with `sharded_wal` opens `<repo>.d/` (one snapshot + WAL per
+/// shard), mutations land as fsynced appends in exactly the shard their
+/// cluster routes to, `/metrics` exposes per-shard gauges, a restart
+/// replays every shard (in parallel), and per-shard compaction folds
+/// only that shard's clusters.
+#[test]
+fn sharded_wal_layout_over_http() {
+    use retrozilla::{shard_for, ShardManifest};
+    let dir = std::env::temp_dir().join(format!("retroweb-service-shard-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("rules.json");
+    let shard_dir = dir.join("rules.json.d");
+    let config = ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        shards: 4,
+        sharded_wal: true,
+        compact_every: 1_000,
+        ..Default::default()
+    };
+
+    // First lifetime: record clusters under several names.
+    let handle = Server::bind(retrozilla::RuleRepository::new(), config.clone())
+        .expect("bind")
+        .start()
+        .expect("start");
+    let addr = handle.addr();
+    let names = ["alpha-movies", "beta-movies", "gamma-movies", "delta-movies"];
+    for name in names {
+        let body = testdata::demo_cluster_json().replace("demo-movies", name);
+        let resp = request_once(addr, "PUT", &format!("/clusters/{name}"), &[], body.as_bytes())
+            .expect("PUT");
+        assert_eq!(resp.status, 201, "{name}: {}", resp.body_utf8());
+    }
+    assert!(shard_dir.join("manifest.json").exists(), "manifest committed");
+    assert!(!repo_path.exists(), "single-file snapshot must not appear in sharded mode");
+    // Each mutation was appended to the WAL its cluster routes to.
+    for name in names {
+        let wal = ShardManifest::wal_path(&shard_dir, shard_for(name, 4));
+        assert!(wal.exists());
+        let info = retrozilla::wal_info(&wal).unwrap();
+        assert!(info.records >= 1, "{name} shard log empty");
+    }
+    // Per-shard gauges on /metrics.
+    let resp = request_once(addr, "GET", "/metrics", &[], b"").expect("metrics");
+    let metrics = resp.body_json().unwrap();
+    let repo_shards = metrics.get("repository").unwrap().get("shards").unwrap();
+    assert_eq!(repo_shards.as_array().unwrap().len(), 4, "{metrics}");
+    let clusters_by_shard: usize = repo_shards
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|s| s.get("clusters").unwrap().as_u64().unwrap() as usize)
+        .sum();
+    assert_eq!(clusters_by_shard, names.len());
+    let wal_shards = metrics.get("wal").unwrap().get("per_shard").unwrap();
+    assert_eq!(wal_shards.as_array().unwrap().len(), 4);
+    // Extraction works against the sharded store.
+    let (_, html) = testdata::demo_page(3);
+    let resp =
+        request_once(addr, "POST", "/extract/beta-movies", &[], html.as_bytes()).expect("extract");
+    assert_eq!(resp.status, 200);
+    assert!(resp.body_utf8().contains("<title>Movie 3</title>"), "{}", resp.body_utf8());
+    handle.shutdown();
+
+    // Second lifetime: every shard replays.
+    let handle = Server::bind(retrozilla::RuleRepository::new(), config.clone())
+        .expect("rebind")
+        .start()
+        .expect("restart");
+    let state = handle.state();
+    assert_eq!(state.wal_stats().unwrap().replayed_records, names.len() as u64);
+    assert_eq!(state.repo().len(), names.len());
+    for name in names {
+        let resp = request_once(handle.addr(), "GET", &format!("/clusters/{name}"), &[], b"")
+            .expect("GET");
+        assert_eq!(resp.status, 200, "{name} lost across restart");
+    }
+    // Compact: each shard folds only its own clusters into its own
+    // snapshot; the logs truncate.
+    state.durable().compact().unwrap();
+    for name in names {
+        let shard = shard_for(name, 4);
+        let snap =
+            retrozilla::RuleRepository::load(&ShardManifest::snapshot_path(&shard_dir, shard))
+                .expect("shard snapshot");
+        assert!(snap.get(name).is_some(), "{name} missing from shard {shard} snapshot");
+        for other in names {
+            if shard_for(other, 4) != shard {
+                assert!(snap.get(other).is_none(), "{other} leaked into shard {shard}");
+            }
+        }
+    }
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Binding a sharded server with a non-empty seed repository is
+/// idempotent: the first start records the seed durably, a restart
+/// with the same seed appends nothing (the opened layout already
+/// holds the clusters) — otherwise every boot would replay the whole
+/// seed into the WALs again.
+#[test]
+fn sharded_seed_is_recorded_once_across_restarts() {
+    let dir = std::env::temp_dir().join(format!("retroweb-service-seed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = ServerConfig {
+        repo_path: Some(dir.join("rules.json")),
+        shards: 4,
+        sharded_wal: true,
+        compact_every: 1_000_000,
+        ..Default::default()
+    };
+    let handle = start_server(config.clone()); // demo repository seed (1 cluster)
+    let report = handle.state().sharded_open_report().unwrap();
+    assert_eq!(
+        report.migrated_clusters,
+        Some(1),
+        "seed initialises the fresh layout inside the migration commit point"
+    );
+    assert_eq!(handle.state().wal_stats().unwrap().appended_records, 0);
+    assert_eq!(handle.state().repo().len(), 1);
+    handle.shutdown();
+    let handle = start_server(config.clone()); // same seed again
+    let report = handle.state().sharded_open_report().unwrap();
+    assert_eq!(report.migrated_clusters, None, "existing layout: seed ignored");
+    let stats = handle.state().wal_stats().unwrap();
+    assert_eq!(stats.appended_records, 0, "restart must not re-append the seed");
+    assert_eq!(handle.state().repo().len(), 1);
+    // A durable DELETE must survive restarts even though the seed still
+    // names the cluster — the layout's history is authoritative, and
+    // re-seeding would resurrect the deleted cluster.
+    let resp =
+        request_once(handle.addr(), "DELETE", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"")
+            .expect("DELETE");
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+    let handle = start_server(config); // same seed once more
+    let resp = request_once(handle.addr(), "GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"")
+        .expect("GET");
+    assert_eq!(resp.status, 404, "deleted cluster must stay deleted across restarts");
+    assert_eq!(handle.state().repo().len(), 0);
+    handle.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Migration path over HTTP: a repository built by a single-file-WAL
+/// server lifetime is carried into the sharded directory layout the
+/// first time the server starts with `sharded_wal`, including
+/// log-only (never compacted) mutations.
+#[test]
+fn single_file_layout_migrates_into_sharded_server() {
+    let dir = std::env::temp_dir().join(format!("retroweb-service-migrate-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let repo_path = dir.join("rules.json");
+
+    // Lifetime 1: classic single-file WAL server, one mutation.
+    let single = ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        compact_every: 1_000_000,
+        ..Default::default()
+    };
+    let handle = start_server(single); // demo repository seed, ephemeral-in-memory…
+                                       // …but the seed is not on disk: record a cluster so the WAL holds it.
+    let resp = request_once(
+        handle.addr(),
+        "PUT",
+        &format!("/clusters/{DEMO_CLUSTER}"),
+        &[],
+        testdata::updated_cluster_json().as_bytes(),
+    )
+    .expect("PUT");
+    assert_eq!(resp.status, 200);
+    handle.shutdown();
+    assert!(dir.join("rules.json.wal").exists());
+
+    // Lifetime 2: same --repo, now sharded. The WAL-only mutation must
+    // be live, served from the migrated directory layout.
+    let sharded = ServerConfig {
+        repo_path: Some(repo_path.clone()),
+        shards: 4,
+        sharded_wal: true,
+        ..Default::default()
+    };
+    let handle = Server::bind(retrozilla::RuleRepository::new(), sharded)
+        .expect("bind sharded")
+        .start()
+        .expect("start sharded");
+    let report = handle.state().sharded_open_report().expect("sharded report");
+    assert_eq!(report.migrated_clusters, Some(1), "{report:?}");
+    let resp = request_once(handle.addr(), "GET", &format!("/clusters/{DEMO_CLUSTER}"), &[], b"")
+        .expect("GET");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        retroweb_json::parse(&resp.body_utf8()).unwrap(),
+        testdata::cluster_from(&testdata::updated_cluster_json()).to_json(),
+        "migrated state must be the last acknowledged single-file mutation"
+    );
     handle.shutdown();
     std::fs::remove_dir_all(&dir).ok();
 }

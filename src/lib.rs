@@ -24,7 +24,10 @@
 //! The §3.5 rule repository is built to be used by "external agents,
 //! for instance the XML extractor" — [`service`] is that agent surface
 //! in production shape. `retrozilla-serve` (in `crates/service`) hosts
-//! a [`retrozilla::RuleRepository`] behind a std-only HTTP/1.1 server:
+//! a [`retrozilla::ShardedRepository`] (through the
+//! [`retrozilla::ClusterStore`] storage trait: lock-free snapshot
+//! reads, per-shard copy-on-write writers, optionally one write-ahead
+//! log per shard) behind a std-only HTTP/1.1 server:
 //! a fixed-size worker pool with a bounded queue serves
 //! `POST /extract/{cluster}` and `POST /extract/{cluster}/batch` —
 //! the batch path *streams*: extraction drives a
