@@ -1,7 +1,7 @@
 //! Service throughput bench: pages/s and request latency over loopback
 //! HTTP, for the `retroweb-service` extraction server.
 //!
-//! Five scenarios:
+//! Six scenarios:
 //! - **single**: one keep-alive client, sequential `POST /extract/{c}`
 //!   requests (per-request latency distribution);
 //! - **batch**: several client threads each streaming
@@ -24,7 +24,13 @@
 //!   compaction — PR 4's architecture) vs the redesigned stack
 //!   (`ShardedRepository` + per-shard WALs with concurrent fsyncs and
 //!   per-shard compaction) — the redesign's acceptance number is the
-//!   sharded/monolithic throughput ratio.
+//!   sharded/monolithic throughput ratio;
+//! - **fusion**: whole-cluster pages/s on a label-anchored
+//!   many-attribute cluster, fused one-pass extraction
+//!   (`extract_page_compiled`, the cluster's rules merged into one
+//!   shared-prefix plan run in a single DOM traversal) vs per-rule
+//!   compiled execution (`extract_page_compiled_per_rule`) — the
+//!   fusion PR's acceptance number is the fused/per-rule ratio.
 //!
 //! Results go to stdout, `target/experiments/service_throughput.json`,
 //! and `BENCH_service.json` in the working directory — the committed
@@ -32,10 +38,11 @@
 //!
 //! Run with: `cargo run --release -p retroweb-bench --bin bench_service`.
 //! `--smoke` (or `BENCH_SERVICE_QUICK=1`) shrinks every scenario for a
-//! CI gate; `--scenario contention` runs the lock-contention scenario
-//! alone (no server, no committed-file rewrite) — CI uses
+//! CI gate; `--scenario contention` / `--scenario fusion` runs that
+//! scenario alone (no server, no committed-file rewrite) — CI uses
 //! `--smoke --scenario contention` to fail the build on lock
-//! regressions.
+//! regressions and `--smoke --scenario fusion` to fail it on
+//! one-pass-extraction regressions.
 
 use retroweb_bench::write_experiment;
 use retroweb_json::Json;
@@ -46,7 +53,8 @@ use retroweb_service::testdata::{
 use retroweb_service::{Client, Server, ServerConfig};
 use retrozilla::{
     extract_cluster_parallel_compiled, extract_cluster_parallel_compiled_to, ClusterRules,
-    ClusterStore, DurableRepository, RuleRepository,
+    ClusterStore, ComponentName, DurableRepository, Format, MappingRule, Multiplicity, Optionality,
+    RuleRepository,
 };
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -416,6 +424,140 @@ fn contention_scenario(quick: bool) -> Json {
     ])
 }
 
+// ---- fusion scenario -------------------------------------------------------
+
+/// A label-anchored many-attribute cluster, the shape the paper's
+/// clusters take after refinement: every attribute's location anchors
+/// on the same `//TD/text()` label walk (shared fused-trie prefix) and
+/// differs only in the label it tests, plus a few positional rules
+/// sharing the `/HTML/BODY/TABLE` spine.
+fn fusion_rule(name: &str, location: &str) -> MappingRule {
+    MappingRule {
+        name: ComponentName::new(name).expect("bench rule name"),
+        optionality: Optionality::Optional,
+        multiplicity: Multiplicity::SingleValued,
+        format: Format::Text,
+        locations: vec![retroweb_xpath::parse(location).expect("bench rule location")],
+        post: vec![],
+    }
+}
+
+fn fusion_cluster(labels: usize) -> ClusterRules {
+    let mut c = ClusterRules::new("fusion-bench", "record");
+    for i in 0..labels {
+        c.rules.push(fusion_rule(
+            &format!("attr{i}"),
+            &format!(
+                "//TD/text()[preceding::text()[normalize-space(.) != \"\"][1]\
+                 [contains(normalize-space(.), \"Label{i}:\")]]"
+            ),
+        ));
+    }
+    c.rules.push(fusion_rule("pos0", "/HTML[1]/BODY[1]/TABLE[1]/TR[1]/TD[2]/text()"));
+    c.rules.push(fusion_rule("pos1", "/HTML[1]/BODY[1]/H1[1]/text()"));
+    c
+}
+
+/// One fact page for the fusion cluster: the label/value fact table
+/// every rule anchors on, surrounded by the boilerplate a real detail
+/// page carries — navigation, related-item lists, footer paragraphs.
+/// The boilerplate is what the shared `//TD` walk has to wade through;
+/// fusing the cluster wades through it once instead of once per rule.
+fn fusion_page(labels: usize, seed: usize) -> String {
+    let mut html = format!("<html><body><h1>Record {seed}</h1><div>");
+    for i in 0..250 {
+        html.push_str(&format!("<p>nav {seed}-{i} <span>x</span> <em>y</em> <a>link</a></p>"));
+    }
+    html.push_str("</div><table>");
+    for i in 0..labels {
+        html.push_str(&format!("<tr><td><b>Label{i}:</b></td><td>value-{seed}-{i}</td></tr>"));
+    }
+    html.push_str("</table><ul>");
+    for i in 0..100 {
+        html.push_str(&format!("<li>item {seed}-{i} <span>tag</span></li>"));
+    }
+    html.push_str("</ul><div>");
+    for i in 0..100 {
+        html.push_str(&format!("<p>footer paragraph {seed}-{i} with <b>markup</b></p>"));
+    }
+    html.push_str("</div></body></html>");
+    html
+}
+
+/// The fusion scenario: whole-cluster pages/s on a label-anchored
+/// many-attribute cluster, fused one-pass execution
+/// (`extract_page_compiled`) vs per-rule compiled execution
+/// (`extract_page_compiled_per_rule`), on identical parsed documents.
+/// Asserts output equality before timing, then gates the speedup.
+fn fusion_scenario(quick: bool) -> Json {
+    let labels = 14usize;
+    let page_count = if quick { 24 } else { 200 };
+    let rounds = if quick { 3 } else { 5 };
+    let gate = if quick { 1.3 } else { 2.0 };
+    let cluster = fusion_cluster(labels);
+    let rule_count = cluster.rules.len();
+    let compiled = cluster.compile();
+    let stats = compiled.fused().stats();
+    let docs: Vec<retroweb_html::Document> =
+        (0..page_count).map(|i| retroweb_html::parse(&fusion_page(labels, i))).collect();
+    println!(
+        "\nfusion: {rule_count} label-anchored rules, {page_count} pages, \
+         {}/{} steps shared in the fused plan",
+        stats.steps_shared, stats.steps_total
+    );
+
+    // Both paths must agree on every page before any timing counts.
+    for (i, doc) in docs.iter().enumerate() {
+        let (mut ff, mut pf) = (Vec::new(), Vec::new());
+        let fused = retrozilla::extract_page_compiled(&compiled, "u", doc, &mut ff);
+        let per_rule = retrozilla::extract_page_compiled_per_rule(&compiled, "u", doc, &mut pf);
+        assert_eq!(fused, per_rule, "fused/per-rule outputs diverge on page {i}");
+        assert_eq!(ff, pf, "fused/per-rule failures diverge on page {i}");
+    }
+
+    let run = |fused: bool| -> f64 {
+        let started = Instant::now();
+        for _ in 0..rounds {
+            for doc in &docs {
+                let mut failures = Vec::new();
+                let out = if fused {
+                    retrozilla::extract_page_compiled(&compiled, "u", doc, &mut failures)
+                } else {
+                    retrozilla::extract_page_compiled_per_rule(&compiled, "u", doc, &mut failures)
+                };
+                std::hint::black_box(out);
+            }
+        }
+        (rounds * docs.len()) as f64 / started.elapsed().as_secs_f64()
+    };
+    // Warm both paths, then interleave measurement rounds.
+    run(false);
+    run(true);
+    let per_rule_pages_per_s = run(false);
+    let fused_pages_per_s = run(true);
+    let speedup = fused_pages_per_s / per_rule_pages_per_s.max(f64::MIN_POSITIVE);
+    println!(
+        "  per-rule: {per_rule_pages_per_s:>8.0} pages/s | fused: {fused_pages_per_s:>8.0} \
+         pages/s -> {speedup:.1}x"
+    );
+    assert!(
+        speedup >= gate,
+        "fused one-pass extraction must beat per-rule execution by at least {gate}x on a \
+         shared-anchor cluster, measured {speedup:.2}x"
+    );
+    Json::object(vec![
+        ("rules".into(), Json::from(rule_count)),
+        ("pages".into(), Json::from(page_count)),
+        ("rounds".into(), Json::from(rounds)),
+        ("steps_total".into(), Json::from(stats.steps_total)),
+        ("steps_shared".into(), Json::from(stats.steps_shared)),
+        ("per_rule_pages_per_s".into(), Json::from(round3(per_rule_pages_per_s))),
+        ("fused_pages_per_s".into(), Json::from(round3(fused_pages_per_s))),
+        ("speedup".into(), Json::from(round3(speedup))),
+        ("gate".into(), Json::from(gate)),
+    ])
+}
+
 struct LatencySummary {
     p50_ms: f64,
     p99_ms: f64,
@@ -448,20 +590,26 @@ fn main() {
             "--scenario" => {
                 only = Some(argv.next().expect("--scenario needs a name"));
             }
-            other => panic!("unknown argument '{other}' (try --smoke, --scenario contention)"),
+            other => {
+                panic!("unknown argument '{other}' (try --smoke, --scenario contention|fusion)")
+            }
         }
     }
     if let Some(name) = only {
         // Standalone scenarios skip the committed BENCH_service.json —
         // a partial record must never overwrite the full trajectory.
-        assert_eq!(name, "contention", "only 'contention' runs standalone");
+        let scenario = match name.as_str() {
+            "contention" => contention_scenario(quick),
+            "fusion" => fusion_scenario(quick),
+            other => panic!("only 'contention' and 'fusion' run standalone, not '{other}'"),
+        };
         let record = Json::object(vec![
-            ("bench".into(), Json::from("service_contention")),
+            ("bench".into(), Json::from(format!("service_{name}"))),
             ("smoke".into(), Json::from(quick)),
-            ("contention".into(), contention_scenario(quick)),
+            (name.clone(), scenario),
         ]);
-        write_experiment("service_contention", &record);
-        println!("[contention-only run; BENCH_service.json left untouched]");
+        write_experiment(&format!("service_{name}"), &record);
+        println!("[{name}-only run; BENCH_service.json left untouched]");
         return;
     }
     let workers = std::thread::available_parallelism().map(usize::from).unwrap_or(4).clamp(2, 8);
@@ -664,6 +812,9 @@ fn main() {
     // ---- scenario 5: repository lock contention --------------------------
     let contention_record = contention_scenario(quick);
 
+    // ---- scenario 6: fused one-pass cluster extraction -------------------
+    let fusion_record = fusion_scenario(quick);
+
     let record = Json::object(vec![
         ("bench".into(), Json::from("service_throughput")),
         ("server_workers".into(), Json::from(workers + 1)),
@@ -692,6 +843,7 @@ fn main() {
         ("memory".into(), Json::Array(memory_records)),
         ("rule_churn".into(), churn_record),
         ("contention".into(), contention_record),
+        ("fusion".into(), fusion_record),
     ]);
     write_experiment("service_throughput", &record);
     std::fs::write("BENCH_service.json", record.to_string_pretty())

@@ -28,9 +28,11 @@
 use crate::model::{Format, MappingRule, Multiplicity, Optionality};
 use crate::repository::{ClusterRules, CompiledCluster, StructureNode};
 use crate::sink::{ClusterHeader, CollectSink, ExtractionSink, ExtractionStats, PageRecord};
-use retroweb_html::{parse, Document};
+use retroweb_html::{parse, Document, NodeId};
 use retroweb_xml::{ClusterSchema, SchemaNode, XmlDocument, XmlElement};
-use retroweb_xpath::{normalize_space, string_value_cow, Executor, NodeRef};
+use retroweb_xpath::{
+    normalize_space, string_value_cow, EvalError, Executor, NodeRef, ScratchPool,
+};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -74,9 +76,26 @@ pub struct ExtractionResult {
 }
 
 /// Extract one page's component values through a compiled rule set:
-/// component → values. One [`Executor`] (document-order rank + scratch
-/// buffers) is shared by every rule applied to the page.
+/// component → values. The cluster's [`retroweb_xpath::FusedPlan`] runs
+/// every rule's location alternatives in **one DOM traversal** (shared
+/// anchor prefixes are walked once per page); unfusible locations fall
+/// back to per-rule execution inside the same call. One [`Executor`]
+/// (document-order rank + scratch buffers + predicate memo) is shared
+/// by everything applied to the page.
 pub fn extract_page_compiled(
+    rules: &CompiledCluster,
+    uri: &str,
+    doc: &Document,
+    failures: &mut Vec<RuleFailure>,
+) -> BTreeMap<String, Vec<String>> {
+    extract_page_fused(rules, uri, &Executor::new(doc), failures)
+}
+
+/// Baseline variant of [`extract_page_compiled`] executing the rules
+/// one by one, each re-walking the document ([`CompiledRule::select`](crate::model::CompiledRule::select)).
+/// Kept as the differential oracle for the fused path and as the
+/// benchmark baseline fusion is measured against.
+pub fn extract_page_compiled_per_rule(
     rules: &CompiledCluster,
     uri: &str,
     doc: &Document,
@@ -86,6 +105,62 @@ pub fn extract_page_compiled(
     let mut out = BTreeMap::new();
     for rule in &rules.rules {
         let nodes = rule.select(&exec).unwrap_or_default();
+        let values = rule_page_values(
+            rule.name.as_str(),
+            rule.optionality,
+            rule.multiplicity,
+            &rule.post,
+            &nodes,
+            doc,
+            uri,
+            failures,
+        );
+        if !values.is_empty() {
+            out.insert(rule.name.as_str().to_string(), values);
+        }
+    }
+    out
+}
+
+/// One-pass page extraction against an existing executor (the driver
+/// loops hand executors a recycled [`ScratchPool`]). The fused plan
+/// yields one `select_refs`-equivalent result per location, flattened
+/// in rule order; this replays [`CompiledRule::select`](crate::model::CompiledRule::select)'s
+/// alternative semantics per rule — alternatives in order, errors
+/// propagate, first non-empty (attribute-filtered) result wins.
+fn extract_page_fused(
+    rules: &CompiledCluster,
+    uri: &str,
+    exec: &Executor<'_>,
+    failures: &mut Vec<RuleFailure>,
+) -> BTreeMap<String, Vec<String>> {
+    let doc = exec.document();
+    let mut selected = rules.fused().execute(exec).into_iter();
+    let mut out = BTreeMap::new();
+    for rule in &rules.rules {
+        let mut outcome: Result<Vec<NodeId>, EvalError> = Ok(Vec::new());
+        let mut decided = false;
+        for _ in rule.locations() {
+            let res = selected.next().expect("one fused result per location");
+            if decided {
+                continue;
+            }
+            match res {
+                Err(e) => {
+                    outcome = Err(e);
+                    decided = true;
+                }
+                Ok(refs) => {
+                    let hits: Vec<NodeId> =
+                        refs.into_iter().filter(|r| !r.is_attr()).map(|r| r.id).collect();
+                    if !hits.is_empty() {
+                        outcome = Ok(hits);
+                        decided = true;
+                    }
+                }
+            }
+        }
+        let nodes = outcome.unwrap_or_default();
         let values = rule_page_values(
             rule.name.as_str(),
             rule.optionality,
@@ -232,9 +307,15 @@ pub fn extract_cluster_compiled_to(
 ) -> io::Result<ExtractionStats> {
     sink.begin_cluster(&ClusterHeader::of(rules))?;
     let mut stats = ExtractionStats::default();
+    // One scratch pool for the whole drive: each page's executor starts
+    // with the previous page's warmed buffers (the doc-order rank stays
+    // per-document inside the executor).
+    let mut pool = ScratchPool::default();
     for (uri, doc) in pages {
+        let exec = Executor::with_pool(doc, std::mem::take(&mut pool));
         let mut failures = Vec::new();
-        let values = extract_page_compiled(rules, uri, doc, &mut failures);
+        let values = extract_page_fused(rules, uri, &exec, &mut failures);
+        pool = exec.into_pool();
         emit_page(sink, uri, values, failures, &mut stats)?;
     }
     sink.end_cluster()?;
@@ -326,10 +407,13 @@ pub fn extract_cluster_parallel_compiled_to(
     sink.begin_cluster(&ClusterHeader::of(rules))?;
     let mut stats = ExtractionStats::default();
     if threads == 1 {
+        let mut pool = ScratchPool::default();
         for (uri, html) in pages {
             let doc = parse(html);
+            let exec = Executor::with_pool(&doc, std::mem::take(&mut pool));
             let mut failures = Vec::new();
-            let values = extract_page_compiled(rules, uri, &doc, &mut failures);
+            let values = extract_page_fused(rules, uri, &exec, &mut failures);
+            pool = exec.into_pool();
             emit_page(sink, uri, values, failures, &mut stats)?;
         }
         sink.end_cluster()?;
@@ -345,19 +429,26 @@ pub fn extract_cluster_parallel_compiled_to(
         for _ in 0..threads {
             let tx = tx.clone();
             let (gate, next) = (&gate, &next);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= pages.len() {
-                    break;
-                }
-                gate.wait_for_turn(i);
-                let (uri, html) = &pages[i];
-                let doc = parse(html);
-                let mut failures = Vec::new();
-                let values = extract_page_compiled(rules, uri, &doc, &mut failures);
-                if tx.send((i, values, failures)).is_err() {
-                    // Receiver gone: the emitter hit a sink error.
-                    break;
+            scope.spawn(move || {
+                // Per-worker scratch pool, recycled page after page; the
+                // doc-order rank stays per-document in each executor.
+                let mut pool = ScratchPool::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= pages.len() {
+                        break;
+                    }
+                    gate.wait_for_turn(i);
+                    let (uri, html) = &pages[i];
+                    let doc = parse(html);
+                    let exec = Executor::with_pool(&doc, std::mem::take(&mut pool));
+                    let mut failures = Vec::new();
+                    let values = extract_page_fused(rules, uri, &exec, &mut failures);
+                    pool = exec.into_pool();
+                    if tx.send((i, values, failures)).is_err() {
+                        // Receiver gone: the emitter hit a sink error.
+                        break;
+                    }
                 }
             });
         }

@@ -98,7 +98,8 @@ pub use extract::{
     extract_cluster, extract_cluster_compiled, extract_cluster_compiled_to, extract_cluster_html,
     extract_cluster_interpreted, extract_cluster_parallel, extract_cluster_parallel_compiled,
     extract_cluster_parallel_compiled_to, extract_cluster_parallel_to, extract_cluster_to,
-    extract_page_compiled, ExtractionResult, FailureKind, RuleFailure,
+    extract_page_compiled, extract_page_compiled_per_rule, ExtractionResult, FailureKind,
+    RuleFailure,
 };
 pub use maintain::{
     detect_failures, detect_failures_compiled, repair_rules, RepairMethod, RepairReport,

@@ -12,7 +12,9 @@ use retroweb_html::{Document, NodeId};
 use retroweb_xpath::{
     normalize_space, string_value_cow, CompiledXPath, Engine, EvalError, Executor, Expr, NodeRef,
 };
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A component name matching the paper's EBNF:
 /// `name ::= [a-zA-Z]([a-zA-Z] | [-_] | [0-9])*`.
@@ -204,23 +206,48 @@ pub struct CompiledRule {
     pub multiplicity: Multiplicity,
     pub format: Format,
     pub post: Vec<PostProcess>,
-    locations: Vec<CompiledXPath>,
+    /// `Arc` so rules sharing an anchor path within a cluster share one
+    /// compiled program (and one fused-trie branch) — see
+    /// [`CompiledRule::with_interner`].
+    locations: Vec<Arc<CompiledXPath>>,
 }
 
 impl CompiledRule {
     pub fn new(rule: &MappingRule) -> CompiledRule {
+        CompiledRule::with_interner(rule, &mut HashMap::new())
+    }
+
+    /// Compile `rule`, deduplicating identical location expressions
+    /// through `interner` (keyed by display form, which is what
+    /// [`CompiledXPath::source`] preserves). A cluster compiles all its
+    /// rules through one interner so textually identical locations across
+    /// rules become one shared program: one compilation, one fused-trie
+    /// branch, one predicate-memo key space.
+    pub(crate) fn with_interner(
+        rule: &MappingRule,
+        interner: &mut HashMap<String, Arc<CompiledXPath>>,
+    ) -> CompiledRule {
         CompiledRule {
             name: rule.name.clone(),
             optionality: rule.optionality,
             multiplicity: rule.multiplicity,
             format: rule.format,
             post: rule.post.clone(),
-            locations: rule.locations.iter().map(CompiledXPath::compile).collect(),
+            locations: rule
+                .locations
+                .iter()
+                .map(|e| {
+                    interner
+                        .entry(e.to_string())
+                        .or_insert_with(|| Arc::new(CompiledXPath::compile(e)))
+                        .clone()
+                })
+                .collect(),
         }
     }
 
     /// The compiled location alternatives, in rule order.
-    pub fn locations(&self) -> &[CompiledXPath] {
+    pub fn locations(&self) -> &[Arc<CompiledXPath>] {
         &self.locations
     }
 

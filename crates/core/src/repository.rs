@@ -25,7 +25,9 @@ use crate::store::{ClusterStore, RepositorySnapshot};
 use retroweb_html::Document;
 use retroweb_json::{parse as json_parse, Json};
 use retroweb_xml::ClusterSchema;
+use retroweb_xpath::FusedPlan;
 use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,13 +99,23 @@ impl ClusterRules {
 
     /// Lower every rule's location XPaths to the compiled IR and derive
     /// the cluster schema, producing the shareable execution form.
+    /// Identical location expressions across the cluster's rules are
+    /// interned to one shared program, and all locations are merged into
+    /// the cluster's [`FusedPlan`] for one-pass page extraction.
     pub fn compile(&self) -> CompiledCluster {
+        let mut interner = HashMap::new();
+        let rules: Vec<CompiledRule> =
+            self.rules.iter().map(|r| CompiledRule::with_interner(r, &mut interner)).collect();
+        let fused = FusedPlan::build(
+            &rules.iter().flat_map(|r| r.locations().iter().cloned()).collect::<Vec<_>>(),
+        );
         CompiledCluster {
             cluster: self.cluster.clone(),
             page_element: self.page_element.clone(),
             structure: self.structure.clone(),
             schema: crate::extract::cluster_schema(self),
-            rules: self.rules.iter().map(CompiledRule::new).collect(),
+            rules,
+            fused,
         }
     }
 }
@@ -119,11 +131,22 @@ pub struct CompiledCluster {
     pub structure: Option<Vec<StructureNode>>,
     pub schema: ClusterSchema,
     pub rules: Vec<CompiledRule>,
+    /// Every rule's location alternatives merged into one shared-prefix
+    /// traversal plan, flattened in rule order (rule 0's alternatives
+    /// first). Built here so it rides the compiled-cluster cache: a hot
+    /// reload that invalidates the compilation rebuilds the plan too.
+    fused: FusedPlan,
 }
 
 impl CompiledCluster {
     pub fn rule(&self, component: &str) -> Option<&CompiledRule> {
         self.rules.iter().find(|r| r.name.as_str() == component)
+    }
+
+    /// The cluster's one-pass extraction plan (see
+    /// [`retroweb_xpath::fuse`]).
+    pub fn fused(&self) -> &FusedPlan {
+        &self.fused
     }
 }
 
@@ -217,6 +240,21 @@ pub struct RepositoryStats {
     pub compiled_cache_builds: u64,
     /// Cached compilations dropped by `record`/`remove` (hot reloads).
     pub compiled_cache_invalidations: u64,
+    /// Fused one-pass plans currently cached (one per compiled cluster).
+    pub fused_plans: usize,
+    /// Location paths merged into fused plans, across cached clusters.
+    pub fused_paths: usize,
+    /// Location paths executing per-rule because their shape is
+    /// unfusible.
+    pub fused_fallback_paths: usize,
+    /// Cached clusters with at least one fallback path — a rule set
+    /// that (partly) defeats the planner.
+    pub fused_fallback_clusters: usize,
+    /// Steps across all fused paths, before prefix sharing.
+    pub fused_steps_total: usize,
+    /// Steps answered by an existing trie node — axis walks saved per
+    /// page by fusion.
+    pub fused_steps_shared: usize,
 }
 
 impl RepositoryStats {
@@ -228,6 +266,24 @@ impl RepositoryStats {
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_builds += other.compiled_cache_builds;
         self.compiled_cache_invalidations += other.compiled_cache_invalidations;
+        self.fused_plans += other.fused_plans;
+        self.fused_paths += other.fused_paths;
+        self.fused_fallback_paths += other.fused_fallback_paths;
+        self.fused_fallback_clusters += other.fused_fallback_clusters;
+        self.fused_steps_total += other.fused_steps_total;
+        self.fused_steps_shared += other.fused_steps_shared;
+    }
+
+    /// Fold one cached cluster's fusion counters into the snapshot.
+    pub(crate) fn observe_fused_plan(&mut self, stats: &retroweb_xpath::FuseStats) {
+        self.fused_plans += 1;
+        self.fused_paths += stats.paths_fused;
+        self.fused_fallback_paths += stats.paths_fallback;
+        if stats.paths_fallback > 0 {
+            self.fused_fallback_clusters += 1;
+        }
+        self.fused_steps_total += stats.steps_total;
+        self.fused_steps_shared += stats.steps_shared;
     }
 }
 
@@ -283,13 +339,19 @@ impl RuleRepository {
     /// Snapshot the cache counters (cheap; relaxed atomics plus two
     /// uncontended read locks for the size gauges).
     pub fn stats(&self) -> RepositoryStats {
-        RepositoryStats {
+        let compiled = self.compiled.read().expect("lock poisoned");
+        let mut stats = RepositoryStats {
             clusters: self.len(),
-            compiled_cache_entries: self.compiled.read().expect("lock poisoned").len(),
+            compiled_cache_entries: compiled.len(),
             compiled_cache_hits: self.compiled_hits.load(Ordering::Relaxed),
             compiled_cache_builds: self.compiled_builds.load(Ordering::Relaxed),
             compiled_cache_invalidations: self.invalidations.load(Ordering::Relaxed),
+            ..RepositoryStats::default()
+        };
+        for c in compiled.values() {
+            stats.observe_fused_plan(&c.fused().stats());
         }
+        stats
     }
 
     /// The cluster's rules in compiled form, building and caching them on

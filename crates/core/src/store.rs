@@ -590,7 +590,7 @@ impl ClusterStore for ShardedRepository {
             .iter()
             .map(|shard| {
                 let map = shard.snap.load();
-                RepositoryStats {
+                let mut stats = RepositoryStats {
                     clusters: map.len(),
                     compiled_cache_entries: map
                         .values()
@@ -599,7 +599,12 @@ impl ClusterStore for ShardedRepository {
                     compiled_cache_hits: shard.hits.load(Ordering::Relaxed),
                     compiled_cache_builds: shard.builds.load(Ordering::Relaxed),
                     compiled_cache_invalidations: shard.invalidations.load(Ordering::Relaxed),
+                    ..RepositoryStats::default()
+                };
+                for compiled in map.values().filter_map(|e| e.compiled.get()) {
+                    stats.observe_fused_plan(&compiled.fused().stats());
                 }
+                stats
             })
             .collect()
     }

@@ -239,6 +239,7 @@ impl Metrics {
                 }
                 section
             }),
+            ("fusion".into(), fusion_json(&repo)),
             ("latency_ms".into(), Json::Object(latency)),
         ]);
         if let Some(wal) = wal {
@@ -267,6 +268,20 @@ fn repo_stats_json(repo: &retrozilla::RepositoryStats) -> Json {
             "compiled_cache_invalidations".into(),
             Json::from(repo.compiled_cache_invalidations as usize),
         ),
+    ])
+}
+
+/// The `fusion` section: how well the cached clusters' rule sets fused
+/// into one-pass plans. `paths_fallback`/`fallback_clusters` make a rule
+/// set that defeats the planner visible in production.
+fn fusion_json(repo: &retrozilla::RepositoryStats) -> Json {
+    Json::object(vec![
+        ("plans".into(), Json::from(repo.fused_plans)),
+        ("paths_fused".into(), Json::from(repo.fused_paths)),
+        ("paths_fallback".into(), Json::from(repo.fused_fallback_paths)),
+        ("fallback_clusters".into(), Json::from(repo.fused_fallback_clusters)),
+        ("steps_total".into(), Json::from(repo.fused_steps_total)),
+        ("steps_shared".into(), Json::from(repo.fused_steps_shared)),
     ])
 }
 
@@ -349,6 +364,28 @@ mod tests {
         assert_eq!(w.get("replay_torn_bytes").unwrap().as_u64(), Some(7));
         assert_eq!(w.get("wal_bytes").unwrap().as_u64(), Some(200));
         assert_eq!(w.get("since_compaction").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn fusion_section_rendered() {
+        let m = Metrics::new();
+        let repo = retrozilla::RepositoryStats {
+            fused_plans: 2,
+            fused_paths: 9,
+            fused_fallback_paths: 1,
+            fused_fallback_clusters: 1,
+            fused_steps_total: 40,
+            fused_steps_shared: 25,
+            ..Default::default()
+        };
+        let json = m.to_json(repo, &[], None, None);
+        let f = json.get("fusion").expect("fusion section");
+        assert_eq!(f.get("plans").unwrap().as_u64(), Some(2));
+        assert_eq!(f.get("paths_fused").unwrap().as_u64(), Some(9));
+        assert_eq!(f.get("paths_fallback").unwrap().as_u64(), Some(1));
+        assert_eq!(f.get("fallback_clusters").unwrap().as_u64(), Some(1));
+        assert_eq!(f.get("steps_total").unwrap().as_u64(), Some(40));
+        assert_eq!(f.get("steps_shared").unwrap().as_u64(), Some(25));
     }
 
     #[test]

@@ -971,6 +971,64 @@ fn metrics_repo_counters_coherent_after_delete() {
     handle.shutdown();
 }
 
+/// A hot reload rebuilds the cluster's fused one-pass plan: the
+/// `/metrics` fusion gauges track the live rule set's shape, not the
+/// shape at first compile.
+#[test]
+fn hot_reload_rebuilds_fused_plan() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let (_, html) = testdata::demo_page(0);
+    let fusion = |client: &mut Client| {
+        let resp = client.request("GET", "/metrics", &[], b"").unwrap();
+        resp.body_json().unwrap().get("fusion").expect("fusion section").clone()
+    };
+
+    // Nothing compiled yet: no plans.
+    assert_eq!(fusion(&mut client).get("plans").unwrap().as_u64(), Some(0));
+
+    // Extract once to force the compile; the v1 demo cluster has three
+    // rules with one location each, all fusible absolute paths.
+    let resp =
+        client.request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], html.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    let v1 = fusion(&mut client);
+    assert_eq!(v1.get("plans").unwrap().as_u64(), Some(1));
+    assert_eq!(v1.get("paths_fused").unwrap().as_u64(), Some(3));
+    assert_eq!(v1.get("paths_fallback").unwrap().as_u64(), Some(0));
+    assert!(v1.get("steps_total").unwrap().as_u64().unwrap() > 0);
+
+    // Hot reload to the two-rule v2 set and extract again: the fused
+    // plan must have been rebuilt for the new rules.
+    let resp = client
+        .request(
+            "PUT",
+            &format!("/clusters/{DEMO_CLUSTER}"),
+            &[],
+            testdata::updated_cluster_json().as_bytes(),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_utf8());
+    let resp =
+        client.request("POST", &format!("/extract/{DEMO_CLUSTER}"), &[], html.as_bytes()).unwrap();
+    assert_eq!(resp.status, 200);
+    let v2 = fusion(&mut client);
+    assert_eq!(v2.get("plans").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        v2.get("paths_fused").unwrap().as_u64(),
+        Some(2),
+        "reload must rebuild the fused plan: {v2}"
+    );
+    assert_ne!(
+        v1.get("steps_total").unwrap().as_u64(),
+        v2.get("steps_total").unwrap().as_u64(),
+        "plan shape must follow the live rules"
+    );
+    handle.shutdown();
+}
+
 #[test]
 fn metrics_reflect_traffic() {
     let handle = start_server(ServerConfig::default());

@@ -41,15 +41,16 @@ use std::borrow::Cow;
 use std::cell::{OnceCell, RefCell};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
-type ExprId = u32;
+pub(crate) type ExprId = u32;
 
 /// `(start, len)` window into one of the arenas.
-type Span = (u32, u32);
+pub(crate) type Span = (u32, u32);
 
 /// Node test with the name interned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum CTest {
+pub(crate) enum CTest {
     /// Index into [`CompiledXPath::names`].
     Name(u32),
     Wildcard,
@@ -61,7 +62,7 @@ enum CTest {
 /// Execution strategy for a step, decided at compile time from the
 /// shape of its predicate chain.
 #[derive(Clone, Copy, Debug, PartialEq)]
-enum StepPlan {
+pub(crate) enum StepPlan {
     /// Materialise all axis candidates, then filter predicate by
     /// predicate (the reference algorithm).
     Generic,
@@ -83,17 +84,17 @@ enum StepPlan {
 
 /// One lowered location step.
 #[derive(Clone, Copy, Debug)]
-struct CStep {
-    axis: Axis,
-    test: CTest,
+pub(crate) struct CStep {
+    pub(crate) axis: Axis,
+    pub(crate) test: CTest,
     /// Window into [`CompiledXPath::preds`].
-    preds: Span,
-    plan: StepPlan,
+    pub(crate) preds: Span,
+    pub(crate) plan: StepPlan,
 }
 
 /// A lowered predicate.
 #[derive(Clone, Copy, Debug)]
-enum CPred {
+pub(crate) enum CPred {
     /// Bare numeric predicate — `[3]` — specialised to a positional
     /// selection (the precise-path hot case).
     Position(f64),
@@ -103,14 +104,14 @@ enum CPred {
 
 /// A lowered location path: window into the step table.
 #[derive(Clone, Copy, Debug)]
-struct CPath {
-    absolute: bool,
-    steps: Span,
+pub(crate) struct CPath {
+    pub(crate) absolute: bool,
+    pub(crate) steps: Span,
 }
 
 /// Core-library function, resolved at compile time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum FnOp {
+pub(crate) enum FnOp {
     Position,
     Last,
     Count,
@@ -232,7 +233,7 @@ impl FnOp {
 
 /// A lowered expression node.
 #[derive(Clone, Debug)]
-enum CExpr {
+pub(crate) enum CExpr {
     Num(f64),
     Str(Box<str>),
     Binary(BinaryOp, ExprId, ExprId),
@@ -257,14 +258,27 @@ enum CExpr {
 /// independent of any document.
 pub struct CompiledXPath {
     src: String,
-    exprs: Vec<CExpr>,
-    expr_lists: Vec<ExprId>,
-    paths: Vec<CPath>,
-    steps: Vec<CStep>,
-    preds: Vec<CPred>,
-    names: Vec<Box<str>>,
-    root: ExprId,
+    /// Process-unique program id, assigned at compile time. The
+    /// executor's predicate memo keys entries by `(uid, expr, node)`, so
+    /// cached outcomes can never alias across programs — not even when
+    /// one program is dropped and another is allocated at its address.
+    pub(crate) uid: u64,
+    pub(crate) exprs: Vec<CExpr>,
+    pub(crate) expr_lists: Vec<ExprId>,
+    pub(crate) paths: Vec<CPath>,
+    pub(crate) steps: Vec<CStep>,
+    pub(crate) preds: Vec<CPred>,
+    /// Parallel to `preds`: whether the predicate is memoizable — a
+    /// non-positional expression that is statically position-insensitive,
+    /// never numeric and never erroring, so its truthiness for a given
+    /// context node is a pure function the executor may cache.
+    pub(crate) pred_memo: Vec<bool>,
+    pub(crate) names: Vec<Box<str>>,
+    pub(crate) root: ExprId,
 }
+
+/// Source of [`CompiledXPath::uid`] values.
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
 
 impl fmt::Debug for CompiledXPath {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -282,13 +296,23 @@ impl CompiledXPath {
     pub fn compile(expr: &Expr) -> CompiledXPath {
         let mut b = Lowerer::default();
         let root = b.lower_expr(expr);
+        let pred_memo = b
+            .preds
+            .iter()
+            .map(|p| match p {
+                CPred::Position(_) => false,
+                CPred::Expr(e) => b.streamable(*e),
+            })
+            .collect();
         CompiledXPath {
             src: expr.to_string(),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
             exprs: b.exprs,
             expr_lists: b.expr_lists,
             paths: b.paths,
             steps: b.steps,
             preds: b.preds,
+            pred_memo,
             names: b.names,
             root,
         }
@@ -584,16 +608,16 @@ impl Lowerer {
 
 /// Evaluation context for one candidate node.
 #[derive(Clone, Copy)]
-struct Ctx {
-    node: NodeRef,
-    pos: usize,
-    size: usize,
+pub(crate) struct Ctx {
+    pub(crate) node: NodeRef,
+    pub(crate) pos: usize,
+    pub(crate) size: usize,
 }
 
 /// Internal value representation: like [`Value`] but strings borrow from
 /// the compiled program (literals) or the document (text-node string
 /// values), so hot predicates evaluate without allocating.
-enum V<'a> {
+pub(crate) enum V<'a> {
     Nodes(Vec<NodeRef>),
     Bool(bool),
     Num(f64),
@@ -620,7 +644,7 @@ impl<'a> V<'a> {
     }
 }
 
-fn truthy(v: &V<'_>) -> bool {
+pub(crate) fn truthy(v: &V<'_>) -> bool {
     match v {
         V::Nodes(ns) => !ns.is_empty(),
         V::Bool(b) => *b,
@@ -629,19 +653,58 @@ fn truthy(v: &V<'_>) -> bool {
     }
 }
 
+/// Detachable executor scratch state: the node-buffer pool plus the
+/// predicate-memo table's allocation. An [`Executor`] is lifetime-bound
+/// to one document, but its warmed buffers are not — a worker applying
+/// a rule set page after page hands the pool from one executor to the
+/// next ([`Executor::with_pool`] / [`Executor::into_pool`]) instead of
+/// re-growing buffers per page. Memo *entries* never travel: they are
+/// keyed by node ids of a specific document, so both hand-off points
+/// clear the table (keeping its capacity).
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    bufs: Vec<Vec<NodeRef>>,
+    memo: HashMap<(u64, ExprId, NodeRef), bool>,
+}
+
 /// Executor bound to one document: carries the lazily built document
-/// order rank and a scratch-buffer pool, both reused across every rule
-/// applied to the page. Cheap to construct; not `Sync` (make one per
-/// worker thread — see `extract_cluster_parallel`).
+/// order rank, a scratch-buffer pool and a predicate memo, all reused
+/// across every rule applied to the page. Cheap to construct; not
+/// `Sync` (make one per worker thread — see `extract_cluster_parallel`).
 pub struct Executor<'d> {
     doc: &'d Document,
     order: OnceCell<Vec<u32>>,
-    pool: RefCell<Vec<Vec<NodeRef>>>,
+    bufs: RefCell<Vec<Vec<NodeRef>>>,
+    /// Cached truthiness of memoizable predicates (see
+    /// [`CompiledXPath::pred_memo`]) per `(program uid, expr, node)`:
+    /// overlapping axis walks — the Figure-4 `preceding::text()` label
+    /// scans from adjacent candidates — re-test the same nodes, and
+    /// rules sharing an interned program share its cached outcomes.
+    memo: RefCell<HashMap<(u64, ExprId, NodeRef), bool>>,
 }
 
 impl<'d> Executor<'d> {
     pub fn new(doc: &'d Document) -> Executor<'d> {
-        Executor { doc, order: OnceCell::new(), pool: RefCell::new(Vec::new()) }
+        Executor::with_pool(doc, ScratchPool::default())
+    }
+
+    /// Bind an executor to `doc`, adopting a pool recycled from a
+    /// previous page's executor.
+    pub fn with_pool(doc: &'d Document, mut pool: ScratchPool) -> Executor<'d> {
+        pool.memo.clear();
+        Executor {
+            doc,
+            order: OnceCell::new(),
+            bufs: RefCell::new(pool.bufs),
+            memo: RefCell::new(pool.memo),
+        }
+    }
+
+    /// Detach the scratch pool for reuse by the next page's executor.
+    pub fn into_pool(self) -> ScratchPool {
+        let mut memo = self.memo.into_inner();
+        memo.clear();
+        ScratchPool { bufs: self.bufs.into_inner(), memo }
     }
 
     pub fn document(&self) -> &'d Document {
@@ -698,7 +761,7 @@ impl<'d> Executor<'d> {
         })
     }
 
-    fn sort_dedup(&self, refs: &mut Vec<NodeRef>) {
+    pub(crate) fn sort_dedup(&self, refs: &mut Vec<NodeRef>) {
         if refs.len() <= 1 {
             return;
         }
@@ -709,21 +772,21 @@ impl<'d> Executor<'d> {
 
     // ---- scratch buffers --------------------------------------------------
 
-    fn take_buf(&self) -> Vec<NodeRef> {
-        self.pool.borrow_mut().pop().unwrap_or_default()
+    pub(crate) fn take_buf(&self) -> Vec<NodeRef> {
+        self.bufs.borrow_mut().pop().unwrap_or_default()
     }
 
-    fn give_buf(&self, mut buf: Vec<NodeRef>) {
+    pub(crate) fn give_buf(&self, mut buf: Vec<NodeRef>) {
         buf.clear();
-        let mut pool = self.pool.borrow_mut();
-        if pool.len() < 16 {
-            pool.push(buf);
+        let mut bufs = self.bufs.borrow_mut();
+        if bufs.len() < 16 {
+            bufs.push(buf);
         }
     }
 
     // ---- expression evaluation --------------------------------------------
 
-    fn eval_expr<'a>(
+    pub(crate) fn eval_expr<'a>(
         &'a self,
         cx: &'a CompiledXPath,
         id: ExprId,
@@ -979,49 +1042,92 @@ impl<'d> Executor<'d> {
         for si in s0..s0 + slen {
             let step = cx.steps[si as usize];
             let mut next = self.take_buf();
-            let multi_ctx = current.len() > 1;
-            for &node in current.iter() {
-                match step.plan {
-                    // `TAG[n]`: walk the axis only to the n-th match.
-                    StepPlan::Nth(n) => self.push_nth(cx, node, step, n, &mut next),
-                    // `[filter…][n]`: stream candidates, stop at the
-                    // n-th survivor, then apply any remaining predicates.
-                    StepPlan::LazyPrefix { filters, n } => {
-                        scratch.clear();
-                        self.push_nth_filtered(cx, node, step, filters, n, &mut scratch)?;
-                        let rest = (step.preds.0 + filters + 1, step.preds.1 - filters - 1);
-                        self.apply_preds(cx, rest, &mut scratch)?;
-                        next.extend_from_slice(&scratch);
-                    }
-                    StepPlan::Generic => {
-                        scratch.clear();
-                        self.for_each_axis(node, step.axis, |r| {
-                            if self.test_matches(cx, r, step.axis, step.test) {
-                                scratch.push(r);
-                            }
-                            true
-                        });
-                        self.apply_preds(cx, step.preds, &mut scratch)?;
-                        next.extend_from_slice(&scratch);
-                    }
-                }
-            }
-            if multi_ctx {
-                self.sort_dedup(&mut next);
-            } else if step.axis.is_reverse() {
-                // A single context on a reverse axis yields nearest-first
-                // candidates: reversing restores document order without a
-                // sort (the interpreter sorts here).
-                next.reverse();
-            }
+            self.advance_step(cx, step, &current, &mut next, &mut scratch)?;
             self.give_buf(std::mem::replace(&mut current, next));
         }
         self.give_buf(scratch);
         Ok(current)
     }
 
+    /// Advance a path frontier by one location step: apply `step` to
+    /// every node of `current`, appending to `next` and restoring
+    /// document order. This is the step kernel shared by [`eval_path`]
+    /// and the fused cluster executor ([`crate::fuse`]) — rules merged
+    /// into a shared-prefix trie run through the byte-identical frontier
+    /// transition they would take individually.
+    ///
+    /// [`eval_path`]: Executor::eval_path
+    pub(crate) fn advance_step(
+        &self,
+        cx: &CompiledXPath,
+        step: CStep,
+        current: &[NodeRef],
+        next: &mut Vec<NodeRef>,
+        scratch: &mut Vec<NodeRef>,
+    ) -> Result<(), EvalError> {
+        let multi_ctx = current.len() > 1;
+        for &node in current {
+            match step.plan {
+                // `TAG[n]`: walk the axis only to the n-th match.
+                StepPlan::Nth(n) => self.push_nth(cx, node, step, n, next),
+                // `[filter…][n]`: stream candidates, stop at the
+                // n-th survivor, then apply any remaining predicates.
+                StepPlan::LazyPrefix { filters, n } => {
+                    scratch.clear();
+                    self.push_nth_filtered(cx, node, step, filters, n, scratch)?;
+                    let rest = (step.preds.0 + filters + 1, step.preds.1 - filters - 1);
+                    self.apply_preds(cx, rest, scratch)?;
+                    next.extend_from_slice(scratch);
+                }
+                StepPlan::Generic => {
+                    scratch.clear();
+                    self.for_each_axis(node, step.axis, |r| {
+                        if self.test_matches(cx, r, step.axis, step.test) {
+                            scratch.push(r);
+                        }
+                        true
+                    });
+                    self.apply_preds(cx, step.preds, scratch)?;
+                    next.extend_from_slice(scratch);
+                }
+            }
+        }
+        if multi_ctx {
+            self.sort_dedup(next);
+        } else if step.axis.is_reverse() {
+            // A single context on a reverse axis yields nearest-first
+            // candidates: reversing restores document order without a
+            // sort (the interpreter sorts here).
+            next.reverse();
+        }
+        Ok(())
+    }
+
+    /// Evaluate predicate `eid` as a boolean at `node`, caching the
+    /// outcome in the per-document memo keyed by `(program uid, expr,
+    /// node)`. Sound only for predicates flagged in
+    /// [`CompiledXPath::pred_memo`]: statically position-insensitive,
+    /// never numeric and never erroring, so the truthiness is a pure
+    /// function of the context node.
+    fn memo_truthy(
+        &self,
+        cx: &CompiledXPath,
+        eid: ExprId,
+        node: NodeRef,
+    ) -> Result<bool, EvalError> {
+        if let Some(&hit) = self.memo.borrow().get(&(cx.uid, eid, node)) {
+            return Ok(hit);
+        }
+        // The borrow above is released before eval_expr: nested path
+        // evaluation may re-enter the memo.
+        let ctx = Ctx { node, pos: 1, size: 1 };
+        let keep = truthy(&self.eval_expr(cx, eid, &ctx)?);
+        self.memo.borrow_mut().insert((cx.uid, eid, node), keep);
+        Ok(keep)
+    }
+
     /// Push the `n`-th node matching `step` on its axis, if any.
-    fn push_nth(
+    pub(crate) fn push_nth(
         &self,
         cx: &CompiledXPath,
         node: NodeRef,
@@ -1050,7 +1156,7 @@ impl<'d> Executor<'d> {
     /// predicates (statically position-insensitive, non-numeric) and push
     /// the `n`-th survivor, stopping the axis walk there. Evaluation
     /// errors from the filters are propagated.
-    fn push_nth_filtered(
+    pub(crate) fn push_nth_filtered(
         &self,
         cx: &CompiledXPath,
         node: NodeRef,
@@ -1064,25 +1170,19 @@ impl<'d> Executor<'d> {
         }
         let target = n as usize;
         let mut survivors = 0usize;
-        let mut raw_pos = 0usize;
         let mut failure: Option<EvalError> = None;
         self.for_each_axis(node, step.axis, |r| {
             if !self.test_matches(cx, r, step.axis, step.test) {
                 return true;
             }
-            raw_pos += 1;
-            // The filters cannot observe position()/last(), so the
-            // context sizes here are immaterial; raw_pos keeps them
-            // truthful for the position they do occupy.
-            let ctx = Ctx { node: r, pos: raw_pos, size: raw_pos };
+            // LazyPrefix filters are streamable by construction —
+            // position-insensitive, non-numeric, non-erroring — so every
+            // one of them is memoizable.
             for pi in step.preds.0..step.preds.0 + filters {
                 let CPred::Expr(eid) = cx.preds[pi as usize] else { unreachable!() };
-                match self.eval_expr(cx, eid, &ctx) {
-                    Ok(v) => {
-                        if !truthy(&v) {
-                            return true; // filtered out, keep walking
-                        }
-                    }
+                match self.memo_truthy(cx, eid, r) {
+                    Ok(true) => {}
+                    Ok(false) => return true, // filtered out, keep walking
                     Err(e) => {
                         failure = Some(e);
                         return false;
@@ -1104,7 +1204,12 @@ impl<'d> Executor<'d> {
 
     /// Visit the nodes on `axis` from `node` in axis order (the order
     /// `position()` counts). The callback returns `false` to stop early.
-    fn for_each_axis(&self, node: NodeRef, axis: Axis, mut f: impl FnMut(NodeRef) -> bool) {
+    pub(crate) fn for_each_axis(
+        &self,
+        node: NodeRef,
+        axis: Axis,
+        mut f: impl FnMut(NodeRef) -> bool,
+    ) {
         let doc = self.doc;
         if node.attr.is_some() {
             // Axes from an attribute node.
@@ -1205,7 +1310,13 @@ impl<'d> Executor<'d> {
         }
     }
 
-    fn test_matches(&self, cx: &CompiledXPath, r: NodeRef, _axis: Axis, test: CTest) -> bool {
+    pub(crate) fn test_matches(
+        &self,
+        cx: &CompiledXPath,
+        r: NodeRef,
+        _axis: Axis,
+        test: CTest,
+    ) -> bool {
         let doc = self.doc;
         if r.is_attr() {
             // Attribute refs reach here from the attribute axis and from
@@ -1235,7 +1346,7 @@ impl<'d> Executor<'d> {
 
     /// Apply a predicate window to `list` in place. `list` must be in the
     /// order that defines `position()`.
-    fn apply_preds(
+    pub(crate) fn apply_preds(
         &self,
         cx: &CompiledXPath,
         preds: Span,
@@ -1258,6 +1369,18 @@ impl<'d> Executor<'d> {
                         }
                         None => list.clear(),
                     }
+                }
+                CPred::Expr(eid) if cx.pred_memo[pi as usize] => {
+                    // Position-insensitive predicate: its truthiness per
+                    // node is cacheable across every rule of the page.
+                    let mut write = 0usize;
+                    for i in 0..list.len() {
+                        if self.memo_truthy(cx, eid, list[i])? {
+                            list[write] = list[i];
+                            write += 1;
+                        }
+                    }
+                    list.truncate(write);
                 }
                 CPred::Expr(eid) => {
                     let size = list.len();

@@ -68,15 +68,17 @@ pub mod builder;
 pub mod compile;
 mod eval;
 mod functions;
+pub mod fuse;
 pub mod generalize;
 mod lexer;
 pub mod parser;
 mod value;
 
 pub use ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
-pub use compile::{CompiledXPath, Executor};
+pub use compile::{CompiledXPath, Executor, ScratchPool};
 pub use eval::{Engine, EvalError};
 pub use functions::normalize_space;
+pub use fuse::{FuseStats, FusedPlan};
 pub use lexer::{lex, LexError, Tok};
 pub use parser::{parse, parse_lenient, parse_path, ParseError};
 pub use value::{
