@@ -1,7 +1,7 @@
 //! Service throughput bench: pages/s and request latency over loopback
 //! HTTP, for the `retroweb-service` extraction server.
 //!
-//! Six scenarios:
+//! Seven scenarios:
 //! - **single**: one keep-alive client, sequential `POST /extract/{c}`
 //!   requests (per-request latency distribution);
 //! - **batch**: several client threads each streaming
@@ -30,7 +30,15 @@
 //!   (`extract_page_compiled`, the cluster's rules merged into one
 //!   shared-prefix plan run in a single DOM traversal) vs per-rule
 //!   compiled execution (`extract_page_compiled_per_rule`) — the
-//!   fusion PR's acceptance number is the fused/per-rule ratio.
+//!   fusion PR's acceptance number is the fused/per-rule ratio;
+//! - **connections**: idle-connection scaling — 10k established
+//!   keep-alive connections (held by a hidden `--idle-flood` child
+//!   process so both socket ends don't share one fd budget) with a
+//!   small active set on top, evented front end vs the worker-pool
+//!   baseline. The evented loop holds the sea with flat worker usage
+//!   and serves the active set at unloaded latency; the worker-pool
+//!   pins a thread per connection, and `threads` idle connections are
+//!   enough to starve an active probe.
 //!
 //! Results go to stdout, `target/experiments/service_throughput.json`,
 //! and `BENCH_service.json` in the working directory — the committed
@@ -38,11 +46,13 @@
 //!
 //! Run with: `cargo run --release -p retroweb-bench --bin bench_service`.
 //! `--smoke` (or `BENCH_SERVICE_QUICK=1`) shrinks every scenario for a
-//! CI gate; `--scenario contention` / `--scenario fusion` runs that
+//! CI gate; `--scenario contention|fusion|connections` runs that
 //! scenario alone (no server, no committed-file rewrite) — CI uses
 //! `--smoke --scenario contention` to fail the build on lock
-//! regressions and `--smoke --scenario fusion` to fail it on
-//! one-pass-extraction regressions.
+//! regressions, `--smoke --scenario fusion` to fail it on
+//! one-pass-extraction regressions, and `--smoke --scenario
+//! connections` (512 connections) to fail it when the evented front
+//! end stops holding an idle sea with flat worker usage.
 
 use retroweb_bench::write_experiment;
 use retroweb_json::Json;
@@ -558,6 +568,272 @@ fn fusion_scenario(quick: bool) -> Json {
     ])
 }
 
+// ---- connections scenario --------------------------------------------------
+
+fn connect_retry(addr: std::net::SocketAddr) -> Client {
+    for _ in 0..100 {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    panic!("could not connect to {addr} after 100 attempts");
+}
+
+/// Child-process body for the hidden `--idle-flood ADDR N` mode: hold
+/// `n` keep-alive connections (one `/healthz` exchange each, then
+/// idle), announce `READY`, and sit on them until the parent closes our
+/// stdin. Run out-of-process so the client-side descriptors don't share
+/// the bench process's fd budget with the server-side ones — at 10k
+/// connections both ends together would blow the limit.
+fn idle_flood(addr: &str, n: usize) {
+    let addr: std::net::SocketAddr = addr.parse().expect("--idle-flood addr");
+    let mut held = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut client = connect_retry(addr);
+        let resp = client.request("GET", "/healthz", &[], b"").expect("flood healthz");
+        assert_eq!(resp.status, 200, "flood connection refused");
+        held.push(client);
+    }
+    println!("READY {n}");
+    use std::io::Read as _;
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    drop(held);
+}
+
+/// A sea of established-then-idle keep-alive connections, held either
+/// in-process (small counts) or by an `--idle-flood` child (large
+/// counts; see [`idle_flood`]). Released explicitly so teardown order
+/// against the server is deliberate.
+enum IdleFlood {
+    InProcess(Vec<Client>),
+    Child(std::process::Child),
+}
+
+impl IdleFlood {
+    fn hold(addr: std::net::SocketAddr, n: usize, in_process: bool) -> IdleFlood {
+        if in_process {
+            let mut held = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut client = connect_retry(addr);
+                let resp = client.request("GET", "/healthz", &[], b"").expect("flood healthz");
+                assert_eq!(resp.status, 200);
+                held.push(client);
+            }
+            IdleFlood::InProcess(held)
+        } else {
+            let exe = std::env::current_exe().expect("current exe");
+            let mut child = std::process::Command::new(exe)
+                .args(["--idle-flood", &addr.to_string(), &n.to_string()])
+                .stdin(std::process::Stdio::piped())
+                .stdout(std::process::Stdio::piped())
+                .spawn()
+                .expect("spawn --idle-flood child");
+            let stdout = child.stdout.take().expect("child stdout");
+            let mut line = String::new();
+            use std::io::BufRead as _;
+            std::io::BufReader::new(stdout).read_line(&mut line).expect("read child READY");
+            assert!(line.starts_with("READY"), "idle-flood child said {line:?}");
+            IdleFlood::Child(child)
+        }
+    }
+
+    fn release(self) {
+        match self {
+            IdleFlood::InProcess(held) => drop(held),
+            IdleFlood::Child(mut child) => {
+                // EOF on its stdin is the child's release signal.
+                drop(child.stdin.take());
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+/// Sequential single-page extraction latency through whatever else the
+/// server is holding — the "small active set" riding above the idle
+/// sea.
+fn probe_latency(addr: std::net::SocketAddr, requests: usize) -> LatencySummary {
+    let (uri, html) = demo_page(3);
+    let mut client = connect_retry(addr);
+    let path = format!("/extract/{DEMO_CLUSTER}");
+    let headers = [("x-page-uri", uri.as_str())];
+    for _ in 0..10 {
+        client.request("POST", &path, &headers, html.as_bytes()).expect("probe warmup");
+    }
+    let mut samples = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let t = Instant::now();
+        let resp = client.request("POST", &path, &headers, html.as_bytes()).expect("probe");
+        assert_eq!(resp.status, 200);
+        samples.push(t.elapsed());
+    }
+    summarize(samples)
+}
+
+/// One raw `/healthz` exchange with a read deadline: did the server
+/// answer at all? The saturation detector — a worker-pool server whose
+/// threads are all pinned by idle connections accepts this socket into
+/// the queue and never serves it.
+fn deadline_probe(addr: std::net::SocketAddr, timeout: Duration) -> bool {
+    use std::io::{Read as _, Write as _};
+    let Ok(mut stream) = std::net::TcpStream::connect(addr) else { return false };
+    stream.set_read_timeout(Some(timeout)).expect("read timeout");
+    if stream
+        .write_all(b"GET /healthz HTTP/1.1\r\nhost: bench\r\nconnection: close\r\n\r\n")
+        .is_err()
+    {
+        return false;
+    }
+    let mut buf = [0u8; 1024];
+    matches!(stream.read(&mut buf), Ok(n) if n > 0)
+}
+
+fn metrics_json(addr: std::net::SocketAddr) -> Json {
+    retroweb_service::request_once(addr, "GET", "/metrics", &[], b"")
+        .expect("metrics")
+        .body_json()
+        .expect("metrics json")
+}
+
+fn metrics_u64(metrics: &Json, section: &str, key: &str) -> u64 {
+    metrics
+        .get(section)
+        .and_then(|s| s.get(key))
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| panic!("/metrics missing {section}.{key}: {metrics}"))
+}
+
+/// The connections scenario: a sea of idle keep-alive connections with
+/// a small active set on top. The evented front end keys worker usage
+/// to *ready requests*, so it holds the sea at one loop thread and
+/// serves the active set at unloaded latency; the worker-pool front end
+/// pins a thread per connection and saturates at pool size — `threads`
+/// idle connections are enough to starve an active probe. The committed
+/// numbers are the evented p50/p99 under the full flood next to the
+/// worker-pool's unloaded latency and its saturation point.
+fn connections_scenario(quick: bool) -> Json {
+    if !cfg!(unix) {
+        return Json::object(vec![(
+            "skipped".into(),
+            Json::from("evented front end is unix-only"),
+        )]);
+    }
+    let conns = if quick { 512 } else { 10_000 };
+    let probe_requests = if quick { 200 } else { 2_000 };
+    let threads = 4usize;
+    // Both socket ends of an in-process flood land in one fd budget;
+    // past a few thousand the holder must be a child process.
+    let in_process = conns < 4_000;
+
+    // Evented side: establish the flood, then measure the active set
+    // through it.
+    let handle = Server::bind(
+        demo_repository(),
+        ServerConfig {
+            evented: true,
+            threads,
+            max_conns: conns + 64,
+            idle_timeout: Duration::from_secs(600),
+            ..Default::default()
+        },
+    )
+    .expect("bind evented")
+    .start()
+    .expect("start evented");
+    let addr = handle.addr();
+    let flood_started = Instant::now();
+    let flood = IdleFlood::hold(addr, conns, in_process);
+    let flood_establish_s = flood_started.elapsed().as_secs_f64();
+    let evented_lat = probe_latency(addr, probe_requests);
+    let metrics = metrics_json(addr);
+    let open = metrics_u64(&metrics, "evented", "open");
+    let evented_busy_hw = metrics_u64(&metrics, "workers", "busy_high_water");
+    let evented_probe_served = deadline_probe(addr, Duration::from_secs(5));
+    flood.release();
+    handle.shutdown();
+
+    // Worker-pool baseline: unloaded latency first, then saturation —
+    // `threads` idle keep-alive connections pin every worker in its
+    // keep-alive read loop, and the next arrival waits forever.
+    let handle = Server::bind(demo_repository(), ServerConfig { threads, ..Default::default() })
+        .expect("bind baseline")
+        .start()
+        .expect("start baseline");
+    let addr = handle.addr();
+    let baseline_lat = probe_latency(addr, probe_requests);
+    let baseline_flood = IdleFlood::hold(addr, threads, true);
+    let probe_timeout = if quick { Duration::from_millis(750) } else { Duration::from_secs(2) };
+    let baseline_probe_served = deadline_probe(addr, probe_timeout);
+    baseline_flood.release();
+    let baseline_busy_hw = metrics_u64(&metrics_json(addr), "workers", "busy_high_water");
+    handle.shutdown();
+
+    println!(
+        "connections: {conns} idle conns established in {flood_establish_s:.1}s \
+         ({} flood)",
+        if in_process { "in-process" } else { "child-process" }
+    );
+    println!(
+        "  evented:     open={open} busy_high_water={evented_busy_hw}/{threads} \
+         active p50={:.2}ms p99={:.2}ms probe_served={evented_probe_served}",
+        evented_lat.p50_ms, evented_lat.p99_ms
+    );
+    println!(
+        "  worker-pool: saturated by {threads} idle conns (busy_high_water=\
+         {baseline_busy_hw}/{threads}, probe_served={baseline_probe_served}) | \
+         unloaded p50={:.2}ms p99={:.2}ms",
+        baseline_lat.p50_ms, baseline_lat.p99_ms
+    );
+    assert!(
+        evented_probe_served,
+        "evented front end must stay responsive while holding {conns} idle connections"
+    );
+    assert!(
+        open >= conns as u64,
+        "evented front end dropped idle connections: open gauge {open} < {conns}"
+    );
+    assert!(
+        evented_busy_hw <= threads as u64,
+        "worker usage must not scale with connection count: busy high-water {evented_busy_hw} \
+         with a pool of {threads}"
+    );
+    assert!(
+        !baseline_probe_served,
+        "worker-pool baseline unexpectedly survived {threads} idle connections — the evented \
+         front end's reason to exist needs re-measuring"
+    );
+
+    Json::object(vec![
+        ("idle_conns".into(), Json::from(conns)),
+        ("flood_establish_s".into(), Json::from(round3(flood_establish_s))),
+        ("pool_threads".into(), Json::from(threads)),
+        (
+            "evented".into(),
+            Json::object(vec![
+                ("open".into(), Json::from(open as i64)),
+                ("busy_high_water".into(), Json::from(evented_busy_hw as i64)),
+                ("probe_served".into(), Json::from(evented_probe_served)),
+                ("active_p50_ms".into(), Json::from(round3(evented_lat.p50_ms))),
+                ("active_p99_ms".into(), Json::from(round3(evented_lat.p99_ms))),
+                ("active_mean_ms".into(), Json::from(round3(evented_lat.mean_ms))),
+            ]),
+        ),
+        (
+            "worker_pool".into(),
+            Json::object(vec![
+                ("idle_conns_to_saturate".into(), Json::from(threads)),
+                ("busy_high_water".into(), Json::from(baseline_busy_hw as i64)),
+                ("probe_served_while_saturated".into(), Json::from(baseline_probe_served)),
+                ("unloaded_p50_ms".into(), Json::from(round3(baseline_lat.p50_ms))),
+                ("unloaded_p99_ms".into(), Json::from(round3(baseline_lat.p99_ms))),
+                ("unloaded_mean_ms".into(), Json::from(round3(baseline_lat.mean_ms))),
+            ]),
+        ),
+    ])
+}
+
 struct LatencySummary {
     p50_ms: f64,
     p99_ms: f64,
@@ -581,6 +857,15 @@ fn round3(x: f64) -> f64 {
 }
 
 fn main() {
+    // Hidden child mode for the connections scenario (see
+    // [`idle_flood`]): not part of the user-facing CLI.
+    let raw: Vec<String> = std::env::args().collect();
+    if raw.get(1).map(String::as_str) == Some("--idle-flood") {
+        let addr = raw.get(2).expect("--idle-flood ADDR N");
+        let n = raw.get(3).expect("--idle-flood ADDR N").parse().expect("flood count");
+        idle_flood(addr, n);
+        return;
+    }
     let mut quick = std::env::var("BENCH_SERVICE_QUICK").is_ok();
     let mut only: Option<String> = None;
     let mut argv = std::env::args().skip(1);
@@ -591,7 +876,10 @@ fn main() {
                 only = Some(argv.next().expect("--scenario needs a name"));
             }
             other => {
-                panic!("unknown argument '{other}' (try --smoke, --scenario contention|fusion)")
+                panic!(
+                    "unknown argument '{other}' (try --smoke, --scenario \
+                     contention|fusion|connections)"
+                )
             }
         }
     }
@@ -601,7 +889,10 @@ fn main() {
         let scenario = match name.as_str() {
             "contention" => contention_scenario(quick),
             "fusion" => fusion_scenario(quick),
-            other => panic!("only 'contention' and 'fusion' run standalone, not '{other}'"),
+            "connections" => connections_scenario(quick),
+            other => panic!(
+                "only 'contention', 'fusion' and 'connections' run standalone, not '{other}'"
+            ),
         };
         let record = Json::object(vec![
             ("bench".into(), Json::from(format!("service_{name}"))),
@@ -815,6 +1106,9 @@ fn main() {
     // ---- scenario 6: fused one-pass cluster extraction -------------------
     let fusion_record = fusion_scenario(quick);
 
+    // ---- scenario 7: idle-connection scaling, evented vs worker-pool -----
+    let connections_record = connections_scenario(quick);
+
     let record = Json::object(vec![
         ("bench".into(), Json::from("service_throughput")),
         ("server_workers".into(), Json::from(workers + 1)),
@@ -844,6 +1138,7 @@ fn main() {
         ("rule_churn".into(), churn_record),
         ("contention".into(), contention_record),
         ("fusion".into(), fusion_record),
+        ("connections".into(), connections_record),
     ]);
     write_experiment("service_throughput", &record);
     std::fs::write("BENCH_service.json", record.to_string_pretty())

@@ -1,0 +1,56 @@
+//! Inline FFI shim for `poll(2)` — the one syscall `std` does not
+//! expose. Constants and layout match `<poll.h>` on Linux and the BSDs
+//! (the values are identical across them for these flags).
+
+use std::io;
+
+/// Mirror of C's `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct pollfd {
+    pub fd: i32,
+    pub events: i16,
+    pub revents: i16,
+}
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(unix)]
+mod ffi {
+    extern "C" {
+        pub fn poll(
+            fds: *mut super::pollfd,
+            nfds: std::os::raw::c_ulong,
+            timeout: std::os::raw::c_int,
+        ) -> i32;
+    }
+}
+
+/// Safe wrapper: polls the whole slice, retrying `EINTR`, returning the
+/// number of fds with non-zero `revents`.
+#[cfg(unix)]
+pub fn poll(fds: &mut [pollfd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd with the exact layout poll(2) expects,
+        // and the length is passed alongside the pointer.
+        let rc =
+            unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as std::os::raw::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+pub fn poll(_fds: &mut [pollfd], _timeout_ms: i32) -> io::Result<usize> {
+    Err(io::Error::new(io::ErrorKind::Unsupported, "poll(2) requires unix"))
+}

@@ -4,8 +4,20 @@
 //! retrozilla-serve [--addr 127.0.0.1:7878] [--threads N] [--queue N]
 //!                  [--extract-threads N] [--repo rules.json]
 //!                  [--wal FILE.wal] [--compact-every N] [--no-wal]
-//!                  [--shards N] [--wal-info] [--self-test]
+//!                  [--shards N] [--evented] [--max-conns N]
+//!                  [--header-timeout-ms N] [--idle-timeout-ms N]
+//!                  [--write-stall-timeout-ms N] [--stream-budget BYTES]
+//!                  [--wal-info] [--self-test]
 //! ```
+//!
+//! `--evented` switches the front end from thread-per-connection to a
+//! single `poll(2)` event-loop thread that owns every socket and hands
+//! only *complete, ready requests* to the worker pool — ten thousand
+//! idle keep-alive connections cost registrations, not threads. The
+//! loop sheds arrivals past `--max-conns` with `503`, answers `408` to
+//! request heads slower than `--header-timeout-ms`, closes keep-alive
+//! connections idle past `--idle-timeout-ms`, and drops clients that
+//! stop draining a response for `--write-stall-timeout-ms`.
 //!
 //! With `--repo`, the snapshot is loaded at startup (an absent file
 //! starts empty), any existing write-ahead log (`<repo>.wal`, or
@@ -43,7 +55,10 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: retrozilla-serve [--addr HOST:PORT] [--threads N] [--queue N] \
                      [--extract-threads N] [--repo FILE.json] [--wal FILE.wal] \
-                     [--compact-every N] [--no-wal] [--shards N] [--wal-info] [--self-test]";
+                     [--compact-every N] [--no-wal] [--shards N] [--evented] [--max-conns N] \
+                     [--header-timeout-ms N] [--idle-timeout-ms N] [--write-stall-timeout-ms N] \
+                     [--stream-budget BYTES] \
+                     [--wal-info] [--self-test]";
 
 struct Args {
     config: ServerConfig,
@@ -89,6 +104,39 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n >= 1)
                     .ok_or("bad --shards: expected a positive integer")?;
                 config.sharded_wal = true;
+            }
+            "--evented" => config.evented = true,
+            "--max-conns" => {
+                config.max_conns =
+                    value("--max-conns")?.parse().map_err(|e| format!("bad --max-conns: {e}"))?
+            }
+            "--header-timeout-ms" => {
+                config.header_timeout = std::time::Duration::from_millis(
+                    value("--header-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --header-timeout-ms: {e}"))?,
+                )
+            }
+            "--idle-timeout-ms" => {
+                config.idle_timeout = std::time::Duration::from_millis(
+                    value("--idle-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --idle-timeout-ms: {e}"))?,
+                )
+            }
+            "--write-stall-timeout-ms" => {
+                config.write_stall_timeout = std::time::Duration::from_millis(
+                    value("--write-stall-timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --write-stall-timeout-ms: {e}"))?,
+                )
+            }
+            "--stream-budget" => {
+                config.stream_budget = value("--stream-budget")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 16 * 1024)
+                    .ok_or("bad --stream-budget: expected a byte count of at least 16384")?
             }
             "--wal-info" => wal_info = true,
             "--self-test" => self_test = true,
@@ -266,8 +314,10 @@ fn main() -> ExitCode {
         );
     }
     println!(
-        "retrozilla-serve listening on http://{addr} ({} workers, queue {})",
-        args.config.threads, args.config.queue_capacity
+        "retrozilla-serve listening on http://{addr} ({} front end, {} workers, queue {})",
+        if args.config.evented { "evented" } else { "thread-per-connection" },
+        args.config.threads,
+        args.config.queue_capacity
     );
     handle.join();
     ExitCode::SUCCESS
@@ -409,6 +459,51 @@ fn self_test() -> Result<String, String> {
 
     handle.shutdown();
 
+    // Evented front end: the same requests must come back byte-identical
+    // through the poll(2) loop — full responses and the chunked stream.
+    if cfg!(unix) {
+        let config = ServerConfig { evented: true, ..ServerConfig::default() };
+        let server = Server::bind(testdata::demo_repository(), config)
+            .map_err(|e| format!("evented bind: {e}"))?;
+        let handle = server.start().map_err(|e| format!("evented start: {e}"))?;
+        let addr = handle.addr();
+        let resp = request_once(
+            addr,
+            "POST",
+            &format!("/extract/{}", testdata::DEMO_CLUSTER),
+            &[("x-page-uri", &uri)],
+            html.as_bytes(),
+        )
+        .map_err(io)?;
+        expect(resp.status == 200, "evented extract status", resp.status)?;
+        expect(resp.body_utf8() == want, "evented extract body differs", "")?;
+        let mut client = Client::connect(addr).map_err(io)?;
+        let resp = client
+            .request(
+                "POST",
+                &format!("/extract/{}/batch?threads=4", testdata::DEMO_CLUSTER),
+                &[],
+                testdata::pages_json(&pages).as_bytes(),
+            )
+            .map_err(io)?;
+        expect(resp.status == 200, "evented batch status", resp.status)?;
+        expect(resp.body_utf8() == want_batch, "evented batch body differs", "")?;
+        expect(
+            resp.header("transfer-encoding") == Some("chunked"),
+            "evented batch chunked framing",
+            resp.header("transfer-encoding").unwrap_or("missing"),
+        )?;
+        // A second request on the same connection proves keep-alive
+        // survives a chunked stream under the evented writer.
+        let resp = client.request("GET", "/healthz", &[], b"").map_err(io)?;
+        expect(resp.status == 200, "evented keep-alive after stream", resp.status)?;
+        let resp = request_once(addr, "GET", "/metrics", &[], b"").map_err(io)?;
+        let metrics = resp.body_json().map_err(|e| format!("evented metrics body: {e}"))?;
+        let open = metrics.get("evented").and_then(|e| e.get("open")).and_then(|o| o.as_u64());
+        expect(open.is_some(), "evented gauges on /metrics", metrics.to_string_compact())?;
+        handle.shutdown();
+    }
+
     // WAL replay on startup: a mutation acknowledged by one server
     // instance — logged, never compacted into a snapshot — must be
     // live after a restart over the same files.
@@ -516,7 +611,8 @@ fn self_test() -> Result<String, String> {
 
     Ok(format!(
         "6 endpoints exercised, {total} requests served, streaming + drift + hot reload + \
-         percent-decoding + WAL replay (single-file and sharded, incl. migration) verified"
+         percent-decoding + evented front end + WAL replay (single-file and sharded, incl. \
+         migration) verified"
     ))
 }
 

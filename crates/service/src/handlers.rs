@@ -110,7 +110,13 @@ fn metrics(state: &ServiceState) -> Response {
         }
         total
     });
-    let json = state.metrics().to_json(repo_total, &shard_stats, wal_total, wal_shards.as_deref());
+    let json = state.metrics().to_json(
+        repo_total,
+        &shard_stats,
+        wal_total,
+        wal_shards.as_deref(),
+        state.worker_snapshot(),
+    );
     Response::json(200, &json)
 }
 

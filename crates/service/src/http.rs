@@ -25,14 +25,17 @@ use std::time::Duration;
 
 /// Upper bound on an accepted request body (64 MiB — a generous batch).
 pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
-/// Upper bound on the request head (request line + headers).
-const MAX_HEAD_BYTES: usize = 64 * 1024;
+/// Upper bound on the request head (request line + headers); past it
+/// the server answers `431 Request Header Fields Too Large` instead of
+/// growing the read buffer without limit.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
 /// Consecutive read timeouts tolerated mid-request before the peer is
 /// declared dead (the timeout itself is the server's poll interval).
 const SLOW_CLIENT_STRIKES: u32 = 240;
 
-/// One parsed HTTP request.
-#[derive(Clone, Debug)]
+/// One parsed HTTP request. `PartialEq` exists for the parser property
+/// tests (incremental == one-shot), not for application logic.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Request {
     pub method: String,
     /// Path without the query string, e.g. `/extract/movies/batch`.
@@ -121,11 +124,172 @@ pub enum ReadOutcome {
     Malformed(u16, &'static str),
 }
 
+/// Incremental progress from [`RequestParser::advance`].
+#[derive(Debug)]
+pub enum ParseProgress {
+    /// The buffer does not yet hold a complete request.
+    NeedMore,
+    /// One complete request was parsed and drained from the buffer.
+    Complete(Request),
+    /// Unparseable, unsupported or oversized input; respond with the
+    /// given status and close.
+    Malformed(u16, &'static str),
+}
+
+/// Parsed request head waiting for its `Content-Length` body.
+#[derive(Debug)]
+struct PendingBody {
+    method: String,
+    path: String,
+    query: String,
+    headers: BTreeMap<String, String>,
+    http10: bool,
+    head_end: usize,
+    /// Bytes (head + `\r\n\r\n` + body) the full request occupies.
+    total: usize,
+}
+
+/// Incremental HTTP/1.1 request parser over an external byte buffer —
+/// the one parser both server front ends use: the blocking [`Conn`]
+/// feeds it between timed reads, the evented loop between readiness
+/// events. Feed bytes into the buffer however they arrive, call
+/// [`advance`](RequestParser::advance) after each arrival, and a
+/// [`ParseProgress::Complete`] drains exactly that request from the
+/// buffer — leftover pipelined bytes stay for the next call.
+///
+/// State is O(1) per connection: a `scanned` offset so the
+/// `\r\n\r\n` search never rescans bytes (a byte-at-a-time trickle
+/// stays linear, not quadratic), and the parsed head while its body is
+/// in flight (the head parses once, not once per arrival).
+#[derive(Debug)]
+pub struct RequestParser {
+    max_head_bytes: usize,
+    /// Buffer prefix already scanned for the head terminator.
+    scanned: usize,
+    pending: Option<PendingBody>,
+    /// Set once per request when the peer sent `Expect: 100-continue`
+    /// (HTTP/1.1, body not yet complete); consumed by
+    /// [`take_continue`](RequestParser::take_continue).
+    send_continue: bool,
+}
+
+impl Default for RequestParser {
+    fn default() -> RequestParser {
+        RequestParser::new()
+    }
+}
+
+impl RequestParser {
+    pub fn new() -> RequestParser {
+        RequestParser::with_max_head(MAX_HEAD_BYTES)
+    }
+
+    pub fn with_max_head(max_head_bytes: usize) -> RequestParser {
+        RequestParser { max_head_bytes, scanned: 0, pending: None, send_continue: false }
+    }
+
+    /// A request head has been parsed but its body is incomplete.
+    pub fn mid_body(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// True exactly once per request whose head asked for a
+    /// `100 Continue` nod; the caller writes the interim response.
+    pub fn take_continue(&mut self) -> bool {
+        std::mem::take(&mut self.send_continue)
+    }
+
+    /// Try to complete one request from `buf`. On `Complete` the
+    /// request's bytes are drained from the buffer; on `Malformed` the
+    /// connection must be closed after the error response (parser state
+    /// is not recoverable).
+    pub fn advance(&mut self, buf: &mut Vec<u8>) -> ParseProgress {
+        if self.pending.is_none() {
+            // Resume the terminator scan where the last call stopped;
+            // back up 3 bytes so a terminator split across arrivals is
+            // still seen.
+            let start = self.scanned.saturating_sub(3);
+            let head_end = match buf[start..].windows(4).position(|w| w == b"\r\n\r\n") {
+                Some(pos) => start + pos,
+                None => {
+                    self.scanned = buf.len();
+                    if buf.len() > self.max_head_bytes {
+                        return ParseProgress::Malformed(431, "request header fields too large");
+                    }
+                    return ParseProgress::NeedMore;
+                }
+            };
+            if head_end > self.max_head_bytes {
+                return ParseProgress::Malformed(431, "request header fields too large");
+            }
+            let Ok(head) = std::str::from_utf8(&buf[..head_end]) else {
+                return ParseProgress::Malformed(400, "request head is not UTF-8");
+            };
+            let Some((method, path, query, headers, http10)) = parse_head(head) else {
+                return ParseProgress::Malformed(400, "malformed request line or headers");
+            };
+            // Unsupported framing must be rejected, not misread as an
+            // empty body — leftover chunk bytes would desync the
+            // connection.
+            if headers.contains_key("transfer-encoding") {
+                return ParseProgress::Malformed(
+                    400,
+                    "Transfer-Encoding is not supported; send a Content-Length body",
+                );
+            }
+            let content_length = match headers.get("content-length") {
+                None => 0,
+                Some(v) => match v.parse::<usize>() {
+                    Ok(n) => n,
+                    Err(_) => return ParseProgress::Malformed(400, "bad Content-Length"),
+                },
+            };
+            if content_length > MAX_BODY_BYTES {
+                return ParseProgress::Malformed(413, "request body too large");
+            }
+            let total = head_end + 4 + content_length;
+            // An `Expect: 100-continue` client (curl does this for any
+            // body over ~1 KiB) holds the body back until the server
+            // nods — ignoring it costs a fixed ~1 s stall per large
+            // request. Never for HTTP/1.0 peers: 1xx interim responses
+            // postdate 1.0 (RFC 7231 §5.1.1 says ignore their Expect),
+            // and a 1.0 client would misread the nod as the final
+            // response.
+            if !http10
+                && buf.len() < total
+                && headers.get("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+            {
+                self.send_continue = true;
+            }
+            self.pending =
+                Some(PendingBody { method, path, query, headers, http10, head_end, total });
+        }
+        let total = self.pending.as_ref().expect("pending head").total;
+        if buf.len() < total {
+            return ParseProgress::NeedMore;
+        }
+        let p = self.pending.take().expect("pending head");
+        let body = buf[p.head_end + 4..p.total].to_vec();
+        buf.drain(..p.total);
+        self.scanned = 0;
+        self.send_continue = false;
+        ParseProgress::Complete(Request {
+            method: p.method,
+            path: p.path,
+            query: p.query,
+            headers: p.headers,
+            body,
+            http10: p.http10,
+        })
+    }
+}
+
 /// Server side of one TCP connection, with a reusable read buffer that
 /// carries pipelined bytes across requests.
 pub struct Conn {
     stream: TcpStream,
     buf: Vec<u8>,
+    parser: RequestParser,
 }
 
 impl Conn {
@@ -135,7 +299,7 @@ impl Conn {
         // would sit on small segments waiting for delayed ACKs (~40 ms a
         // round trip — catastrophic for request latency).
         stream.set_nodelay(true)?;
-        Ok(Conn { stream, buf: Vec::new() })
+        Ok(Conn { stream, buf: Vec::new(), parser: RequestParser::new() })
     }
 
     /// Read one request, honouring the stream's read timeout as an idle
@@ -143,17 +307,25 @@ impl Conn {
     pub fn read_request(&mut self) -> ReadOutcome {
         let mut strikes = 0u32;
         loop {
-            if let Some(head_end) = find_head_end(&self.buf) {
-                return self.finish_request(head_end);
+            match self.parser.advance(&mut self.buf) {
+                ParseProgress::Complete(req) => return ReadOutcome::Request(req),
+                ParseProgress::Malformed(status, why) => {
+                    return ReadOutcome::Malformed(status, why)
+                }
+                ParseProgress::NeedMore => {}
             }
-            if self.buf.len() > MAX_HEAD_BYTES {
-                return ReadOutcome::Malformed(400, "request head too large");
+            if self.parser.take_continue()
+                && self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
+            {
+                return ReadOutcome::Closed;
             }
             match self.fill() {
                 Ok(0) => return ReadOutcome::Closed,
                 Ok(_) => strikes = 0,
                 Err(e) if is_timeout(&e) => {
-                    if self.buf.is_empty() {
+                    // Mid-request (head bytes buffered or body pending)
+                    // a timeout is a strike, not idleness.
+                    if self.buf.is_empty() && !self.parser.mid_body() {
                         return ReadOutcome::Idle;
                     }
                     strikes += 1;
@@ -166,67 +338,6 @@ impl Conn {
         }
     }
 
-    /// Head is complete at `head_end`; parse it and read the body.
-    fn finish_request(&mut self, head_end: usize) -> ReadOutcome {
-        let head = match std::str::from_utf8(&self.buf[..head_end]) {
-            Ok(h) => h.to_string(),
-            Err(_) => return ReadOutcome::Malformed(400, "request head is not UTF-8"),
-        };
-        let Some((method, path, query, headers, http10)) = parse_head(&head) else {
-            return ReadOutcome::Malformed(400, "malformed request line or headers");
-        };
-        // Unsupported framing must be rejected, not misread as an empty
-        // body — leftover chunk bytes would desync the connection.
-        if headers.contains_key("transfer-encoding") {
-            return ReadOutcome::Malformed(
-                400,
-                "Transfer-Encoding is not supported; send a Content-Length body",
-            );
-        }
-        let content_length = match headers.get("content-length") {
-            None => 0,
-            Some(v) => match v.parse::<usize>() {
-                Ok(n) => n,
-                Err(_) => return ReadOutcome::Malformed(400, "bad Content-Length"),
-            },
-        };
-        if content_length > MAX_BODY_BYTES {
-            return ReadOutcome::Malformed(413, "request body too large");
-        }
-        let total = head_end + 4 + content_length;
-        // An `Expect: 100-continue` client (curl does this for any
-        // body over ~1 KiB) holds the body back until the server nods —
-        // ignoring it costs a fixed ~1 s stall per large request, which
-        // would dwarf the streamed first-byte latency. Nod immediately.
-        // Never for HTTP/1.0 peers: 1xx interim responses postdate 1.0
-        // (RFC 7231 §5.1.1 says ignore their Expect), and a 1.0 client
-        // would misread the nod as the final response.
-        if !http10
-            && self.buf.len() < total
-            && headers.get("expect").is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
-            && self.stream.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").is_err()
-        {
-            return ReadOutcome::Closed;
-        }
-        let mut strikes = 0u32;
-        while self.buf.len() < total {
-            match self.fill() {
-                Ok(0) => return ReadOutcome::Closed,
-                Ok(_) => strikes = 0,
-                Err(e) if is_timeout(&e) => {
-                    strikes += 1;
-                    if strikes > SLOW_CLIENT_STRIKES {
-                        return ReadOutcome::Closed;
-                    }
-                }
-                Err(_) => return ReadOutcome::Closed,
-            }
-        }
-        let body = self.buf[head_end + 4..total].to_vec();
-        self.buf.drain(..total);
-        ReadOutcome::Request(Request { method, path, query, headers, body, http10 })
-    }
-
     fn fill(&mut self) -> std::io::Result<usize> {
         let mut chunk = [0u8; 16 * 1024];
         let n = self.stream.read(&mut chunk)?;
@@ -234,26 +345,31 @@ impl Conn {
         Ok(n)
     }
 
-    pub fn write_response(&mut self, resp: &Response) -> std::io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
-            resp.status,
-            status_text(resp.status),
-            resp.content_type,
-            resp.body.len(),
-            if resp.close { "close" } else { "keep-alive" },
-        );
-        for (name, value) in &resp.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+    /// Discard input already queued in the kernel (bounded,
+    /// non-blocking). Closing with unread bytes makes the kernel send
+    /// RST, which can destroy a just-written error response before the
+    /// client reads it — an oversized head (431) is exactly the case
+    /// where the client has outrun the parser.
+    pub fn discard_pending_input(&mut self) {
+        self.buf.clear();
+        if self.stream.set_nonblocking(true).is_err() {
+            return;
         }
-        head.push_str("\r\n");
+        let mut scratch = [0u8; 16 * 1024];
+        let mut discarded = 0usize;
+        while discarded < 1024 * 1024 {
+            match self.stream.read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => discarded += n,
+            }
+        }
+        let _ = self.stream.set_nonblocking(false);
+    }
+
+    pub fn write_response(&mut self, resp: &Response) -> std::io::Result<()> {
         // One write for head + body: a single TCP segment burst, no
         // Nagle/delayed-ACK stall between the two halves.
-        let mut out = head.into_bytes();
-        out.extend_from_slice(&resp.body);
+        let out = encode_full_response(resp);
         self.stream.write_all(&out)?;
         self.stream.flush()
     }
@@ -273,28 +389,9 @@ impl Conn {
         chunked: bool,
         close: bool,
     ) -> std::io::Result<u64> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{}connection: {}\r\n",
-            resp.status,
-            status_text(resp.status),
-            resp.content_type,
-            if chunked { "transfer-encoding: chunked\r\n" } else { "" },
-            if close && chunked {
-                "close"
-            } else if chunked {
-                "keep-alive"
-            } else {
-                "close"
-            },
-        );
-        for (name, value) in &resp.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
-        }
-        head.push_str("\r\n");
-        self.stream.write_all(head.as_bytes())?;
+        let head =
+            encode_streaming_head(resp.status, resp.content_type, &resp.headers, chunked, close);
+        self.stream.write_all(&head)?;
         let body = resp.body;
         let bytes = if chunked {
             let mut writer = ChunkedWriter::new(&mut self.stream);
@@ -308,6 +405,68 @@ impl Conn {
         self.stream.flush()?;
         Ok(bytes)
     }
+}
+
+/// Wire bytes for a full (non-streamed) response: head + body in one
+/// buffer. Both server front ends (the blocking [`Conn`] writer and the
+/// evented loop's write queue) go through this, which is what makes
+/// their responses byte-identical.
+pub fn encode_full_response(resp: &Response) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n",
+        resp.status,
+        status_text(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if resp.close { "close" } else { "keep-alive" },
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let mut out = head.into_bytes();
+    out.extend_from_slice(&resp.body);
+    out
+}
+
+/// Wire bytes for a streamed response's head: chunked framing when
+/// `chunked` (HTTP/1.1), EOF-delimited (which forces `close`)
+/// otherwise. Takes the head fields rather than the whole
+/// [`StreamingResponse`] so the evented loop — which hands the body
+/// producer to a streamer thread and keeps only the metadata — can
+/// encode the identical head. Shared like [`encode_full_response`].
+pub fn encode_streaming_head(
+    status: u16,
+    content_type: &str,
+    headers: &[(String, String)],
+    chunked: bool,
+    close: bool,
+) -> Vec<u8> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\n{}connection: {}\r\n",
+        status,
+        status_text(status),
+        content_type,
+        if chunked { "transfer-encoding: chunked\r\n" } else { "" },
+        if close && chunked {
+            "close"
+        } else if chunked {
+            "keep-alive"
+        } else {
+            "close"
+        },
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    head.into_bytes()
 }
 
 /// Body producer of a [`StreamingResponse`]: writes the whole body into
@@ -355,22 +514,27 @@ impl From<Response> for Reply {
 /// Buffer threshold before a chunk is flushed: large enough that chunk
 /// framing overhead is noise, small enough that the first page of a
 /// batch reaches the client promptly and peak buffering stays constant.
-const CHUNK_FLUSH_BYTES: usize = 16 * 1024;
+pub(crate) const CHUNK_FLUSH_BYTES: usize = 16 * 1024;
 
 /// An [`io::Write`](Write) adapter producing HTTP chunked framing:
 /// accumulates writes into a fixed-threshold buffer, emits each full
 /// buffer as one `<len-hex>\r\n…\r\n` chunk, and
 /// [`finish`](ChunkedWriter::finish) flushes the tail plus the terminal
 /// `0\r\n\r\n` chunk.
-pub struct ChunkedWriter<'a> {
-    inner: &'a mut TcpStream,
+///
+/// Generic over the sink so both front ends share the exact framing:
+/// the blocking path writes straight to the `TcpStream`, the evented
+/// path into a bounded pipe the event loop drains — identical producer
+/// writes yield identical wire bytes either way.
+pub struct ChunkedWriter<W: Write> {
+    inner: W,
     buf: Vec<u8>,
     /// Body bytes accepted (pre-framing), for metrics.
     bytes: u64,
 }
 
-impl<'a> ChunkedWriter<'a> {
-    pub fn new(inner: &'a mut TcpStream) -> ChunkedWriter<'a> {
+impl<W: Write> ChunkedWriter<W> {
+    pub fn new(inner: W) -> ChunkedWriter<W> {
         ChunkedWriter { inner, buf: Vec::with_capacity(CHUNK_FLUSH_BYTES + 1024), bytes: 0 }
     }
 
@@ -394,7 +558,7 @@ impl<'a> ChunkedWriter<'a> {
     }
 }
 
-impl Write for ChunkedWriter<'_> {
+impl<W: Write> Write for ChunkedWriter<W> {
     fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
         self.buf.extend_from_slice(data);
         self.bytes += data.len() as u64;
@@ -551,7 +715,9 @@ pub fn status_text(code: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",

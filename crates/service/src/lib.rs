@@ -45,6 +45,8 @@
 //! load/persist, `--self-test` for a loopback smoke test). See the
 //! crate README for a curl walkthrough.
 
+#[cfg(unix)]
+pub mod evented;
 pub mod handlers;
 pub mod http;
 pub mod metrics;
@@ -63,7 +65,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -103,6 +105,28 @@ pub struct ServerConfig {
     /// Requires `repo_path`; ignored with `wal_disabled`. An existing
     /// single-file layout is migrated in on first start.
     pub sharded_wal: bool,
+    /// Serve through the evented front end: one `poll(2)` loop thread
+    /// owns every socket and only *ready requests* occupy workers, so
+    /// idle keep-alive connections cost a registration instead of a
+    /// thread. Unix only. The worker-pool front end stays the default.
+    pub evented: bool,
+    /// Evented mode: admission cap on concurrently open connections;
+    /// beyond it new arrivals are shed with `503` + `Connection: close`.
+    pub max_conns: usize,
+    /// Evented mode: a connection that has sent part of a request head
+    /// must complete it within this window (slowloris defence) or the
+    /// loop answers `408` and closes.
+    pub header_timeout: Duration,
+    /// Evented mode: idle keep-alive connections (no request in
+    /// progress) are closed after this long.
+    pub idle_timeout: Duration,
+    /// Evented mode: a connection that stops draining a pending
+    /// response for this long is dropped (write-stall defence).
+    pub write_stall_timeout: Duration,
+    /// Evented mode: in-flight-bytes budget per streaming response —
+    /// how far a producer may run ahead of a slow client before it
+    /// blocks (backpressure) instead of buffering without bound.
+    pub stream_budget: usize,
 }
 
 impl Default for ServerConfig {
@@ -119,6 +143,12 @@ impl Default for ServerConfig {
             wal_disabled: false,
             shards: 8,
             sharded_wal: false,
+            evented: false,
+            max_conns: 4096,
+            header_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+            write_stall_timeout: Duration::from_secs(30),
+            stream_budget: 256 * 1024,
         }
     }
 }
@@ -167,6 +197,9 @@ pub struct ServiceState {
     metrics: Metrics,
     extract_threads: usize,
     shutting_down: AtomicBool,
+    /// Set once by `Server::start`; lets `/metrics` report live worker
+    /// gauges without threading the pool through every handler.
+    pool: OnceLock<Arc<ThreadPool>>,
 }
 
 impl ServiceState {
@@ -202,6 +235,17 @@ impl ServiceState {
 
     pub fn shutting_down(&self) -> bool {
         self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Live worker-pool gauges for `/metrics`; `None` before
+    /// `Server::start` wires the pool in.
+    pub fn worker_snapshot(&self) -> Option<metrics::WorkerSnapshot> {
+        self.pool.get().map(|pool| metrics::WorkerSnapshot {
+            threads: pool.threads(),
+            busy: pool.busy(),
+            busy_high_water: pool.busy_high_water(),
+            queued: pool.queued(),
+        })
     }
 
     /// Record a cluster durably: on `Ok`, the mutation is fsynced (a WAL
@@ -294,6 +338,7 @@ impl Server {
             metrics: Metrics::new(),
             extract_threads: config.extract_threads.max(1),
             shutting_down: AtomicBool::new(false),
+            pool: OnceLock::new(),
         });
         Ok(Server { listener, state, config })
     }
@@ -302,11 +347,27 @@ impl Server {
         self.listener.local_addr()
     }
 
-    /// Spawn the accept loop and worker pool; returns the control handle.
+    /// Spawn the front end (worker-pool acceptor by default, evented
+    /// loop with `config.evented`) and the worker pool; returns the
+    /// control handle.
     pub fn start(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let Server { listener, state, config } = self;
-        let pool = ThreadPool::new(config.threads, config.queue_capacity);
+        let pool = Arc::new(ThreadPool::new(config.threads, config.queue_capacity));
+        let _ = state.pool.set(Arc::clone(&pool));
+        if config.evented {
+            #[cfg(unix)]
+            {
+                let loop_state = Arc::clone(&state);
+                let acceptor = evented::spawn_loop(listener, loop_state, pool, &config)?;
+                return Ok(ServerHandle { addr, state, acceptor: Some(acceptor) });
+            }
+            #[cfg(not(unix))]
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "evented mode needs poll(2); use the worker-pool front end",
+            ));
+        }
         let accept_state = Arc::clone(&state);
         let read_timeout = config.read_timeout;
         let acceptor =
@@ -398,6 +459,7 @@ fn serve_connection(stream: TcpStream, state: &Arc<ServiceState>, read_timeout: 
             http::ReadOutcome::Closed => return,
             http::ReadOutcome::Malformed(status, why) => {
                 let _ = conn.write_response(&Response::error(status, why).closed());
+                conn.discard_pending_input();
                 return;
             }
             http::ReadOutcome::Request(req) => {

@@ -140,7 +140,26 @@ pub struct Metrics {
     bytes_streamed: AtomicU64,
     rule_reloads: AtomicU64,
     connections: AtomicU64,
+    /// Evented-front-end gauges and totals (all zero in worker-pool
+    /// mode): connections currently open / requests currently in
+    /// flight, plus shed (503 at max-conns), deadline-closed, and
+    /// pipelined-request totals. Accepted connections share the
+    /// `connections` counter above — only one front end runs per server.
+    evented_open: AtomicU64,
+    evented_active: AtomicU64,
+    evented_shed: AtomicU64,
+    evented_timed_out: AtomicU64,
+    evented_pipelined: AtomicU64,
     per_endpoint: [PerEndpoint; Endpoint::ALL.len()],
+}
+
+/// Worker-pool gauges for `/metrics`, read from the live pool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WorkerSnapshot {
+    pub threads: usize,
+    pub busy: usize,
+    pub busy_high_water: usize,
+    pub queued: usize,
 }
 
 impl Metrics {
@@ -182,6 +201,63 @@ impl Metrics {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Evented loop: a connection was registered (post-admission).
+    pub fn conn_opened(&self) {
+        self.evented_open.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evented loop: a connection's slot was released.
+    pub fn conn_closed(&self) {
+        self.evented_open.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Evented loop: a parsed request was handed to the worker pool.
+    pub fn request_started(&self) {
+        self.evented_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Evented loop: that request's response is fully on the wire (or
+    /// the connection died trying).
+    pub fn request_finished(&self) {
+        self.evented_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    pub fn add_shed(&self) {
+        self.evented_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_timed_out(&self) {
+        self.evented_timed_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add_pipelined(&self) {
+        self.evented_pipelined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn open_connections(&self) -> u64 {
+        self.evented_open.load(Ordering::Relaxed)
+    }
+
+    pub fn active_requests(&self) -> u64 {
+        self.evented_active.load(Ordering::Relaxed)
+    }
+
+    pub fn shed_total(&self) -> u64 {
+        self.evented_shed.load(Ordering::Relaxed)
+    }
+
+    pub fn timed_out_total(&self) -> u64 {
+        self.evented_timed_out.load(Ordering::Relaxed)
+    }
+
+    pub fn pipelined_total(&self) -> u64 {
+        self.evented_pipelined.load(Ordering::Relaxed)
+    }
+
+    pub fn connections_total(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
     pub fn requests_total(&self) -> u64 {
         self.requests_total.load(Ordering::Relaxed)
     }
@@ -197,6 +273,7 @@ impl Metrics {
         repo_shards: &[retrozilla::RepositoryStats],
         wal: Option<retrozilla::WalStats>,
         wal_shards: Option<&[retrozilla::WalStats]>,
+        workers: Option<WorkerSnapshot>,
     ) -> Json {
         let load = |c: &AtomicU64| Json::from(c.load(Ordering::Relaxed) as usize);
         let by_endpoint = Endpoint::ALL
@@ -240,8 +317,32 @@ impl Metrics {
                 section
             }),
             ("fusion".into(), fusion_json(&repo)),
+            ("evented".into(), {
+                let open = self.evented_open.load(Ordering::Relaxed);
+                let active = self.evented_active.load(Ordering::Relaxed);
+                Json::object(vec![
+                    ("open".into(), Json::from(open as usize)),
+                    ("idle".into(), Json::from(open.saturating_sub(active) as usize)),
+                    ("active".into(), Json::from(active as usize)),
+                    ("accepted".into(), load(&self.connections)),
+                    ("shed".into(), load(&self.evented_shed)),
+                    ("timed_out".into(), load(&self.evented_timed_out)),
+                    ("pipelined".into(), load(&self.evented_pipelined)),
+                ])
+            }),
             ("latency_ms".into(), Json::Object(latency)),
         ]);
+        if let Some(workers) = workers {
+            root.set(
+                "workers",
+                Json::object(vec![
+                    ("threads".into(), Json::from(workers.threads)),
+                    ("busy".into(), Json::from(workers.busy)),
+                    ("busy_high_water".into(), Json::from(workers.busy_high_water)),
+                    ("queued".into(), Json::from(workers.queued)),
+                ]),
+            );
+        }
         if let Some(wal) = wal {
             let mut section = wal_stats_json(&wal);
             if let Some(shards) = wal_shards {
@@ -330,7 +431,7 @@ mod tests {
         m.observe(Endpoint::Check, 500, Duration::from_micros(500));
         m.add_pages_extracted(7);
         m.add_failures_detected(2);
-        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], None, None);
+        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], None, None, None);
         assert!(json.get("wal").is_none(), "no wal section outside WAL mode");
         assert_eq!(json.get("requests").unwrap().get("total").unwrap().as_u64(), Some(3));
         assert_eq!(json.get("responses").unwrap().get("2xx").unwrap().as_u64(), Some(1));
@@ -355,7 +456,7 @@ mod tests {
             wal_bytes: 200,
             since_compaction: 2,
         };
-        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], Some(wal), None);
+        let json = m.to_json(retrozilla::RepositoryStats::default(), &[], Some(wal), None, None);
         let w = json.get("wal").expect("wal section");
         assert_eq!(w.get("appended_records").unwrap().as_u64(), Some(5));
         assert_eq!(w.get("appended_bytes").unwrap().as_u64(), Some(1234));
@@ -378,7 +479,7 @@ mod tests {
             fused_steps_shared: 25,
             ..Default::default()
         };
-        let json = m.to_json(repo, &[], None, None);
+        let json = m.to_json(repo, &[], None, None, None);
         let f = json.get("fusion").expect("fusion section");
         assert_eq!(f.get("plans").unwrap().as_u64(), Some(2));
         assert_eq!(f.get("paths_fused").unwrap().as_u64(), Some(9));
@@ -402,7 +503,7 @@ mod tests {
             |records: u64| retrozilla::WalStats { appended_records: records, ..Default::default() };
         let wal_total = wal_shard(7);
         let wal_per_shard = [wal_shard(3), wal_shard(4)];
-        let json = m.to_json(total, &per_shard, Some(wal_total), Some(&wal_per_shard));
+        let json = m.to_json(total, &per_shard, Some(wal_total), Some(&wal_per_shard), None);
         let repo = json.get("repository").unwrap();
         assert_eq!(repo.get("clusters").unwrap().as_u64(), Some(5));
         let shards = repo.get("shards").unwrap().as_array().unwrap();
@@ -417,7 +518,8 @@ mod tests {
 
         // A single-shard store keeps the flat sections (no breakdown
         // noise in the legacy layout).
-        let json = m.to_json(total, &per_shard[..1], Some(wal_total), Some(&wal_per_shard[..1]));
+        let json =
+            m.to_json(total, &per_shard[..1], Some(wal_total), Some(&wal_per_shard[..1]), None);
         assert!(json.get("repository").unwrap().get("shards").is_none());
         assert!(json.get("wal").unwrap().get("per_shard").is_none());
     }

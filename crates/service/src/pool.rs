@@ -9,6 +9,7 @@
 //!   exit only once the queue is empty.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -23,6 +24,12 @@ struct Shared {
     state: Mutex<PoolState>,
     not_empty: Condvar,
     not_full: Condvar,
+    /// Workers currently executing a job, plus its high-water mark —
+    /// the gauge that shows whether a front end keeps the pool sized to
+    /// *active* work (evented) or burns a worker per open socket
+    /// (thread-per-connection).
+    busy: AtomicUsize,
+    busy_high_water: AtomicUsize,
 }
 
 /// The pool rejected a job because it is shutting down.
@@ -32,7 +39,10 @@ pub struct Rejected;
 pub struct ThreadPool {
     shared: Arc<Shared>,
     capacity: usize,
-    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+    /// Behind a mutex so `shutdown` can take `&self`: the pool is
+    /// shared (`Arc`) between the acceptor and the metrics endpoint.
+    workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl ThreadPool {
@@ -43,8 +53,11 @@ impl ThreadPool {
             state: Mutex::new(PoolState { queue: VecDeque::new(), shutting_down: false }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            busy: AtomicUsize::new(0),
+            busy_high_water: AtomicUsize::new(0),
         });
-        let workers = (0..threads.max(1))
+        let threads = threads.max(1);
+        let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -53,7 +66,27 @@ impl ThreadPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        ThreadPool { shared, capacity: queue_capacity.max(1), workers }
+        ThreadPool {
+            shared,
+            capacity: queue_capacity.max(1),
+            threads,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Workers executing a job right now.
+    pub fn busy(&self) -> usize {
+        self.shared.busy.load(Ordering::Relaxed)
+    }
+
+    /// Most workers ever concurrently busy since the pool started.
+    pub fn busy_high_water(&self) -> usize {
+        self.shared.busy_high_water.load(Ordering::Relaxed)
     }
 
     /// Enqueue a job, blocking while the queue is full. Fails only once
@@ -77,14 +110,17 @@ impl ThreadPool {
     }
 
     /// Begin shutdown, let workers drain the queue, and join them.
-    pub fn shutdown(mut self) {
+    /// Idempotent: a second call finds no workers left to join.
+    pub fn shutdown(&self) {
         {
             let mut state = self.shared.state.lock().expect("pool lock poisoned");
             state.shutting_down = true;
             self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
         }
-        for worker in self.workers.drain(..) {
+        let workers: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.workers.lock().expect("pool lock poisoned"));
+        for worker in workers {
             let _ = worker.join();
         }
     }
@@ -110,7 +146,10 @@ fn worker_loop(shared: &Shared) {
             // dead worker is never respawned, and a fully dead pool
             // leaves `submit` blocked on `not_full` forever.
             Some(job) => {
+                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.busy_high_water.fetch_max(busy, Ordering::Relaxed);
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                shared.busy.fetch_sub(1, Ordering::Relaxed);
             }
             None => return,
         }
@@ -175,6 +214,28 @@ mod tests {
         // The single worker survived five panics and ran the other five.
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn busy_gauges_track_peak_concurrency() {
+        let pool = ThreadPool::new(3, 8);
+        assert_eq!(pool.threads(), 3);
+        // Three jobs rendezvous on a barrier, so all three workers must
+        // be busy at once for any of them to finish.
+        let barrier = Arc::new(std::sync::Barrier::new(3));
+        for _ in 0..3 {
+            let barrier = Arc::clone(&barrier);
+            pool.submit(Box::new(move || {
+                barrier.wait();
+            }))
+            .unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while pool.busy_high_water() < 3 {
+            assert!(std::time::Instant::now() < deadline, "high-water mark never reached 3");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        pool.shutdown();
     }
 
     #[test]

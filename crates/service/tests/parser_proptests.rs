@@ -1,0 +1,135 @@
+//! Property tests for the incremental request parser: however the
+//! bytes are sliced — one-shot, byte-at-a-time, or arbitrary chunk
+//! boundaries — the parsed [`Request`]s must be identical. This is the
+//! invariant the evented front end stands on: readiness events hand it
+//! unpredictable fragments, and the blocking front end's behaviour is
+//! the reference.
+
+use proptest::prelude::*;
+use retroweb_service::http::{ParseProgress, Request, RequestParser};
+
+/// One generated request: method, path tail, extra header value, body.
+#[derive(Clone, Debug)]
+struct GenReq {
+    method: &'static str,
+    path: String,
+    query: String,
+    header_val: String,
+    body: Vec<u8>,
+    http10: bool,
+}
+
+fn render(reqs: &[GenReq]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for r in reqs {
+        let version = if r.http10 { "HTTP/1.0" } else { "HTTP/1.1" };
+        let query = if r.query.is_empty() { String::new() } else { format!("?{}", r.query) };
+        wire.extend_from_slice(
+            format!(
+                "{} /t/{}{} {version}\r\nhost: loopback\r\nx-trace: {}\r\ncontent-length: {}\r\n\r\n",
+                r.method,
+                r.path,
+                query,
+                r.header_val,
+                r.body.len(),
+            )
+            .as_bytes(),
+        );
+        wire.extend_from_slice(&r.body);
+    }
+    wire
+}
+
+/// Feed `wire` into a fresh parser in the given chunk sizes (cycled)
+/// and return every completed request. Panics on `Malformed` — the
+/// generator only produces well-formed requests.
+fn parse_chunked(wire: &[u8], chunk_sizes: &[usize]) -> Vec<Request> {
+    let mut parser = RequestParser::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut out = Vec::new();
+    let mut pos = 0;
+    let mut cycle = chunk_sizes.iter().cycle();
+    while pos < wire.len() {
+        let take = (*cycle.next().expect("cycled")).max(1).min(wire.len() - pos);
+        buf.extend_from_slice(&wire[pos..pos + take]);
+        pos += take;
+        loop {
+            match parser.advance(&mut buf) {
+                ParseProgress::Complete(req) => out.push(req),
+                ParseProgress::NeedMore => break,
+                ParseProgress::Malformed(status, why) => {
+                    panic!("well-formed input rejected: {status} {why}")
+                }
+            }
+        }
+    }
+    assert!(buf.is_empty(), "parser left {} unconsumed byte(s)", buf.len());
+    out
+}
+
+fn req_strategy() -> impl Strategy<Value = GenReq> {
+    (
+        prop::sample::select(vec!["GET", "POST", "PUT", "DELETE"]),
+        "[a-z0-9]{1,12}",
+        prop_oneof![Just(String::new()), "[a-z]{1,4}=[a-z0-9]{1,6}".prop_map(|s| s)],
+        "[ -~]{0,20}",
+        prop::collection::vec(any::<u8>(), 0..80),
+        any::<bool>(),
+    )
+        .prop_map(|(method, path, query, header_val, body, http10)| GenReq {
+            method,
+            path,
+            query,
+            // Trim so header values survive the parser's whitespace trim.
+            header_val: header_val.trim().to_string(),
+            body,
+            http10,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Byte-at-a-time trickle parses to exactly what one-shot does.
+    #[test]
+    fn byte_at_a_time_equals_one_shot(reqs in prop::collection::vec(req_strategy(), 1..5)) {
+        let wire = render(&reqs);
+        let one_shot = parse_chunked(&wire, &[wire.len()]);
+        let trickled = parse_chunked(&wire, &[1]);
+        prop_assert_eq!(one_shot.len(), reqs.len());
+        prop_assert_eq!(&one_shot, &trickled);
+    }
+
+    // Arbitrary split points — the shapes readiness events produce —
+    // parse to exactly what one-shot does.
+    #[test]
+    fn random_splits_equal_one_shot(
+        reqs in prop::collection::vec(req_strategy(), 1..5),
+        chunks in prop::collection::vec(1usize..23, 1..8),
+    ) {
+        let wire = render(&reqs);
+        let one_shot = parse_chunked(&wire, &[wire.len()]);
+        let split = parse_chunked(&wire, &chunks);
+        prop_assert_eq!(one_shot.len(), reqs.len());
+        prop_assert_eq!(&one_shot, &split);
+    }
+
+    // The parsed fields themselves round-trip the generated values —
+    // guarding against one-shot and incremental agreeing on garbage.
+    #[test]
+    fn parsed_fields_round_trip(reqs in prop::collection::vec(req_strategy(), 1..4)) {
+        let wire = render(&reqs);
+        let parsed = parse_chunked(&wire, &[3]);
+        prop_assert_eq!(parsed.len(), reqs.len());
+        for (got, want) in parsed.iter().zip(&reqs) {
+            prop_assert_eq!(got.method.as_str(), want.method);
+            let want_path = format!("/t/{}", want.path);
+            prop_assert_eq!(got.path.as_str(), want_path.as_str());
+            prop_assert_eq!(got.query.as_str(), want.query.as_str());
+            prop_assert_eq!(got.headers.get("x-trace").map(String::as_str),
+                            Some(want.header_val.as_str()));
+            prop_assert_eq!(&got.body, &want.body);
+            prop_assert_eq!(got.http10, want.http10);
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | [`baselines`] | `retroweb-baselines` | RoadRunner-style + LR wrapper baselines |
 //! | [`retrozilla`] | `retrozilla` | the paper's contribution: mapping rules end to end |
 //! | [`json`] | `retroweb-json` | dependency-free JSON for persistence/reports |
+//! | [`netpoll`] | `retroweb-netpoll` | std-only `poll(2)` readiness event loop |
 //! | [`service`] | `retroweb-service` | multi-threaded HTTP extraction server |
 //!
 //! See `examples/quickstart.rs` for the five-minute tour and DESIGN.md
@@ -51,6 +52,7 @@ pub use retroweb_baselines as baselines;
 pub use retroweb_cluster as cluster;
 pub use retroweb_html as html;
 pub use retroweb_json as json;
+pub use retroweb_netpoll as netpoll;
 pub use retroweb_service as service;
 pub use retroweb_sitegen as sitegen;
 pub use retroweb_xml as xml;
