@@ -79,6 +79,7 @@ pub mod builder;
 pub mod candidate;
 pub mod check;
 pub mod extract;
+pub mod lint;
 pub mod maintain;
 pub mod metrics;
 pub mod model;
@@ -101,6 +102,9 @@ pub use extract::{
     extract_page_compiled, extract_page_compiled_per_rule, ExtractionResult, FailureKind,
     RuleFailure,
 };
+pub use lint::{ClusterLint, RuleDiagnostic};
+// The analyzer's stable diagnostic-code list and severity scale, so the
+// service's per-code lint counters never drift from the linter itself.
 pub use maintain::{
     detect_failures, detect_failures_compiled, repair_rules, RepairMethod, RepairReport,
 };
@@ -111,7 +115,10 @@ pub use post::PostProcess;
 pub use refine::{refine_rule, RefineConfig, RefineOutcome};
 pub use repository::{
     ClusterRules, CompiledCluster, RepositoryError, RepositoryStats, RuleRepository, StructureNode,
+    XPathParseContext,
 };
+pub use retroweb_xpath::analyze::CODES as LINT_CODES;
+pub use retroweb_xpath::Severity as LintSeverity;
 pub use sample::{sample_from_pages, working_sample, SamplePage};
 pub use schema_guided::{
     build_with_guide, Conformance, GuideComponent, GuidedComponentResult, SchemaGuide,

@@ -1,0 +1,278 @@
+//! Cluster-level rule linting.
+//!
+//! The XPath analyzer (`retroweb_xpath::analyze`) judges one expression
+//! at a time; this module lifts its verdicts to the unit the repository
+//! actually stores — a [`ClusterRules`] — and adds the two findings
+//! that only exist at that level:
+//!
+//! - **dead-alternative**: a rule's location alternatives are tried in
+//!   order and the first non-empty one wins, so a later alternative
+//!   that is structurally subsumed by an earlier one (same steps, the
+//!   earlier predicate list a prefix of the later's) can never fire.
+//! - **unfused-fallback**: a location whose shape defeats the cluster's
+//!   one-pass [`FusedPlan`] executes per-rule
+//!   on every page — worth knowing when tuning a hot cluster.
+//!
+//! A [`ClusterLint`] is computed during [`ClusterRules::compile`] and
+//! cached on the [`CompiledCluster`](crate::CompiledCluster), so the
+//! severity gauges on [`RepositoryStats`](crate::RepositoryStats) ride
+//! the same per-cluster cache walk as the fusion gauges and a `/metrics`
+//! scrape never re-runs the analyzer.
+
+use crate::repository::ClusterRules;
+use retroweb_json::Json;
+use retroweb_xpath::{analyze, Diagnostic, FusedPlan, Severity};
+use std::fmt;
+
+/// One analyzer finding tied back to the rule and location alternative
+/// it was raised against. `span`, when present, indexes the canonical
+/// (display) form in `xpath` — the form rules are stored and served in.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RuleDiagnostic {
+    /// Component name of the rule (`MappingRule::name`).
+    pub rule: String,
+    /// Index into the rule's `locations` alternatives.
+    pub location: usize,
+    /// The location expression in canonical display form.
+    pub xpath: String,
+    /// The underlying analyzer finding.
+    pub diagnostic: Diagnostic,
+}
+
+impl RuleDiagnostic {
+    /// JSON shape served by `GET /clusters/{name}/lint` and embedded in
+    /// strict-mode `PUT` rejections.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object(vec![
+            ("rule".into(), Json::from(self.rule.as_str())),
+            ("location".into(), Json::from(self.location)),
+            ("xpath".into(), Json::from(self.xpath.as_str())),
+            ("code".into(), Json::from(self.diagnostic.code)),
+            ("severity".into(), Json::from(self.diagnostic.severity.as_str())),
+            ("message".into(), Json::from(self.diagnostic.message.as_str())),
+        ]);
+        if let Some((start, end)) = self.diagnostic.span {
+            obj.set("span", Json::Array(vec![Json::from(start), Json::from(end)]));
+        }
+        obj
+    }
+}
+
+impl fmt::Display for RuleDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rule '{}' location {} ({}): {}",
+            self.rule, self.location, self.xpath, self.diagnostic
+        )
+    }
+}
+
+/// Every finding the linter raised against one cluster's rule set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterLint {
+    /// Cluster the findings belong to.
+    pub cluster: String,
+    /// Findings in rule order, then location order, then analyzer order.
+    pub diagnostics: Vec<RuleDiagnostic>,
+}
+
+impl ClusterLint {
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.diagnostic.severity == severity).count()
+    }
+
+    /// Error-level findings — what strict mode and the audit exit code
+    /// gate on.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    pub fn infos(&self) -> usize {
+        self.count(Severity::Info)
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.diagnostic.severity == Severity::Error)
+    }
+
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// JSON shape served by `GET /clusters/{name}/lint` (and, per
+    /// cluster, by the repo-wide `GET /lint`).
+    pub fn to_json(&self) -> Json {
+        Json::object(vec![
+            ("cluster".into(), Json::from(self.cluster.as_str())),
+            ("errors".into(), Json::from(self.errors())),
+            ("warnings".into(), Json::from(self.warnings())),
+            ("infos".into(), Json::from(self.infos())),
+            (
+                "diagnostics".into(),
+                Json::Array(self.diagnostics.iter().map(RuleDiagnostic::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Lint one cluster's rule set against its fused plan. Pure function of
+/// its inputs — the loopback suite holds the served output identical
+/// across shard counts on the strength of this.
+pub(crate) fn lint_cluster(rules: &ClusterRules, fused: &FusedPlan) -> ClusterLint {
+    let mut diagnostics = Vec::new();
+    // Flat index into the fused plan: locations in rule order, matching
+    // the order `ClusterRules::compile` feeds `FusedPlan::build`.
+    let mut flat = 0usize;
+    for rule in &rules.rules {
+        for (i, location) in rule.locations.iter().enumerate() {
+            let xpath = location.to_string();
+            for diagnostic in analyze::analyze(location) {
+                diagnostics.push(RuleDiagnostic {
+                    rule: rule.name.to_string(),
+                    location: i,
+                    xpath: xpath.clone(),
+                    diagnostic,
+                });
+            }
+            // Alternatives are tried in order, first non-empty wins: an
+            // earlier location that structurally subsumes this one is
+            // non-empty whenever this one is, so this one never fires.
+            if let Some(j) = (0..i).find(|&j| analyze::subsumes(&rule.locations[j], location)) {
+                diagnostics.push(RuleDiagnostic {
+                    rule: rule.name.to_string(),
+                    location: i,
+                    xpath: xpath.clone(),
+                    diagnostic: Diagnostic {
+                        code: "dead-alternative",
+                        severity: Severity::Warn,
+                        message: format!(
+                            "alternative {i} can never fire: alternative {j} \
+                             ({}) is non-empty whenever it is and is tried first",
+                            rule.locations[j]
+                        ),
+                        span: None,
+                    },
+                });
+            }
+            if !fused.is_fused(flat) {
+                diagnostics.push(RuleDiagnostic {
+                    rule: rule.name.to_string(),
+                    location: i,
+                    xpath,
+                    diagnostic: Diagnostic {
+                        code: "unfused-fallback",
+                        severity: Severity::Info,
+                        message: "location falls back to per-rule execution: its shape \
+                                  defeats the cluster's one-pass fused plan"
+                            .to_string(),
+                        span: None,
+                    },
+                });
+            }
+            flat += 1;
+        }
+    }
+    ClusterLint { cluster: rules.cluster.clone(), diagnostics }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{ComponentName, Format, MappingRule, Multiplicity, Optionality};
+
+    fn rule(name: &str, locations: &[&str]) -> MappingRule {
+        MappingRule {
+            name: ComponentName::new(name).unwrap(),
+            optionality: Optionality::Mandatory,
+            multiplicity: Multiplicity::SingleValued,
+            format: Format::Text,
+            locations: locations.iter().map(|l| retroweb_xpath::parse(l).unwrap()).collect(),
+            post: Vec::new(),
+        }
+    }
+
+    fn cluster(rules: Vec<MappingRule>) -> ClusterRules {
+        ClusterRules { cluster: "c".into(), page_element: "p".into(), rules, structure: None }
+    }
+
+    #[test]
+    fn clean_cluster_has_no_findings() {
+        let c = cluster(vec![
+            rule("title", &["/HTML[1]/BODY[1]/H1[1]/text()"]),
+            rule("runtime", &["//TABLE[1]/TR[1]/TD[2]/text()"]),
+        ]);
+        let lint = c.lint();
+        assert!(lint.is_clean(), "{:?}", lint.diagnostics);
+        assert_eq!(lint.cluster, "c");
+    }
+
+    #[test]
+    fn analyzer_findings_carry_rule_and_location() {
+        let c = cluster(vec![rule("title", &["//H1/text()", "//TR[0]/TD/text()"])]);
+        let lint = c.lint();
+        assert!(lint.has_errors());
+        let d = lint.diagnostics.iter().find(|d| d.diagnostic.code == "unsat-position").unwrap();
+        assert_eq!(d.rule, "title");
+        assert_eq!(d.location, 1);
+        assert!(d.xpath.contains("TR[0]"), "{}", d.xpath);
+        // The span indexes the canonical form of that location.
+        let (s, e) = d.diagnostic.span.unwrap();
+        assert_eq!(&d.xpath[s..e], "[0]");
+    }
+
+    #[test]
+    fn dead_alternative_flagged_in_try_order() {
+        // The first alternative subsumes the second (same steps, its
+        // predicate list a prefix), so the second can never fire.
+        let c = cluster(vec![rule("genre", &["//UL/LI/text()", "//UL/LI[2]/text()"])]);
+        let lint = c.lint();
+        let d = lint.diagnostics.iter().find(|d| d.diagnostic.code == "dead-alternative").unwrap();
+        assert_eq!(d.location, 1);
+        assert_eq!(d.diagnostic.severity, Severity::Warn);
+        // Reversed order is fine: the narrower alternative runs first.
+        let c = cluster(vec![rule("genre", &["//UL/LI[2]/text()", "//UL/LI/text()"])]);
+        assert!(!c.lint().diagnostics.iter().any(|d| d.diagnostic.code == "dead-alternative"));
+    }
+
+    #[test]
+    fn unfused_fallback_cross_referenced_per_location() {
+        // A path starting with a parent step defeats the fuser's
+        // downward trie; the fused plan reports it as a fallback.
+        let c = cluster(vec![rule("title", &["//H1/text()"]), rule("odd", &["../SPAN/text()"])]);
+        let compiled = c.compile();
+        let stats = compiled.fused().stats();
+        let lint = compiled.lint();
+        let fallbacks: Vec<_> =
+            lint.diagnostics.iter().filter(|d| d.diagnostic.code == "unfused-fallback").collect();
+        assert_eq!(fallbacks.len(), stats.paths_fallback, "{:?}", lint.diagnostics);
+        if let Some(d) = fallbacks.first() {
+            assert_eq!(d.rule, "odd");
+            assert_eq!(d.diagnostic.severity, Severity::Info);
+        }
+    }
+
+    #[test]
+    fn json_shape_round_trips_severity_totals() {
+        let c = cluster(vec![rule("title", &["//H1/@id/text()"])]);
+        let lint = c.lint();
+        assert!(lint.has_errors());
+        let json = lint.to_json();
+        assert_eq!(json.get("cluster").unwrap().as_str(), Some("c"));
+        assert_eq!(json.get("errors").unwrap().as_u64(), Some(lint.errors() as u64));
+        let diags = json.get("diagnostics").unwrap().as_array().unwrap();
+        assert_eq!(diags.len(), lint.diagnostics.len());
+        assert_eq!(diags[0].get("severity").unwrap().as_str(), Some("error"));
+        assert!(diags[0].get("span").is_some());
+    }
+
+    #[test]
+    fn lint_rides_the_compiled_cluster() {
+        let c = cluster(vec![rule("title", &["//TR[0]/text()"])]);
+        assert_eq!(c.compile().lint(), &c.lint());
+    }
+}

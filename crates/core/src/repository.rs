@@ -18,6 +18,7 @@ use crate::extract::{
     extract_cluster_compiled, extract_cluster_compiled_to, extract_cluster_parallel_compiled,
     extract_cluster_parallel_compiled_to, ExtractionResult,
 };
+use crate::lint::ClusterLint;
 use crate::model::{CompiledRule, ComponentName, Format, MappingRule, Multiplicity, Optionality};
 use crate::post::PostProcess;
 use crate::sink::{ExtractionSink, ExtractionStats};
@@ -109,6 +110,7 @@ impl ClusterRules {
         let fused = FusedPlan::build(
             &rules.iter().flat_map(|r| r.locations().iter().cloned()).collect::<Vec<_>>(),
         );
+        let lint = crate::lint::lint_cluster(self, &fused);
         CompiledCluster {
             cluster: self.cluster.clone(),
             page_element: self.page_element.clone(),
@@ -116,7 +118,18 @@ impl ClusterRules {
             schema: crate::extract::cluster_schema(self),
             rules,
             fused,
+            lint,
         }
+    }
+
+    /// Run the rule linter over this cluster: per-location analyzer
+    /// findings plus the cluster-level dead-alternative and
+    /// unfused-fallback checks (see [`crate::lint`]). Compiles the
+    /// cluster to cross-reference the fused plan; callers holding a
+    /// [`CompiledCluster`] should read its cached
+    /// [`lint`](CompiledCluster::lint) instead.
+    pub fn lint(&self) -> ClusterLint {
+        self.compile().lint
     }
 }
 
@@ -136,6 +149,11 @@ pub struct CompiledCluster {
     /// first). Built here so it rides the compiled-cluster cache: a hot
     /// reload that invalidates the compilation rebuilds the plan too.
     fused: FusedPlan,
+    /// The cluster's lint findings, computed once at compile time so
+    /// `GET /clusters/{name}/lint` and the `/metrics` severity gauges
+    /// never re-run the analyzer (and are invalidated with the
+    /// compilation on hot reload).
+    lint: ClusterLint,
 }
 
 impl CompiledCluster {
@@ -147,6 +165,11 @@ impl CompiledCluster {
     /// [`retroweb_xpath::fuse`]).
     pub fn fused(&self) -> &FusedPlan {
         &self.fused
+    }
+
+    /// The cluster's cached lint findings (see [`crate::lint`]).
+    pub fn lint(&self) -> &ClusterLint {
+        &self.lint
     }
 }
 
@@ -164,11 +187,33 @@ pub struct RepositoryError {
     pub cluster: Option<String>,
     /// Dotted path of the offending JSON key, e.g. `rules[1].optionality`.
     pub key: Option<String>,
+    /// The rejected XPath location text and failure byte offset, when
+    /// the error is an XPath parse failure — the service surfaces it as
+    /// a structured `parse-error` diagnostic instead of a bare message.
+    /// Boxed to keep the error (and every `Result` carrying it) small.
+    pub xpath: Option<Box<XPathParseContext>>,
+}
+
+/// The XPath text and byte offset of a location that failed to parse,
+/// attached to [`RepositoryError`] for structured `parse-error`
+/// diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XPathParseContext {
+    /// The rejected XPath location text, verbatim from the JSON body.
+    pub text: String,
+    /// Byte offset of the failure within [`text`](Self::text).
+    pub offset: usize,
 }
 
 impl RepositoryError {
     fn new(msg: impl Into<String>) -> RepositoryError {
-        RepositoryError { message: msg.into(), path: None, cluster: None, key: None }
+        RepositoryError { message: msg.into(), path: None, cluster: None, key: None, xpath: None }
+    }
+
+    /// Attach the rejected XPath text and failure offset (parse errors).
+    fn at_xpath(mut self, xpath: &str, offset: usize) -> RepositoryError {
+        self.xpath = Some(Box::new(XPathParseContext { text: xpath.to_string(), offset }));
+        self
     }
 
     fn with_path(mut self, path: &Path) -> RepositoryError {
@@ -255,6 +300,15 @@ pub struct RepositoryStats {
     /// Steps answered by an existing trie node — axis walks saved per
     /// page by fusion.
     pub fused_steps_shared: usize,
+    /// Error-level lint findings across cached clusters.
+    pub lint_errors: usize,
+    /// Warn-level lint findings across cached clusters.
+    pub lint_warnings: usize,
+    /// Info-level lint findings across cached clusters.
+    pub lint_infos: usize,
+    /// Cached clusters carrying at least one error-level finding — rule
+    /// sets a strict-lint server would have rejected.
+    pub lint_error_clusters: usize,
 }
 
 impl RepositoryStats {
@@ -272,6 +326,10 @@ impl RepositoryStats {
         self.fused_fallback_clusters += other.fused_fallback_clusters;
         self.fused_steps_total += other.fused_steps_total;
         self.fused_steps_shared += other.fused_steps_shared;
+        self.lint_errors += other.lint_errors;
+        self.lint_warnings += other.lint_warnings;
+        self.lint_infos += other.lint_infos;
+        self.lint_error_clusters += other.lint_error_clusters;
     }
 
     /// Fold one cached cluster's fusion counters into the snapshot.
@@ -284,6 +342,16 @@ impl RepositoryStats {
         }
         self.fused_steps_total += stats.steps_total;
         self.fused_steps_shared += stats.steps_shared;
+    }
+
+    /// Fold one cached cluster's lint findings into the snapshot.
+    pub(crate) fn observe_lint(&mut self, lint: &ClusterLint) {
+        self.lint_errors += lint.errors();
+        self.lint_warnings += lint.warnings();
+        self.lint_infos += lint.infos();
+        if lint.has_errors() {
+            self.lint_error_clusters += 1;
+        }
     }
 }
 
@@ -350,6 +418,7 @@ impl RuleRepository {
         };
         for c in compiled.values() {
             stats.observe_fused_plan(&c.fused().stats());
+            stats.observe_lint(c.lint());
         }
         stats
     }
@@ -686,7 +755,9 @@ pub fn rule_from_json(json: &Json) -> Result<MappingRule, RepositoryError> {
                 .as_str()
                 .ok_or_else(|| RepositoryError::new("location must be a string").for_key(key()))?;
             retroweb_xpath::parse(text).map_err(|e| {
-                RepositoryError::new(format!("bad location '{text}': {e}")).for_key(key())
+                RepositoryError::new(format!("bad location '{text}': {e}"))
+                    .for_key(key())
+                    .at_xpath(text, e.offset())
             })
         })
         .collect::<Result<Vec<_>, _>>()?;

@@ -603,6 +603,7 @@ impl ClusterStore for ShardedRepository {
                 };
                 for compiled in map.values().filter_map(|e| e.compiled.get()) {
                     stats.observe_fused_plan(&compiled.fused().stats());
+                    stats.observe_lint(compiled.lint());
                 }
                 stats
             })

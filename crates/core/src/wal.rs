@@ -1101,6 +1101,7 @@ impl RepositoryError {
             path: Some(path.to_path_buf()),
             cluster: None,
             key: None,
+            xpath: None,
         }
     }
 }

@@ -7,7 +7,7 @@
 //!                  [--shards N] [--evented] [--max-conns N]
 //!                  [--header-timeout-ms N] [--idle-timeout-ms N]
 //!                  [--write-stall-timeout-ms N] [--stream-budget BYTES]
-//!                  [--wal-info] [--self-test]
+//!                  [--strict-lint] [--lint] [--wal-info] [--self-test]
 //! ```
 //!
 //! `--evented` switches the front end from thread-per-connection to a
@@ -35,6 +35,18 @@
 //! start (and left in place, superseded). An existing directory's
 //! `manifest.json` fixes the shard count.
 //!
+//! `--strict-lint` makes `PUT /clusters/{name}` reject rule sets whose
+//! XPaths carry error-level linter findings (provably-empty paths,
+//! unsatisfiable predicates) with a `400` carrying the structured
+//! diagnostics; without it the findings ride along in the success body
+//! and on `GET /metrics`.
+//!
+//! `--lint` is the offline audit mode: load the repository addressed by
+//! `--repo` (or the built-in demo repository without one), print every
+//! linter finding, and exit non-zero iff any error-level finding
+//! exists — no server is started, so CI can gate rule repositories on
+//! it directly.
+//!
 //! `--wal-info` prints replay statistics (records, torn bytes, last
 //! intact offset) for every WAL the current flags address — per shard
 //! in the directory layout — **without starting the server and without
@@ -58,18 +70,20 @@ const USAGE: &str = "usage: retrozilla-serve [--addr HOST:PORT] [--threads N] [-
                      [--compact-every N] [--no-wal] [--shards N] [--evented] [--max-conns N] \
                      [--header-timeout-ms N] [--idle-timeout-ms N] [--write-stall-timeout-ms N] \
                      [--stream-budget BYTES] \
-                     [--wal-info] [--self-test]";
+                     [--strict-lint] [--lint] [--wal-info] [--self-test]";
 
 struct Args {
     config: ServerConfig,
     self_test: bool,
     wal_info: bool,
+    lint: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut config = ServerConfig { addr: "127.0.0.1:7878".to_string(), ..Default::default() };
     let mut self_test = false;
     let mut wal_info = false;
+    let mut lint = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value =
@@ -138,13 +152,47 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|&n| n >= 16 * 1024)
                     .ok_or("bad --stream-budget: expected a byte count of at least 16384")?
             }
+            "--strict-lint" => config.strict_lint = true,
+            "--lint" => lint = true,
             "--wal-info" => wal_info = true,
             "--self-test" => self_test = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
-    Ok(Args { config, self_test, wal_info })
+    Ok(Args { config, self_test, wal_info, lint })
+}
+
+/// `--lint`: audit the addressed repository offline. Prints every
+/// linter finding and returns whether any error-level finding exists —
+/// the CI gate's exit code. Lints the snapshot as loaded from `--repo`
+/// (the same document a server seed load reads); without `--repo` the
+/// built-in demo repository is audited, which doubles as the
+/// linter-is-clean check over the self-test rule set.
+fn lint_repository(config: &ServerConfig) -> Result<bool, String> {
+    let repo = match &config.repo_path {
+        Some(path) if path.exists() => RuleRepository::load(path)
+            .map_err(|e| format!("cannot load repository for linting: {e}"))?,
+        Some(path) => return Err(format!("cannot lint: {} does not exist", path.display())),
+        None => testdata::demo_repository(),
+    };
+    let names = repo.cluster_names();
+    let (mut errors, mut warnings, mut infos) = (0usize, 0usize, 0usize);
+    for name in &names {
+        let rules = repo.get(name).expect("listed cluster present");
+        let lint = rules.lint();
+        for finding in &lint.diagnostics {
+            println!("{name}: {finding}");
+        }
+        errors += lint.errors();
+        warnings += lint.warnings();
+        infos += lint.infos();
+    }
+    println!(
+        "linted {} cluster(s): {errors} error(s), {warnings} warning(s), {infos} info(s)",
+        names.len()
+    );
+    Ok(errors > 0)
 }
 
 /// `--wal-info`: print replay statistics for every WAL the flags
@@ -222,6 +270,16 @@ fn main() -> ExitCode {
             }
             Err(why) => {
                 eprintln!("self-test FAILED: {why}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if args.lint {
+        return match lint_repository(&args.config) {
+            Ok(false) => ExitCode::SUCCESS,
+            Ok(true) => ExitCode::FAILURE,
+            Err(why) => {
+                eprintln!("{why}");
                 ExitCode::FAILURE
             }
         };
@@ -450,14 +508,109 @@ fn self_test() -> Result<String, String> {
     let resp = client.request("GET", "/clusters/%zz", &[], b"").map_err(io)?;
     expect(resp.status == 400, "invalid escape status", resp.status)?;
 
+    // the rule linter finds nothing to complain about in the demo rules
+    let resp = request_once(addr, "GET", "/lint", &[], b"").map_err(io)?;
+    expect(resp.status == 200, "repo lint status", resp.status)?;
+    let report = resp.body_json().map_err(|e| format!("lint body: {e}"))?;
+    expect(
+        report.get("errors").and_then(|e| e.as_u64()) == Some(0),
+        "demo repository lint-clean",
+        report.to_string_compact(),
+    )?;
+    let resp =
+        request_once(addr, "GET", &format!("/clusters/{}/lint", testdata::DEMO_CLUSTER), &[], b"")
+            .map_err(io)?;
+    expect(resp.status == 200, "cluster lint status", resp.status)?;
+
     // metrics counted all of the above
     let resp = request_once(addr, "GET", "/metrics", &[], b"").map_err(io)?;
     let metrics = resp.body_json().map_err(|e| format!("metrics body: {e}"))?;
     let total =
         metrics.get("requests").and_then(|r| r.get("total")).and_then(|t| t.as_u64()).unwrap_or(0);
     expect(total >= 6, "metrics request total", total)?;
+    expect(
+        metrics.get("lint").and_then(|l| l.get("errors")).is_some(),
+        "lint section on /metrics",
+        metrics.to_string_compact(),
+    )?;
 
     handle.shutdown();
+
+    // Strict-lint gate: a provably-empty rule (TR[0] can never match) is
+    // rejected with its diagnostics before anything is recorded, and an
+    // unparseable rule comes back as a parse-error diagnostic with a
+    // byte offset.
+    {
+        let config = ServerConfig { strict_lint: true, ..ServerConfig::default() };
+        let server = Server::bind(testdata::demo_repository(), config)
+            .map_err(|e| format!("strict bind: {e}"))?;
+        let handle = server.start().map_err(|e| format!("strict start: {e}"))?;
+        let bad = testdata::demo_cluster_json()
+            .replace("//TABLE[1]/TR[1]/TD[2]/text()", "//TABLE[1]/TR[0]/TD[2]/text()");
+        let resp = request_once(
+            handle.addr(),
+            "PUT",
+            &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+            &[],
+            bad.as_bytes(),
+        )
+        .map_err(io)?;
+        expect(resp.status == 400, "strict-lint rejection status", resp.status)?;
+        let body = resp.body_json().map_err(|e| format!("strict-lint body: {e}"))?;
+        let code = body
+            .get("lint")
+            .and_then(|l| l.get("diagnostics"))
+            .and_then(|d| d.as_array())
+            .and_then(<[retroweb_json::Json]>::first)
+            .and_then(|d| d.get("code"))
+            .and_then(|c| c.as_str());
+        expect(
+            code == Some("unsat-position"),
+            "strict-lint diagnostic code",
+            body.to_string_compact(),
+        )?;
+        let unparseable = testdata::demo_cluster_json()
+            .replace("//UL[1]/LI[position() >= 1]/text()", "//UL[1]/LI[");
+        let resp = request_once(
+            handle.addr(),
+            "PUT",
+            &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+            &[],
+            unparseable.as_bytes(),
+        )
+        .map_err(io)?;
+        expect(resp.status == 400, "parse-error rejection status", resp.status)?;
+        let body = resp.body_json().map_err(|e| format!("parse-error body: {e}"))?;
+        let diag = body
+            .get("diagnostics")
+            .and_then(|d| d.as_array())
+            .and_then(<[retroweb_json::Json]>::first);
+        expect(
+            diag.and_then(|d| d.get("code")).and_then(|c| c.as_str()) == Some("parse-error"),
+            "parse-error diagnostic code",
+            body.to_string_compact(),
+        )?;
+        expect(
+            diag.and_then(|d| d.get("span")).is_some(),
+            "parse-error diagnostic span",
+            body.to_string_compact(),
+        )?;
+        // Neither rejected body replaced the live rules.
+        let resp = request_once(
+            handle.addr(),
+            "GET",
+            &format!("/clusters/{}", testdata::DEMO_CLUSTER),
+            &[],
+            b"",
+        )
+        .map_err(io)?;
+        expect(
+            resp.body_utf8().contains("TR[1]"),
+            "original rules survive strict rejections",
+            resp.body_utf8(),
+        )?;
+        handle.shutdown();
+    }
 
     // Evented front end: the same requests must come back byte-identical
     // through the poll(2) loop — full responses and the chunked stream.
@@ -610,9 +763,9 @@ fn self_test() -> Result<String, String> {
     std::fs::remove_dir_all(&dir).ok();
 
     Ok(format!(
-        "6 endpoints exercised, {total} requests served, streaming + drift + hot reload + \
-         percent-decoding + evented front end + WAL replay (single-file and sharded, incl. \
-         migration) verified"
+        "7 endpoints exercised, {total} requests served, streaming + drift + hot reload + \
+         percent-decoding + rule lint (incl. strict gate + parse-error offsets) + evented \
+         front end + WAL replay (single-file and sharded, incl. migration) verified"
     ))
 }
 

@@ -51,15 +51,17 @@ pub fn route(arc_state: &Arc<ServiceState>, req: &Request) -> (Endpoint, Reply) 
         ("GET", ["metrics"]) => (Endpoint::Metrics, metrics(state).into()),
         ("GET", ["clusters"]) => (Endpoint::Clusters, list_clusters(state).into()),
         ("GET", ["clusters", name]) => (Endpoint::Clusters, get_cluster(state, name).into()),
+        ("GET", ["clusters", name, "lint"]) => (Endpoint::Lint, lint_cluster(state, name).into()),
         ("PUT", ["clusters", name]) => (Endpoint::Clusters, put_cluster(state, name, req).into()),
         ("DELETE", ["clusters", name]) => (Endpoint::Clusters, delete_cluster(state, name).into()),
+        ("GET", ["lint"]) => (Endpoint::Lint, lint_repository(state).into()),
         ("POST", ["extract", name]) => (Endpoint::Extract, extract_one(state, name, req).into()),
         ("POST", ["extract", name, "batch"]) => {
             (Endpoint::ExtractBatch, extract_batch(arc_state, name, req))
         }
         ("POST", ["check", name]) => (Endpoint::Check, check(state, name, req).into()),
         // Known paths with the wrong verb get a 405 instead of a 404.
-        (_, ["healthz" | "metrics" | "clusters" | "extract" | "check", ..]) => {
+        (_, ["healthz" | "metrics" | "clusters" | "extract" | "check" | "lint", ..]) => {
             (Endpoint::Other, Response::error(405, "method not allowed").into())
         }
         _ => (Endpoint::Other, Response::error(404, "no such endpoint").into()),
@@ -75,7 +77,10 @@ fn index() -> Response {
          GET  /metrics                     counters and latency histograms\n\
          GET  /clusters                    recorded cluster names\n\
          GET  /clusters/{name}             one cluster's rules (repository JSON)\n\
+         GET  /clusters/{name}/lint        rule-linter findings for one cluster\n\
+         GET  /lint                        rule-linter findings for every cluster\n\
          PUT  /clusters/{name}             record rules (hot reload), body = cluster JSON\n\
+                                           (400 on error-level findings with --strict-lint)\n\
          DELETE /clusters/{name}           drop a cluster\n\
          POST /extract/{name}              body = HTML page -> extracted XML\n\
          POST /extract/{name}/batch        body = [{\"uri\",\"html\"},...] -> streamed cluster XML\n\
@@ -133,10 +138,15 @@ fn get_cluster(state: &ServiceState, name: &str) -> Response {
     }
 }
 
-/// `PUT /clusters/{name}`: validate, record (invalidating the compiled
-/// cache — hot reload), and persist when the server owns a repository
-/// file. Rejections surface the repository error's full context so a
-/// bad rule document is diagnosable from the response alone.
+/// `PUT /clusters/{name}`: validate, lint, record (invalidating the
+/// compiled cache — hot reload), and persist when the server owns a
+/// repository file. Rejections surface the repository error's full
+/// context so a bad rule document is diagnosable from the response
+/// alone; an XPath that fails to parse comes back as a structured
+/// `parse-error` diagnostic with its byte offset. With `--strict-lint`,
+/// rule sets carrying error-level linter findings (provably-empty
+/// paths, unsatisfiable predicates) are rejected with the diagnostics;
+/// otherwise findings ride along in the success body.
 fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
     let Ok(body) = std::str::from_utf8(&req.body) else {
         return Response::error(400, "body must be UTF-8 JSON");
@@ -147,7 +157,34 @@ fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
     };
     let rules = match ClusterRules::from_json(&json) {
         Ok(rules) => rules,
-        Err(e) => return Response::error(400, &e.to_string()),
+        Err(e) => {
+            // An unparseable location is the linter's business too:
+            // answer with a structured parse-error diagnostic (byte
+            // offset into the rejected expression) instead of only the
+            // flattened message.
+            if let Some(ctx) = &e.xpath {
+                state.metrics().add_lint_parse_rejection();
+                let mut diag = Json::object(vec![
+                    ("code".into(), Json::from("parse-error")),
+                    ("severity".into(), Json::from("error")),
+                    ("message".into(), Json::from(e.message.as_str())),
+                    ("xpath".into(), Json::from(ctx.text.as_str())),
+                    (
+                        "span".into(),
+                        Json::Array(vec![Json::from(ctx.offset), Json::from(ctx.offset)]),
+                    ),
+                ]);
+                if let Some(key) = &e.key {
+                    diag.set("key", Json::from(key.as_str()));
+                }
+                let body = Json::object(vec![
+                    ("error".into(), Json::from(e.to_string().as_str())),
+                    ("diagnostics".into(), Json::Array(vec![diag])),
+                ]);
+                return Response::json(400, &body);
+            }
+            return Response::error(400, &e.to_string());
+        }
     };
     if rules.cluster != name {
         return Response::error(
@@ -158,6 +195,25 @@ fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
             ),
         );
     }
+    let lint = rules.lint();
+    state.metrics().observe_lint(&lint);
+    if state.strict_lint() && lint.has_errors() {
+        state.metrics().add_strict_lint_rejection();
+        let body = Json::object(vec![
+            (
+                "error".into(),
+                Json::from(
+                    format!(
+                        "strict-lint: {} error-level finding(s) in cluster '{name}'",
+                        lint.errors()
+                    )
+                    .as_str(),
+                ),
+            ),
+            ("lint".into(), lint.to_json()),
+        ]);
+        return Response::json(400, &body);
+    }
     let n_rules = rules.rules.len();
     let replaced = state.repo().get(name).is_some();
     // Durable before acknowledged: in WAL mode this is one fsynced
@@ -167,12 +223,53 @@ fn put_cluster(state: &ServiceState, name: &str, req: &Request) -> Response {
         return Response::error(500, &format!("cannot persist cluster mutation: {e}"));
     }
     state.metrics().add_rule_reload();
+    // Warm the compiled-cluster cache: the first extraction pays
+    // nothing, and the `/metrics` lint/fusion gauges reflect this
+    // cluster immediately instead of after the next extraction.
+    let _ = state.repo().compiled(name);
     let json = Json::object(vec![
         ("cluster".into(), Json::from(name)),
         ("rules".into(), Json::from(n_rules)),
         ("replaced".into(), Json::from(replaced)),
+        ("lint".into(), lint.to_json()),
     ]);
     Response::json(if replaced { 200 } else { 201 }, &json)
+}
+
+/// `GET /clusters/{name}/lint`: the cached lint findings for one
+/// cluster (compiling it on first touch).
+fn lint_cluster(state: &ServiceState, name: &str) -> Response {
+    match state.repo().compiled(name) {
+        Some(compiled) => Response::json(200, &compiled.lint().to_json()),
+        None => unknown_cluster(name),
+    }
+}
+
+/// `GET /lint`: the repo-wide audit — every cluster's findings in name
+/// order plus severity totals. Deterministic across shard counts: the
+/// name list is sorted and lint is a pure function of each rule set.
+fn lint_repository(state: &ServiceState) -> Response {
+    let names = state.repo().cluster_names();
+    let mut results = Vec::with_capacity(names.len());
+    let (mut errors, mut warnings, mut infos) = (0, 0, 0);
+    for name in &names {
+        // A cluster removed between the name listing and this lookup
+        // just drops out of the report.
+        let Some(compiled) = state.repo().compiled(name) else { continue };
+        let lint = compiled.lint();
+        errors += lint.errors();
+        warnings += lint.warnings();
+        infos += lint.infos();
+        results.push(lint.to_json());
+    }
+    let json = Json::object(vec![
+        ("clusters".into(), Json::from(results.len())),
+        ("errors".into(), Json::from(errors)),
+        ("warnings".into(), Json::from(warnings)),
+        ("infos".into(), Json::from(infos)),
+        ("results".into(), Json::Array(results)),
+    ]);
+    Response::json(200, &json)
 }
 
 fn delete_cluster(state: &ServiceState, name: &str) -> Response {

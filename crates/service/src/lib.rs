@@ -127,6 +127,11 @@ pub struct ServerConfig {
     /// how far a producer may run ahead of a slow client before it
     /// blocks (backpressure) instead of buffering without bound.
     pub stream_budget: usize,
+    /// Reject `PUT /clusters/{name}` bodies whose rules carry
+    /// error-level lint findings (provably-empty XPaths, unsatisfiable
+    /// predicates) with a `400` carrying the diagnostics. Warnings are
+    /// reported in the response body either way.
+    pub strict_lint: bool,
 }
 
 impl Default for ServerConfig {
@@ -149,6 +154,7 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             write_stall_timeout: Duration::from_secs(30),
             stream_budget: 256 * 1024,
+            strict_lint: false,
         }
     }
 }
@@ -196,6 +202,7 @@ pub struct ServiceState {
     sharded_open: Option<ShardedOpenReport>,
     metrics: Metrics,
     extract_threads: usize,
+    strict_lint: bool,
     shutting_down: AtomicBool,
     /// Set once by `Server::start`; lets `/metrics` report live worker
     /// gauges without threading the pool through every handler.
@@ -231,6 +238,12 @@ impl ServiceState {
 
     pub fn extract_threads(&self) -> usize {
         self.extract_threads
+    }
+
+    /// Whether `PUT /clusters/{name}` rejects rule sets with
+    /// error-level lint findings.
+    pub fn strict_lint(&self) -> bool {
+        self.strict_lint
     }
 
     pub fn shutting_down(&self) -> bool {
@@ -337,6 +350,7 @@ impl Server {
             sharded_open,
             metrics: Metrics::new(),
             extract_threads: config.extract_threads.max(1),
+            strict_lint: config.strict_lint,
             shutting_down: AtomicBool::new(false),
             pool: OnceLock::new(),
         });

@@ -17,6 +17,7 @@ pub enum Endpoint {
     Healthz,
     Metrics,
     Clusters,
+    Lint,
     Extract,
     ExtractBatch,
     Check,
@@ -24,10 +25,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    pub const ALL: [Endpoint; 7] = [
+    pub const ALL: [Endpoint; 8] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Clusters,
+        Endpoint::Lint,
         Endpoint::Extract,
         Endpoint::ExtractBatch,
         Endpoint::Check,
@@ -39,6 +41,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Clusters => "clusters",
+            Endpoint::Lint => "lint",
             Endpoint::Extract => "extract",
             Endpoint::ExtractBatch => "extract-batch",
             Endpoint::Check => "check",
@@ -150,8 +153,21 @@ pub struct Metrics {
     evented_shed: AtomicU64,
     evented_timed_out: AtomicU64,
     evented_pipelined: AtomicU64,
+    /// Lint findings observed at `PUT /clusters/{name}` time, one
+    /// counter per analyzer code (parallel to `retrozilla::LINT_CODES`).
+    /// These are *observed-at-the-door* totals; the current state of
+    /// the repository lives in the `RepositoryStats` severity gauges.
+    lint_observed: [AtomicU64; LINT_CODE_COUNT],
+    /// `PUT`s rejected by strict-lint mode (error-level findings).
+    lint_strict_rejections: AtomicU64,
+    /// `PUT`s rejected because a rule's XPath failed to parse.
+    lint_parse_rejections: AtomicU64,
     per_endpoint: [PerEndpoint; Endpoint::ALL.len()],
 }
+
+/// Length of the analyzer's stable code list — fixes the per-code
+/// counter array at compile time.
+const LINT_CODE_COUNT: usize = retrozilla::LINT_CODES.len();
 
 /// Worker-pool gauges for `/metrics`, read from the live pool.
 #[derive(Clone, Copy, Debug, Default)]
@@ -195,6 +211,28 @@ impl Metrics {
 
     pub fn add_rule_reload(&self) {
         self.rule_reloads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold the lint findings of one `PUT` body into the per-code
+    /// observation counters.
+    pub fn observe_lint(&self, lint: &retrozilla::ClusterLint) {
+        for finding in &lint.diagnostics {
+            if let Some(i) =
+                retrozilla::LINT_CODES.iter().position(|c| *c == finding.diagnostic.code)
+            {
+                self.lint_observed[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// A `PUT` was rejected by strict-lint mode.
+    pub fn add_strict_lint_rejection(&self) {
+        self.lint_strict_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A `PUT` was rejected because a rule's XPath failed to parse.
+    pub fn add_lint_parse_rejection(&self) {
+        self.lint_parse_rejections.fetch_add(1, Ordering::Relaxed);
     }
 
     pub fn add_connection(&self) {
@@ -317,6 +355,7 @@ impl Metrics {
                 section
             }),
             ("fusion".into(), fusion_json(&repo)),
+            ("lint".into(), self.lint_json(&repo)),
             ("evented".into(), {
                 let open = self.evented_open.load(Ordering::Relaxed);
                 let active = self.evented_active.load(Ordering::Relaxed);
@@ -354,6 +393,38 @@ impl Metrics {
             root.set("wal", section);
         }
         root
+    }
+
+    /// The `lint` section: current-state severity gauges (from the
+    /// repository's cached clusters, same walk as the fusion gauges)
+    /// plus the PUT-time observation counters by analyzer code and the
+    /// strict/parse rejection totals.
+    fn lint_json(&self, repo: &retrozilla::RepositoryStats) -> Json {
+        let observed = retrozilla::LINT_CODES
+            .iter()
+            .enumerate()
+            .map(|(i, code)| {
+                (
+                    code.to_string(),
+                    Json::from(self.lint_observed[i].load(Ordering::Relaxed) as usize),
+                )
+            })
+            .collect();
+        Json::object(vec![
+            ("errors".into(), Json::from(repo.lint_errors)),
+            ("warnings".into(), Json::from(repo.lint_warnings)),
+            ("infos".into(), Json::from(repo.lint_infos)),
+            ("error_clusters".into(), Json::from(repo.lint_error_clusters)),
+            ("observed_by_code".into(), Json::Object(observed)),
+            (
+                "strict_rejections".into(),
+                Json::from(self.lint_strict_rejections.load(Ordering::Relaxed) as usize),
+            ),
+            (
+                "parse_rejections".into(),
+                Json::from(self.lint_parse_rejections.load(Ordering::Relaxed) as usize),
+            ),
+        ])
     }
 }
 
@@ -487,6 +558,33 @@ mod tests {
         assert_eq!(f.get("fallback_clusters").unwrap().as_u64(), Some(1));
         assert_eq!(f.get("steps_total").unwrap().as_u64(), Some(40));
         assert_eq!(f.get("steps_shared").unwrap().as_u64(), Some(25));
+    }
+
+    #[test]
+    fn lint_section_rendered() {
+        let m = Metrics::new();
+        m.add_strict_lint_rejection();
+        m.add_lint_parse_rejection();
+        let repo = retrozilla::RepositoryStats {
+            lint_errors: 2,
+            lint_warnings: 3,
+            lint_infos: 1,
+            lint_error_clusters: 1,
+            ..Default::default()
+        };
+        let json = m.to_json(repo, &[], None, None, None);
+        let l = json.get("lint").expect("lint section");
+        assert_eq!(l.get("errors").unwrap().as_u64(), Some(2));
+        assert_eq!(l.get("warnings").unwrap().as_u64(), Some(3));
+        assert_eq!(l.get("infos").unwrap().as_u64(), Some(1));
+        assert_eq!(l.get("error_clusters").unwrap().as_u64(), Some(1));
+        assert_eq!(l.get("strict_rejections").unwrap().as_u64(), Some(1));
+        assert_eq!(l.get("parse_rejections").unwrap().as_u64(), Some(1));
+        // One counter per analyzer code, keyed by the code itself.
+        let by_code = l.get("observed_by_code").unwrap();
+        for code in retrozilla::LINT_CODES {
+            assert_eq!(by_code.get(code).unwrap().as_u64(), Some(0), "{code}");
+        }
     }
 
     #[test]

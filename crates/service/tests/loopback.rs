@@ -1072,3 +1072,169 @@ fn metrics_reflect_traffic() {
     assert!(resp.body_utf8().contains("\"ok\""));
     handle.shutdown();
 }
+
+/// A cluster JSON body whose one rule has the given location list — the
+/// minimal PUT payload for the lint tests.
+fn lint_cluster_json(cluster: &str, locations: &[&str]) -> String {
+    let locs: Vec<retroweb_json::Json> =
+        locations.iter().map(|l| retroweb_json::Json::from(*l)).collect();
+    retroweb_json::Json::object(vec![
+        ("cluster".into(), retroweb_json::Json::from(cluster)),
+        ("page-element".into(), retroweb_json::Json::from("page")),
+        (
+            "rules".into(),
+            retroweb_json::Json::Array(vec![retroweb_json::Json::object(vec![
+                ("name".into(), retroweb_json::Json::from("field")),
+                ("optionality".into(), retroweb_json::Json::from("mandatory")),
+                ("multiplicity".into(), retroweb_json::Json::from("single-valued")),
+                ("format".into(), retroweb_json::Json::from("text")),
+                ("locations".into(), retroweb_json::Json::Array(locs)),
+                ("post".into(), retroweb_json::Json::Array(vec![])),
+            ])]),
+        ),
+    ])
+    .to_string_compact()
+}
+
+/// Strict-lint servers reject error-bearing rule sets over HTTP with
+/// the structured diagnostics, leave the previous rules live, and still
+/// accept clean (or merely warning-bearing) bodies.
+#[test]
+fn strict_lint_rejects_bad_rules_with_diagnostics() {
+    let handle = start_server(ServerConfig { strict_lint: true, ..Default::default() });
+    let addr = handle.addr();
+
+    // A provably-empty location: TR[0] can never match (positions are
+    // 1-based). The 400 body round-trips code, severity and span.
+    let bad = lint_cluster_json("linted", &["//TABLE/TR[0]/TD/text()"]);
+    let resp = request_once(addr, "PUT", "/clusters/linted", &[], bad.as_bytes()).expect("PUT");
+    assert_eq!(resp.status, 400, "{}", resp.body_utf8());
+    let body = resp.body_json().expect("rejection is JSON");
+    let lint = body.get("lint").expect("lint payload in rejection");
+    assert_eq!(lint.get("errors").unwrap().as_u64(), Some(1));
+    let diag = &lint.get("diagnostics").unwrap().as_array().unwrap()[0];
+    assert_eq!(diag.get("code").unwrap().as_str(), Some("unsat-position"));
+    assert_eq!(diag.get("severity").unwrap().as_str(), Some("error"));
+    let span = diag.get("span").unwrap().as_array().unwrap();
+    let (s, e) = (span[0].as_u64().unwrap() as usize, span[1].as_u64().unwrap() as usize);
+    let xpath = diag.get("xpath").unwrap().as_str().unwrap();
+    assert_eq!(&xpath[s..e], "[0]", "span points at the unsatisfiable predicate");
+
+    // Nothing was recorded.
+    let resp = request_once(addr, "GET", "/clusters/linted", &[], b"").expect("GET");
+    assert_eq!(resp.status, 404);
+
+    // An unparseable location is a structured parse-error with the
+    // byte offset of the failure.
+    let unparseable = lint_cluster_json("linted", &["//TABLE/TR["]);
+    let resp =
+        request_once(addr, "PUT", "/clusters/linted", &[], unparseable.as_bytes()).expect("PUT");
+    assert_eq!(resp.status, 400);
+    let body = resp.body_json().expect("parse rejection is JSON");
+    let diag = &body.get("diagnostics").unwrap().as_array().unwrap()[0];
+    assert_eq!(diag.get("code").unwrap().as_str(), Some("parse-error"));
+    assert_eq!(diag.get("xpath").unwrap().as_str(), Some("//TABLE/TR["));
+    let span = diag.get("span").unwrap().as_array().unwrap();
+    assert_eq!(span[0].as_u64(), Some("//TABLE/TR[".len() as u64), "offset at EOF");
+
+    // A warning-bearing body passes the strict gate, with the findings
+    // reported in the success body.
+    let warned = lint_cluster_json("linted", &["//UL/LI/text()", "//UL/LI[2]/text()"]);
+    let resp = request_once(addr, "PUT", "/clusters/linted", &[], warned.as_bytes()).expect("PUT");
+    assert_eq!(resp.status, 201, "{}", resp.body_utf8());
+    let body = resp.body_json().expect("success body is JSON");
+    let lint = body.get("lint").expect("lint payload in success body");
+    assert_eq!(lint.get("errors").unwrap().as_u64(), Some(0));
+    assert_eq!(lint.get("warnings").unwrap().as_u64(), Some(1));
+    let diag = &lint.get("diagnostics").unwrap().as_array().unwrap()[0];
+    assert_eq!(diag.get("code").unwrap().as_str(), Some("dead-alternative"));
+
+    // GET /clusters/{name}/lint serves the cached findings.
+    let resp = request_once(addr, "GET", "/clusters/linted/lint", &[], b"").expect("GET lint");
+    assert_eq!(resp.status, 200);
+    let served = resp.body_json().expect("lint body");
+    assert_eq!(served.get("warnings").unwrap().as_u64(), Some(1));
+    let resp = request_once(addr, "GET", "/clusters/nope/lint", &[], b"").expect("GET lint 404");
+    assert_eq!(resp.status, 404);
+    // Wrong verb on the lint surface is a 405, not a 404.
+    let resp = request_once(addr, "POST", "/lint", &[], b"").expect("POST lint");
+    assert_eq!(resp.status, 405);
+    handle.shutdown();
+}
+
+/// The repo-wide audit (`GET /lint`) is a pure function of the recorded
+/// rule sets: two servers holding the same clusters in 1-shard and
+/// 8-shard stores serve byte-identical reports.
+#[test]
+fn repo_lint_deterministic_across_shard_counts() {
+    let payloads = [
+        lint_cluster_json("alpha", &["//TABLE/TR/TD[1]/text()"]),
+        lint_cluster_json("beta", &["//UL/LI/text()", "//UL/LI[2]/text()"]),
+        lint_cluster_json("gamma", &["//H1/@id/text()"]),
+    ];
+    let mut bodies = Vec::new();
+    for shards in [1usize, 8] {
+        let handle = start_server(ServerConfig { shards, ..Default::default() });
+        let addr = handle.addr();
+        for (i, payload) in payloads.iter().enumerate() {
+            let name = ["alpha", "beta", "gamma"][i];
+            let resp =
+                request_once(addr, "PUT", &format!("/clusters/{name}"), &[], payload.as_bytes())
+                    .expect("PUT");
+            assert!(resp.status == 200 || resp.status == 201, "{}", resp.body_utf8());
+        }
+        let resp = request_once(addr, "GET", "/lint", &[], b"").expect("GET /lint");
+        assert_eq!(resp.status, 200);
+        let report = resp.body_json().expect("lint report");
+        // demo-movies + the three PUTs, in name order.
+        assert_eq!(report.get("clusters").unwrap().as_u64(), Some(4));
+        assert_eq!(report.get("errors").unwrap().as_u64(), Some(1), "gamma's empty step");
+        assert!(report.get("warnings").unwrap().as_u64().unwrap() >= 1, "beta's dead alternative");
+        bodies.push(resp.body_utf8().to_string());
+        handle.shutdown();
+    }
+    assert_eq!(bodies[0], bodies[1], "lint report differs across shard counts");
+}
+
+/// The `/metrics` lint section stays coherent through the PUT → audit →
+/// DELETE lifecycle: severity gauges track the cached clusters, the
+/// per-code counters track what PUTs observed, and strict rejections
+/// are counted.
+#[test]
+fn metrics_lint_section_coherent_after_put_and_delete() {
+    let handle = start_server(ServerConfig::default());
+    let addr = handle.addr();
+    let lint_section = |addr| {
+        let resp = request_once(addr, "GET", "/metrics", &[], b"").expect("GET /metrics");
+        resp.body_json().expect("metrics json").get("lint").expect("lint section").clone()
+    };
+
+    // A non-strict server accepts the error-bearing rules; the PUT warms
+    // the compiled cache, so the gauges see them immediately.
+    let bad = lint_cluster_json("badling", &["//TABLE/TR[0]/TD/text()"]);
+    let resp = request_once(addr, "PUT", "/clusters/badling", &[], bad.as_bytes()).expect("PUT");
+    assert_eq!(resp.status, 201, "{}", resp.body_utf8());
+    let lint = lint_section(addr);
+    assert_eq!(lint.get("errors").unwrap().as_u64(), Some(1), "{lint:?}");
+    assert_eq!(lint.get("error_clusters").unwrap().as_u64(), Some(1), "{lint:?}");
+    assert_eq!(
+        lint.get("observed_by_code").unwrap().get("unsat-position").unwrap().as_u64(),
+        Some(1),
+        "{lint:?}"
+    );
+    assert_eq!(lint.get("strict_rejections").unwrap().as_u64(), Some(0));
+
+    // Dropping the cluster drops its findings from the gauges; the
+    // observation counters keep their history.
+    let resp = request_once(addr, "DELETE", "/clusters/badling", &[], b"").expect("DELETE");
+    assert_eq!(resp.status, 200);
+    let lint = lint_section(addr);
+    assert_eq!(lint.get("errors").unwrap().as_u64(), Some(0), "{lint:?}");
+    assert_eq!(lint.get("error_clusters").unwrap().as_u64(), Some(0), "{lint:?}");
+    assert_eq!(
+        lint.get("observed_by_code").unwrap().get("unsat-position").unwrap().as_u64(),
+        Some(1),
+        "observation history survives the delete: {lint:?}"
+    );
+    handle.shutdown();
+}

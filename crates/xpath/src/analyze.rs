@@ -1,0 +1,977 @@
+//! Static analysis of mapping-rule XPaths.
+//!
+//! `analyze` runs an abstract interpretation over an expression and emits
+//! structured [`Diagnostic`]s: provably-empty steps (axis/node-test
+//! contradictions, impossible step sequences), unsatisfiable positional
+//! predicates, redundant union arms, and cost lints for unanchored scans
+//! and reverse-axis walks. Spans point into the *display form* of the
+//! expression (`expr.to_string()`, which is also [`CompiledXPath::source`]
+//! — display/parse is a fixpoint, so that text is canonical).
+//!
+//! The abstract domain tracks the possible **node kinds** flowing through
+//! a path: element-like (elements, the document root, doctype), text,
+//! comment, attribute. Transfer functions mirror the executor's
+//! `for_each_axis`/`test_matches`/`apply_preds` semantics exactly:
+//! attribute nodes only yield on the parent/self/ancestor axes, text and
+//! comment nodes are leaves (the HTML parser never attaches children or
+//! attributes to them), and a positional predicate `[n]` selects nothing
+//! unless `n` is an integer ≥ 1. Every emptiness claim is therefore a
+//! theorem about the engines — held by the differential soundness suite
+//! (`tests/analyze_proptests.rs`): an expression [`always_empty`] marks
+//! must select zero nodes on arbitrary generated documents.
+
+use crate::ast::{fmt_number, Axis, BinaryOp, Expr, LocationPath, NodeTest};
+use crate::compile::CompiledXPath;
+use std::fmt;
+
+/// Diagnostic severity. `Error` means the rule provably cannot work
+/// (selects nothing / a predicate can never hold); `Warn` flags dead or
+/// pathological constructs; `Info` is advisory (cost notes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Every diagnostic code the analyzer (or the PUT-time parse gate) can
+/// emit. Stable strings: metrics key per-code counters on this list.
+pub const CODES: &[&str] = &[
+    "empty-step",
+    "empty-predicate",
+    "unsat-position",
+    "dead-alternative",
+    "redundant-union",
+    "nested-scan",
+    "unanchored-scan",
+    "reverse-walk",
+    "unfused-fallback",
+    "parse-error",
+];
+
+/// One analyzer finding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code from [`CODES`].
+    pub code: &'static str,
+    pub severity: Severity,
+    pub message: String,
+    /// Byte range into the expression's display form, when attributable
+    /// to a specific step/predicate/arm.
+    pub span: Option<(usize, usize)>,
+}
+
+impl Diagnostic {
+    fn new(code: &'static str, severity: Severity, message: String, span: (usize, usize)) -> Self {
+        Diagnostic { code, severity, message, span: Some(span) }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] {}", self.severity, self.code, self.message)?;
+        if let Some((s, e)) = self.span {
+            write!(f, " (bytes {s}..{e})")?;
+        }
+        Ok(())
+    }
+}
+
+// ---- abstract node kinds ----------------------------------------------------
+
+/// Bit set of node kinds a value may contain. `ELEM` covers every
+/// non-attr, non-text, non-comment node (elements, document root,
+/// doctype) — an over-approximation is always sound here, since the
+/// analyzer only ever claims anything when a set is provably *empty*.
+type Kinds = u8;
+const ELEM: Kinds = 1;
+const TEXT: Kinds = 2;
+const COMMENT: Kinds = 4;
+const ATTR: Kinds = 8;
+const ANY: Kinds = ELEM | TEXT | COMMENT | ATTR;
+/// Top-level evaluation contexts are always tree nodes (`Engine::select`
+/// et al. take a `NodeId`), never attribute refs.
+const TOP: Kinds = ELEM | TEXT | COMMENT;
+
+fn kinds_desc(k: Kinds) -> String {
+    let mut parts = Vec::new();
+    if k & ELEM != 0 {
+        parts.push("element");
+    }
+    if k & TEXT != 0 {
+        parts.push("text");
+    }
+    if k & COMMENT != 0 {
+        parts.push("comment");
+    }
+    if k & ATTR != 0 {
+        parts.push("attribute");
+    }
+    if parts.is_empty() {
+        "no".to_string()
+    } else {
+        parts.join("/")
+    }
+}
+
+/// Kinds reachable over `axis` from a context of kinds `ctx`, mirroring
+/// the executor's `for_each_axis`.
+fn axis_kinds(ctx: Kinds, axis: Axis) -> Kinds {
+    let mut out = 0;
+    if ctx & ATTR != 0 {
+        // From an attribute node only parent/self/ancestor axes yield.
+        out |= match axis {
+            Axis::Parent | Axis::Ancestor => ELEM,
+            Axis::SelfAxis => ATTR,
+            Axis::AncestorOrSelf => ATTR | ELEM,
+            _ => 0,
+        };
+    }
+    for leaf in [TEXT, COMMENT] {
+        if ctx & leaf != 0 {
+            // Text/comment nodes are leaves: no children, descendants or
+            // attributes.
+            out |= match axis {
+                Axis::Child | Axis::Descendant | Axis::Attribute => 0,
+                Axis::DescendantOrSelf | Axis::SelfAxis => leaf,
+                Axis::Parent | Axis::Ancestor => ELEM,
+                Axis::AncestorOrSelf => leaf | ELEM,
+                Axis::FollowingSibling
+                | Axis::PrecedingSibling
+                | Axis::Following
+                | Axis::Preceding => ELEM | TEXT | COMMENT,
+            };
+        }
+    }
+    if ctx & ELEM != 0 {
+        out |= match axis {
+            Axis::Attribute => ATTR,
+            Axis::Parent | Axis::Ancestor | Axis::AncestorOrSelf | Axis::SelfAxis => ELEM,
+            _ => ELEM | TEXT | COMMENT,
+        };
+    }
+    out
+}
+
+/// Kinds surviving a node test, mirroring `test_matches`: name and
+/// wildcard tests match elements and attributes only; `text()` and
+/// `comment()` never match attribute refs.
+fn test_kinds(k: Kinds, test: &NodeTest) -> Kinds {
+    match test {
+        NodeTest::Name(_) | NodeTest::Wildcard => k & (ELEM | ATTR),
+        NodeTest::Text => k & TEXT,
+        NodeTest::Comment => k & COMMENT,
+        NodeTest::Node => k,
+    }
+}
+
+// ---- positional predicate classification ------------------------------------
+
+/// What a predicate provably does to the survivor list.
+#[derive(Clone, Copy, PartialEq)]
+enum PredFact {
+    /// Can never hold for any position ≥ 1 — the step selects nothing.
+    Unsat,
+    /// Selects at most one node (a specific position).
+    AtMostOne(f64),
+    /// Constant-false for reasons other than position.
+    AlwaysFalse(&'static str),
+}
+
+fn is_position_call(e: &Expr) -> bool {
+    matches!(e, Expr::Call(name, args) if name == "position" && args.is_empty())
+}
+
+/// Classify a predicate expression against `apply_preds` semantics.
+fn classify_pred(e: &Expr) -> Option<PredFact> {
+    match e {
+        // A bare number selects by position: nothing survives unless it
+        // is an integer ≥ 1.
+        Expr::Number(n) => {
+            if *n < 1.0 || n.fract() != 0.0 {
+                Some(PredFact::Unsat)
+            } else {
+                Some(PredFact::AtMostOne(*n))
+            }
+        }
+        // The empty string is falsy; `false()` is constant.
+        Expr::Literal(s) if s.is_empty() => {
+            Some(PredFact::AlwaysFalse("the empty string is always false"))
+        }
+        Expr::Call(name, args) if name == "false" && args.is_empty() => {
+            Some(PredFact::AlwaysFalse("false() is constant"))
+        }
+        // position() compared against a constant.
+        Expr::Binary(op, a, b) => {
+            let (op, k) = if is_position_call(a) {
+                match b.as_ref() {
+                    Expr::Number(k) => (*op, *k),
+                    _ => return None,
+                }
+            } else if is_position_call(b) {
+                // k OP position()  ≡  position() FLIP(OP) k
+                let flipped = match op {
+                    BinaryOp::Lt => BinaryOp::Gt,
+                    BinaryOp::Le => BinaryOp::Ge,
+                    BinaryOp::Gt => BinaryOp::Lt,
+                    BinaryOp::Ge => BinaryOp::Le,
+                    other => *other,
+                };
+                match a.as_ref() {
+                    Expr::Number(k) => (flipped, *k),
+                    _ => return None,
+                }
+            } else {
+                return None;
+            };
+            // position() ranges over 1..=last().
+            match op {
+                BinaryOp::Eq if k < 1.0 || k.fract() != 0.0 => Some(PredFact::Unsat),
+                BinaryOp::Eq => Some(PredFact::AtMostOne(k)),
+                BinaryOp::Lt if k <= 1.0 => Some(PredFact::Unsat),
+                BinaryOp::Le if k < 1.0 => Some(PredFact::Unsat),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+fn is_scan_axis(axis: Axis) -> bool {
+    matches!(axis, Axis::Descendant | Axis::DescendantOrSelf | Axis::Following | Axis::Preceding)
+}
+
+// ---- the analyzer -----------------------------------------------------------
+
+struct Analyzer {
+    /// Rendered display form; byte spans index into this. The renderer
+    /// mirrors the `Display` impls, so `out == expr.to_string()`.
+    out: String,
+    diags: Vec<Diagnostic>,
+    /// Predicate nesting depth (0 = top-level path steps).
+    pred_depth: u32,
+    /// Spans of the top-level union arms, in `union_alternatives` order.
+    top_arm_spans: Vec<(usize, usize)>,
+}
+
+#[derive(Clone, Copy)]
+struct StepInfo {
+    axis: Axis,
+    bounded: bool,
+    span: (usize, usize),
+}
+
+impl Analyzer {
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    fn diag(&mut self, code: &'static str, sev: Severity, msg: String, span: (usize, usize)) {
+        self.diags.push(Diagnostic::new(code, sev, msg, span));
+    }
+
+    /// Render `e` exactly as `fmt_expr` would while analyzing it.
+    /// Returns the abstract node-kind set when `e` is a node-set-valued
+    /// path or union (`Some(0)` ⇒ provably empty), `None` otherwise.
+    fn expr(&mut self, e: &Expr, parent_prec: u8, env: Kinds, top: bool) -> Option<Kinds> {
+        if top && !matches!(e, Expr::Union(_, _)) {
+            let start = self.out.len();
+            let r = self.expr_inner(e, parent_prec, env, false);
+            self.top_arm_spans.push((start, self.out.len()));
+            return r;
+        }
+        self.expr_inner(e, parent_prec, env, top)
+    }
+
+    fn expr_inner(&mut self, e: &Expr, parent_prec: u8, env: Kinds, top: bool) -> Option<Kinds> {
+        match e {
+            Expr::Binary(op, a, b) => {
+                let prec = op.precedence();
+                let need_parens = prec < parent_prec;
+                if need_parens {
+                    self.push("(");
+                }
+                self.expr(a, prec, env, false);
+                self.push(" ");
+                self.push(op.symbol());
+                self.push(" ");
+                self.expr(b, prec + 1, env, false);
+                if need_parens {
+                    self.push(")");
+                }
+                None
+            }
+            Expr::Negate(inner) => {
+                self.push("-");
+                self.expr(inner, 7, env, false);
+                None
+            }
+            Expr::Union(a, b) => {
+                let need_parens = parent_prec >= 7;
+                if need_parens {
+                    self.push("(");
+                }
+                let ka = self.expr(a, 0, env, top);
+                self.push(" | ");
+                let kb = self.expr(b, 0, env, top);
+                if need_parens {
+                    self.push(")");
+                }
+                match (ka, kb) {
+                    (Some(x), Some(y)) => Some(x | y),
+                    _ => None,
+                }
+            }
+            Expr::Path(p) => Some(self.path(p, env)),
+            Expr::Filter { primary, predicates, path } => {
+                self.expr(primary, 8, env, false);
+                for pred in predicates {
+                    self.push("[");
+                    self.expr(pred, 0, ANY, false);
+                    self.push("]");
+                }
+                if let Some(rest) = path {
+                    self.push("/");
+                    // The filter's node set could hold any kind (an
+                    // attribute-selecting primary is legal).
+                    self.path(rest, ANY);
+                }
+                None
+            }
+            Expr::Call(name, args) => {
+                self.push(name);
+                self.push("(");
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        self.push(", ");
+                    }
+                    self.expr(arg, 0, env, false);
+                }
+                self.push(")");
+                None
+            }
+            Expr::Literal(s) => {
+                if s.contains('"') {
+                    self.push("'");
+                    self.push(s);
+                    self.push("'");
+                } else {
+                    self.push("\"");
+                    self.push(s);
+                    self.push("\"");
+                }
+                None
+            }
+            Expr::Number(n) => {
+                let t = fmt_number(*n);
+                self.push(&t);
+                None
+            }
+        }
+    }
+
+    /// Render a location path (mirroring `LocationPath`'s `Display`,
+    /// including the `//`, `.` and `..` abbreviations) while walking the
+    /// kind abstraction through its steps. Returns the result kinds
+    /// (0 ⇒ the path provably selects nothing).
+    fn path(&mut self, p: &LocationPath, env: Kinds) -> Kinds {
+        let mut cur = if p.absolute { ELEM } else { env };
+        let mut dead = cur == 0;
+        let mut infos: Vec<StepInfo> = Vec::with_capacity(p.steps.len());
+        if p.absolute {
+            self.push("/");
+        }
+        let mut need_slash = false;
+        let mut i = 0;
+        while i < p.steps.len() {
+            let step = &p.steps[i];
+            let abbreviatable = step.axis == Axis::DescendantOrSelf
+                && step.test == NodeTest::Node
+                && step.predicates.is_empty()
+                && i + 1 < p.steps.len()
+                && (p.absolute || i > 0);
+            if abbreviatable {
+                // Render `//`; the abbreviated step still moves the
+                // abstraction (descendant-or-self from an attribute node
+                // selects nothing).
+                let start = if i == 0 && p.absolute { self.out.len() - 1 } else { self.out.len() };
+                if i == 0 && p.absolute {
+                    self.push("/");
+                } else {
+                    self.push("//");
+                }
+                let span = (start, self.out.len());
+                let next = axis_kinds(cur, Axis::DescendantOrSelf);
+                if next == 0 && !dead {
+                    self.diag(
+                        "empty-step",
+                        Severity::Error,
+                        format!(
+                            "'//' (descendant-or-self) selects nothing from a {} node",
+                            kinds_desc(cur)
+                        ),
+                        span,
+                    );
+                    dead = true;
+                }
+                infos.push(StepInfo { axis: Axis::DescendantOrSelf, bounded: false, span });
+                cur = next;
+                need_slash = false;
+                i += 1;
+                continue;
+            }
+            if need_slash {
+                self.push("/");
+            }
+            let start = self.out.len();
+            let (next, bounded) = self.step(step, cur, dead, start);
+            let span = (start, self.out.len());
+            infos.push(StepInfo { axis: step.axis, bounded, span });
+            if next == 0 && !dead {
+                dead = true;
+            }
+            cur = next;
+            need_slash = true;
+            i += 1;
+        }
+        if !dead {
+            self.cost_lints(p, &infos);
+        }
+        cur
+    }
+
+    /// Render one step and apply its transfer function. Returns the
+    /// surviving kinds and whether a positional predicate bounds the
+    /// walk. `dead` suppresses diagnostics on steps already known
+    /// unreachable (one root cause, one report).
+    fn step(
+        &mut self,
+        step: &crate::ast::Step,
+        cur: Kinds,
+        dead: bool,
+        start: usize,
+    ) -> (Kinds, bool) {
+        // Abbreviations `.` and `..`.
+        if step.predicates.is_empty() && step.test == NodeTest::Node {
+            match step.axis {
+                Axis::SelfAxis => {
+                    self.push(".");
+                    return (axis_kinds(cur, Axis::SelfAxis), false);
+                }
+                Axis::Parent => {
+                    self.push("..");
+                    return (axis_kinds(cur, Axis::Parent), false);
+                }
+                _ => {}
+            }
+        }
+        match step.axis {
+            Axis::Child => {}
+            Axis::Attribute => self.push("@"),
+            axis => {
+                self.push(axis.name());
+                self.push("::");
+            }
+        }
+        let t = step.test.to_string();
+        self.push(&t);
+        let test_span = (start, self.out.len());
+
+        let k1 = axis_kinds(cur, step.axis);
+        let k2 = test_kinds(k1, &step.test);
+        if !dead && cur != 0 {
+            if k1 == 0 {
+                self.diag(
+                    "empty-step",
+                    Severity::Error,
+                    format!(
+                        "axis '{}' selects nothing from a {} node",
+                        step.axis.name(),
+                        kinds_desc(cur)
+                    ),
+                    test_span,
+                );
+            } else if k2 == 0 {
+                self.diag(
+                    "empty-step",
+                    Severity::Error,
+                    format!(
+                        "node test '{}' never matches a {} node (axis '{}')",
+                        step.test,
+                        kinds_desc(k1),
+                        step.axis.name()
+                    ),
+                    test_span,
+                );
+            }
+        }
+
+        // Predicates: render each, track positional satisfiability.
+        let analyzable = !dead && k2 != 0;
+        let mut pos_bounded: Option<f64> = None;
+        let mut bounded = false;
+        let mut pred_dead = false;
+        for pred in &step.predicates {
+            self.push("[");
+            let pstart = self.out.len();
+            let before = self.diags.len();
+            self.pred_depth += 1;
+            // Candidates of this step are the predicate's context nodes.
+            let inner = self.expr(pred, 0, k2.max(1), false);
+            self.pred_depth -= 1;
+            let pspan = (pstart - 1, self.out.len() + 1);
+            self.push("]");
+            if !analyzable || pred_dead {
+                continue;
+            }
+            match classify_pred(pred) {
+                Some(PredFact::Unsat) => {
+                    self.diag(
+                        "unsat-position",
+                        Severity::Error,
+                        "positional predicate can never hold: position() ranges over 1..=last()"
+                            .to_string(),
+                        pspan,
+                    );
+                    pred_dead = true;
+                }
+                Some(PredFact::AtMostOne(n)) => {
+                    if let Some(prev) = pos_bounded {
+                        if n != 1.0 {
+                            self.diag(
+                                "unsat-position",
+                                Severity::Error,
+                                format!(
+                                    "contradictory positional chain: after [{}] at most one \
+                                     node remains, so position {} never exists",
+                                    fmt_number(prev),
+                                    fmt_number(n)
+                                ),
+                                pspan,
+                            );
+                            pred_dead = true;
+                        }
+                    } else {
+                        pos_bounded = Some(n);
+                    }
+                    bounded = true;
+                }
+                Some(PredFact::AlwaysFalse(why)) => {
+                    self.diag(
+                        "empty-predicate",
+                        Severity::Error,
+                        format!("predicate is constant false: {why}"),
+                        pspan,
+                    );
+                    pred_dead = true;
+                }
+                None => {
+                    // A bare path predicate that provably selects nothing
+                    // is always false (empty node-set ⇒ falsy).
+                    if matches!(pred, Expr::Path(_) | Expr::Union(_, _)) && inner == Some(0) {
+                        if self.diags.len() == before {
+                            self.diag(
+                                "empty-predicate",
+                                Severity::Error,
+                                format!(
+                                    "predicate path can never select a node from a {} node",
+                                    kinds_desc(k2)
+                                ),
+                                pspan,
+                            );
+                        }
+                        pred_dead = true;
+                    }
+                }
+            }
+        }
+        (if pred_dead { 0 } else { k2 }, bounded)
+    }
+
+    /// Step-based cost estimates over a (live) path's steps.
+    fn cost_lints(&mut self, p: &LocationPath, infos: &[StepInfo]) {
+        let scans: Vec<&StepInfo> =
+            infos.iter().filter(|s| is_scan_axis(s.axis) && !s.bounded).collect();
+        if scans.len() >= 2 {
+            let span = scans[1].span;
+            self.diag(
+                "nested-scan",
+                Severity::Warn,
+                format!(
+                    "{} unbounded subtree scans in one path — worst case O(n^{}) in page size; \
+                     anchor intermediate steps or add positional bounds",
+                    scans.len(),
+                    scans.len()
+                ),
+                span,
+            );
+        } else if scans.len() == 1
+            && !p.absolute
+            && is_scan_axis(infos[0].axis)
+            && !infos[0].bounded
+        {
+            self.diag(
+                "unanchored-scan",
+                Severity::Info,
+                format!(
+                    "path opens with an unanchored '{}' scan from the context node — \
+                     O(n) per evaluation",
+                    infos[0].axis.name()
+                ),
+                infos[0].span,
+            );
+        }
+        for s in infos {
+            let heavy_reverse =
+                matches!(s.axis, Axis::Preceding | Axis::Ancestor | Axis::AncestorOrSelf);
+            if s.axis.is_reverse() && s.axis != Axis::Parent && !s.bounded {
+                if self.pred_depth > 0 && heavy_reverse {
+                    self.diag(
+                        "reverse-walk",
+                        Severity::Warn,
+                        format!(
+                            "unbounded '{}' walk inside a predicate runs once per candidate \
+                             node — bound it with a positional predicate (e.g. [1])",
+                            s.axis.name()
+                        ),
+                        s.span,
+                    );
+                } else if heavy_reverse {
+                    self.diag(
+                        "reverse-walk",
+                        Severity::Info,
+                        format!(
+                            "'{}' walks everything before/above the context node — \
+                             O(n) per evaluation",
+                            s.axis.name()
+                        ),
+                        s.span,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Run all analysis passes over `expr`. Diagnostics carry byte spans
+/// into the expression's display form (`expr.to_string()`).
+pub fn analyze(expr: &Expr) -> Vec<Diagnostic> {
+    let mut an = Analyzer {
+        out: String::new(),
+        diags: Vec::new(),
+        pred_depth: 0,
+        top_arm_spans: Vec::new(),
+    };
+    let kinds = an.expr(expr, 0, TOP, true);
+    // Redundant union arms: alternatives are unioned, so an arm whose
+    // node set is contained in an earlier arm's contributes nothing.
+    let alts = expr.union_alternatives();
+    if alts.len() > 1 && alts.len() == an.top_arm_spans.len() {
+        for j in 1..alts.len() {
+            for i in 0..j {
+                if subsumes(alts[i], alts[j]) {
+                    let span = an.top_arm_spans[j];
+                    an.diag(
+                        "redundant-union",
+                        Severity::Warn,
+                        format!(
+                            "union arm {} adds no nodes: every node it selects is already \
+                             selected by arm {}",
+                            j + 1,
+                            i + 1
+                        ),
+                        span,
+                    );
+                    break;
+                }
+            }
+        }
+    }
+    // Whole-expression emptiness gets a top-span summary diagnostic when
+    // no step-level diagnostic already explains it (e.g. a union of
+    // individually-reported dead arms).
+    if kinds == Some(0) && !an.diags.iter().any(|d| d.severity == Severity::Error) {
+        let len = an.out.len();
+        an.diag(
+            "empty-step",
+            Severity::Error,
+            "expression provably selects no nodes".to_string(),
+            (0, len),
+        );
+    }
+    let mut diags = an.diags;
+    // Spans are only valid if the mirrored renderer reproduced the
+    // display form exactly; drop them (keeping the findings) otherwise.
+    if an.out != expr.to_string() {
+        debug_assert!(false, "analyzer renderer diverged from Display: {} vs {}", an.out, expr);
+        for d in &mut diags {
+            d.span = None;
+        }
+    }
+    diags
+}
+
+/// Analyze a compiled program via its canonical source text. The display
+/// form always reparses (display/parse fixpoint); a failure to do so is
+/// reported as a `parse-error` diagnostic rather than a panic.
+pub fn analyze_compiled(cx: &CompiledXPath) -> Vec<Diagnostic> {
+    match crate::parser::parse(cx.source()) {
+        Ok(expr) => analyze(&expr),
+        Err(e) => vec![Diagnostic {
+            code: "parse-error",
+            severity: Severity::Error,
+            message: format!("stored source does not reparse: {e}"),
+            span: Some((e.offset(), e.offset())),
+        }],
+    }
+}
+
+/// True when the analyzer can prove `expr` selects zero nodes on every
+/// document (the soundness-suite oracle). Errors during evaluation also
+/// select nothing, so the claim is: `select_refs` never returns a
+/// non-empty `Ok` for such an expression.
+pub fn always_empty(expr: &Expr) -> bool {
+    let mut an = Analyzer {
+        out: String::new(),
+        diags: Vec::new(),
+        pred_depth: 0,
+        top_arm_spans: Vec::new(),
+    };
+    an.expr(expr, 0, TOP, false) == Some(0)
+}
+
+/// Structural subsumption: every node `later` can select is also
+/// selected by `earlier` (on any document, from any context). Holds when
+/// the paths are step-for-step identical except that `earlier`'s
+/// predicate list is a prefix of `later`'s on each step — appending
+/// predicates only ever filters a step's result further. Used for
+/// dead-alternative and redundant-union detection.
+pub fn subsumes(earlier: &Expr, later: &Expr) -> bool {
+    if earlier == later {
+        return true;
+    }
+    let (Expr::Path(a), Expr::Path(b)) = (earlier, later) else {
+        return false;
+    };
+    if a.absolute != b.absolute || a.steps.len() != b.steps.len() {
+        return false;
+    }
+    a.steps.iter().zip(&b.steps).all(|(sa, sb)| {
+        sa.axis == sb.axis
+            && sa.test == sb.test
+            && sa.predicates.len() <= sb.predicates.len()
+            && sa.predicates == sb.predicates[..sa.predicates.len()]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn diags(s: &str) -> Vec<Diagnostic> {
+        analyze(&parse(s).unwrap())
+    }
+
+    fn codes(s: &str) -> Vec<&'static str> {
+        diags(s).into_iter().map(|d| d.code).collect()
+    }
+
+    fn empty(s: &str) -> bool {
+        always_empty(&parse(s).unwrap())
+    }
+
+    #[test]
+    fn clean_expressions_have_no_diagnostics() {
+        for s in [
+            "/HTML[1]/BODY[1]/TABLE[3]/text()[1]",
+            "//TR[6]/TD[1]/text()[1]",
+            "BODY//TABLE[1]/TR[position()>=1]",
+            "//text()[preceding::text()[normalize-space(.) != \"\"][1][contains(., \"x\")]]",
+            "@href",
+            "..",
+            ".",
+            "count(//TR) > 3",
+        ] {
+            assert!(diags(s).is_empty(), "{s}: {:?}", diags(s));
+            assert!(!empty(s), "{s} wrongly marked empty");
+        }
+    }
+
+    #[test]
+    fn attribute_axis_then_child_is_empty() {
+        let d = diags("@href/TD");
+        assert_eq!(d[0].code, "empty-step");
+        assert_eq!(d[0].severity, Severity::Error);
+        assert!(empty("@href/TD"));
+        // Span points at the second step in the display form.
+        let shown = parse("@href/TD").unwrap().to_string();
+        let (s, e) = d[0].span.unwrap();
+        assert_eq!(&shown[s..e], "TD");
+    }
+
+    #[test]
+    fn attribute_descendant_scan_is_empty() {
+        assert!(codes("@href//x").contains(&"empty-step"));
+        assert!(empty("@href//x"));
+    }
+
+    #[test]
+    fn text_test_on_attribute_axis_is_empty() {
+        assert!(codes("TR/@text()").contains(&"empty-step"));
+        assert!(empty("TR/@text()"));
+        // text nodes are leaves: no children or attributes.
+        assert!(empty("text()/TD"));
+        assert!(empty("//text()/@href"));
+        assert!(empty("comment()/text()"));
+    }
+
+    #[test]
+    fn unsatisfiable_positions() {
+        assert!(codes("TR[0]").contains(&"unsat-position"));
+        assert!(empty("TR[0]"));
+        assert!(codes("TR[0.5]").contains(&"unsat-position"));
+        assert!(codes("TR[position()=0]").contains(&"unsat-position"));
+        assert!(codes("TR[position()<1]").contains(&"unsat-position"));
+        assert!(codes("TR[1 > position()]").contains(&"unsat-position"));
+        assert!(empty("TR[position()=0]"));
+        // Satisfiable positional forms stay clean.
+        assert!(diags("TR[1]").is_empty());
+        assert!(diags("TR[position()=2]").is_empty());
+        assert!(diags("TR[position()>1]").is_empty());
+        assert!(diags("TR[last()]").is_empty());
+    }
+
+    #[test]
+    fn contradictory_positional_chain() {
+        assert!(codes("TR[1][2]").contains(&"unsat-position"));
+        assert!(empty("TR[1][2]"));
+        assert!(codes("TR[position()=3][2]").contains(&"unsat-position"));
+        // [n][1] keeps the single survivor: satisfiable.
+        assert!(diags("TR[2][1]").is_empty());
+        assert!(!empty("TR[2][1]"));
+    }
+
+    #[test]
+    fn empty_predicate_paths() {
+        // The predicate path runs from this step's candidates — a text
+        // node has no children, so [TD] can never hold on text(). The
+        // inner step carries the precise diagnostic.
+        let d = diags("//text()[TD]");
+        assert!(d.iter().any(|x| x.severity == Severity::Error), "{d:?}");
+        assert!(empty("//text()[TD]"));
+        // From an attribute candidate, any child step predicate is dead.
+        assert!(empty("TR/@href[B]"));
+        assert!(diags("TR/@href[B]").iter().any(|x| x.severity == Severity::Error));
+        // An element candidate with a child predicate is fine.
+        assert!(diags("//TR[TD]").is_empty());
+    }
+
+    #[test]
+    fn constant_false_predicates() {
+        assert!(codes("TR[\"\"]").contains(&"empty-predicate"));
+        assert!(empty("TR[\"\"]"));
+        assert!(codes("TR[false()]").contains(&"empty-predicate"));
+        // Non-empty literals are truthy, not flagged.
+        assert!(diags("TR[\"x\"]").is_empty());
+    }
+
+    #[test]
+    fn union_empty_only_when_all_arms_empty() {
+        assert!(empty("@a/x | text()/y"));
+        assert!(!empty("@a/x | //TD"));
+        // Diagnostics still point at the dead arm.
+        assert!(codes("@a/x | //TD").contains(&"empty-step"));
+    }
+
+    #[test]
+    fn redundant_union_arm() {
+        let d = diags("//TR/TD | //TR/TD[1]");
+        assert!(d.iter().any(|x| x.code == "redundant-union"), "{d:?}");
+        let d = diags("//TR | //TR");
+        assert!(d.iter().any(|x| x.code == "redundant-union"));
+        // Different arms are kept.
+        assert!(diags("//TR[1] | //TR[2]").is_empty());
+    }
+
+    #[test]
+    fn subsumption_rules() {
+        let p = |s: &str| parse(s).unwrap();
+        assert!(subsumes(&p("//TR/TD"), &p("//TR/TD")));
+        assert!(subsumes(&p("//TR/TD"), &p("//TR/TD[1]")));
+        assert!(subsumes(&p("//TR[TD]"), &p("//TR[TD][2]")));
+        // Prefix must match exactly: different first predicate.
+        assert!(!subsumes(&p("//TR[1]"), &p("//TR[2]")));
+        // A predicate on the earlier arm does not subsume a bare later arm.
+        assert!(!subsumes(&p("//TR[1]"), &p("//TR")));
+        assert!(!subsumes(&p("/A/B"), &p("A/B")));
+        assert!(!subsumes(&p("//TR"), &p("//TD")));
+    }
+
+    #[test]
+    fn cost_lints() {
+        let d = diags("//TABLE//TR//TD");
+        assert!(d.iter().any(|x| x.code == "nested-scan" && x.severity == Severity::Warn), "{d:?}");
+        let d = diags("descendant::DIV/x");
+        assert!(d.iter().any(|x| x.code == "unanchored-scan"), "{d:?}");
+        // The paper's label-anchor idiom is bounded by [1]: no warning.
+        assert!(diags("//text()[preceding::text()[contains(., \"Runtime:\")][1]]").is_empty());
+        // Unbounded reverse walk inside a predicate warns.
+        let d = diags("//text()[preceding::text()[contains(., \"x\")]]");
+        assert!(
+            d.iter().any(|x| x.code == "reverse-walk" && x.severity == Severity::Warn),
+            "{d:?}"
+        );
+        // Top-level ancestor walk is informational.
+        let d = diags("//TD/ancestor::TABLE");
+        assert!(
+            d.iter().any(|x| x.code == "reverse-walk" && x.severity == Severity::Info),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn spans_index_display_text() {
+        let e = parse("//TR[0]/TD").unwrap();
+        let shown = e.to_string();
+        let d = analyze(&e);
+        let unsat = d.iter().find(|x| x.code == "unsat-position").unwrap();
+        let (s, t) = unsat.span.unwrap();
+        assert_eq!(&shown[s..t], "[0]");
+    }
+
+    #[test]
+    fn analyze_compiled_matches_ast_analysis() {
+        for s in ["@href/TD", "//TR[0]", "//TABLE//TR//TD", "//TR/TD"] {
+            let expr = parse(s).unwrap();
+            let cx = CompiledXPath::compile(&expr);
+            assert_eq!(analyze_compiled(&cx), analyze(&expr), "{s}");
+        }
+    }
+
+    #[test]
+    fn renderer_tracks_display_exactly() {
+        // Exercised implicitly by every span assertion; double-check the
+        // abbreviation-heavy shapes.
+        for s in ["..//.", "./TR", "(//TABLE)[1]/TR", "-(//A | //B)", "a | b | c"] {
+            let e = parse(s).unwrap();
+            let _ = analyze(&e); // debug_assert inside catches divergence
+        }
+    }
+}

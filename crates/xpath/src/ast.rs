@@ -266,7 +266,7 @@ impl Expr {
 
 // ---- printing ---------------------------------------------------------------
 
-fn fmt_number(n: f64) -> String {
+pub(crate) fn fmt_number(n: f64) -> String {
     if n.fract() == 0.0 && n.abs() < 1.0e15 {
         format!("{}", n as i64)
     } else {

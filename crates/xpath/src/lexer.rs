@@ -91,103 +91,121 @@ fn is_name_char(c: char) -> bool {
 
 /// Tokenize a full expression.
 pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
+    Ok(lex_spanned(input)?.into_iter().map(|(t, _)| t).collect())
+}
+
+/// Tokenize, pairing each token with the byte offset where it starts.
+/// `LexError::offset` is a byte offset into `input` as well.
+pub fn lex_spanned(input: &str) -> Result<Vec<(Tok, usize)>, LexError> {
     let mut toks = Vec::new();
-    let chars: Vec<char> = input.chars().collect();
+    let mut chars: Vec<char> = Vec::new();
+    // Byte offset of each char, plus a sentinel at the end so every char
+    // index (including one-past-the-end) maps to a byte offset.
+    let mut bytes: Vec<usize> = Vec::new();
+    for (b, c) in input.char_indices() {
+        chars.push(c);
+        bytes.push(b);
+    }
+    bytes.push(input.len());
     let mut i = 0usize;
     while i < chars.len() {
         let c = chars[i];
+        let at = bytes[i];
         match c {
             c if c.is_whitespace() => i += 1,
             '/' => {
                 if chars.get(i + 1) == Some(&'/') {
-                    toks.push(Tok::DoubleSlash);
+                    toks.push((Tok::DoubleSlash, at));
                     i += 2;
                 } else {
-                    toks.push(Tok::Slash);
+                    toks.push((Tok::Slash, at));
                     i += 1;
                 }
             }
             '[' => {
-                toks.push(Tok::LBracket);
+                toks.push((Tok::LBracket, at));
                 i += 1;
             }
             ']' => {
-                toks.push(Tok::RBracket);
+                toks.push((Tok::RBracket, at));
                 i += 1;
             }
             '(' => {
-                toks.push(Tok::LParen);
+                toks.push((Tok::LParen, at));
                 i += 1;
             }
             ')' => {
-                toks.push(Tok::RParen);
+                toks.push((Tok::RParen, at));
                 i += 1;
             }
             ',' => {
-                toks.push(Tok::Comma);
+                toks.push((Tok::Comma, at));
                 i += 1;
             }
             '@' => {
-                toks.push(Tok::At);
+                toks.push((Tok::At, at));
                 i += 1;
             }
             '|' => {
-                toks.push(Tok::Pipe);
+                toks.push((Tok::Pipe, at));
                 i += 1;
             }
             '+' => {
-                toks.push(Tok::Plus);
+                toks.push((Tok::Plus, at));
                 i += 1;
             }
             '-' => {
-                toks.push(Tok::Minus);
+                toks.push((Tok::Minus, at));
                 i += 1;
             }
             '*' => {
-                toks.push(Tok::Star);
+                toks.push((Tok::Star, at));
                 i += 1;
             }
             '=' => {
-                toks.push(Tok::Eq);
+                toks.push((Tok::Eq, at));
                 i += 1;
             }
             '!' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    toks.push(Tok::Ne);
+                    toks.push((Tok::Ne, at));
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "expected '=' after '!'".into() });
+                    return Err(LexError { offset: at, message: "expected '=' after '!'".into() });
                 }
             }
             '<' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    toks.push(Tok::Le);
+                    toks.push((Tok::Le, at));
                     i += 2;
                 } else {
-                    toks.push(Tok::Lt);
+                    toks.push((Tok::Lt, at));
                     i += 1;
                 }
             }
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    toks.push(Tok::Ge);
+                    toks.push((Tok::Ge, at));
                     i += 2;
                 } else {
-                    toks.push(Tok::Gt);
+                    toks.push((Tok::Gt, at));
                     i += 1;
                 }
             }
             ':' => {
                 if chars.get(i + 1) == Some(&':') {
-                    toks.push(Tok::ColonColon);
+                    toks.push((Tok::ColonColon, at));
                     i += 2;
                 } else {
-                    return Err(LexError { offset: i, message: "single ':' not supported".into() });
+                    return Err(LexError {
+                        offset: at,
+                        message: "single ':' not supported".into(),
+                    });
                 }
             }
             '.' => {
                 if chars.get(i + 1) == Some(&'.') {
-                    toks.push(Tok::DotDot);
+                    toks.push((Tok::DotDot, at));
                     i += 2;
                 } else if matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) {
                     // .5 style number
@@ -197,19 +215,17 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                         i += 1;
                     }
                     let text: String = chars[start..i].iter().collect();
-                    let n = text.parse::<f64>().map_err(|_| LexError {
-                        offset: start,
-                        message: "invalid number".into(),
-                    })?;
-                    toks.push(Tok::Number(n));
+                    let n = text
+                        .parse::<f64>()
+                        .map_err(|_| LexError { offset: at, message: "invalid number".into() })?;
+                    toks.push((Tok::Number(n), at));
                 } else {
-                    toks.push(Tok::Dot);
+                    toks.push((Tok::Dot, at));
                     i += 1;
                 }
             }
             '"' | '\'' => {
                 let quote = c;
-                let start = i;
                 i += 1;
                 let mut s = String::new();
                 loop {
@@ -224,13 +240,13 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                         }
                         None => {
                             return Err(LexError {
-                                offset: start,
+                                offset: at,
                                 message: "unterminated string literal".into(),
                             })
                         }
                     }
                 }
-                toks.push(Tok::Literal(s));
+                toks.push((Tok::Literal(s), at));
             }
             d if d.is_ascii_digit() => {
                 let start = i;
@@ -246,8 +262,8 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                 let text: String = chars[start..i].iter().collect();
                 let n = text
                     .parse::<f64>()
-                    .map_err(|_| LexError { offset: start, message: "invalid number".into() })?;
-                toks.push(Tok::Number(n));
+                    .map_err(|_| LexError { offset: at, message: "invalid number".into() })?;
+                toks.push((Tok::Number(n), at));
             }
             c if is_name_start(c) => {
                 let start = i;
@@ -262,10 +278,10 @@ pub fn lex(input: &str) -> Result<Vec<Tok>, LexError> {
                 }
                 i = end;
                 let name: String = chars[start..end].iter().collect();
-                toks.push(Tok::Name(name));
+                toks.push((Tok::Name(name), at));
             }
             _ => {
-                return Err(LexError { offset: i, message: format!("unexpected character '{c}'") })
+                return Err(LexError { offset: at, message: format!("unexpected character '{c}'") })
             }
         }
     }
@@ -342,5 +358,20 @@ mod tests {
         assert!(lex("a ! b").is_err());
         assert!(lex("#").is_err());
         assert!(lex("a:b").is_err());
+    }
+
+    #[test]
+    fn spans_are_byte_offsets() {
+        let spanned = lex_spanned("TR[1]/TD").unwrap();
+        let offsets: Vec<usize> = spanned.iter().map(|(_, o)| *o).collect();
+        assert_eq!(offsets, vec![0, 2, 3, 4, 5, 6]);
+        // Multibyte content shifts later offsets by byte length, not chars.
+        let spanned = lex_spanned("\"é\" = x").unwrap();
+        assert_eq!(spanned[0], (Tok::Literal("é".into()), 0));
+        assert_eq!(spanned[1], (Tok::Eq, 5));
+        assert_eq!(spanned[2], (Tok::Name("x".into()), 7));
+        // Errors report byte offsets too.
+        let err = lex("é:").unwrap_err();
+        assert_eq!(err.offset, 2);
     }
 }

@@ -63,6 +63,7 @@
 //! assert_eq!(engine.select(&expr, doc.root()).unwrap().len(), 1);
 //! ```
 
+pub mod analyze;
 mod ast;
 pub mod builder;
 pub mod compile;
@@ -74,12 +75,13 @@ mod lexer;
 pub mod parser;
 mod value;
 
+pub use analyze::{always_empty, analyze, Diagnostic, Severity};
 pub use ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
 pub use compile::{CompiledXPath, Executor, ScratchPool};
 pub use eval::{Engine, EvalError};
 pub use functions::normalize_space;
 pub use fuse::{FuseStats, FusedPlan};
-pub use lexer::{lex, LexError, Tok};
+pub use lexer::{lex, lex_spanned, LexError, Tok};
 pub use parser::{parse, parse_lenient, parse_path, ParseError};
 pub use value::{
     format_number, node_name, str_to_number, string_value, string_value_cow, to_boolean, to_number,

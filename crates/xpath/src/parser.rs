@@ -8,22 +8,34 @@
 //!   `contains("…")` (resolved against the context node at evaluation).
 
 use crate::ast::{Axis, BinaryOp, Expr, LocationPath, NodeTest, Step};
-use crate::lexer::{lex, LexError, Tok};
+use crate::lexer::{lex_spanned, LexError, Tok};
 use std::fmt;
 
-/// Parse failure: lexical or syntactic.
+/// Parse failure: lexical or syntactic. Both variants carry the byte
+/// offset into the input where the failure was detected, so diagnostics
+/// can point into the offending expression text.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ParseError {
     Lex(LexError),
-    Syntax { token_index: usize, message: String },
+    Syntax { offset: usize, message: String },
+}
+
+impl ParseError {
+    /// Byte offset into the parsed input where the error was detected.
+    pub fn offset(&self) -> usize {
+        match self {
+            ParseError::Lex(e) => e.offset,
+            ParseError::Syntax { offset, .. } => *offset,
+        }
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Syntax { token_index, message } => {
-                write!(f, "XPath syntax error at token {token_index}: {message}")
+            ParseError::Syntax { offset, message } => {
+                write!(f, "XPath syntax error at byte {offset}: {message}")
             }
         }
     }
@@ -48,8 +60,14 @@ pub fn parse_lenient(input: &str) -> Result<Expr, ParseError> {
 }
 
 fn parse_with(input: &str, lenient: bool) -> Result<Expr, ParseError> {
-    let toks = lex(input)?;
-    let mut p = Parser { toks, pos: 0, lenient };
+    let spanned = lex_spanned(input)?;
+    let mut toks = Vec::with_capacity(spanned.len());
+    let mut offsets = Vec::with_capacity(spanned.len());
+    for (t, o) in spanned {
+        toks.push(t);
+        offsets.push(o);
+    }
+    let mut p = Parser { toks, offsets, end: input.len(), pos: 0, lenient };
     let expr = p.or_expr()?;
     if p.pos != p.toks.len() {
         return Err(p.err("trailing tokens after expression"));
@@ -62,7 +80,7 @@ pub fn parse_path(input: &str) -> Result<LocationPath, ParseError> {
     match parse(input)? {
         Expr::Path(p) => Ok(p),
         _ => Err(ParseError::Syntax {
-            token_index: 0,
+            offset: 0,
             message: "expression is not a location path".into(),
         }),
     }
@@ -72,13 +90,17 @@ const NODE_TYPES: &[&str] = &["comment", "text", "node", "processing-instruction
 
 struct Parser {
     toks: Vec<Tok>,
+    /// Byte offset of each token in the input; `end` covers "at EOF".
+    offsets: Vec<usize>,
+    end: usize,
     pos: usize,
     lenient: bool,
 }
 
 impl Parser {
     fn err(&self, msg: &str) -> ParseError {
-        ParseError::Syntax { token_index: self.pos, message: msg.to_string() }
+        let offset = self.offsets.get(self.pos).copied().unwrap_or(self.end);
+        ParseError::Syntax { offset, message: msg.to_string() }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -565,6 +587,21 @@ mod tests {
         assert!(parse("a b").is_err());
         assert!(parse("..::x").is_err());
         assert!(parse("wrongaxis::x").is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_byte_offsets() {
+        // `[` of the predicate with no node test before it.
+        let err = parse("/[1]").unwrap_err();
+        assert_eq!(err.offset(), 1);
+        // Error at EOF points one past the end of the input.
+        let err = parse("TR[").unwrap_err();
+        assert_eq!(err.offset(), 3);
+        // Offsets are bytes: the two-byte `é` inside the literal shifts
+        // the reported position accordingly.
+        let err = parse("contains(\"é\"").unwrap_err();
+        assert_eq!(err.offset(), "contains(\"é\"".len());
+        assert!(err.to_string().contains("byte"));
     }
 
     #[test]

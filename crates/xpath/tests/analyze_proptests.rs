@@ -1,0 +1,181 @@
+//! Soundness suite for the rule linter (`retroweb_xpath::analyze`).
+//!
+//! The analyzer's load-bearing claim is *emptiness soundness*: any
+//! expression it marks always-empty must select zero nodes on ANY
+//! document — the same oracle discipline that holds the compiled engine
+//! equal to the tree-walker. The generator below is deliberately skewed
+//! toward the analyzer's danger zone (attribute/text steps followed by
+//! child steps, unsatisfiable positional predicates) so both the
+//! empty-marked and clean populations are well represented.
+//!
+//! Determinism is the second contract: lint is a pure function of the
+//! rule text, so repeated runs and display-roundtripped inputs must
+//! produce identical diagnostics.
+
+use proptest::prelude::*;
+use retroweb_html::parse;
+use retroweb_xpath::{
+    always_empty, analyze, parse as xparse, CompiledXPath, Engine, Executor, Severity,
+};
+
+/// Random nested-table/list documents, in the style of the paper's
+/// corpora (attributes included so `@…` steps have something to hit).
+fn arb_document() -> impl Strategy<Value = String> {
+    let cell = "[a-zA-Z0-9 ]{1,10}";
+    let row = prop::collection::vec(cell, 1..4).prop_map(|cells| {
+        let tds: String = cells
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| format!("<td class=\"c{i}\">{c}</td>"))
+            .collect();
+        format!("<tr>{tds}</tr>")
+    });
+    let table = prop::collection::vec(row, 1..5)
+        .prop_map(|rows| format!("<table id=\"t\">{}</table>", rows.concat()));
+    let list = prop::collection::vec("[a-z]{1,8}", 1..5).prop_map(|items| {
+        let lis: String = items.into_iter().map(|i| format!("<li>{i}</li>")).collect();
+        format!("<ul>{lis}</ul>")
+    });
+    let para = "[a-zA-Z ]{1,20}".prop_map(|t| format!("<p><b>{t}</b> tail</p>"));
+    let block = prop_oneof![table, list, para];
+    prop::collection::vec(block, 1..6)
+        .prop_map(|blocks| format!("<html><body>{}</body></html>", blocks.concat()))
+}
+
+/// Rule-shaped XPaths skewed toward the analyzer's emptiness facts:
+/// attribute and leaf node tests mixed freely with downward axes, plus
+/// positional predicates on both sides of the satisfiable line.
+fn arb_lintable_xpath() -> impl Strategy<Value = String> {
+    let tag = prop::sample::select(vec![
+        "TABLE",
+        "TR",
+        "TD",
+        "LI",
+        "P",
+        "B",
+        "*",
+        "text()",
+        "node()",
+        "comment()",
+        "@class",
+        "@id",
+        "@*",
+    ]);
+    let axis = prop::sample::select(vec![
+        "",
+        "descendant::",
+        "descendant-or-self::",
+        "following::",
+        "preceding::",
+        "ancestor::",
+        "ancestor-or-self::",
+        "following-sibling::",
+        "preceding-sibling::",
+        "self::",
+        "parent::",
+    ]);
+    let pred = prop_oneof![
+        (0u32..4).prop_map(|n| format!("[{n}]")),
+        Just("[1][2]".to_string()),
+        Just("[2][1]".to_string()),
+        Just("[position()=0]".to_string()),
+        Just("[position()<1]".to_string()),
+        Just("[position()>1]".to_string()),
+        Just("[0.5]".to_string()),
+        Just("[last()]".to_string()),
+        Just("[TD]".to_string()),
+        Just("[@class]".to_string()),
+        Just("[text()]".to_string()),
+        Just("[contains(., \"a\")]".to_string()),
+        Just(String::new()),
+    ];
+    let step = (axis, tag, pred).prop_map(|(a, t, p)| {
+        // `@` composes with the attribute shorthand only when the axis is
+        // empty; drop the explicit axis in that case.
+        if t.starts_with('@') && !a.is_empty() {
+            format!("{t}{p}")
+        } else {
+            format!("{a}{t}{p}")
+        }
+    });
+    (prop::collection::vec(step, 1..5), any::<bool>(), any::<bool>()).prop_map(
+        |(steps, absolute, double)| {
+            let joined = steps.join("/");
+            match (absolute, double) {
+                (true, true) => format!("//{joined}"),
+                (true, false) => format!("/{joined}"),
+                (false, _) => joined,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // SOUNDNESS: an always-empty verdict means neither engine can ever
+    // produce a non-empty node set, from the root or from any node.
+    #[test]
+    fn always_empty_never_selects(html in arb_document(), xpath in arb_lintable_xpath()) {
+        let Ok(expr) = xparse(&xpath) else { return Ok(()) };
+        prop_assume!(always_empty(&expr));
+        let doc = parse(&html);
+        let engine = Engine::new(&doc);
+        let exec = Executor::new(&doc);
+        let compiled = CompiledXPath::compile(&expr);
+        let contexts: Vec<_> = std::iter::once(doc.root())
+            .chain(doc.descendants(doc.root()))
+            .collect();
+        for ctx in contexts {
+            if let Ok(nodes) = engine.select_refs(&expr, ctx) {
+                prop_assert!(nodes.is_empty(),
+                    "{xpath} marked always-empty but interpreter selected {} node(s) from {ctx:?}",
+                    nodes.len());
+            }
+            if let Ok(nodes) = exec.select_refs(&compiled, ctx) {
+                prop_assert!(nodes.is_empty(),
+                    "{xpath} marked always-empty but compiled engine selected {} node(s) from {ctx:?}",
+                    nodes.len());
+            }
+        }
+    }
+
+    // Error-level step/predicate diagnostics on a top-level path imply
+    // the always-empty verdict agrees with them (internal consistency:
+    // the diagnostics and the oracle come from the same abstraction).
+    #[test]
+    fn error_free_rules_on_real_shapes(xpath in arb_lintable_xpath()) {
+        let Ok(expr) = xparse(&xpath) else { return Ok(()) };
+        let diags = analyze(&expr);
+        // Spans, when present, index the display form within bounds and
+        // on char boundaries.
+        let shown = expr.to_string();
+        for d in &diags {
+            if let Some((s, e)) = d.span {
+                prop_assert!(s <= e && e <= shown.len(), "bad span {s}..{e} for {shown}");
+                prop_assert!(shown.is_char_boundary(s) && shown.is_char_boundary(e));
+            }
+        }
+        // An always-empty path expression must be explained by at least
+        // one Error diagnostic.
+        if always_empty(&expr) {
+            prop_assert!(diags.iter().any(|d| d.severity == Severity::Error),
+                "{xpath} empty but no error diagnostic: {diags:?}");
+        }
+    }
+
+    // DETERMINISM: lint is a pure function of the rule text — same
+    // input, same diagnostics, across repeated runs and across the
+    // display/parse round trip (the canonical form rules are stored in).
+    #[test]
+    fn lint_is_deterministic(xpath in arb_lintable_xpath()) {
+        let Ok(expr) = xparse(&xpath) else { return Ok(()) };
+        let first = analyze(&expr);
+        let second = analyze(&expr);
+        prop_assert_eq!(&first, &second, "re-running lint changed the diagnostics");
+        let reparsed = xparse(&expr.to_string()).unwrap();
+        let through_display = analyze(&reparsed);
+        prop_assert_eq!(&first, &through_display,
+            "lint differs across the display/parse round trip");
+    }
+}
