@@ -1,0 +1,147 @@
+//! `retroweb_sync` — the concurrency facade the repo's hand-rolled
+//! sync primitives are written against, plus (behind `--cfg
+//! conc_check`) a loom-style deterministic model checker for them.
+//!
+//! # Two build modes
+//!
+//! **Normal builds** (the default): every item in this crate is a plain
+//! re-export of its `std` counterpart — `retroweb_sync::Mutex` *is*
+//! `std::sync::Mutex`, [`arc_raw::into_raw`] *is* `Arc::into_raw`, and
+//! so on. There is zero runtime overhead and zero new behaviour; the
+//! facade only pins down *which* primitives the ported modules use so
+//! the checker (and the `xtask sync-lint` pass) can reason about them.
+//!
+//! **Checker builds** (`RUSTFLAGS="--cfg conc_check"`): `Mutex`,
+//! `Condvar`, the atomics, `thread::spawn`/`yield_now`, and the
+//! [`arc_raw`] helpers become instrumented doubles, and the `check`
+//! module appears. Inside `check::model` every operation on a double
+//! is a *scheduling point*: a cooperative scheduler runs exactly one
+//! thread at a time and explores thread interleavings — exhaustive DFS
+//! with preemption bounding, or seed-replayable random walks — failing
+//! with the exact per-thread operation trace on assertion failure,
+//! deadlock, livelock, use-after-reclaim, or leaked allocation.
+//!
+//! Outside a `model()` run the doubles degrade to real `std`
+//! behaviour, so a full `--cfg conc_check` build of the workspace
+//! still works; only code executed inside a model body is scheduled.
+//!
+//! # What is modelled
+//!
+//! The scheduler serialises execution, so all atomic operations are
+//! explored under **sequential consistency** regardless of the
+//! `Ordering` argument. That matches the ported primitives — the
+//! `SnapshotCell` protocol is deliberately `SeqCst` throughout (see
+//! `docs/CONCURRENCY.md`) — and weaker-ordering bugs are out of scope;
+//! the `xtask sync-lint` pass separately flags `Ordering::Relaxed` on
+//! non-counter atomics. `Arc` itself stays `std::sync::Arc` in both
+//! modes (its refcounts are std's problem, and a wrapper could not
+//! coerce to `Arc<dyn Trait>`); what the checker tracks is the
+//! *unsafe raw-pointer lifecycle* through [`arc_raw`], which is
+//! exactly the surface `SnapshotCell`'s safety argument rests on.
+//!
+//! # Running and replaying
+//!
+//! ```text
+//! RUSTFLAGS="--cfg conc_check" cargo test -p retroweb-conc-check --test model_smoke
+//! ```
+//!
+//! DFS failures are deterministic: re-running the test reproduces the
+//! interleaving. Random-mode failures print their seed; replay with
+//! `CONC_CHECK_SEED=<seed>` (forces random mode with one iteration).
+
+#[cfg(conc_check)]
+pub mod check;
+#[cfg(conc_check)]
+mod doubles;
+
+pub use std::sync::{LockResult, OnceLock, PoisonError, TryLockError, Weak};
+
+/// Atomically reference-counted pointer — always `std::sync::Arc`; see
+/// the crate docs for why raw-pointer tracking lives in [`arc_raw`]
+/// instead of a wrapper type.
+pub use std::sync::Arc;
+
+#[cfg(not(conc_check))]
+pub use std::sync::{Condvar, Mutex, MutexGuard};
+
+#[cfg(conc_check)]
+pub use doubles::{Condvar, Mutex, MutexGuard};
+
+/// Atomic integer/pointer types (instrumented under `conc_check`).
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    #[cfg(not(conc_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+
+    #[cfg(conc_check)]
+    pub use crate::doubles::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize};
+}
+
+/// Spin-loop hint (a yield point under the checker).
+pub mod hint {
+    #[cfg(not(conc_check))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(conc_check)]
+    pub use crate::doubles::spin_loop;
+}
+
+/// Thread spawning and yielding (instrumented under `conc_check`).
+///
+/// `scope` and `sleep` are always the std versions: the ported modules
+/// only use scoped threads for startup-time parallel I/O (sharded WAL
+/// replay), which model tests run during setup, before any contended
+/// section — see `docs/CONCURRENCY.md`.
+pub mod thread {
+    #[cfg(not(conc_check))]
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+
+    #[cfg(conc_check)]
+    pub use crate::doubles::thread::{spawn, yield_now, Builder, JoinHandle};
+
+    pub use std::thread::{scope, sleep, Scope, ScopedJoinHandle};
+}
+
+/// The `Arc` raw-pointer lifecycle, routed through the facade so the
+/// checker can track reclamation.
+///
+/// In normal builds these are `#[inline]` delegations to the `Arc`
+/// associated functions. Under the checker, each pointer produced by
+/// `into_raw` gets a registry entry whose *balance* counts
+/// outstanding raw references: `into_raw` and `increment_strong_count`
+/// add one, `from_raw` adopts (and so subtracts) one. Operating on a
+/// pointer with balance zero is a **use-after-reclaim** (the owning
+/// `Arc` has been dropped); a nonzero balance when a model execution
+/// ends is a **leaked allocation** (a swapped-out pointer was never
+/// reclaimed).
+pub mod arc_raw {
+    #[cfg(not(conc_check))]
+    mod imp {
+        use std::sync::Arc;
+
+        #[inline]
+        pub fn into_raw<T>(this: Arc<T>) -> *const T {
+            Arc::into_raw(this)
+        }
+
+        /// # Safety
+        /// Same contract as [`Arc::from_raw`].
+        #[inline]
+        pub unsafe fn from_raw<T>(ptr: *const T) -> Arc<T> {
+            unsafe { Arc::from_raw(ptr) }
+        }
+
+        /// # Safety
+        /// Same contract as [`Arc::increment_strong_count`].
+        #[inline]
+        pub unsafe fn increment_strong_count<T>(ptr: *const T) {
+            unsafe { Arc::increment_strong_count(ptr) }
+        }
+    }
+
+    #[cfg(conc_check)]
+    use crate::doubles::arc_raw as imp;
+
+    pub use imp::{from_raw, increment_strong_count, into_raw};
+}

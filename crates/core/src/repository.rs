@@ -285,6 +285,11 @@ pub struct RepositoryStats {
     pub compiled_cache_builds: u64,
     /// Cached compilations dropped by `record`/`remove` (hot reloads).
     pub compiled_cache_invalidations: u64,
+    /// Snapshot-swap drain iterations writers spent waiting for
+    /// in-window readers (sharded store only). A persistently growing
+    /// value means writers are stalling behind reader windows — the
+    /// contention signal the model checker bounds.
+    pub swap_spins: u64,
     /// Fused one-pass plans currently cached (one per compiled cluster).
     pub fused_plans: usize,
     /// Location paths merged into fused plans, across cached clusters.
@@ -320,6 +325,7 @@ impl RepositoryStats {
         self.compiled_cache_hits += other.compiled_cache_hits;
         self.compiled_cache_builds += other.compiled_cache_builds;
         self.compiled_cache_invalidations += other.compiled_cache_invalidations;
+        self.swap_spins += other.swap_spins;
         self.fused_plans += other.fused_plans;
         self.fused_paths += other.fused_paths;
         self.fused_fallback_paths += other.fused_fallback_paths;

@@ -44,11 +44,11 @@ use crate::repository::{cluster_to_json, ClusterRules, CompiledCluster, Reposito
 use crate::sink::{ExtractionSink, ExtractionStats};
 use retroweb_html::Document;
 use retroweb_json::Json;
+use retroweb_sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use retroweb_sync::{arc_raw, Arc, Mutex, OnceLock};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
 
 /// Stable shard routing: FNV-1a 64 over the cluster name, modulo the
 /// shard count. Deliberately *not* `std::hash` — the per-shard WAL
@@ -314,7 +314,11 @@ impl RepositorySnapshot {
 /// `swap` must be externally serialised (the shard's write mutex does
 /// this) — concurrent swaps would race generation advances against
 /// their COW bases.
-struct SnapshotCell<T> {
+///
+/// Public so the model-check suite (`tests/conc_model.rs`, run under
+/// `--cfg conc_check`) can exercise the cell directly; it is not part
+/// of the stable consumer API, which is [`ClusterStore`].
+pub struct SnapshotCell<T> {
     /// Always a valid pointer produced by `Arc::into_raw`; the cell
     /// owns one strong reference to it.
     ptr: AtomicPtr<T>,
@@ -331,9 +335,9 @@ unsafe impl<T: Send + Sync> Send for SnapshotCell<T> {}
 unsafe impl<T: Send + Sync> Sync for SnapshotCell<T> {}
 
 impl<T> SnapshotCell<T> {
-    fn new(value: Arc<T>) -> SnapshotCell<T> {
+    pub fn new(value: Arc<T>) -> SnapshotCell<T> {
         SnapshotCell {
-            ptr: AtomicPtr::new(Arc::into_raw(value) as *mut T),
+            ptr: AtomicPtr::new(arc_raw::into_raw(value) as *mut T),
             generation: AtomicUsize::new(0),
             readers: [AtomicUsize::new(0), AtomicUsize::new(0)],
         }
@@ -341,7 +345,7 @@ impl<T> SnapshotCell<T> {
 
     /// Clone the current snapshot. Lock-free: a handful of atomic ops,
     /// with at most one retry per concurrent swap of this shard.
-    fn load(&self) -> Arc<T> {
+    pub fn load(&self) -> Arc<T> {
         loop {
             let generation = self.generation.load(Ordering::SeqCst);
             let slot = &self.readers[generation & 1];
@@ -361,8 +365,8 @@ impl<T> SnapshotCell<T> {
             // the generation-checked slot, so bumping the strong count
             // and rebuilding an `Arc` is sound.
             let arc = unsafe {
-                Arc::increment_strong_count(ptr);
-                Arc::from_raw(ptr)
+                arc_raw::increment_strong_count(ptr);
+                arc_raw::from_raw(ptr)
             };
             slot.fetch_sub(1, Ordering::SeqCst);
             return arc;
@@ -374,9 +378,16 @@ impl<T> SnapshotCell<T> {
     /// left (a fixed, strictly-shrinking set — the wait is bounded by
     /// reader window lengths, not by reader arrival rate). Caller must
     /// hold the shard's write mutex.
-    fn swap(&self, new: Arc<T>) {
+    ///
+    /// Returns how many drain iterations the writer spent waiting for
+    /// in-window readers — 0 on the uncontended path. Callers surface
+    /// the sum as the `swap_spins` shard stat, which is both a
+    /// production contention signal and the liveness bound the model
+    /// checker asserts on (the parity protocol guarantees the drained
+    /// set only shrinks).
+    pub fn swap(&self, new: Arc<T>) -> u32 {
         let generation = self.generation.load(Ordering::SeqCst);
-        let old = self.ptr.swap(Arc::into_raw(new) as *mut T, Ordering::SeqCst);
+        let old = self.ptr.swap(arc_raw::into_raw(new) as *mut T, Ordering::SeqCst);
         self.generation.store(generation.wrapping_add(1), Ordering::SeqCst);
         // Readers' windows are a handful of instructions; the only way
         // this spins for long is a reader preempted mid-window, so
@@ -386,16 +397,17 @@ impl<T> SnapshotCell<T> {
         while self.readers[generation & 1].load(Ordering::SeqCst) != 0 {
             spins += 1;
             if spins < 64 {
-                std::hint::spin_loop();
+                retroweb_sync::hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                retroweb_sync::thread::yield_now();
             }
         }
         // SAFETY: `old` came from `Arc::into_raw` (cell invariant) and
         // no reader still holds it raw (the previous generation's slot
         // drained; later readers see the new pointer), so reclaiming
         // the cell's strong reference is sound.
-        unsafe { drop(Arc::from_raw(old)) };
+        unsafe { drop(arc_raw::from_raw(old)) };
+        spins
     }
 }
 
@@ -403,7 +415,7 @@ impl<T> Drop for SnapshotCell<T> {
     fn drop(&mut self) {
         // SAFETY: `&mut self` means no readers exist; reclaim the
         // cell's strong reference.
-        unsafe { drop(Arc::from_raw(self.ptr.load(Ordering::SeqCst))) };
+        unsafe { drop(arc_raw::from_raw(self.ptr.load(Ordering::SeqCst))) };
     }
 }
 
@@ -434,6 +446,9 @@ struct Shard {
     hits: AtomicU64,
     builds: AtomicU64,
     invalidations: AtomicU64,
+    /// Total snapshot-swap drain iterations writers spent waiting for
+    /// in-window readers (see [`SnapshotCell::swap`]).
+    swap_spins: AtomicU64,
 }
 
 impl Shard {
@@ -444,6 +459,7 @@ impl Shard {
             hits: AtomicU64::new(0),
             builds: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            swap_spins: AtomicU64::new(0),
         }
     }
 }
@@ -507,9 +523,9 @@ impl ClusterStore for ShardedRepository {
             })
             .clone();
         if built {
-            shard.builds.fetch_add(1, Ordering::Relaxed);
+            shard.builds.fetch_add(1, Ordering::Relaxed); // sync-lint: counter
         } else {
-            shard.hits.fetch_add(1, Ordering::Relaxed);
+            shard.hits.fetch_add(1, Ordering::Relaxed); // sync-lint: counter
         }
         Some(compiled)
     }
@@ -523,9 +539,10 @@ impl ClusterStore for ShardedRepository {
         let mut next = (*current).clone();
         let previous = next.insert(name, entry);
         if previous.is_some_and(|e| e.compiled.get().is_some()) {
-            shard.invalidations.fetch_add(1, Ordering::Relaxed);
+            shard.invalidations.fetch_add(1, Ordering::Relaxed); // sync-lint: counter
         }
-        shard.snap.swap(Arc::new(next));
+        let spins = shard.snap.swap(Arc::new(next));
+        shard.swap_spins.fetch_add(u64::from(spins), Ordering::Relaxed); // sync-lint: counter
     }
 
     fn remove(&self, cluster: &str) -> bool {
@@ -538,9 +555,10 @@ impl ClusterStore for ShardedRepository {
         let mut next = (*current).clone();
         let removed = next.remove(cluster);
         if removed.is_some_and(|e| e.compiled.get().is_some()) {
-            shard.invalidations.fetch_add(1, Ordering::Relaxed);
+            shard.invalidations.fetch_add(1, Ordering::Relaxed); // sync-lint: counter
         }
-        shard.snap.swap(Arc::new(next));
+        let spins = shard.snap.swap(Arc::new(next));
+        shard.swap_spins.fetch_add(u64::from(spins), Ordering::Relaxed); // sync-lint: counter
         true
     }
 
@@ -596,9 +614,10 @@ impl ClusterStore for ShardedRepository {
                         .values()
                         .filter(|e| e.compiled.get().is_some())
                         .count(),
-                    compiled_cache_hits: shard.hits.load(Ordering::Relaxed),
-                    compiled_cache_builds: shard.builds.load(Ordering::Relaxed),
-                    compiled_cache_invalidations: shard.invalidations.load(Ordering::Relaxed),
+                    compiled_cache_hits: shard.hits.load(Ordering::Relaxed), // sync-lint: counter
+                    compiled_cache_builds: shard.builds.load(Ordering::Relaxed), // sync-lint: counter
+                    compiled_cache_invalidations: shard.invalidations.load(Ordering::Relaxed), // sync-lint: counter
+                    swap_spins: shard.swap_spins.load(Ordering::Relaxed), // sync-lint: counter
                     ..RepositoryStats::default()
                 };
                 for compiled in map.values().filter_map(|e| e.compiled.get()) {

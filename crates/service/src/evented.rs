@@ -41,6 +41,7 @@
 //! [slowloris]: https://en.wikipedia.org/wiki/Slowloris_(computer_security)
 
 use crate::http::{self, Reply, Request, RequestParser, Response};
+use crate::pipe::BodyPipe;
 use crate::pool::ThreadPool;
 use crate::{handlers, ServerConfig, ServiceState};
 use retroweb_netpoll::{wake_pair, Event, Interest, Poller, Token, WakeReader, Waker};
@@ -48,7 +49,7 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -93,89 +94,6 @@ impl LoopHandle {
     fn send(&self, msg: LoopMsg) {
         self.queue.lock().expect("loop queue poisoned").push_back(msg);
         self.waker.wake();
-    }
-}
-
-// ---- bounded streaming pipe -----------------------------------------------
-
-struct PipeState {
-    buf: Vec<u8>,
-    /// `Some` once the producer finished; `Ok` carries body bytes
-    /// (pre-framing) for metrics, `Err` means the stream is truncated
-    /// and the connection must close without the terminal chunk.
-    done: Option<Result<u64, ()>>,
-    aborted: bool,
-    /// A `Stream` message is already queued and not yet drained —
-    /// producer-side notifications coalesce instead of flooding.
-    notified: bool,
-}
-
-/// Condvar-bounded byte pipe between a streaming-body producer thread
-/// and the event loop. The producer blocks once `budget` bytes are
-/// in flight (slow client ⇒ backpressure), the loop takes whatever is
-/// available on write-readiness, and `abort` turns the producer's next
-/// write into an error when the connection dies first.
-pub(crate) struct BodyPipe {
-    state: Mutex<PipeState>,
-    space: Condvar,
-    budget: usize,
-}
-
-impl BodyPipe {
-    fn new(budget: usize) -> BodyPipe {
-        BodyPipe {
-            state: Mutex::new(PipeState {
-                buf: Vec::new(),
-                done: None,
-                aborted: false,
-                notified: false,
-            }),
-            space: Condvar::new(),
-            budget: budget.max(http::CHUNK_FLUSH_BYTES),
-        }
-    }
-
-    /// Producer side: append `data`, blocking while the pipe is at
-    /// budget. Errors once aborted.
-    fn push(&self, data: &[u8]) -> io::Result<bool> {
-        let mut state = self.state.lock().expect("pipe lock poisoned");
-        while state.buf.len() >= self.budget && !state.aborted {
-            state = self.space.wait(state).expect("pipe lock poisoned");
-        }
-        if state.aborted {
-            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection dropped mid-stream"));
-        }
-        state.buf.extend_from_slice(data);
-        let first = !state.notified;
-        state.notified = true;
-        Ok(first)
-    }
-
-    fn finish(&self, result: Result<u64, ()>) -> bool {
-        let mut state = self.state.lock().expect("pipe lock poisoned");
-        state.done = Some(result);
-        let first = !state.notified;
-        state.notified = true;
-        first
-    }
-
-    /// Loop side: take everything buffered (freeing producer budget)
-    /// plus the completion state, and re-arm notifications.
-    fn take(&self) -> (Vec<u8>, Option<Result<u64, ()>>) {
-        let mut state = self.state.lock().expect("pipe lock poisoned");
-        state.notified = false;
-        let bytes = std::mem::take(&mut state.buf);
-        if !bytes.is_empty() {
-            self.space.notify_all();
-        }
-        (bytes, state.done)
-    }
-
-    /// Loop side: the connection died; unblock and fail the producer.
-    fn abort(&self) {
-        let mut state = self.state.lock().expect("pipe lock poisoned");
-        state.aborted = true;
-        self.space.notify_all();
     }
 }
 
@@ -1018,59 +936,5 @@ fn process_request(
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn pipe_blocks_producer_at_budget_and_take_frees_space() {
-        let pipe = Arc::new(BodyPipe::new(http::CHUNK_FLUSH_BYTES));
-        let budget = pipe.budget;
-        // Fill to the brim without blocking.
-        assert!(pipe.push(&vec![7u8; budget]).unwrap());
-        let producer = {
-            let pipe = Arc::clone(&pipe);
-            std::thread::spawn(move || pipe.push(b"overflow").map(|_| ()))
-        };
-        // The producer must be parked, not completing.
-        std::thread::sleep(Duration::from_millis(40));
-        assert!(!producer.is_finished(), "producer ran past the budget");
-        let (bytes, done) = pipe.take();
-        assert_eq!(bytes.len(), budget);
-        assert!(done.is_none());
-        producer.join().unwrap().unwrap();
-        let (bytes, _) = pipe.take();
-        assert_eq!(bytes, b"overflow");
-    }
-
-    #[test]
-    fn pipe_abort_unblocks_and_fails_the_producer() {
-        let pipe = Arc::new(BodyPipe::new(http::CHUNK_FLUSH_BYTES));
-        pipe.push(&vec![0u8; pipe.budget]).unwrap();
-        let producer = {
-            let pipe = Arc::clone(&pipe);
-            std::thread::spawn(move || pipe.push(b"x").map(|_| ()))
-        };
-        std::thread::sleep(Duration::from_millis(20));
-        pipe.abort();
-        let err = producer.join().unwrap().unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
-        // Aborted pipes reject immediately, no blocking.
-        assert_eq!(pipe.push(b"y").unwrap_err().kind(), io::ErrorKind::BrokenPipe);
-    }
-
-    #[test]
-    fn pipe_notifications_coalesce_until_taken() {
-        let pipe = BodyPipe::new(1 << 20);
-        assert!(pipe.push(b"a").unwrap(), "first push notifies");
-        assert!(!pipe.push(b"b").unwrap(), "second push coalesces");
-        let (bytes, done) = pipe.take();
-        assert_eq!(bytes, b"ab");
-        assert!(done.is_none());
-        assert!(pipe.push(b"c").unwrap(), "post-drain push notifies again");
-        assert!(!pipe.finish(Ok(1)), "finish after pending push coalesces");
-        let (bytes, done) = pipe.take();
-        assert_eq!(bytes, b"c");
-        assert_eq!(done, Some(Ok(1)));
-    }
-}
+// The pipe's unit tests moved with it to `crate::pipe` (and gained a
+// model-checked twin in `tests/conc_model.rs`).

@@ -50,6 +50,7 @@ pub mod evented;
 pub mod handlers;
 pub mod http;
 pub mod metrics;
+pub mod pipe;
 pub mod pool;
 pub mod testdata;
 

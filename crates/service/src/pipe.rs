@@ -1,0 +1,213 @@
+//! Condvar-bounded byte pipe between a streaming-body producer thread
+//! and the evented front end's loop thread.
+//!
+//! Extracted from `evented` so the pipe's blocking protocol is
+//! testable on its own — both as plain unit tests and under the
+//! `retroweb_sync` model checker (`tests/conc_model.rs`, built with
+//! `--cfg conc_check`), which exhaustively checks that an `abort` or a
+//! `finish` always unblocks a budget-blocked producer.
+//!
+//! The producer blocks once `budget` bytes are in flight (slow client
+//! ⇒ backpressure), the loop takes whatever is available on
+//! write-readiness, and `abort` turns the producer's next write into an
+//! error when the connection dies first.
+
+use crate::http;
+use retroweb_sync::{Condvar, Mutex};
+use std::io;
+
+struct PipeState {
+    buf: Vec<u8>,
+    /// `Some` once the producer finished; `Ok` carries body bytes
+    /// (pre-framing) for metrics, `Err` means the stream is truncated
+    /// and the connection must close without the terminal chunk.
+    done: Option<Result<u64, ()>>,
+    aborted: bool,
+    /// A `Stream` message is already queued and not yet drained —
+    /// producer-side notifications coalesce instead of flooding.
+    notified: bool,
+}
+
+/// Bounded streaming pipe. See the module docs for the protocol; see
+/// `docs/CONCURRENCY.md` for the invariants the model checker holds it
+/// to.
+pub struct BodyPipe {
+    state: Mutex<PipeState>,
+    space: Condvar,
+    budget: usize,
+}
+
+impl BodyPipe {
+    /// A pipe admitting at most `budget` buffered bytes (clamped up to
+    /// the chunked-writer flush size so a single flush always fits).
+    pub fn new(budget: usize) -> BodyPipe {
+        BodyPipe {
+            state: Mutex::new(PipeState {
+                buf: Vec::new(),
+                done: None,
+                aborted: false,
+                notified: false,
+            }),
+            space: Condvar::new(),
+            budget: budget.max(http::CHUNK_FLUSH_BYTES),
+        }
+    }
+
+    /// The effective in-flight byte budget (after clamping).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Producer side: append `data`, blocking while the pipe is at
+    /// budget. Errors once aborted. Returns whether this push is the
+    /// first since the last drain (i.e. the loop needs a poke).
+    pub fn push(&self, data: &[u8]) -> io::Result<bool> {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        while state.buf.len() >= self.budget && !state.aborted {
+            state = self.space.wait(state).expect("pipe lock poisoned");
+        }
+        if state.aborted {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "connection dropped mid-stream"));
+        }
+        state.buf.extend_from_slice(data);
+        let first = !state.notified;
+        state.notified = true;
+        Ok(first)
+    }
+
+    /// Producer side: mark the stream complete. Returns whether the
+    /// loop still needs a poke for this completion.
+    pub fn finish(&self, result: Result<u64, ()>) -> bool {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        state.done = Some(result);
+        let first = !state.notified;
+        state.notified = true;
+        first
+    }
+
+    /// Loop side: take everything buffered (freeing producer budget)
+    /// plus the completion state, and re-arm notifications.
+    pub fn take(&self) -> (Vec<u8>, Option<Result<u64, ()>>) {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        state.notified = false;
+        let bytes = std::mem::take(&mut state.buf);
+        if !bytes.is_empty() {
+            self.space.notify_all();
+        }
+        (bytes, state.done)
+    }
+
+    /// Loop side: the connection died; unblock and fail the producer.
+    pub fn abort(&self) {
+        let mut state = self.state.lock().expect("pipe lock poisoned");
+        state.aborted = true;
+        self.space.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use retroweb_sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn blocks_producer_at_budget_and_take_frees_space() {
+        let pipe = Arc::new(BodyPipe::new(http::CHUNK_FLUSH_BYTES));
+        let budget = pipe.budget;
+        // Fill to the brim without blocking.
+        assert!(pipe.push(&vec![7u8; budget]).unwrap());
+        let producer = {
+            let pipe = Arc::clone(&pipe);
+            std::thread::spawn(move || pipe.push(b"overflow").map(|_| ()))
+        };
+        // The producer must be parked, not completing.
+        std::thread::sleep(Duration::from_millis(40));
+        assert!(!producer.is_finished(), "producer ran past the budget");
+        let (bytes, done) = pipe.take();
+        assert_eq!(bytes.len(), budget);
+        assert!(done.is_none());
+        producer.join().unwrap().unwrap();
+        let (bytes, _) = pipe.take();
+        assert_eq!(bytes, b"overflow");
+    }
+
+    /// The regression the model checker generalises: a producer blocked
+    /// on a full pipe must be released by `abort`, and must see the
+    /// error — not push into a dead connection.
+    #[test]
+    fn abort_unblocks_budget_blocked_producer() {
+        let pipe = Arc::new(BodyPipe::new(1));
+        let filler = vec![0u8; pipe.budget];
+        assert!(pipe.push(&filler).unwrap());
+        let producer = {
+            let pipe = Arc::clone(&pipe);
+            std::thread::spawn(move || pipe.push(b"more"))
+        };
+        // Give the producer a moment to actually block on `space`; the
+        // abort must wake it regardless of whether it has yet.
+        std::thread::sleep(Duration::from_millis(20));
+        pipe.abort();
+        let err = producer.join().unwrap().expect_err("push after abort must fail");
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+    }
+
+    /// Reader-dropped mid-stream: once aborted, every later push fails
+    /// and nothing is buffered — the producer cannot stream into the
+    /// void.
+    #[test]
+    fn push_after_abort_fails_and_buffers_nothing() {
+        let pipe = BodyPipe::new(64);
+        pipe.abort();
+        assert!(pipe.push(b"late").is_err());
+        let (bytes, done) = pipe.take();
+        assert!(bytes.is_empty());
+        assert_eq!(done, None);
+    }
+
+    /// `take` frees budget: a blocked producer resumes after a drain
+    /// and the drained bytes arrive in order.
+    #[test]
+    fn take_releases_budget_and_preserves_order() {
+        let pipe = Arc::new(BodyPipe::new(1));
+        let budget = pipe.budget;
+        assert!(pipe.push(&vec![b'a'; budget]).unwrap());
+        let producer = {
+            let pipe = Arc::clone(&pipe);
+            std::thread::spawn(move || {
+                pipe.push(b"b").unwrap();
+                pipe.finish(Ok(1))
+            })
+        };
+        let mut collected = Vec::new();
+        let done = loop {
+            let (bytes, done) = pipe.take();
+            collected.extend_from_slice(&bytes);
+            if let Some(done) = done {
+                break done;
+            }
+            std::thread::yield_now();
+        };
+        // The producer's `finish` raced a drain, so the poke may or may
+        // not have been needed — but the completion itself must land.
+        producer.join().unwrap();
+        assert_eq!(done, Ok(1));
+        assert_eq!(collected.len(), budget + 1);
+        assert_eq!(collected.last(), Some(&b'b'));
+    }
+
+    /// Notification coalescing: only the first push after a drain asks
+    /// for a poke.
+    #[test]
+    fn pushes_coalesce_until_drained() {
+        let pipe = BodyPipe::new(1024);
+        assert!(pipe.push(b"one").unwrap());
+        assert!(!pipe.push(b"two").unwrap());
+        assert!(!pipe.finish(Ok(6)));
+        let (bytes, done) = pipe.take();
+        assert_eq!(bytes, b"onetwo");
+        assert_eq!(done, Some(Ok(6)));
+        // Drained: the next producer-side event needs a fresh poke.
+        assert!(pipe.push(b"three").unwrap());
+    }
+}

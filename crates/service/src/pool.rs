@@ -8,10 +8,10 @@
 //! - `shutdown` is graceful: queued jobs are still executed; workers
 //!   exit only once the queue is empty.
 
+use retroweb_sync::atomic::{AtomicUsize, Ordering};
+use retroweb_sync::thread::JoinHandle;
+use retroweb_sync::{Arc, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -60,7 +60,7 @@ impl ThreadPool {
         let workers = (0..threads)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                retroweb_sync::thread::Builder::new()
                     .name(format!("retroweb-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
                     .expect("spawn worker thread")
@@ -81,12 +81,12 @@ impl ThreadPool {
 
     /// Workers executing a job right now.
     pub fn busy(&self) -> usize {
-        self.shared.busy.load(Ordering::Relaxed)
+        self.shared.busy.load(Ordering::Relaxed) // sync-lint: counter
     }
 
     /// Most workers ever concurrently busy since the pool started.
     pub fn busy_high_water(&self) -> usize {
-        self.shared.busy_high_water.load(Ordering::Relaxed)
+        self.shared.busy_high_water.load(Ordering::Relaxed) // sync-lint: counter
     }
 
     /// Enqueue a job, blocking while the queue is full. Fails only once
@@ -146,10 +146,10 @@ fn worker_loop(shared: &Shared) {
             // dead worker is never respawned, and a fully dead pool
             // leaves `submit` blocked on `not_full` forever.
             Some(job) => {
-                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1;
-                shared.busy_high_water.fetch_max(busy, Ordering::Relaxed);
+                let busy = shared.busy.fetch_add(1, Ordering::Relaxed) + 1; // sync-lint: counter
+                shared.busy_high_water.fetch_max(busy, Ordering::Relaxed); // sync-lint: counter
                 let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-                shared.busy.fetch_sub(1, Ordering::Relaxed);
+                shared.busy.fetch_sub(1, Ordering::Relaxed); // sync-lint: counter
             }
             None => return,
         }
@@ -294,5 +294,64 @@ mod tests {
         });
         pool.shutdown();
         assert_eq!(done.load(Ordering::SeqCst), 4);
+    }
+
+    /// Shutdown racing a submitter that is blocked on a full queue:
+    /// the submitter must terminate either way — either its job got the
+    /// freed slot and ran, or it observed shutdown and was rejected.
+    /// The model checker walks every interleaving of this race in
+    /// `tests/conc_model.rs`; this pins the std behaviour.
+    #[test]
+    fn shutdown_races_submitter_blocked_on_full_queue() {
+        let pool = ThreadPool::new(1, 1);
+        let done = Arc::new(AtomicUsize::new(0));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        // Occupy the lone worker behind the gate, then fill the queue.
+        {
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                let (lock, cv) = &*gate;
+                let mut open = lock.lock().unwrap();
+                while !*open {
+                    open = cv.wait(open).unwrap();
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        {
+            let done = Arc::clone(&done);
+            pool.submit(Box::new(move || {
+                done.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap();
+        }
+        std::thread::scope(|scope| {
+            let pool_ref = &pool;
+            let done_ref = Arc::clone(&done);
+            let racer = scope.spawn(move || {
+                let done = Arc::clone(&done_ref);
+                pool_ref.submit(Box::new(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                }))
+            });
+            // Let the racer park on `not_full`, then release the worker
+            // and begin shutdown — the racer either grabs the freed slot
+            // or wakes to `shutting_down`.
+            std::thread::sleep(Duration::from_millis(20));
+            {
+                let (lock, cv) = &*gate;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }
+            pool.shutdown();
+            let accepted = racer.join().unwrap().is_ok();
+            assert_eq!(
+                done.load(Ordering::SeqCst),
+                2 + usize::from(accepted),
+                "an accepted job was lost (or a rejected one ran)"
+            );
+        });
     }
 }
